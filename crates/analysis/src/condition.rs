@@ -1,0 +1,117 @@
+//! Ill-conditioned sum generation and the error-vs-condition-number sweep.
+//!
+//! The condition number of a sum, `C = Σ|xᵢ| / |Σ xᵢ|`, measures how much
+//! cancellation hides the result. Forward error of naive summation grows
+//! like `n·ε·C`; compensated methods push the constant down but keep the
+//! `C` dependence; the HP method's error is exactly zero at *any*
+//! condition number (given a format covering the inputs) — the strongest
+//! form of the paper's accuracy claim, complementary to the §II.A
+//! zero-sum experiment (which fixes `C = ∞`).
+
+use crate::workload::{rng, shuffle};
+use oisum_compensated::superacc::SuperAccumulator;
+use rand::prelude::*;
+
+/// An ill-conditioned summation instance.
+#[derive(Debug, Clone)]
+pub struct IllConditioned {
+    /// The summands, shuffled.
+    pub values: Vec<f64>,
+    /// The exact sum of `values` (correctly rounded).
+    pub exact: f64,
+    /// The achieved condition number `Σ|xᵢ| / |Σ xᵢ|`.
+    pub condition: f64,
+}
+
+/// Generates `n` summands whose exact sum is ≈ `Σ|x| / target_condition`.
+///
+/// Construction: draw `n − 1` values in `[−1, 1]`, cancel them exactly
+/// with one correcting value, then add back a small target sum `t` chosen
+/// to hit the condition number. All bookkeeping runs through the long
+/// accumulator, so `exact` really is the rounded true sum.
+pub fn ill_conditioned_sum(n: usize, target_condition: f64, seed: u64) -> IllConditioned {
+    assert!(n >= 4, "need at least a few summands");
+    assert!(target_condition >= 1.0);
+    let mut r = rng(seed);
+    let mut values: Vec<f64> = (0..n - 2).map(|_| r.random_range(-1.0..1.0)).collect();
+    // Exactly cancel the bulk: the correcting value is the rounded
+    // negative sum; its own rounding error is absorbed into the target.
+    let mut acc = SuperAccumulator::new();
+    let mut abs_sum = 0.0f64;
+    for &v in &values {
+        acc.add(v);
+        abs_sum += v.abs();
+    }
+    let cancel = -acc.value();
+    values.push(cancel);
+    acc.add(cancel);
+    abs_sum += cancel.abs();
+    // Residual after cancellation is ≤ half an ulp of the bulk sum; now
+    // place the target term.
+    let target = abs_sum / target_condition;
+    values.push(target);
+    acc.add(target);
+    abs_sum += target.abs();
+    let exact = acc.value();
+    let condition = if exact == 0.0 {
+        f64::INFINITY
+    } else {
+        abs_sum / exact.abs()
+    };
+    shuffle(&mut values, seed ^ 0xABCD);
+    IllConditioned {
+        values,
+        exact,
+        condition,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisum_compensated::naive::naive_sum;
+    use oisum_core::Hp6x3;
+
+    #[test]
+    fn achieves_requested_condition_number() {
+        for target in [1e2, 1e6, 1e12] {
+            let inst = ill_conditioned_sum(1000, target, 5);
+            assert!(
+                inst.condition > target / 10.0 && inst.condition < target * 10.0,
+                "target {target:e}, achieved {:e}",
+                inst.condition
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sum_is_consistent() {
+        let inst = ill_conditioned_sum(500, 1e8, 9);
+        let recomputed = oisum_compensated::superacc::exact_sum(&inst.values);
+        assert_eq!(recomputed.to_bits(), inst.exact.to_bits());
+    }
+
+    #[test]
+    fn naive_error_grows_with_condition() {
+        let lo = ill_conditioned_sum(2000, 1e2, 11);
+        let hi = ill_conditioned_sum(2000, 1e12, 11);
+        let rel = |inst: &IllConditioned| {
+            (naive_sum(&inst.values) - inst.exact).abs() / inst.exact.abs()
+        };
+        assert!(
+            rel(&hi) > rel(&lo) * 1e3,
+            "lo {:e} hi {:e}",
+            rel(&lo),
+            rel(&hi)
+        );
+    }
+
+    #[test]
+    fn hp_error_is_zero_at_any_condition() {
+        for target in [1e4, 1e10, 1e15] {
+            let inst = ill_conditioned_sum(1000, target, 13);
+            let hp = Hp6x3::sum_f64_slice(&inst.values).to_f64();
+            assert_eq!(hp.to_bits(), inst.exact.to_bits(), "C = {target:e}");
+        }
+    }
+}

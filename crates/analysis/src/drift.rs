@@ -1,0 +1,113 @@
+//! Long-running accumulation drift — the paper's motivating failure mode:
+//! "At worst, error is compounded in each time step until the simulation
+//! results are meaningless" (§I).
+//!
+//! A conserved scalar (think net momentum or energy correction) receives
+//! many small, exactly-cancelling contributions every time step. Summed in
+//! `f64` the conserved value drifts as a random walk across time steps;
+//! compensated methods drift more slowly; the HP method holds it at
+//! exactly zero forever. [`run_drift_experiment`] produces the per-step
+//! drift trajectories for all methods.
+
+use crate::workload::{shuffle, zero_sum_set};
+use oisum_compensated::{KahanSum, NeumaierSum};
+use oisum_core::Hp3x2;
+
+/// Drift trajectories of one experiment: per-step |conserved value| for
+/// each method (the conserved value's true magnitude is zero throughout).
+#[derive(Debug, Clone)]
+pub struct DriftOutcome {
+    /// Contributions per step.
+    pub per_step: usize,
+    /// |drift| after each step for plain `f64` accumulation.
+    pub f64_drift: Vec<f64>,
+    /// |drift| after each step for Kahan accumulation.
+    pub kahan_drift: Vec<f64>,
+    /// |drift| after each step for Neumaier accumulation.
+    pub neumaier_drift: Vec<f64>,
+    /// |drift| after each step for HP(3,2) accumulation.
+    pub hp_drift: Vec<f64>,
+}
+
+impl DriftOutcome {
+    /// Final |drift| per method as `(f64, kahan, neumaier, hp)`.
+    pub fn final_drift(&self) -> (f64, f64, f64, f64) {
+        (
+            *self.f64_drift.last().unwrap(),
+            *self.kahan_drift.last().unwrap(),
+            *self.neumaier_drift.last().unwrap(),
+            *self.hp_drift.last().unwrap(),
+        )
+    }
+}
+
+/// Runs `steps` time steps, each accumulating a fresh shuffled zero-sum
+/// set of `per_step` contributions in `[−max, max]` into one running
+/// scalar per method. Running state carries across steps, so error
+/// compounds exactly as in a long simulation.
+pub fn run_drift_experiment(per_step: usize, steps: usize, max: f64, seed: u64) -> DriftOutcome {
+    let mut f64_acc = 0.0f64;
+    let mut kahan = KahanSum::new();
+    let mut neumaier = NeumaierSum::new();
+    let mut hp = Hp3x2::ZERO;
+    let mut out = DriftOutcome {
+        per_step,
+        f64_drift: Vec::with_capacity(steps),
+        kahan_drift: Vec::with_capacity(steps),
+        neumaier_drift: Vec::with_capacity(steps),
+        hp_drift: Vec::with_capacity(steps),
+    };
+    for step in 0..steps {
+        let mut contributions = zero_sum_set(per_step, max, seed ^ (step as u64) << 17);
+        shuffle(&mut contributions, seed.wrapping_add(step as u64 * 7919));
+        for &c in &contributions {
+            f64_acc += c;
+            kahan.add(c);
+            neumaier.add(c);
+            hp += Hp3x2::from_f64_trunc(c).expect("in range");
+        }
+        out.f64_drift.push(f64_acc.abs());
+        out.kahan_drift.push(kahan.value().abs());
+        out.neumaier_drift.push(neumaier.value().abs());
+        out.hp_drift.push(hp.to_f64().abs());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp_never_drifts() {
+        let out = run_drift_experiment(256, 50, 1e-3, 42);
+        assert!(out.hp_drift.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn f64_drift_is_nonzero_and_grows_over_steps() {
+        let out = run_drift_experiment(512, 200, 1e-3, 7);
+        let early: f64 = out.f64_drift[..20].iter().sum::<f64>() / 20.0;
+        let late: f64 = out.f64_drift[180..].iter().sum::<f64>() / 20.0;
+        assert!(out.f64_drift.last().unwrap() > &0.0);
+        // Random-walk growth: the late average exceeds the early one.
+        assert!(late > early, "late {late:e} vs early {early:e}");
+    }
+
+    #[test]
+    fn compensation_reduces_but_does_not_match_hp() {
+        let out = run_drift_experiment(512, 100, 1e-3, 9);
+        let (f, _k, n, hp) = out.final_drift();
+        // Neumaier is far better than naive f64 on this workload…
+        assert!(n <= f);
+        // …but only HP is exactly zero.
+        assert_eq!(hp, 0.0);
+    }
+
+    #[test]
+    fn trajectories_have_one_sample_per_step() {
+        let out = run_drift_experiment(64, 33, 1e-3, 1);
+        assert_eq!(out.f64_drift.len(), 33);
+        assert_eq!(out.hp_drift.len(), 33);
+    }
+}

@@ -1,0 +1,29 @@
+//! # oisum-analysis — error experiments, workloads, and the op-count model
+//!
+//! Everything the figure harnesses need that is not a summation method:
+//!
+//! * [`workload`] — seeded generators for each experiment's inputs
+//!   (§II.A zero-sum sets, Figs. 5–8 uniform `[-0.5, 0.5]`, Fig. 4
+//!   log-uniform wide-range values, N-body-like force contributions).
+//! * [`zerosum`] — the §II.A rounding-error experiment (Figs. 1–2).
+//! * [`stats`] — exact (long-accumulator) mean/σ and histograms.
+//! * [`condition`] — ill-conditioned sum generation: error vs condition
+//!   number, the general form of the §II.A accuracy experiment.
+//! * [`drift`] — multi-time-step drift of a conserved quantity (the §I
+//!   "error is compounded in each time step" failure mode).
+//! * [`opcount`] — §IV.A's Eqs. 3–6 speedup model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod condition;
+pub mod drift;
+pub mod opcount;
+pub mod stats;
+pub mod workload;
+pub mod zerosum;
+
+pub use condition::{ill_conditioned_sum, IllConditioned};
+pub use drift::{run_drift_experiment, DriftOutcome};
+pub use stats::{summarize, Histogram, Summary};
+pub use zerosum::{fig1_sizes, run_zero_sum_experiment, ZeroSumOutcome};

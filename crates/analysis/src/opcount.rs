@@ -1,0 +1,135 @@
+//! The paper's §IV.A operation-count and speedup analysis (Eqs. 3–6).
+//!
+//! Both methods process a sequence of 64-bit blocks; modeling the per-block
+//! cost as a constant gives
+//!
+//! ```text
+//! T_p = c_p · N_p = c_p · ⌈(b + 1) / 64⌉        (HP, Eq. 3)
+//! T_b = c_b · N_b = c_b · ⌈b / M⌉               (Hallberg, Eq. 3)
+//! S   = T_b / T_p                                (Eq. 4)
+//! S  ≥ (c_b / c_p) · 64·b / (M·(b + 65))         (Eq. 5)
+//! S  ≥ (c_b / c_p) · 32 / M       for b > 64     (Eq. 6)
+//! ```
+//!
+//! so for fixed precision `b`, shrinking `M` (to admit more summands)
+//! improves the HP method's relative speedup — the paper's explanation of
+//! why HP overtakes Hallberg beyond ~1M summands.
+
+/// Per-summand operation counts of a method (conversion + accumulate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Floating-point multiplications.
+    pub fp_mul: usize,
+    /// Floating-point additions/subtractions.
+    pub fp_add: usize,
+    /// Integer ALU operations (worst case).
+    pub alu: usize,
+}
+
+/// §IV.A: HP conversion is `N` FP multiplies + `N` FP adds (+ up to `3N`
+/// ALU ops for a negative value), and adding into the running sum costs
+/// `4(N − 1)` ALU ops.
+pub fn hp_ops(n_blocks: usize) -> OpCounts {
+    OpCounts {
+        fp_mul: n_blocks,
+        fp_add: n_blocks,
+        alu: 3 * n_blocks + 4 * (n_blocks.saturating_sub(1)),
+    }
+}
+
+/// §IV.A (quoting \[11\]): Hallberg conversion is `2N` FP multiplies + `N`
+/// FP adds, and the accumulate is `N` integer additions.
+pub fn hallberg_ops(n_blocks: usize) -> OpCounts {
+    OpCounts {
+        fp_mul: 2 * n_blocks,
+        fp_add: n_blocks,
+        alu: n_blocks,
+    }
+}
+
+/// HP block count for `b` precision bits: `⌈(b + 1) / 64⌉` (Eq. 3; the +1
+/// is the sign bit).
+pub fn hp_blocks(b: u64) -> u64 {
+    (b + 1).div_ceil(64)
+}
+
+/// Hallberg block count for `b` precision bits at `M` bits per block:
+/// `⌈b / M⌉` (Eq. 3).
+pub fn hallberg_blocks(b: u64, m: u32) -> u64 {
+    b.div_ceil(m as u64)
+}
+
+/// Exact modeled speedup `S = T_b / T_p` (Eq. 4) given the per-block cost
+/// ratio `cb_over_cp = c_b / c_p`.
+pub fn speedup(b: u64, m: u32, cb_over_cp: f64) -> f64 {
+    cb_over_cp * hallberg_blocks(b, m) as f64 / hp_blocks(b) as f64
+}
+
+/// The Eq. 5 lower bound `S ≥ (c_b/c_p) · 64·b / (M·(b + 65))`.
+pub fn speedup_lower_bound(b: u64, m: u32, cb_over_cp: f64) -> f64 {
+    cb_over_cp * 64.0 * b as f64 / (m as f64 * (b as f64 + 65.0))
+}
+
+/// The Eq. 6 simplified bound `S ≥ (c_b/c_p) · 32 / M`, valid for
+/// `b > 64`.
+pub fn speedup_simple_bound(m: u32, cb_over_cp: f64) -> f64 {
+    cb_over_cp * 32.0 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts_match_paper_configurations() {
+        // 511-bit HP is 8 blocks; Table 2 Hallberg formats.
+        assert_eq!(hp_blocks(511), 8);
+        assert_eq!(hallberg_blocks(512, 52), 10);
+        assert_eq!(hallberg_blocks(512, 43), 12);
+        assert_eq!(hallberg_blocks(512, 37), 14);
+        // Fig. 5–8: 383-bit HP is 6 blocks, Hallberg(38) is 10… ⌈380/38⌉.
+        assert_eq!(hp_blocks(383), 6);
+        assert_eq!(hallberg_blocks(380, 38), 10);
+    }
+
+    #[test]
+    fn op_counts_match_section_iv_a() {
+        let hp = hp_ops(8);
+        assert_eq!((hp.fp_mul, hp.fp_add), (8, 8));
+        assert_eq!(hp.alu, 24 + 28);
+        let hb = hallberg_ops(10);
+        assert_eq!((hb.fp_mul, hb.fp_add, hb.alu), (20, 10, 10));
+    }
+
+    #[test]
+    fn bounds_are_actually_lower_bounds() {
+        for b in [128u64, 383, 511, 1024] {
+            for m in [37u32, 43, 52] {
+                let s = speedup(b, m, 1.0);
+                assert!(speedup_lower_bound(b, m, 1.0) <= s + 1e-12, "b={b} m={m}");
+                if b > 64 {
+                    assert!(speedup_simple_bound(m, 1.0) <= speedup_lower_bound(b, m, 1.0) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_improves_as_m_shrinks() {
+        // The paper's conclusion: lower M (more summands) → higher S.
+        let s52 = speedup(511, 52, 1.0);
+        let s43 = speedup(511, 43, 1.0);
+        let s37 = speedup(511, 37, 1.0);
+        assert!(s52 < s43 && s43 < s37, "{s52} {s43} {s37}");
+    }
+
+    #[test]
+    fn speedup_grows_weakly_with_precision() {
+        // Eq. 5 commentary: "the speedup is also expected to improve
+        // slightly with increased precision for a fixed M".
+        let lo = speedup_lower_bound(128, 38, 1.0);
+        let hi = speedup_lower_bound(512, 38, 1.0);
+        assert!(hi > lo);
+        assert!(hi / lo < 1.5, "weak dependence only");
+    }
+}

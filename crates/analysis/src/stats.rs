@@ -1,0 +1,170 @@
+//! Exact statistics over experiment residuals.
+//!
+//! §II.A: "Forcing the true sum to be zero allows us to compute accurate
+//! statistics describing the distribution of sums, as the statistics
+//! calculation itself is subject to round-off error." We go one step
+//! further and accumulate the moments with the long accumulator, so the
+//! reported mean and standard deviation carry no summation error of their
+//! own.
+
+use oisum_compensated::SuperAccumulator;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Exact mean (one final rounding).
+    pub mean: f64,
+    /// Population standard deviation (`sqrt(E[x²] − E[x]²)`).
+    pub stddev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Computes mean and standard deviation with exact moment accumulation.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarize an empty sample");
+    let mut s1 = SuperAccumulator::new();
+    let mut s2 = SuperAccumulator::new();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs {
+        s1.add(x);
+        s2.add(x * x); // one rounding in x·x only
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let n = xs.len() as f64;
+    let mean = s1.value() / n;
+    let var = (s2.value() / n - mean * mean).max(0.0);
+    Summary {
+        n: xs.len(),
+        mean,
+        stddev: var.sqrt(),
+        min,
+        max,
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets plus
+/// underflow/overflow counters — the Fig. 2 rendering input.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `xs`.
+    pub fn build(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1 && hi > lo);
+        let mut h = Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        };
+        let width = (hi - lo) / bins as f64;
+        for &x in xs {
+            if x < lo {
+                h.underflow += 1;
+            } else if x >= hi {
+                h.overflow += 1;
+            } else {
+                let b = ((x - lo) / width) as usize;
+                h.counts[b.min(bins - 1)] += 1;
+            }
+        }
+        h
+    }
+
+    /// Center of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Total counted samples (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Renders an ASCII bar chart, `width` characters for the tallest bin.
+    pub fn render(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(peak as usize));
+            out.push_str(&format!("{:>12.3e} | {:<6} {}\n", self.center(i), c, bar));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = summarize(&[2.5; 100]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!((s.min, s.max), (2.5, 2.5));
+    }
+
+    #[test]
+    fn summary_matches_known_values() {
+        // {1, 2, 3, 4}: mean 2.5, population variance 1.25.
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.stddev - 1.25f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_is_robust_to_catastrophic_cancellation() {
+        // Huge values cancelling: naive two-pass f64 would struggle; the
+        // exact accumulator reports mean 0 exactly.
+        let xs = [1e100, -1e100, 1.0, -1.0];
+        let s = summarize(&xs);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_edges() {
+        let xs = [-1.5, -0.5, 0.0, 0.49, 0.5, 2.0];
+        let h = Histogram::build(&xs, -1.0, 1.0, 4);
+        assert_eq!(h.underflow, 1); // -1.5
+        assert_eq!(h.overflow, 1); // 2.0
+        // In-range: -0.5 → bin 1, 0.0 → bin 2, 0.49 → bin 2, 0.5 → bin 3.
+        assert_eq!(h.counts, vec![0, 1, 2, 1]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_render_has_bars() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+        let h = Histogram::build(&xs, 0.0, 1.0, 10);
+        let r = h.render(20);
+        assert_eq!(r.lines().count(), 10);
+        assert!(r.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        summarize(&[]);
+    }
+}

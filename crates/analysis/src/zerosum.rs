@@ -1,0 +1,120 @@
+//! The §II.A rounding-error experiment behind Figs. 1 and 2.
+//!
+//! For each set size `n`, generate a zero-sum set, then run many trials
+//! that shuffle the set and sum it with standard `f64` arithmetic. The
+//! residual (distance from the true sum, zero) is pure accumulated
+//! rounding error. The same trials run through the HP method must return
+//! exactly zero every time.
+
+use crate::stats::{summarize, Summary};
+use crate::workload::{shuffle, zero_sum_set};
+use oisum_compensated::naive::naive_sum;
+use oisum_core::HpFixed;
+
+/// Outcome of the experiment for one set size.
+#[derive(Debug, Clone)]
+pub struct ZeroSumOutcome {
+    /// The set size `n`.
+    pub n: usize,
+    /// Residual of each f64 trial (the raw Fig. 2 sample for n = 1024).
+    pub f64_residuals: Vec<f64>,
+    /// Summary statistics of the f64 residuals (σ is Fig. 1's y-axis).
+    pub f64_summary: Summary,
+    /// Largest |residual| observed across all HP trials (0 ⇔ perfect).
+    pub hp_max_abs_residual: f64,
+}
+
+/// Runs `trials` random-order summations of a zero-sum set of size `n`
+/// with values in `[0, max)`.
+///
+/// Matches §II.A: values in `[0, 0.001]`, 16384 trials, each trial a fresh
+/// random order. The HP format defaults to the paper's Fig. 1 choice
+/// (N=3, k=2) via [`run_zero_sum_experiment`].
+pub fn run_zero_sum_experiment_with<const N: usize, const K: usize>(
+    n: usize,
+    max: f64,
+    trials: usize,
+    seed: u64,
+) -> ZeroSumOutcome {
+    let mut xs = zero_sum_set(n, max, seed);
+    let mut f64_residuals = Vec::with_capacity(trials);
+    let mut hp_max = 0.0f64;
+    for t in 0..trials {
+        shuffle(&mut xs, seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        f64_residuals.push(naive_sum(&xs));
+        let hp = HpFixed::<N, K>::sum_f64_slice(&xs);
+        hp_max = hp_max.max(hp.to_f64().abs());
+    }
+    let f64_summary = summarize(&f64_residuals);
+    ZeroSumOutcome {
+        n,
+        f64_residuals,
+        f64_summary,
+        hp_max_abs_residual: hp_max,
+    }
+}
+
+/// The experiment with the paper's HP(N=3, k=2) configuration.
+pub fn run_zero_sum_experiment(n: usize, max: f64, trials: usize, seed: u64) -> ZeroSumOutcome {
+    run_zero_sum_experiment_with::<3, 2>(n, max, trials, seed)
+}
+
+/// The Fig. 1 sweep: `n ∈ {64, 128, …, 1024}` (step 64 in the paper's
+/// x-axis ticks; the text says {64, 128, …, 1024}).
+pub fn fig1_sizes() -> Vec<usize> {
+    (1..=16).map(|i| i * 64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp_residual_is_exactly_zero() {
+        // The paper: "The HP method achieved perfect precision on these
+        // data sets and correctly computed the final sum as zero for all
+        // test cases."
+        let out = run_zero_sum_experiment(256, 0.001, 50, 1);
+        assert_eq!(out.hp_max_abs_residual, 0.0);
+    }
+
+    #[test]
+    fn f64_residuals_are_nonzero_and_tiny() {
+        let out = run_zero_sum_experiment(512, 0.001, 100, 2);
+        // Some trial must show rounding error…
+        assert!(out.f64_residuals.iter().any(|&r| r != 0.0));
+        // …of the expected 1e-18..1e-15 magnitude scale.
+        assert!(out.f64_summary.stddev > 1e-20);
+        assert!(out.f64_summary.stddev < 1e-14);
+    }
+
+    #[test]
+    fn error_grows_with_set_size() {
+        // Fig. 1: σ grows (≈ linearly) with n. Compare the two endpoints
+        // with enough trials to be statistically safe.
+        let small = run_zero_sum_experiment(64, 0.001, 300, 3);
+        let large = run_zero_sum_experiment(1024, 0.001, 300, 4);
+        assert!(
+            large.f64_summary.stddev > 3.0 * small.f64_summary.stddev,
+            "σ(1024)={:e} vs σ(64)={:e}",
+            large.f64_summary.stddev,
+            small.f64_summary.stddev
+        );
+    }
+
+    #[test]
+    fn residual_mean_is_near_zero() {
+        // Fig. 2: "the histogram describes a normal distribution whose
+        // mean is approximately zero".
+        let out = run_zero_sum_experiment(1024, 0.001, 400, 5);
+        assert!(out.f64_summary.mean.abs() < 5.0 * out.f64_summary.stddev);
+    }
+
+    #[test]
+    fn fig1_sizes_match_paper() {
+        let sizes = fig1_sizes();
+        assert_eq!(sizes.first(), Some(&64));
+        assert_eq!(sizes.last(), Some(&1024));
+        assert_eq!(sizes.len(), 16);
+    }
+}

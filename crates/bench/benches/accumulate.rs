@@ -1,0 +1,45 @@
+//! Per-element accumulation cost (convert + add into a running sum) for
+//! every method — the single-PE costs that anchor Figs. 5–8 and the ~37×
+//! HP-vs-double ratio of §IV.B.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_threads::{
+    sum_serial, DoubleMethod, HallbergMethod, HpMethod, KahanMethod, NeumaierMethod, SumMethod,
+    SuperaccMethod,
+};
+use std::hint::black_box;
+
+const N: usize = 1 << 16;
+
+fn bench_method<M: SumMethod>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    m: &M,
+    xs: &[f64],
+) {
+    g.bench_function(label, |b| {
+        b.iter(|| black_box(sum_serial(m, black_box(xs)).value))
+    });
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    let xs = uniform_symmetric(N, 11);
+    let mut g = c.benchmark_group("accumulate_64k");
+    g.throughput(Throughput::Elements(N as u64));
+    bench_method(&mut g, "double", &DoubleMethod, &xs);
+    bench_method(&mut g, "hp2x1", &HpMethod::<2, 1>, &xs);
+    bench_method(&mut g, "hp3x2", &HpMethod::<3, 2>, &xs);
+    bench_method(&mut g, "hp6x3", &HpMethod::<6, 3>, &xs);
+    bench_method(&mut g, "hp8x4", &HpMethod::<8, 4>, &xs);
+    bench_method(&mut g, "hallberg10_m38", &HallbergMethod::<10>::with_m(38), &xs);
+    bench_method(&mut g, "hallberg14_m37", &HallbergMethod::<14>::with_m(37), &xs);
+    bench_method(&mut g, "kahan", &KahanMethod, &xs);
+    bench_method(&mut g, "neumaier", &NeumaierMethod, &xs);
+    bench_method(&mut g, "superacc", &SuperaccMethod, &xs);
+    bench_method(&mut g, "binned4", &oisum_threads::BinnedMethod::<4>::new(0.5), &xs);
+    g.finish();
+}
+
+criterion_group!(benches, bench_accumulate);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Atomic accumulator micro-benchmarks: the fetch-add and CAS HP adders
+//! (§III.B.2), the carry-free Hallberg atomic adder, and the CAS-emulated
+//! `f64` atomicAdd the GPU model uses — uncontended single-thread costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_core::{AtomicHp, Hp6x3};
+use oisum_gpu::{F64Gpu, GpuMethod};
+use oisum_hallberg::{AtomicHallberg, HallbergCodec};
+use std::hint::black_box;
+
+const N: usize = 1 << 14;
+
+fn bench_atomic(c: &mut Criterion) {
+    let xs = uniform_symmetric(N, 13);
+    let hp_vals: Vec<Hp6x3> = xs.iter().map(|&x| Hp6x3::from_f64_unchecked(x)).collect();
+    let codec = HallbergCodec::<10>::with_m(38);
+    let hb_vals: Vec<_> = xs.iter().map(|&x| codec.encode_unchecked(x)).collect();
+
+    let mut g = c.benchmark_group("atomic_add_16k");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("hp6x3_fetch_add", |b| {
+        let acc = AtomicHp::<6, 3>::zero();
+        b.iter(|| {
+            for v in &hp_vals {
+                acc.add(black_box(v));
+            }
+        })
+    });
+    g.bench_function("hp6x3_cas", |b| {
+        let acc = AtomicHp::<6, 3>::zero();
+        b.iter(|| {
+            for v in &hp_vals {
+                acc.add_cas(black_box(v));
+            }
+        })
+    });
+    g.bench_function("hallberg10_fetch_add", |b| {
+        let acc = AtomicHallberg::<10>::zero();
+        b.iter(|| {
+            for v in &hb_vals {
+                acc.add(black_box(v));
+            }
+        })
+    });
+    g.bench_function("f64_cas_emulated", |b| {
+        let m = F64Gpu;
+        let cell = m.new_cell();
+        b.iter(|| {
+            for &x in &xs {
+                m.atomic_accumulate(&cell, black_box(x));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_atomic);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Exact dot-product benchmarks: the EFT + HP accumulation pipeline
+//! against the naive f64 inner product, across formats.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_core::{hp_dot, two_product};
+use std::hint::black_box;
+
+const N: usize = 1 << 14;
+
+fn bench_dot(c: &mut Criterion) {
+    let a = uniform_symmetric(N, 101);
+    let b = uniform_symmetric(N, 202);
+    let mut g = c.benchmark_group("dot_16k");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("naive_f64", |bch| {
+        bch.iter(|| {
+            black_box(
+                black_box(&a)
+                    .iter()
+                    .zip(black_box(&b))
+                    .map(|(x, y)| x * y)
+                    .sum::<f64>(),
+            )
+        })
+    });
+    g.bench_function("two_product_only", |bch| {
+        bch.iter(|| {
+            let mut s = 0.0;
+            for (&x, &y) in a.iter().zip(&b) {
+                let (p, e) = two_product(black_box(x), black_box(y));
+                s += p + e;
+            }
+            black_box(s)
+        })
+    });
+    g.bench_function("hp_dot_6x3", |bch| {
+        bch.iter(|| black_box(hp_dot::<6, 3>(black_box(&a), black_box(&b))))
+    });
+    g.bench_function("hp_dot_8x4", |bch| {
+        bch.iter(|| black_box(hp_dot::<8, 4>(black_box(&a), black_box(&b))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot);
+criterion_main!(benches);

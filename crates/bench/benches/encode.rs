@@ -1,0 +1,94 @@
+//! Conversion-kernel micro-benchmarks: the paper's Listing-1 float-path
+//! encoder across formats, the integer-path oracle, and the Hallberg
+//! encoder — the per-summand costs behind §IV.A's operation-count
+//! analysis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_core::{Hp3x2, Hp6x3, Hp8x4};
+use oisum_hallberg::HallbergCodec;
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let xs = uniform_symmetric(4096, 7);
+    let mut g = c.benchmark_group("encode");
+
+    g.bench_function("listing1_hp3x2", |b| {
+        b.iter_batched(
+            || xs.clone(),
+            |xs| {
+                for &x in &xs {
+                    black_box(Hp3x2::from_f64_unchecked(x));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("listing1_hp6x3", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(Hp6x3::from_f64_unchecked(black_box(x)));
+            }
+        })
+    });
+    g.bench_function("listing1_hp8x4", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(Hp8x4::from_f64_unchecked(black_box(x)));
+            }
+        })
+    });
+    g.bench_function("integer_oracle_hp6x3", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(Hp6x3::from_f64(black_box(x)).unwrap());
+            }
+        })
+    });
+    let codec10 = HallbergCodec::<10>::with_m(38);
+    g.bench_function("hallberg_n10_m38", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(codec10.encode_unchecked(black_box(x)));
+            }
+        })
+    });
+    let codec14 = HallbergCodec::<14>::with_m(37);
+    g.bench_function("hallberg_n14_m37", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(codec14.encode_unchecked(black_box(x)));
+            }
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("decode");
+    let hp: Vec<Hp6x3> = xs.iter().map(|&x| Hp6x3::from_f64_unchecked(x)).collect();
+    g.bench_function("exact_hp6x3", |b| {
+        b.iter(|| {
+            for v in &hp {
+                black_box(v.to_f64());
+            }
+        })
+    });
+    g.bench_function("float_path_hp6x3", |b| {
+        b.iter(|| {
+            for v in &hp {
+                black_box(v.to_f64_float_path());
+            }
+        })
+    });
+    let hb: Vec<_> = xs.iter().map(|&x| codec10.encode_unchecked(x)).collect();
+    g.bench_function("exact_hallberg_n10", |b| {
+        b.iter(|| {
+            for v in &hb {
+                black_box(codec10.decode(v));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end reduction benchmarks across substrates at a fixed problem
+//! size: serial, threaded, message-passing, and the GPU execution model —
+//! the measured counterparts of the Figs. 5–7 harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_gpu::{launch_sum, GpuDevice, HpGpu};
+use oisum_mpi::{ops, reduce_binomial, run};
+use oisum_core::Hp6x3;
+use oisum_threads::{sum_parallel, sum_serial, DoubleMethod, HpMethod};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N: usize = 1 << 18;
+
+fn bench_reduce(c: &mut Criterion) {
+    let xs = uniform_symmetric(N, 17);
+    let mut g = c.benchmark_group("reduce_256k");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+
+    g.bench_function("serial_double", |b| {
+        b.iter(|| black_box(sum_serial(&DoubleMethod, black_box(&xs)).value))
+    });
+    g.bench_function("serial_hp6x3", |b| {
+        b.iter(|| black_box(sum_serial(&HpMethod::<6, 3>, black_box(&xs)).value))
+    });
+    g.bench_function("threads4_hp6x3", |b| {
+        b.iter(|| black_box(sum_parallel(&HpMethod::<6, 3>, black_box(&xs), 4).value))
+    });
+    let shared = Arc::new(xs.clone());
+    g.bench_function("mpi4_binomial_hp6x3", |b| {
+        b.iter(|| {
+            let d = Arc::clone(&shared);
+            let out = run(4, move |comm| {
+                let chunk = d.len().div_ceil(comm.size());
+                let lo = comm.rank() * chunk;
+                let hi = ((comm.rank() + 1) * chunk).min(d.len());
+                let local = Hp6x3::sum_f64_slice(&d[lo..hi]);
+                reduce_binomial(comm, 0, local, &ops::hp_sum).unwrap()
+            });
+            black_box(out[0].unwrap())
+        })
+    });
+    let device = GpuDevice::k20m();
+    g.bench_function("gpu_grid1024_hp6x3", |b| {
+        b.iter(|| black_box(launch_sum(&device, &HpGpu::<6, 3>, black_box(&xs), 1024).value))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Ablation: how the HP-vs-Hallberg break-even point moves with precision.
+//!
+//! §IV.B (aggregate observation 1): "the break-even point for the HP
+//! method performance relative to the Hallberg method is not constant for
+//! all levels of precision … the number of summands needed to achieve
+//! performance parity drops as precision is increased."
+//!
+//! This harness repeats the Fig. 4 sweep at two precision targets — 384
+//! bits (HP 6,3) and 512 bits (HP 8,4) — selecting the matching Hallberg
+//! `(N, M)` per summand count via the Table 2 rule, and reports the
+//! measured speedup plus where each precision crosses 1.0.
+//!
+//! ```text
+//! cargo run --release -p oisum-bench --bin ablation_breakeven -- --full
+//! ```
+
+use oisum_analysis::workload::log_uniform;
+use oisum_bench::{fmt_count, header, time_best, Cli};
+use oisum_core::{Hp6x3, Hp8x4};
+use oisum_hallberg::{HallbergCodec, HallbergFormat};
+
+/// Times the Hallberg sum with the format `params_for(bits, n)` resolves
+/// to, dispatching over the const-generic limb counts that rule produces.
+fn hallberg_time(bits: u64, xs: &[f64], reps: usize) -> (HallbergFormat, f64) {
+    let fmt = HallbergFormat::params_for(bits, xs.len() as u64);
+    macro_rules! dispatch {
+        ($($n:literal),*) => {
+            match fmt.n {
+                $(
+                    $n => {
+                        let c = HallbergCodec::<$n>::with_m(fmt.m);
+                        let (_, t) = time_best(reps, || c.decode(&c.sum_f64_slice(xs)));
+                        (fmt, t)
+                    }
+                )*
+                other => panic!("unexpected Hallberg limb count {other}"),
+            }
+        };
+    }
+    dispatch!(7, 8, 9, 10, 11, 12, 13, 14)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let max_n = cli.n.unwrap_or(if cli.full { 16 << 20 } else { 1 << 20 });
+    header(&format!(
+        "Ablation — break-even point vs precision (384-bit and 512-bit, up to {})",
+        fmt_count(max_n)
+    ));
+    // 384-bit values must fit HP(6,3): range ±2^191, resolution 2^-192.
+    // Use the shared-range workload ±2^120 with floor 2^-120 so both
+    // precisions sum the same data.
+    let data = log_uniform(max_n, -120, 120, cli.seed);
+    println!(
+        "{:>9} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}",
+        "summands", "t_hp384", "t_hb384", "S(384)", "t_hp512", "t_hb512", "S(512)"
+    );
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    let mut n = 512usize;
+    while n <= max_n {
+        let xs = &data[..n];
+        let reps = if n <= 1 << 16 { 5 } else if n <= 1 << 21 { 3 } else { 1 };
+        let (_, t_hp384) = time_best(reps, || Hp6x3::sum_f64_slice(xs).to_f64());
+        let (f384, t_hb384) = hallberg_time(384, xs, reps);
+        let (_, t_hp512) = time_best(reps, || Hp8x4::sum_f64_slice(xs).to_f64());
+        let (f512, t_hb512) = hallberg_time(512, xs, reps);
+        let s384 = t_hb384 / t_hp384;
+        let s512 = t_hb512 / t_hp512;
+        rows.push((n, s384, s512));
+        println!(
+            "{:>9} | {:>10.3e} {:>10.3e} {:>8.3} | {:>10.3e} {:>10.3e} {:>8.3}   hb384=({},{}) hb512=({},{})",
+            fmt_count(n),
+            t_hp384,
+            t_hb384,
+            s384,
+            t_hp512,
+            t_hb512,
+            s512,
+            f384.n,
+            f384.m,
+            f512.n,
+            f512.m
+        );
+        if n == max_n {
+            break;
+        }
+        n = (n * 4).min(max_n);
+    }
+    println!();
+    // Sustained crossover per precision (robust to single-row noise).
+    let sustained = |pick: fn(&(usize, f64, f64)) -> f64| {
+        (0..rows.len())
+            .find(|&i| rows[i..].iter().all(|r| pick(r) >= 1.0))
+            .map(|i| rows[i].0)
+    };
+    let cross384 = sustained(|r| r.1);
+    let cross512 = sustained(|r| r.2);
+    let fmt_cross = |c: Option<usize>| c.map(fmt_count).unwrap_or_else(|| "not reached".into());
+    println!(
+        "sustained break-even (speedup ≥ 1): 384-bit at {}, 512-bit at {}",
+        fmt_cross(cross384),
+        fmt_cross(cross512)
+    );
+    println!("paper: parity needs FEWER summands at higher precision — the 512-bit");
+    println!("       crossover should sit at or below the 384-bit one.");
+}

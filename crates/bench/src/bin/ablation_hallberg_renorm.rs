@@ -1,0 +1,63 @@
+//! Ablation: the cost of Hallberg's runtime normalization.
+//!
+//! §II.B: if the summand count is not known a priori, the Hallberg method
+//! must either risk "catastrophic overflow" or run "an expensive carryout
+//! detection and normalization process … at runtime which defeats the
+//! purpose of this format". This harness quantifies that claim: the same
+//! 32M-summand reduction with checking intervals from aggressive to lazy,
+//! against the plain (a-priori-budget) Hallberg sum and the HP method —
+//! which needs no budget at all beyond its range precondition.
+//!
+//! ```text
+//! cargo run --release -p oisum-bench --bin ablation_hallberg_renorm -- --full
+//! ```
+
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_bench::{fmt_count, header, time_best, Cli};
+use oisum_core::Hp6x3;
+use oisum_hallberg::HallbergCodec;
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.n.unwrap_or(if cli.full { 1 << 24 } else { 1 << 21 });
+    header(&format!(
+        "Ablation — Hallberg runtime carryout detection/normalization, {} summands",
+        fmt_count(n)
+    ));
+    let xs = uniform_symmetric(n, cli.seed);
+    let reps = 3;
+
+    // The a-priori scenario: n is known, so M = 38 gives headroom for the
+    // whole reduction with zero carry handling.
+    let tuned = HallbergCodec::<10>::with_m(38);
+    let (base_val, t_plain) = time_best(reps, || tuned.decode(&tuned.sum_f64_slice(&xs)));
+    let (_, t_hp) = time_best(reps, || Hp6x3::sum_f64_slice(&xs).to_f64());
+
+    // The unknown-length scenario: without n, a safe-precision M = 52 has
+    // a budget of only 2047 additions — the reduction *cannot* finish
+    // without runtime carryout detection and normalization.
+    let wide = HallbergCodec::<10>::with_m(52);
+    println!("{:<32} {:>10} {:>12}", "variant", "seconds", "vs tuned");
+    println!(
+        "{:<32} {:>10.4} {:>11.1}%",
+        "hallberg M=38 (n known a priori)", t_plain, 0.0
+    );
+    for every in [64usize, 256, 1024, 2047] {
+        let (val, t) = time_best(reps, || {
+            wide.decode(&wide.sum_f64_slice_renormalizing(&xs, every))
+        });
+        // Same mathematical value (M=52 resolves these inputs exactly too).
+        assert_eq!(val.to_bits(), base_val.to_bits(), "values must agree");
+        println!(
+            "{:<32} {:>10.4} {:>11.1}%",
+            format!("M=52 + renorm every {}", fmt_count(every)),
+            t,
+            (t / t_plain - 1.0) * 100.0
+        );
+    }
+    println!("{:<32} {:>10.4} {:>12}", "hp(6,3) (range-only contract)", t_hp, "—");
+    println!();
+    println!("paper §II.B: without the summand count, the Hallberg format needs runtime");
+    println!("carryout detection + normalization, \"which defeats the purpose\"; the HP");
+    println!("method only ever needs the value range.");
+}

@@ -1,0 +1,98 @@
+//! Figure 4: serial runtime of the HP method (N=8, k=4; 511 precision
+//! bits) versus the Hallberg method (Table 2 parameters per summand
+//! count), for 128 … 16M random reals spanning [-2^191, 2^191] with
+//! smallest magnitude ±2^-223 — plus the relative speedup.
+//!
+//! Paper result: Hallberg slightly ahead below ~1M summands (large M,
+//! few blocks, zero carries); HP overtakes beyond ~1M as Hallberg's M
+//! must shrink (more blocks for the same precision, Eq. 5–6).
+//!
+//! ```text
+//! cargo run --release -p oisum-bench --bin fig4_hp_vs_hallberg -- --full
+//! ```
+
+use oisum_analysis::workload::log_uniform;
+use oisum_bench::{fmt_count, header, time_best, Cli};
+use oisum_core::Hp8x4;
+use oisum_hallberg::{HallbergCodec, HallbergFormat};
+
+/// Sums through the Table-2 Hallberg format appropriate for `n` summands.
+fn hallberg_time(xs: &[f64], reps: usize) -> (HallbergFormat, f64, f64) {
+    let n = xs.len() as u64;
+    if n <= HallbergFormat::new(10, 52).max_summands() {
+        let c = HallbergCodec::<10>::with_m(52);
+        let (v, t) = time_best(reps, || c.decode(&c.sum_f64_slice(xs)));
+        (c.format(), v, t)
+    } else if n <= HallbergFormat::new(12, 43).max_summands() {
+        let c = HallbergCodec::<12>::with_m(43);
+        let (v, t) = time_best(reps, || c.decode(&c.sum_f64_slice(xs)));
+        (c.format(), v, t)
+    } else {
+        let c = HallbergCodec::<14>::with_m(37);
+        let (v, t) = time_best(reps, || c.decode(&c.sum_f64_slice(xs)));
+        (c.format(), v, t)
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let max_n = cli.n.unwrap_or(if cli.full { 16 << 20 } else { 1 << 20 });
+    header(&format!(
+        "Fig. 4 — HP(8,4) vs Hallberg (Table 2), values in ±2^191 (floor 2^-223), up to {}",
+        fmt_count(max_n)
+    ));
+    let data = log_uniform(max_n, -223, 191, cli.seed);
+    println!(
+        "{:>9} {:>12} {:>12} {:>9} {:>10} {:>24}",
+        "summands", "t_hp (s)", "t_hb (s)", "speedup", "hb (N,M)", "check (hp vs hb value)"
+    );
+    let mut n = 128usize;
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    while n <= max_n {
+        let xs = &data[..n];
+        let reps = if n <= 1 << 16 { 5 } else if n <= 1 << 21 { 3 } else { 1 };
+        let (hp_val, t_hp) = time_best(reps, || Hp8x4::sum_f64_slice(xs).to_f64());
+        let (fmt, hb_val, t_hb) = hallberg_time(xs, reps);
+        let speedup = t_hb / t_hp;
+        rows.push((n, speedup));
+        // Both methods are exact on this workload (it fits both formats):
+        // their decoded sums must agree to the double rounding.
+        let rel = if hb_val == 0.0 {
+            (hp_val - hb_val).abs()
+        } else {
+            ((hp_val - hb_val) / hb_val).abs()
+        };
+        let check = if rel < 1e-15 { "agree" } else { "DISAGREE" };
+        println!(
+            "{:>9} {:>12.4e} {:>12.4e} {:>9.3} {:>7}({},{}) {:>13} {:>9.3e}",
+            fmt_count(n),
+            t_hp,
+            t_hb,
+            speedup,
+            "",
+            fmt.n,
+            fmt.m,
+            check,
+            rel
+        );
+        if n == max_n {
+            break;
+        }
+        n = (n * 4).min(max_n);
+    }
+    println!();
+    // Sustained crossover: the first n from which the speedup never drops
+    // back below 1.0 (robust to single-row timing noise).
+    let crossover = (0..rows.len())
+        .find(|&i| rows[i..].iter().all(|&(_, s)| s >= 1.0))
+        .map(|i| rows[i].0);
+    let last_speedup = rows.last().map(|&(_, s)| s).unwrap_or(0.0);
+    match crossover {
+        Some(c) => println!(
+            "sustained speedup (Hallberg/HP) ≥ 1.0 from {} summands on; final speedup {last_speedup:.3}",
+            fmt_count(c)
+        ),
+        None => println!("HP did not overtake Hallberg in this sweep (final speedup {last_speedup:.3})"),
+    }
+    println!("paper: Hallberg leads slightly for small n; HP overtakes past ~1M summands.");
+}

@@ -1,0 +1,77 @@
+//! Figure 5: shared-memory (OpenMP-analog) strong scaling of a 32M-element
+//! global sum — runtime and efficiency for double precision, HP(6,3), and
+//! Hallberg(10,38) on 1–8 processing elements.
+//!
+//! Paper result (dual hex-core Xeon X5650): HP costs ~37–38× double at one
+//! PE; the gap amortizes as PEs are added; all methods scale near-linearly.
+//!
+//! This host exposes one core, so the scaling series is projected by the
+//! calibrated model of `oisum-threads::model` from measured single-PE
+//! kernel costs; real multi-thread executions verify bitwise stability
+//! (see DESIGN.md §4).
+//!
+//! ```text
+//! cargo run --release -p oisum-bench --bin fig5_openmp -- --full
+//! ```
+
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_bench::{fmt_count, header, Cli};
+use oisum_threads::{
+    calibrate, sum_parallel, sum_serial, DoubleMethod, HallbergMethod, HpMethod, StrongScalingModel,
+    SumMethod,
+};
+
+fn series<M: SumMethod>(method: &M, data: &[f64], n_model: usize, pes: &[usize]) {
+    let calib = calibrate(method, &data[..data.len().min(1 << 20)], 3);
+    let model = StrongScalingModel::new(calib);
+    // Real single-PE measurement over the full data.
+    let serial = sum_serial(method, data);
+    // Real parallel runs confirm value stability (bitwise for invariant
+    // methods).
+    let stable = pes
+        .iter()
+        .all(|&p| sum_parallel(method, data, p).value.to_bits() == serial.value.to_bits());
+    print!("{:<10}", method.name());
+    for &p in pes {
+        print!(" {:>9.4}", model.predict(n_model, p));
+    }
+    print!("  | eff:");
+    for &p in pes {
+        print!(" {:>5.2}", model.efficiency(n_model, p));
+    }
+    println!(
+        "  | bitwise-stable: {}",
+        if stable { "yes" } else { "NO" }
+    );
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n_model = 1 << 25; // the paper's 32M for the modeled series
+    let n_real = cli.n.unwrap_or(if cli.full { 1 << 25 } else { 1 << 22 });
+    let pes = [1usize, 2, 4, 8];
+    header(&format!(
+        "Fig. 5 — OpenMP-analog strong scaling (modeled at {}, measured at {})",
+        fmt_count(n_model),
+        fmt_count(n_real)
+    ));
+    let data = uniform_symmetric(n_real, cli.seed);
+
+    println!("modeled wall-clock seconds per PE count {pes:?} (Xeon-X5650-like, from measured kernels):");
+    series(&DoubleMethod, &data, n_model, &pes);
+    series(&HpMethod::<6, 3>, &data, n_model, &pes);
+    series(&HallbergMethod::<10>::with_m(38), &data, n_model, &pes);
+
+    // Single-PE cost ratios: the paper's headline 37–38×.
+    let cd = calibrate(&DoubleMethod, &data[..data.len().min(1 << 20)], 3);
+    let ch = calibrate(&HpMethod::<6, 3>, &data[..data.len().min(1 << 20)], 3);
+    let cb = calibrate(&HallbergMethod::<10>::with_m(38), &data[..data.len().min(1 << 20)], 3);
+    println!();
+    println!(
+        "single-PE cost ratios on this host: HP/double = {:.1}x, Hallberg/double = {:.1}x, Hallberg/HP = {:.2}x",
+        ch.per_element / cd.per_element,
+        cb.per_element / cd.per_element,
+        cb.per_element / ch.per_element
+    );
+    println!("paper: HP/double ≈ 37–38x at one PE; cost amortized as PEs increase.");
+}

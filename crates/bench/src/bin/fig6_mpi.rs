@@ -1,0 +1,115 @@
+//! Figure 6: message-passing (MPI-analog) strong scaling of the 32M-element
+//! global sum over 1–128 ranks, using a custom reduction op for the HP and
+//! Hallberg datatypes.
+//!
+//! Real executions run every rank as an OS thread with a binomial-tree
+//! `reduce` (verifying bitwise stability of HP/Hallberg across rank counts
+//! and the instability of f64); the scaling series is projected by the
+//! calibrated model plus a log₂(p) tree-latency term (DESIGN.md §4).
+//!
+//! ```text
+//! cargo run --release -p oisum-bench --bin fig6_mpi -- --full
+//! ```
+
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_bench::{fmt_count, header, Cli};
+use oisum_mpi::{ops, reduce_binomial, run};
+use oisum_core::Hp6x3;
+use oisum_hallberg::HallbergCodec;
+use oisum_threads::{calibrate, Calibration, DoubleMethod, HallbergMethod, HpMethod};
+
+/// Per-hop message latency of a commodity interconnect (model constant).
+const MSG_LATENCY: f64 = 2e-6;
+
+fn predict(c: &Calibration, n: usize, p: usize) -> f64 {
+    let tree_depth = (p as f64).log2().ceil();
+    (n as f64 / p as f64).ceil() * c.per_element + tree_depth * (MSG_LATENCY + c.per_merge)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n_model = 1 << 25;
+    let n_real = cli.n.unwrap_or(if cli.full { 1 << 24 } else { 1 << 21 });
+    let ranks = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    header(&format!(
+        "Fig. 6 — MPI-analog strong scaling (modeled at {}, real reduce at {})",
+        fmt_count(n_model),
+        fmt_count(n_real)
+    ));
+    let data = uniform_symmetric(n_real, cli.seed);
+    let sample = &data[..data.len().min(1 << 20)];
+    let cd = calibrate(&DoubleMethod, sample, 3);
+    let ch = calibrate(&HpMethod::<6, 3>, sample, 3);
+    let cb = calibrate(&HallbergMethod::<10>::with_m(38), sample, 3);
+
+    println!("modeled wall-clock seconds per rank count (binomial reduce):");
+    println!(
+        "{:<10} {}",
+        "method",
+        ranks.iter().map(|p| format!("{p:>9}")).collect::<String>()
+    );
+    for (name, c) in [("double", &cd), ("hp", &ch), ("hallberg", &cb)] {
+        print!("{name:<10}");
+        for &p in &ranks {
+            print!(" {:>8.4}", predict(c, n_model, p));
+        }
+        println!();
+    }
+    println!("efficiency T(1)/(p·T(p)):");
+    for (name, c) in [("double", &cd), ("hp", &ch), ("hallberg", &cb)] {
+        print!("{name:<10}");
+        let t1 = predict(c, n_model, 1);
+        for &p in &ranks {
+            print!(" {:>8.3}", t1 / (p as f64 * predict(c, n_model, p)));
+        }
+        println!();
+    }
+
+    // Real distributed reductions: verify the reproducibility claims.
+    println!();
+    println!("real binomial-tree reductions over {} elements:", fmt_count(n_real));
+    let data = std::sync::Arc::new(data);
+    let mut hp_bits = Vec::new();
+    let mut f64_bits = Vec::new();
+    let mut hb_bits = Vec::new();
+    for &p in &[1usize, 2, 8, 32, 128] {
+        let d = std::sync::Arc::clone(&data);
+        let out = run(p, move |comm| {
+            let chunk = d.len().div_ceil(comm.size());
+            let lo = (comm.rank() * chunk).min(d.len());
+            let hi = ((comm.rank() + 1) * chunk).min(d.len());
+            let slice = &d[lo..hi];
+            let hp = Hp6x3::sum_f64_slice(slice);
+            let dd: f64 = slice.iter().sum();
+            let codec = HallbergCodec::<10>::with_m(38);
+            let hb = codec.sum_f64_slice(slice);
+            let hp_tot = reduce_binomial(comm, 0, hp, &ops::hp_sum).unwrap();
+            let dd_tot = reduce_binomial(comm, 0, dd, &ops::f64_sum).unwrap();
+            let hb_tot = reduce_binomial(comm, 0, hb, &ops::hallberg_sum).unwrap();
+            hp_tot.map(|v| {
+                (
+                    v.to_f64().to_bits(),
+                    dd_tot.unwrap().to_bits(),
+                    codec.decode(&hb_tot.unwrap()).to_bits(),
+                )
+            })
+        });
+        let (hp, dd, hb) = out[0].unwrap();
+        hp_bits.push(hp);
+        f64_bits.push(dd);
+        hb_bits.push(hb);
+        println!(
+            "p = {p:>3}: hp = {:.17e}   f64 = {:.17e}",
+            f64::from_bits(hp),
+            f64::from_bits(dd)
+        );
+    }
+    let hp_stable = hp_bits.iter().all(|&b| b == hp_bits[0]);
+    let hb_stable = hb_bits.iter().all(|&b| b == hb_bits[0]);
+    let f64_stable = f64_bits.iter().all(|&b| b == f64_bits[0]);
+    println!();
+    println!(
+        "bitwise stable across rank counts: hp = {hp_stable}, hallberg = {hb_stable}, f64 = {f64_stable}"
+    );
+    println!("paper: HP/Hallberg identical on every process count; f64 varies with the tree.");
+}

@@ -1,0 +1,32 @@
+//! Table 1: maximum range and smallest representable number for the HP
+//! method with varying N and k.
+//!
+//! ```text
+//! cargo run --release -p oisum-bench --bin table1_ranges
+//! ```
+
+use oisum_bench::header;
+use oisum_core::format::TABLE1_FORMATS;
+
+fn main() {
+    header("Table 1 — HP format range and resolution");
+    println!(
+        "{:>3} {:>3} {:>6} {:>15} {:>15} {:>15}",
+        "N", "k", "Bits", "Max Range", "Smallest", "Precision bits"
+    );
+    for fmt in TABLE1_FORMATS {
+        println!(
+            "{:>3} {:>3} {:>6} {:>15.6e} {:>15.6e} {:>15}",
+            fmt.n,
+            fmt.k,
+            fmt.bits(),
+            fmt.max_range(),
+            fmt.smallest(),
+            fmt.precision_bits()
+        );
+    }
+    println!();
+    println!("paper values: ±9.223372e18 / 5.421011e-20,  ±9.223372e18 / 2.938736e-39,");
+    println!("              ±3.138551e57 / 1.593092e-58,  ±5.789604e76 / 8.636169e-78");
+    println!("erratum: the paper prints \"256\" bits for the N=6 row; 64·6 = 384.");
+}

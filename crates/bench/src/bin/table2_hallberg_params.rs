@@ -1,0 +1,46 @@
+//! Table 2: Hallberg method parameters (N, M) chosen for near-equivalency
+//! with the 512-bit HP method at three summand budgets.
+//!
+//! ```text
+//! cargo run --release -p oisum-bench --bin table2_hallberg_params
+//! ```
+
+use oisum_bench::{fmt_count, header};
+use oisum_hallberg::HallbergFormat;
+
+fn main() {
+    header("Table 2 — Hallberg (N, M) near-equivalent to 512-bit HP");
+    println!(
+        "{:>3} {:>3} {:>15} {:>18} {:>22}",
+        "N", "M", "Precision bits", "Max summands", "selected by params_for"
+    );
+    for &(n, m) in &oisum_hallberg::TABLE2_ROWS {
+        let f = HallbergFormat::new(n, m);
+        let sel = HallbergFormat::params_for(512, f.max_summands());
+        println!(
+            "{:>3} {:>3} {:>15} {:>18} {:>18}({},{})",
+            f.n,
+            f.m,
+            f.precision_bits(),
+            f.max_summands(),
+            "",
+            sel.n,
+            sel.m
+        );
+    }
+    println!();
+    println!("HP comparison point: N=8, k=4 → 511 precision bits, any summand count");
+    println!("(paper: \"the number of summands needed to achieve performance parity");
+    println!(" drops as precision is increased\").");
+    println!();
+    // Extended sweep: the M the selection rule picks for each problem size
+    // of the Fig. 4 x-axis.
+    println!("selection across the Fig. 4 sweep (512-bit target):");
+    println!("{:>10} {:>3} {:>3} {:>15}", "summands", "N", "M", "precision bits");
+    let mut n = 128usize;
+    while n <= 16 << 20 {
+        let f = HallbergFormat::params_for(512, n as u64);
+        println!("{:>10} {:>3} {:>3} {:>15}", fmt_count(n), f.n, f.m, f.precision_bits());
+        n *= 4;
+    }
+}

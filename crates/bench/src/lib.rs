@@ -1,0 +1,162 @@
+//! # oisum-bench — harnesses regenerating every table and figure
+//!
+//! One binary per experiment (see DESIGN.md §3 for the full index):
+//!
+//! | Binary | Reproduces |
+//! |--------|------------|
+//! | `fig1_stddev` | Fig. 1 — σ of zero-sum residuals vs n, f64 vs HP(3,2) |
+//! | `fig2_histogram` | Fig. 2 — distribution of 16384 f64 sums, n = 1024 |
+//! | `table1_ranges` | Table 1 — range/resolution per (N, k) |
+//! | `table2_hallberg_params` | Table 2 — Hallberg (N, M) equivalents |
+//! | `fig4_hp_vs_hallberg` | Fig. 4 — serial runtime + speedup, 128…16M summands |
+//! | `fig5_openmp` | Fig. 5 — shared-memory strong scaling, 32M summands |
+//! | `fig6_mpi` | Fig. 6 — message-passing strong scaling, 1…128 ranks |
+//! | `fig7_cuda` | Fig. 7 — GPU model, 256…32K threads, atomic partials |
+//! | `fig8_phi` | Fig. 8 — offload model, 1…240 threads |
+//! | `opcount_model` | §IV.A Eqs. 3–6 predictions |
+//! | `ablation_breakeven` | §IV.B observation: break-even vs precision |
+//! | `drift_experiment` | extension: per-time-step drift of a conserved scalar |
+//!
+//! Every binary accepts `--quick` (reduced sizes, the default), `--full`
+//! (paper-scale sizes), and experiment-specific overrides (`--n`,
+//! `--trials`, `--seed`). Output is aligned text tables, one row per
+//! x-axis point, with both **measured** (real execution on this host) and
+//! **modeled** (paper-architecture) series where DESIGN.md §4 applies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Paper-scale sizes when set (`--full`); reduced sizes otherwise.
+    pub full: bool,
+    /// Override for the element count (`--n <count>`).
+    pub n: Option<usize>,
+    /// Override for the trial count (`--trials <count>`).
+    pub trials: Option<usize>,
+    /// RNG seed (`--seed <u64>`, default 2016).
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut cli = Cli {
+            full: false,
+            n: None,
+            trials: None,
+            seed: 2016,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => cli.full = true,
+                "--quick" => cli.full = false,
+                "--n" => {
+                    i += 1;
+                    cli.n = Some(parse_count(&args[i]));
+                }
+                "--trials" => {
+                    i += 1;
+                    cli.trials = Some(parse_count(&args[i]));
+                }
+                "--seed" => {
+                    i += 1;
+                    cli.seed = args[i].parse().expect("--seed takes a u64");
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("options: --quick | --full | --n <count> | --trials <count> | --seed <u64>");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        cli
+    }
+}
+
+/// Parses counts with `k`/`m` suffixes (`32m` = 32·2^20).
+pub fn parse_count(s: &str) -> usize {
+    let lower = s.to_ascii_lowercase();
+    if let Some(v) = lower.strip_suffix('m') {
+        v.parse::<usize>().expect("count") << 20
+    } else if let Some(v) = lower.strip_suffix('k') {
+        v.parse::<usize>().expect("count") << 10
+    } else {
+        lower.parse().expect("count")
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+/// Times a closure over `reps` runs and returns (last result, best
+/// seconds). The result of every run passes through `black_box` so a pure
+/// closure cannot be hoisted out of the repetition loop.
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(std::hint::black_box(f()));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (out.unwrap(), best)
+}
+
+/// Formats a count with 1024-based suffixes for axis labels (`32M`, `16K`).
+pub fn fmt_count(n: usize) -> String {
+    if n >= 1 << 20 && n.is_multiple_of(1 << 20) {
+        format!("{}M", n >> 20)
+    } else if n >= 1 << 10 && n.is_multiple_of(1 << 10) {
+        format!("{}K", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Prints a header line followed by an underline of the same width.
+pub fn header(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_parsing() {
+        assert_eq!(parse_count("1024"), 1024);
+        assert_eq!(parse_count("4k"), 4096);
+        assert_eq!(parse_count("32m"), 32 << 20);
+        assert_eq!(parse_count("2M"), 2 << 20);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(32 << 20), "32M");
+        assert_eq!(fmt_count(16 << 10), "16K");
+        assert_eq!(fmt_count(100), "100");
+        assert_eq!(fmt_count((1 << 20) + 1), format!("{}", (1 << 20) + 1));
+    }
+
+    #[test]
+    fn timing_returns_positive() {
+        let (v, s) = time(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499500);
+        assert!(s >= 0.0);
+        let (_, b) = time_best(3, || 1 + 1);
+        assert!(b >= 0.0);
+    }
+}

@@ -1,0 +1,583 @@
+//! Exact conversion between `f64` and the limb fixed-point representation.
+//!
+//! Implemented with pure integer bit manipulation so it can serve as the
+//! oracle for the paper's floating-point conversion loop (Listing 1, in
+//! `oisum-core`). Encoding places the `f64` mantissa directly at its bit
+//! position within the `64·n`-bit two's-complement integer; decoding
+//! extracts the top 53 significant bits and applies round-to-nearest-even,
+//! handling the full `f64` range including subnormals.
+
+use crate::limbs;
+
+/// Why an `f64` could not be encoded into a given `(n, k)` format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The value was NaN or ±infinity, which the fixed-point format cannot
+    /// represent.
+    NonFinite,
+    /// The magnitude exceeds the format's range of `±2^(64·(n−k)−1)`
+    /// (overflow during double→HP conversion, §III.B.1 of the paper).
+    Overflow,
+    /// The value has significant bits below `2^(−64·k)`; encoding it would
+    /// silently lose them (underflow during conversion, §III.B.1). Use
+    /// [`encode_f64_trunc`] to truncate instead.
+    Inexact,
+}
+
+impl core::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EncodeError::NonFinite => write!(f, "value is NaN or infinite"),
+            EncodeError::Overflow => write!(f, "value exceeds fixed-point range"),
+            EncodeError::Inexact => write!(f, "value has bits below the fixed-point resolution"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Splits a finite, nonzero `f64` into `(negative, mantissa, exponent)` with
+/// `|x| = mantissa · 2^exponent` and `mantissa` a 1..=53-bit integer.
+#[inline]
+fn decompose(x: f64) -> (bool, u64, i32) {
+    let bits = x.to_bits();
+    let neg = bits >> 63 != 0;
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    if raw_exp == 0 {
+        // Subnormal: value = frac · 2^-1074.
+        (neg, frac, -1074)
+    } else {
+        (neg, frac | (1u64 << 52), raw_exp - 1075)
+    }
+}
+
+/// Encodes `x` exactly into `out` as a two's-complement fixed-point value
+/// with `k` fractional limbs.
+///
+/// Fails with [`EncodeError::Inexact`] if `x` has significant bits finer
+/// than `2^(−64·k)` and with [`EncodeError::Overflow`] if `|x| ≥
+/// 2^(64·(n−k)−1)`. `-0.0` encodes as zero.
+pub fn encode_f64(x: f64, k: usize, out: &mut [u64]) -> Result<(), EncodeError> {
+    encode_inner(x, k, out, false).map(|_| ())
+}
+
+/// Encodes `x` into `out`, truncating any bits below the fixed-point
+/// resolution toward zero (the magnitude is truncated, matching the paper's
+/// Listing 1 semantics). Returns `true` when truncation occurred.
+pub fn encode_f64_trunc(x: f64, k: usize, out: &mut [u64]) -> Result<bool, EncodeError> {
+    encode_inner(x, k, out, true)
+}
+
+/// Encodes `x` into `out`, rounding bits below the fixed-point resolution
+/// to nearest (ties to even) instead of truncating. Returns `true` when
+/// rounding occurred.
+///
+/// Truncation of the magnitude biases every inexact conversion toward
+/// zero; over many same-sign sub-resolution values the bias accumulates
+/// linearly. Round-to-nearest keeps the conversion error centered, at the
+/// cost of a slightly more expensive encode. The order-invariance of the
+/// subsequent summation is unaffected (the rounding happens per input
+/// value, before any accumulation).
+pub fn encode_f64_nearest(x: f64, k: usize, out: &mut [u64]) -> Result<bool, EncodeError> {
+    match encode_inner(x, k, out, true) {
+        Ok(false) => Ok(false),
+        Ok(true) => {
+            // Truncated toward zero; decide whether to step one unit away
+            // from zero. The discarded tail is x − decode(out); compare it
+            // to half a resolution step.
+            let (neg, mantissa, exp) = decompose(x);
+            let shift = exp as i64 + 64 * k as i64; // < 0 here (inexact)
+            let drop = (-shift) as u32;
+            let (tail, half) = if drop >= 64 {
+                // The entire mantissa was dropped; compare its value to
+                // half a unit: mantissa·2^shift vs 2^-1 ⇔ exponent math.
+                // top bit position of the tail relative to the unit:
+                let top = 63 - mantissa.leading_zeros();
+                let e_tail = shift + top as i64; // exponent of tail MSB (unit = 2^0)
+                match e_tail.cmp(&(-1)) {
+                    core::cmp::Ordering::Less => (0u64, 1u64), // tail < half
+                    core::cmp::Ordering::Greater => (1, 0),    // tail > half
+                    core::cmp::Ordering::Equal => {
+                        // MSB exactly at half: tie iff no lower bits.
+                        if mantissa & (mantissa - 1) == 0 {
+                            (1, 2) // exactly half
+                        } else {
+                            (1, 0) // above half
+                        }
+                    }
+                }
+            } else {
+                let tail_bits = mantissa & ((1u64 << drop) - 1);
+                (tail_bits, 1u64 << (drop - 1))
+            };
+            let round_up = if drop >= 64 {
+                // Encoded via the sentinel pairs above: (1,0) up, (0,1)
+                // down, (1,2) tie.
+                match (tail, half) {
+                    (1, 0) => true,
+                    (0, 1) => false,
+                    _ => {
+                        // Tie: to even — the truncated value's last unit bit.
+                        get_unit_bit(out, neg)
+                    }
+                }
+            } else {
+                match tail.cmp(&half) {
+                    core::cmp::Ordering::Greater => true,
+                    core::cmp::Ordering::Less => false,
+                    core::cmp::Ordering::Equal => get_unit_bit(out, neg),
+                }
+            };
+            if round_up {
+                // Step one resolution unit away from zero.
+                let n = out.len();
+                let mut unit = vec![0u64; n];
+                unit[n - 1] = 1;
+                if neg {
+                    limbs::negate(&mut unit);
+                }
+                limbs::add(out, &unit);
+                // Guard the pathological boundary where the step crosses
+                // the format maximum.
+                if limbs::is_negative(out) != neg && !limbs::is_zero(out) {
+                    limbs::set_zero(out);
+                    return Err(EncodeError::Overflow);
+                }
+            }
+            Ok(true)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The parity of the truncated value's lowest resolution unit (for
+/// ties-to-even): the unit bit of the magnitude.
+fn get_unit_bit(out: &[u64], neg: bool) -> bool {
+    if neg {
+        // Two's complement: magnitude parity equals parity of the negated
+        // value; negation preserves the low bit's parity complement +1 —
+        // recompute from the magnitude.
+        let mut mag = out.to_vec();
+        limbs::negate(&mut mag);
+        mag[mag.len() - 1] & 1 != 0
+    } else {
+        out[out.len() - 1] & 1 != 0
+    }
+}
+
+/// Returns `Ok(inexact)` where `inexact` reports whether low bits were
+/// truncated (always `false` when `trunc` is unset, which errors instead).
+fn encode_inner(x: f64, k: usize, out: &mut [u64], trunc: bool) -> Result<bool, EncodeError> {
+    if !x.is_finite() {
+        return Err(EncodeError::NonFinite);
+    }
+    limbs::set_zero(out);
+    if x == 0.0 {
+        return Ok(false);
+    }
+    let n = out.len();
+    assert!(k <= n, "fractional limb count k={k} exceeds total limbs n={n}");
+    let (neg, mut mantissa, exp) = decompose(x);
+
+    // Bit offset of the mantissa's least-significant bit within the
+    // fixed-point integer (which represents value · 2^(64k)).
+    let mut shift = exp as i64 + 64 * k as i64;
+    let mut inexact = false;
+    if shift < 0 {
+        // Bits below the resolution are dropped (toward zero on the
+        // magnitude).
+        let drop = (-shift) as u32;
+        if drop >= 64 {
+            inexact = mantissa != 0;
+            mantissa = 0;
+        } else {
+            inexact = mantissa & ((1u64 << drop) - 1) != 0;
+            mantissa >>= drop;
+        }
+        shift = 0;
+    }
+    if inexact && !trunc {
+        limbs::set_zero(out);
+        return Err(EncodeError::Inexact);
+    }
+    if mantissa == 0 {
+        // Entire value truncated away (underflow to zero).
+        return Ok(inexact);
+    }
+    // Highest occupied bit must stay strictly below the sign bit.
+    let top_bit = shift as u64 + 63 - mantissa.leading_zeros() as u64;
+    if top_bit >= 64 * n as u64 - 1 {
+        limbs::set_zero(out);
+        return Err(EncodeError::Overflow);
+    }
+    let li = (shift / 64) as usize; // limb index from the least-significant end
+    let intra = (shift % 64) as u32;
+    let wide = (mantissa as u128) << intra;
+    out[n - 1 - li] = wide as u64;
+    if li + 1 < n {
+        out[n - 2 - li] = (wide >> 64) as u64;
+    } else {
+        debug_assert_eq!(wide >> 64, 0);
+    }
+    if neg {
+        limbs::negate(out);
+    }
+    Ok(inexact)
+}
+
+/// Decodes the fixed-point value (with `k` fractional limbs) to the nearest
+/// `f64`, rounding ties to even.
+///
+/// Values whose magnitude exceeds `f64::MAX` decode to `±∞` (overflow
+/// during HP→double conversion, §III.B.1); values below the subnormal range
+/// round to `±0.0`. Both follow IEEE 754 semantics so the caller can detect
+/// them with `is_infinite()` / `== 0.0` if needed.
+pub fn decode_f64(a: &[u64], k: usize) -> f64 {
+    let n = a.len();
+    assert!(k <= n, "fractional limb count k={k} exceeds total limbs n={n}");
+    let neg = limbs::is_negative(a);
+    // Work on the magnitude. One copy; decode is not on the per-summand
+    // hot path (it runs once per completed sum).
+    let mut mag: Vec<u64> = a.to_vec();
+    if neg {
+        limbs::negate(&mut mag);
+        if limbs::is_negative(&mag) {
+            // Two's-complement minimum: magnitude is exactly 2^(64n−1),
+            // which negation cannot represent. Handle it explicitly.
+            return apply_sign(pow2_f64(64 * n as i64 - 1 - 64 * k as i64), neg);
+        }
+    }
+    let Some(h) = limbs::highest_set_bit(&mag) else {
+        return 0.0;
+    };
+    // Exponent of the value's most significant bit.
+    let e = h as i64 - 64 * k as i64;
+    if e > 1023 {
+        return apply_sign(f64::INFINITY, neg);
+    }
+    // Number of significand bits the target can hold: 53 for normal
+    // results, fewer when the result lands in the subnormal range.
+    let keep = if e >= -1022 {
+        53
+    } else {
+        // e < -1022: result is subnormal; LSB is pinned at 2^-1074.
+        (e + 1075).max(0)
+    } as u32;
+
+    let (mut m, s) = if keep == 0 {
+        // Magnitude entirely below 2^-1074: rounds to 0 or the minimum
+        // subnormal. The guard bit is the value's own MSB position relative
+        // to 2^-1075.
+        (0u64, -1074i64)
+    } else {
+        // Position of the retained LSB; when the magnitude has fewer than
+        // `keep` bits the whole value is retained exactly (low = 0).
+        let low = (h + 1).saturating_sub(keep);
+        let mut m = read_bits(&mag, low, h + 1 - low);
+        let guard = low > 0 && limbs::get_bit(&mag, low - 1);
+        let sticky = low > 1 && limbs::any_bit_below(&mag, low - 1);
+        if guard && (sticky || m & 1 != 0) {
+            m += 1;
+        }
+        (m, low as i64 - 64 * k as i64)
+    };
+    if keep == 0 {
+        // Round-to-nearest-even against 2^-1074: the value is in
+        // (0, 2^-1074). It rounds up iff it is strictly greater than half of
+        // 2^-1074, i.e. > 2^-1075; equal-to-half ties to even (zero).
+        let half_pos = e == -1075;
+        let above_half = half_pos && limbs::any_bit_below(&mag, h);
+        m = if e > -1075 || above_half { 1 } else { 0 };
+    }
+    // m ≤ 2^53 is exactly representable; scaling by 2^s is exact because s
+    // was chosen so the result's LSB is within f64's range.
+    apply_sign(m as f64 * pow2_f64(s), neg)
+}
+
+#[inline]
+fn apply_sign(x: f64, neg: bool) -> f64 {
+    if neg {
+        -x
+    } else {
+        x
+    }
+}
+
+/// Exact `2^e` as `f64` for any `e`; saturates to `∞`/`0` outside
+/// `[-1074, 1023]`.
+pub fn pow2_f64(e: i64) -> f64 {
+    if e > 1023 {
+        f64::INFINITY
+    } else if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else if e >= -1074 {
+        f64::from_bits(1u64 << (e + 1074))
+    } else {
+        0.0
+    }
+}
+
+/// Reads `count ≤ 64` bits starting at bit `low` (from the LSB) as a `u64`.
+fn read_bits(a: &[u64], low: u32, count: u32) -> u64 {
+    debug_assert!(count <= 64 && count > 0);
+    let n = a.len();
+    let li = (low / 64) as usize;
+    let intra = low % 64;
+    let mut v = a[n - 1 - li] >> intra;
+    if intra > 0 && li + 1 < n {
+        v |= a[n - 2 - li].checked_shl(64 - intra).unwrap_or(0);
+    }
+    if count < 64 {
+        v &= (1u64 << count) - 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: f64, n: usize, k: usize) -> f64 {
+        let mut limbs_buf = vec![0u64; n];
+        encode_f64(x, k, &mut limbs_buf).unwrap();
+        decode_f64(&limbs_buf, k)
+    }
+
+    #[test]
+    fn zero_and_negative_zero() {
+        assert_eq!(roundtrip(0.0, 3, 2), 0.0);
+        let mut out = vec![0u64; 3];
+        encode_f64(-0.0, 2, &mut out).unwrap();
+        assert!(limbs::is_zero(&out));
+        assert_eq!(decode_f64(&out, 2), 0.0);
+    }
+
+    #[test]
+    fn small_integers_roundtrip() {
+        for v in [-5.0, -1.0, 1.0, 2.0, 3.0, 1024.0, -65536.0, 1e15] {
+            assert_eq!(roundtrip(v, 3, 2), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn dyadic_fractions_roundtrip() {
+        for v in [0.5, -0.25, 0.75, 1.0 / 1024.0, -3.0 / 4096.0, 2f64.powi(-60)] {
+            assert_eq!(roundtrip(v, 3, 2), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_doubles_in_range_roundtrip() {
+        // Any double with |x| < 2^63 and ulp ≥ 2^-128 fits (N=3, k=2).
+        for v in [0.001, 1.0 / 3.0, std::f64::consts::PI, 123456.789e-10, -9.876e17] {
+            assert_eq!(roundtrip(v, 3, 2), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut out = vec![0u64; 2];
+        assert_eq!(encode_f64(f64::NAN, 1, &mut out), Err(EncodeError::NonFinite));
+        assert_eq!(encode_f64(f64::INFINITY, 1, &mut out), Err(EncodeError::NonFinite));
+        assert_eq!(
+            encode_f64(f64::NEG_INFINITY, 1, &mut out),
+            Err(EncodeError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn overflow_at_range_boundary() {
+        // N=2, k=1: range is ±2^63 (exclusive).
+        let mut out = vec![0u64; 2];
+        assert_eq!(encode_f64(2f64.powi(63), 1, &mut out), Err(EncodeError::Overflow));
+        assert!(encode_f64(2f64.powi(62), 1, &mut out).is_ok());
+        assert_eq!(decode_f64(&out, 1), 2f64.powi(62));
+    }
+
+    #[test]
+    fn inexact_below_resolution() {
+        // N=2, k=1: resolution is 2^-64.
+        let mut out = vec![0u64; 2];
+        assert_eq!(encode_f64(2f64.powi(-65), 1, &mut out), Err(EncodeError::Inexact));
+        assert!(encode_f64(2f64.powi(-64), 1, &mut out).is_ok());
+    }
+
+    #[test]
+    fn truncating_encode_drops_low_bits_toward_zero() {
+        let mut out = vec![0u64; 2];
+        // 2^-64 + 2^-65 truncates to 2^-64.
+        let x = 2f64.powi(-64) + 2f64.powi(-65);
+        assert_eq!(encode_f64_trunc(x, 1, &mut out), Ok(true));
+        assert_eq!(decode_f64(&out, 1), 2f64.powi(-64));
+        // Negative value truncates toward zero: -(2^-64 + 2^-65) → -2^-64.
+        assert_eq!(encode_f64_trunc(-x, 1, &mut out), Ok(true));
+        assert_eq!(decode_f64(&out, 1), -2f64.powi(-64));
+    }
+
+    #[test]
+    fn nearest_encode_rounds_correctly() {
+        // n=2, k=1: resolution 2^-64.
+        let u = 2f64.powi(-64);
+        let mut out = vec![0u64; 2];
+        // Below half: rounds down.
+        assert_eq!(encode_f64_nearest(0.25 * u, 1, &mut out), Ok(true));
+        assert_eq!(decode_f64(&out, 1), 0.0);
+        // Above half: rounds up.
+        assert_eq!(encode_f64_nearest(0.75 * u, 1, &mut out), Ok(true));
+        assert_eq!(decode_f64(&out, 1), u);
+        // Exactly half: ties to even (0 is even).
+        assert_eq!(encode_f64_nearest(0.5 * u, 1, &mut out), Ok(true));
+        assert_eq!(decode_f64(&out, 1), 0.0);
+        // 1.5 units ties between 1 and 2 → even picks 2.
+        assert_eq!(encode_f64_nearest(1.5 * u, 1, &mut out), Ok(true));
+        assert_eq!(decode_f64(&out, 1), 2.0 * u);
+        // 2.5 units ties between 2 and 3 → even picks 2.
+        assert_eq!(encode_f64_nearest(2.5 * u, 1, &mut out), Ok(true));
+        assert_eq!(decode_f64(&out, 1), 2.0 * u);
+        // Exact values stay exact.
+        assert_eq!(encode_f64_nearest(3.0 * u, 1, &mut out), Ok(false));
+        assert_eq!(decode_f64(&out, 1), 3.0 * u);
+    }
+
+    #[test]
+    fn nearest_encode_is_symmetric_in_sign() {
+        let u = 2f64.powi(-64);
+        let mut pos = vec![0u64; 2];
+        let mut neg = vec![0u64; 2];
+        for frac in [0.25, 0.5, 0.75, 1.5, 2.5, 3.75] {
+            encode_f64_nearest(frac * u, 1, &mut pos).unwrap();
+            encode_f64_nearest(-frac * u, 1, &mut neg).unwrap();
+            assert_eq!(
+                decode_f64(&pos, 1),
+                -decode_f64(&neg, 1),
+                "frac = {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_encode_removes_truncation_bias() {
+        // Sum 10k copies of 0.75 units (each rounds up to 1 unit with RN,
+        // truncates to 0 with trunc): RN error per element is −0.25u,
+        // truncation error is +0.75u — RN's |bias| must be strictly lower.
+        let u = 2f64.powi(-64);
+        let x = 0.75 * u;
+        let mut t = vec![0u64; 2];
+        let mut r = vec![0u64; 2];
+        encode_f64_trunc(x, 1, &mut t).unwrap();
+        encode_f64_nearest(x, 1, &mut r).unwrap();
+        let trunc_err = (decode_f64(&t, 1) - x).abs();
+        let rn_err = (decode_f64(&r, 1) - x).abs();
+        assert!(rn_err < trunc_err);
+        assert!(rn_err <= 0.5 * u);
+    }
+
+    #[test]
+    fn nearest_encode_whole_mantissa_below_resolution() {
+        // n=2, k=1 with x so small the entire mantissa drops (drop ≥ 64).
+        let mut out = vec![0u64; 2];
+        // x = 2^-66 < half unit → 0.
+        encode_f64_nearest(2f64.powi(-66), 1, &mut out).unwrap();
+        assert_eq!(decode_f64(&out, 1), 0.0);
+        // x = 2^-65 = exactly half → tie to even (0).
+        encode_f64_nearest(2f64.powi(-65), 1, &mut out).unwrap();
+        assert_eq!(decode_f64(&out, 1), 0.0);
+        // x = 2^-65 + 2^-100 just above half → one unit.
+        encode_f64_nearest(2f64.powi(-65) + 2f64.powi(-100), 1, &mut out).unwrap();
+        assert_eq!(decode_f64(&out, 1), 2f64.powi(-64));
+    }
+
+    #[test]
+    fn negative_values_are_twos_complement() {
+        let mut out = vec![0u64; 2];
+        encode_f64(-1.0, 1, &mut out).unwrap();
+        // -1.0 = -(2^64) / 2^64 → integer -2^64 over 128 bits.
+        assert_eq!(out, vec![u64::MAX, 0]);
+        assert_eq!(decode_f64(&out, 1), -1.0);
+    }
+
+    #[test]
+    fn decode_rounds_to_nearest_even() {
+        // Value = 2^53 + 1 + 0.5 (needs 54 bits + fraction): with k=1 the
+        // integer part is exact in the limbs; decoding must round.
+        let mut a = vec![0u64; 3]; // n=3, k=1 → 128.64 fixed point
+        // Set integer part 2^53 + 1, fraction 0.5.
+        a[1] = (1u64 << 53) + 1;
+        a[2] = 1u64 << 63;
+        // Exact value = 2^53 + 1.5 → nearest doubles are 2^53 and 2^53 + 2;
+        // 1.5 above 2^53 rounds to 2^53 + 2.
+        assert_eq!(decode_f64(&a, 1), 2f64.powi(53) + 2.0);
+        // Exact tie: 2^53 + 1 is exactly between 2^53 and 2^53+2 → even.
+        a[2] = 0;
+        assert_eq!(decode_f64(&a, 1), 2f64.powi(53));
+        // Just above the tie rounds up.
+        a[2] = 1;
+        assert_eq!(decode_f64(&a, 1), 2f64.powi(53) + 2.0);
+        // 2^53 + 3 ties between 2^53+2 and 2^53+4 → even picks 2^53 + 4.
+        a[1] = (1u64 << 53) + 3;
+        a[2] = 0;
+        assert_eq!(decode_f64(&a, 1), 2f64.powi(53) + 4.0);
+    }
+
+    #[test]
+    fn decode_overflow_saturates_to_infinity() {
+        // n=17, k=0 gives range up to 2^1087 > f64 max.
+        let mut a = vec![0u64; 17];
+        a[0] = 1u64 << 62; // 2^1086
+        assert_eq!(decode_f64(&a, 0), f64::INFINITY);
+        limbs::negate(&mut a);
+        assert_eq!(decode_f64(&a, 0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn decode_subnormal_range() {
+        // n=17, k=17 → resolution 2^-1088, below f64 subnormal minimum.
+        let n = 17;
+        let k = 17;
+        let mut a = vec![0u64; n];
+        // Exactly 2^-1074: representable as the minimum subnormal.
+        let pos = 1088 - 1074; // bit index from LSB
+        a[n - 1 - pos / 64] = 1u64 << (pos % 64);
+        assert_eq!(decode_f64(&a, k), f64::from_bits(1));
+        // Exactly 2^-1075 ties to even → 0.
+        let mut a = vec![0u64; n];
+        let pos = 1088 - 1075;
+        a[n - 1 - pos / 64] = 1u64 << (pos % 64);
+        assert_eq!(decode_f64(&a, k), 0.0);
+        // 2^-1075 + 2^-1080 rounds up to 2^-1074.
+        a[n - 1] |= 1u64 << (1088 - 1080);
+        assert_eq!(decode_f64(&a, k), f64::from_bits(1));
+    }
+
+    #[test]
+    fn decode_twos_complement_minimum() {
+        // The pattern 1000…0 is -2^(64n-1); with k fractional limbs the
+        // value is -2^(64(n-k)-1). For n=2, k=1 that is -2^63, exactly
+        // representable as f64.
+        let a = vec![1u64 << 63, 0];
+        assert_eq!(decode_f64(&a, 1), -(2f64.powi(63)));
+    }
+
+    #[test]
+    fn subnormal_inputs_encode_exactly_with_enough_fraction() {
+        let n = 18;
+        let k = 17; // resolution 2^-1088 < 2^-1074
+        let mut out = vec![0u64; n];
+        let tiny = f64::from_bits(1); // 2^-1074
+        encode_f64(tiny, k, &mut out).unwrap();
+        assert_eq!(decode_f64(&out, k), tiny);
+        encode_f64(-tiny, k, &mut out).unwrap();
+        assert_eq!(decode_f64(&out, k), -tiny);
+    }
+
+    #[test]
+    fn pow2_f64_spans_full_range() {
+        assert_eq!(pow2_f64(0), 1.0);
+        assert_eq!(pow2_f64(1023), 2f64.powi(1023));
+        assert_eq!(pow2_f64(-1022), f64::MIN_POSITIVE);
+        assert_eq!(pow2_f64(-1074), f64::from_bits(1));
+        assert_eq!(pow2_f64(1024), f64::INFINITY);
+        assert_eq!(pow2_f64(-1075), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Human-readable rendering of limb values, used by the Fig. 3 walkthrough
+//! example and by `Debug` implementations in the wrapper crates.
+
+use crate::limbs;
+
+/// Formats the limbs as a `|`-separated hex string, most significant limb
+/// first, e.g. `0000000000000001|8000000000000000`.
+pub fn limbs_hex(a: &[u64]) -> String {
+    let mut s = String::with_capacity(a.len() * 17);
+    for (i, limb) in a.iter().enumerate() {
+        if i > 0 {
+            s.push('|');
+        }
+        s.push_str(&format!("{limb:016x}"));
+    }
+    s
+}
+
+/// Formats the limbs as a binary fixed-point literal with the radix point
+/// placed after `n - k` limbs, grouping bits in nibbles. Intended for small
+/// formats in teaching output (the Fig. 3 example); the string for large `n`
+/// is long.
+pub fn limbs_binary(a: &[u64], k: usize) -> String {
+    let n = a.len();
+    assert!(k <= n);
+    let mut s = String::new();
+    for (i, limb) in a.iter().enumerate() {
+        if i == n - k && i > 0 {
+            s.push('.');
+        } else if i > 0 {
+            s.push(' ');
+        }
+        for nib in (0..16).rev() {
+            s.push_str(&format!("{:04b}", (limb >> (nib * 4)) & 0xf));
+            if nib > 0 {
+                s.push('_');
+            }
+        }
+    }
+    s
+}
+
+/// One-line summary: sign, hex limbs, and the decoded `f64` approximation.
+pub fn describe(a: &[u64], k: usize) -> String {
+    let sign = if limbs::is_negative(a) { '-' } else { '+' };
+    format!(
+        "[{sign}] {} ≈ {:e}",
+        limbs_hex(a),
+        crate::codec::decode_f64(a, k)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(limbs_hex(&[1, 0x8000000000000000]), "0000000000000001|8000000000000000");
+    }
+
+    #[test]
+    fn binary_rendering_places_radix_point() {
+        let s = limbs_binary(&[0, 1], 1);
+        assert!(s.contains('.'));
+        assert!(s.ends_with("0001"));
+    }
+
+    #[test]
+    fn describe_includes_sign_and_value() {
+        let mut a = vec![0u64; 2];
+        crate::codec::encode_f64(-2.0, 1, &mut a).unwrap();
+        let d = describe(&a, 1);
+        assert!(d.starts_with("[-]"), "{d}");
+        assert!(d.contains("-2e0"), "{d}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Multi-limb two's-complement fixed-point arithmetic kernels.
+//!
+//! This crate is the shared substrate beneath the HP method (`oisum-core`)
+//! and the Hallberg–Adcroft baseline (`oisum-hallberg`). Both methods
+//! ultimately reduce real-number summation to integer addition over a
+//! sequence of 64-bit limbs; the kernels here implement that integer layer
+//! once, operating on plain `&[u64]` / `&mut [u64]` slices so that the
+//! const-generic wrappers above monomorphize into tight, allocation-free
+//! loops.
+//!
+//! # Representation
+//!
+//! A number is a sequence of `n` limbs (`u64`), **big-endian**: limb `0` is
+//! the most significant, matching the index convention of the IPDPS 2016
+//! paper (Eq. 2). The `64·n`-bit pattern is interpreted as a two's-complement
+//! signed integer `I`, and the represented real value is
+//!
+//! ```text
+//! value = I · 2^(-64·k)
+//! ```
+//!
+//! where `k` is the number of *fractional* limbs. All kernels in
+//! [`limbs`] are `k`-agnostic (they manipulate the integer `I`); only the
+//! [`codec`] (conversion to/from `f64`) needs `k`.
+//!
+//! # Exactness
+//!
+//! The codec in this crate is implemented with pure integer bit
+//! manipulation — no floating-point operations — so it is exact by
+//! construction:
+//!
+//! * [`codec::encode_f64`] is exact whenever the `f64` is representable in
+//!   the target format, and reports [`codec::EncodeError::Inexact`]
+//!   otherwise (rather than silently truncating).
+//! * [`codec::decode_f64`] performs correct round-to-nearest-even from the
+//!   full fixed-point value to `f64`, including the subnormal range.
+//!
+//! The paper's own conversion routine (Listing 1) uses floating-point
+//! multiplies for speed; `oisum-core` implements that routine and
+//! property-tests it against this codec as the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fmt;
+pub mod limbs;
+
+pub use codec::{decode_f64, encode_f64, encode_f64_nearest, encode_f64_trunc, EncodeError};

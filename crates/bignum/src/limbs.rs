@@ -1,0 +1,606 @@
+//! Carry-propagating kernels over big-endian `u64` limb slices.
+//!
+//! Every function here treats its slice argument as one `64·n`-bit
+//! two's-complement integer with limb `0` most significant. The functions
+//! are the single source of truth for limb arithmetic in the workspace;
+//! `HpFixed<N, K>` and the Hallberg decoder both compile down to these
+//! loops.
+
+use core::cmp::Ordering;
+
+/// Returns `true` if the two's-complement value is negative (sign bit set).
+#[inline]
+pub fn is_negative(a: &[u64]) -> bool {
+    a[0] >> 63 != 0
+}
+
+/// Returns `true` if every limb is zero.
+#[inline]
+pub fn is_zero(a: &[u64]) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Sets every limb to zero.
+#[inline]
+pub fn set_zero(a: &mut [u64]) {
+    a.fill(0);
+}
+
+/// In-place two's-complement addition `a += b`.
+///
+/// Limbs are added least-significant first (index `n-1` down to `0`) with
+/// carry propagation, exactly as in the paper's Listing 2. Returns the carry
+/// out of the most significant limb. Note that in two's complement a carry
+/// out of the top limb is *not* by itself an overflow indicator — use
+/// [`add_detect_overflow`] for the paper's sign-comparison overflow test.
+#[inline]
+pub fn add(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = false;
+    for i in (0..a.len()).rev() {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        a[i] = s2;
+        carry = c1 | c2;
+    }
+    carry
+}
+
+/// In-place addition with the paper's overflow test (§III.B.1).
+///
+/// Two's-complement addition overflows iff both summands have the same sign
+/// and the result's sign differs: "Negative summands with a positive sum, or
+/// positive summands with a negative sum indicate overflow has occurred."
+/// Returns `true` when the addition overflowed. The limbs are still updated
+/// (wrapping), matching fixed-width integer semantics.
+#[inline]
+pub fn add_detect_overflow(a: &mut [u64], b: &[u64]) -> bool {
+    let sa = is_negative(a);
+    let sb = is_negative(b);
+    add(a, b);
+    let sr = is_negative(a);
+    sa == sb && sr != sa
+}
+
+/// In-place two's-complement negation (`a = -a`).
+///
+/// Flips all bits and adds one, propagating the carry from the least
+/// significant limb — the conversion described in §III.A of the paper.
+/// Negating the minimum value (`1000…0`) wraps to itself, as with `i64::MIN`.
+#[inline]
+pub fn negate(a: &mut [u64]) {
+    let mut carry = true;
+    for limb in a.iter_mut().rev() {
+        let (v, c) = (!*limb).overflowing_add(carry as u64);
+        *limb = v;
+        carry = c;
+    }
+}
+
+/// In-place two's-complement subtraction `a -= b`.
+#[inline]
+pub fn sub(a: &mut [u64], b: &[u64]) {
+    // a - b = a + !b + 1: thread the +1 through the carry chain so no
+    // temporary copy of `b` is needed.
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = true;
+    for i in (0..a.len()).rev() {
+        let (s1, c1) = a[i].overflowing_add(!b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        a[i] = s2;
+        carry = c1 | c2;
+    }
+}
+
+/// Signed comparison of two equal-width two's-complement values.
+///
+/// With equal signs, two's complement preserves unsigned lexicographic
+/// order, so a plain big-endian limb compare suffices; otherwise the
+/// negative operand is smaller.
+#[inline]
+pub fn cmp(a: &[u64], b: &[u64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    match (is_negative(a), is_negative(b)) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => a.cmp(b),
+    }
+}
+
+/// Adds `v · 2^shift` (sign-extended) into the two's-complement accumulator.
+///
+/// `shift` is a bit offset from the least-significant bit of `acc`. Bits of
+/// `v` shifted beyond the top of `acc` wrap (two's-complement semantics);
+/// bits shifted below bit zero are rejected with a `debug_assert` since
+/// callers always align contributions to whole bits.
+///
+/// This is the primitive used by the Hallberg decoder to fold its signed
+/// `a_i · 2^(M·(i - N/2))` terms into one wide fixed-point value.
+pub fn add_shifted_i64(acc: &mut [u64], v: i64, shift: u32) {
+    if v == 0 {
+        return;
+    }
+    let n = acc.len();
+    let li = (shift / 64) as usize; // limb index from the least-significant end
+    let intra = shift % 64;
+    // 128-bit window holding the shifted value's two low limbs.
+    let wide = (v as i128) << intra;
+    let lo = wide as u64;
+    let hi = (wide >> 64) as u64;
+    let ext: u64 = if v < 0 { u64::MAX } else { 0 };
+
+    let mut carry = false;
+    for pos in li..n {
+        // `pos` counts limbs from the least-significant end.
+        let contrib = if pos == li {
+            lo
+        } else if pos == li + 1 {
+            hi
+        } else {
+            ext
+        };
+        let idx = n - 1 - pos;
+        let (s1, c1) = acc[idx].overflowing_add(contrib);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        acc[idx] = s2;
+        carry = c1 | c2;
+    }
+}
+
+/// Multiplies the *unsigned* limb value by `c` in place, returning the
+/// carry out of the most significant limb (zero when the product fits).
+///
+/// Used by the scalar-multiply extension: a signed multiply is performed
+/// on the magnitude with the sign reapplied by the caller.
+pub fn mul_u64(a: &mut [u64], c: u64) -> u64 {
+    let mut carry: u64 = 0;
+    for limb in a.iter_mut().rev() {
+        let wide = *limb as u128 * c as u128 + carry as u128;
+        *limb = wide as u64;
+        carry = (wide >> 64) as u64;
+    }
+    carry
+}
+
+/// Schoolbook multiplication of two *unsigned* limb values into `out`
+/// (which must hold at least `a.len() + b.len()` limbs and is
+/// overwritten). Exact: the full double-width product is produced.
+pub fn mul_unsigned(a: &[u64], b: &[u64], out: &mut [u64]) {
+    assert!(
+        out.len() >= a.len() + b.len(),
+        "product needs {} limbs, out has {}",
+        a.len() + b.len(),
+        out.len()
+    );
+    out.fill(0);
+    let (an, bn, on) = (a.len(), b.len(), out.len());
+    for i in 0..an {
+        // `i` counts limbs from the least-significant end of `a`.
+        let ai = a[an - 1 - i] as u128;
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u128 = 0;
+        for j in 0..bn {
+            let idx = on - 1 - (i + j);
+            let prod = ai * (b[bn - 1 - j] as u128) + out[idx] as u128 + carry;
+            out[idx] = prod as u64;
+            carry = prod >> 64;
+        }
+        let mut k = i + bn;
+        while carry > 0 {
+            let idx = on - 1 - k;
+            let sum = out[idx] as u128 + carry;
+            out[idx] = sum as u64;
+            carry = sum >> 64;
+            k += 1;
+        }
+    }
+}
+
+/// Copies `src` into the (at least as wide) `dst` with sign extension.
+///
+/// Used when widening a value to a higher-precision format, e.g. by the
+/// adaptive HP accumulator after detecting overflow.
+pub fn sign_extend(src: &[u64], dst: &mut [u64]) {
+    assert!(dst.len() >= src.len(), "sign_extend cannot narrow");
+    let pad = dst.len() - src.len();
+    let fill = if is_negative(src) { u64::MAX } else { 0 };
+    dst[..pad].fill(fill);
+    dst[pad..].copy_from_slice(src);
+}
+
+/// Attempts to narrow `src` into the (at most as wide) `dst`.
+///
+/// Succeeds iff the dropped high limbs are pure sign extension of the
+/// retained value, i.e. narrowing loses no information. Returns `false`
+/// (leaving `dst` untouched only in content validity, it is still written)
+/// when the value does not fit.
+pub fn try_narrow(src: &[u64], dst: &mut [u64]) -> bool {
+    assert!(dst.len() <= src.len(), "try_narrow cannot widen");
+    let cut = src.len() - dst.len();
+    dst.copy_from_slice(&src[cut..]);
+    let fill = if is_negative(dst) { u64::MAX } else { 0 };
+    src[..cut].iter().all(|&l| l == fill)
+}
+
+/// Logical left shift by `bits` (zero fill), in place.
+pub fn shl(a: &mut [u64], bits: u32) {
+    let n = a.len();
+    let limb_shift = (bits / 64) as usize;
+    let intra = bits % 64;
+    if limb_shift >= n {
+        a.fill(0);
+        return;
+    }
+    for i in 0..n {
+        let src = i + limb_shift;
+        let mut v = if src < n { a[src] << intra } else { 0 };
+        if intra > 0 && src + 1 < n {
+            v |= a[src + 1] >> (64 - intra);
+        }
+        a[i] = v;
+    }
+}
+
+/// Arithmetic right shift by `bits` (sign fill), in place.
+pub fn shr_arithmetic(a: &mut [u64], bits: u32) {
+    let n = a.len();
+    let fill = if is_negative(a) { u64::MAX } else { 0 };
+    let limb_shift = (bits / 64) as usize;
+    let intra = bits % 64;
+    if limb_shift >= n {
+        a.fill(fill);
+        return;
+    }
+    // Iterate from the least-significant end upward: each write to a[i]
+    // only reads sources at indices ≤ i, which are not yet overwritten.
+    for i in (0..n).rev() {
+        a[i] = if i >= limb_shift {
+            let src = i - limb_shift;
+            let mut v = a[src] >> intra;
+            if intra > 0 {
+                let upper = if src == 0 { fill } else { a[src - 1] };
+                v |= upper << (64 - intra);
+            }
+            v
+        } else {
+            fill
+        };
+    }
+}
+
+/// Index of the highest set bit of the *unsigned* interpretation, counting
+/// from the least-significant bit, or `None` if all limbs are zero.
+#[inline]
+pub fn highest_set_bit(a: &[u64]) -> Option<u32> {
+    let n = a.len() as u32;
+    for (i, &limb) in a.iter().enumerate() {
+        if limb != 0 {
+            let pos_from_msb = i as u32;
+            return Some((n - pos_from_msb) * 64 - 1 - limb.leading_zeros());
+        }
+    }
+    None
+}
+
+/// Reads the bit at position `bit` (from the least-significant bit).
+#[inline]
+pub fn get_bit(a: &[u64], bit: u32) -> bool {
+    let n = a.len();
+    let li = (bit / 64) as usize;
+    debug_assert!(li < n);
+    (a[n - 1 - li] >> (bit % 64)) & 1 != 0
+}
+
+/// Returns `true` if any bit strictly below position `bit` is set.
+#[inline]
+pub fn any_bit_below(a: &[u64], bit: u32) -> bool {
+    let n = a.len();
+    let li = (bit / 64) as usize;
+    let intra = bit % 64;
+    if li >= n {
+        return !is_zero(a);
+    }
+    if intra > 0 && a[n - 1 - li] & ((1u64 << intra) - 1) != 0 {
+        return true;
+    }
+    a[n - li..].iter().any(|&l| l != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_i128(v: i128, n: usize) -> Vec<u64> {
+        assert!(n >= 2);
+        let mut out = vec![if v < 0 { u64::MAX } else { 0 }; n];
+        out[n - 1] = v as u64;
+        out[n - 2] = (v >> 64) as u64;
+        out
+    }
+
+    fn to_i128(a: &[u64]) -> i128 {
+        // Only valid when the value fits in 128 bits.
+        let n = a.len();
+        let lo = a[n - 1] as u128;
+        let hi = a[n - 2] as u128;
+        ((hi << 64) | lo) as i128
+    }
+
+    #[test]
+    fn add_matches_i128() {
+        let cases: &[(i128, i128)] = &[
+            (0, 0),
+            (1, -1),
+            (i64::MAX as i128, 1),
+            (u64::MAX as i128, 1),
+            (-(1i128 << 100), 1 << 99),
+            ((1i128 << 126) - 1, 12345),
+            (-1, -1),
+        ];
+        for &(x, y) in cases {
+            let mut a = from_i128(x, 3);
+            let b = from_i128(y, 3);
+            add(&mut a, &b);
+            assert_eq!(to_i128(&a), x.wrapping_add(y), "{x} + {y}");
+        }
+    }
+
+    #[test]
+    fn carry_chain_propagates_across_all_limbs() {
+        // 0x0000…FFFF…FFFF + 1 must carry through every low limb.
+        let mut a = vec![0, u64::MAX, u64::MAX, u64::MAX];
+        let b = vec![0, 0, 0, 1];
+        let carry = add(&mut a, &b);
+        assert!(!carry);
+        assert_eq!(a, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn carry_out_of_top_limb_reported() {
+        let mut a = vec![u64::MAX, u64::MAX];
+        let b = vec![0, 1];
+        assert!(add(&mut a, &b));
+        assert_eq!(a, vec![0, 0]);
+    }
+
+    #[test]
+    fn sub_matches_i128() {
+        let cases: &[(i128, i128)] = &[(0, 0), (5, 7), (-3, 4), (1 << 80, 1), (-1, i64::MAX as i128)];
+        for &(x, y) in cases {
+            let mut a = from_i128(x, 3);
+            let b = from_i128(y, 3);
+            sub(&mut a, &b);
+            assert_eq!(to_i128(&a), x - y, "{x} - {y}");
+        }
+    }
+
+    #[test]
+    fn negate_matches_i128() {
+        for &v in &[0i128, 1, -1, i64::MIN as i128, (1i128 << 90) + 77] {
+            let mut a = from_i128(v, 3);
+            negate(&mut a);
+            assert_eq!(to_i128(&a), -v);
+        }
+    }
+
+    #[test]
+    fn negate_zero_is_zero() {
+        let mut a = vec![0u64; 4];
+        negate(&mut a);
+        assert!(is_zero(&a));
+    }
+
+    #[test]
+    fn negate_min_value_wraps_to_itself() {
+        let mut a = vec![1u64 << 63, 0, 0];
+        negate(&mut a);
+        assert_eq!(a, vec![1u64 << 63, 0, 0]);
+    }
+
+    #[test]
+    fn overflow_detection_positive() {
+        // MAX + 1 overflows.
+        let mut a = vec![u64::MAX >> 1, u64::MAX];
+        let b = vec![0, 1];
+        assert!(add_detect_overflow(&mut a, &b));
+        assert!(is_negative(&a));
+    }
+
+    #[test]
+    fn overflow_detection_negative() {
+        // MIN + (-1) overflows.
+        let mut a = vec![1u64 << 63, 0];
+        let b = vec![u64::MAX, u64::MAX];
+        assert!(add_detect_overflow(&mut a, &b));
+        assert!(!is_negative(&a));
+    }
+
+    #[test]
+    fn no_overflow_on_mixed_signs() {
+        let mut a = vec![u64::MAX, u64::MAX]; // -1
+        let b = vec![0, 1]; // +1
+        assert!(!add_detect_overflow(&mut a, &b));
+        assert!(is_zero(&a));
+    }
+
+    #[test]
+    fn cmp_orders_signed_values() {
+        let vals: &[i128] = &[i64::MIN as i128 * 5, -1, 0, 1, 1 << 70, (1 << 100) + 3];
+        for &x in vals {
+            for &y in vals {
+                let a = from_i128(x, 3);
+                let b = from_i128(y, 3);
+                assert_eq!(cmp(&a, &b), x.cmp(&y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_shifted_i64_matches_i128() {
+        let cases: &[(i128, i64, u32)] = &[
+            (0, 1, 0),
+            (0, -1, 0),
+            (100, 7, 64),
+            (-5, -3, 70),
+            (1 << 100, i64::MIN, 10),
+            (0, i64::MAX, 63),
+        ];
+        for &(acc0, v, shift) in cases {
+            let mut a = from_i128(acc0, 3);
+            add_shifted_i64(&mut a, v, shift);
+            let expect = acc0.wrapping_add((v as i128) << shift);
+            assert_eq!(to_i128(&a), expect, "{acc0} += {v} << {shift}");
+        }
+    }
+
+    #[test]
+    fn add_shifted_sign_extends_to_top() {
+        // -1 << 0 into a 4-limb accumulator must set every limb.
+        let mut a = vec![0u64; 4];
+        add_shifted_i64(&mut a, -1, 0);
+        assert_eq!(a, vec![u64::MAX; 4]);
+    }
+
+    #[test]
+    fn mul_u64_matches_u128() {
+        let cases: &[(u128, u64)] = &[
+            (0, 5),
+            (1, u64::MAX),
+            (u64::MAX as u128, 2),
+            ((1u128 << 100) + 12345, 1_000_003),
+            (u128::MAX >> 1, 1),
+        ];
+        for &(v, c) in cases {
+            let mut a = vec![(v >> 64) as u64, v as u64];
+            let carry = mul_u64(&mut a, c);
+            let full = v.wrapping_mul(c as u128);
+            assert_eq!(a, vec![(full >> 64) as u64, full as u64], "{v} * {c}");
+            // Carry equals the bits shifted beyond 128.
+            let expect_carry = ((v >> 64) as u64 as u128 * c as u128
+                + ((v as u64 as u128 * c as u128) >> 64))
+                >> 64;
+            assert_eq!(carry as u128, expect_carry, "{v} * {c}");
+        }
+    }
+
+    #[test]
+    fn mul_unsigned_matches_u128() {
+        let cases: &[(u128, u128)] = &[
+            (0, 0),
+            (1, u64::MAX as u128),
+            (u64::MAX as u128, u64::MAX as u128),
+            ((1u128 << 100) + 7, 12345),
+            (u128::MAX, 2),
+            (u128::MAX, u128::MAX),
+        ];
+        for &(x, y) in cases {
+            let a = [(x >> 64) as u64, x as u64];
+            let b = [(y >> 64) as u64, y as u64];
+            let mut out = [0u64; 4];
+            mul_unsigned(&a, &b, &mut out);
+            // Reference: 256-bit product via 64-bit pieces of u128 math.
+            let (xl, xh) = (x as u64 as u128, (x >> 64) as u64 as u128);
+            let (yl, yh) = (y as u64 as u128, (y >> 64) as u64 as u128);
+            let ll = xl * yl;
+            let lh = xl * yh;
+            let hl = xh * yl;
+            let hh = xh * yh;
+            let mut ref_limbs = [0u64; 4];
+            ref_limbs[3] = ll as u64;
+            let mid = (ll >> 64) + (lh as u64 as u128) + (hl as u64 as u128);
+            ref_limbs[2] = mid as u64;
+            let hi = (mid >> 64) + (lh >> 64) + (hl >> 64) + (hh as u64 as u128);
+            ref_limbs[1] = hi as u64;
+            ref_limbs[0] = ((hi >> 64) + (hh >> 64)) as u64;
+            assert_eq!(out, ref_limbs, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn mul_unsigned_asymmetric_widths() {
+        // 3-limb × 1-limb.
+        let a = [1u64, 0, u64::MAX]; // 2^128 + (2^64 - 1)
+        let b = [3u64];
+        let mut out = [0u64; 4];
+        mul_unsigned(&a, &b, &mut out);
+        // 3·(2^128 + 2^64 − 1) = 3·2^128 + 3·2^64 − 3.
+        assert_eq!(out, [0, 3, 2, u64::MAX - 2]);
+    }
+
+    #[test]
+    fn mul_u64_by_zero_and_one() {
+        let mut a = vec![7, 9, 11];
+        assert_eq!(mul_u64(&mut a, 1), 0);
+        assert_eq!(a, vec![7, 9, 11]);
+        assert_eq!(mul_u64(&mut a, 0), 0);
+        assert!(is_zero(&a));
+    }
+
+    #[test]
+    fn sign_extend_and_narrow_round_trip() {
+        for &v in &[0i128, 42, -42, i64::MIN as i128, 1 << 90, -(1 << 90)] {
+            let src = from_i128(v, 3);
+            let mut wide = vec![0u64; 6];
+            sign_extend(&src, &mut wide);
+            let mut back = vec![0u64; 3];
+            assert!(try_narrow(&wide, &mut back));
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn narrow_rejects_out_of_range() {
+        let src = from_i128(1i128 << 100, 3);
+        let mut dst = vec![0u64; 1];
+        assert!(!try_narrow(&src, &mut dst));
+    }
+
+    #[test]
+    fn shl_shr_inverse_for_in_range_values() {
+        for &v in &[1i128, -1, 12345, -99999, 1 << 40] {
+            for bits in [0u32, 1, 63, 64, 65, 127] {
+                let mut a = from_i128(v, 4);
+                shl(&mut a, bits);
+                shr_arithmetic(&mut a, bits);
+                if bits < 128 {
+                    assert_eq!(to_i128(&a), v, "v={v} bits={bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shr_arithmetic_fills_with_sign() {
+        let mut a = from_i128(-4, 2);
+        shr_arithmetic(&mut a, 1);
+        assert_eq!(to_i128(&a), -2);
+        let mut a = from_i128(-1, 2);
+        shr_arithmetic(&mut a, 200);
+        assert_eq!(to_i128(&a), -1);
+        let mut a = from_i128(1, 2);
+        shr_arithmetic(&mut a, 200);
+        assert_eq!(to_i128(&a), 0);
+    }
+
+    #[test]
+    fn highest_set_bit_positions() {
+        assert_eq!(highest_set_bit(&[0, 0]), None);
+        assert_eq!(highest_set_bit(&[0, 1]), Some(0));
+        assert_eq!(highest_set_bit(&[0, 1 << 63]), Some(63));
+        assert_eq!(highest_set_bit(&[1, 0]), Some(64));
+        assert_eq!(highest_set_bit(&[1 << 63, 0]), Some(127));
+    }
+
+    #[test]
+    fn bit_queries() {
+        let a = [0b1010u64, 1 << 63];
+        assert!(get_bit(&a, 63));
+        assert!(!get_bit(&a, 62));
+        assert!(get_bit(&a, 65));
+        assert!(!get_bit(&a, 64));
+        assert!(any_bit_below(&a, 64));
+        assert!(!any_bit_below(&a, 63));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the limb kernels and the exact f64 codec,
+//! cross-checked against `i128` arithmetic and IEEE semantics.
+
+use oisum_bignum::{codec, limbs};
+use proptest::prelude::*;
+
+fn from_i128(v: i128, n: usize) -> Vec<u64> {
+    assert!(n >= 2);
+    let mut out = vec![if v < 0 { u64::MAX } else { 0 }; n];
+    out[n - 1] = v as u64;
+    out[n - 2] = (v >> 64) as u64;
+    out
+}
+
+fn to_i128(a: &[u64]) -> i128 {
+    let n = a.len();
+    (((a[n - 2] as u128) << 64) | a[n - 1] as u128) as i128
+}
+
+/// An f64 that is guaranteed representable in an (n=3, k=2) format:
+/// magnitude below 2^62 and ulp at least 2^-128.
+fn representable_f64() -> impl Strategy<Value = f64> {
+    // mantissa up to 53 bits, exponent chosen so all bits stay in range:
+    // value = m * 2^e with m < 2^53 → need e ≥ -128 and e + 53 ≤ 62.
+    (any::<bool>(), 0u64..(1 << 53), -128i32..=9).prop_map(|(neg, m, e)| {
+        let v = m as f64 * 2f64.powi(e);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(x in any::<i128>(), y in any::<i128>()) {
+        let mut a = from_i128(x, 2);
+        let b = from_i128(y, 2);
+        limbs::add(&mut a, &b);
+        prop_assert_eq!(to_i128(&a), x.wrapping_add(y));
+    }
+
+    #[test]
+    fn sub_matches_i128(x in any::<i128>(), y in any::<i128>()) {
+        let mut a = from_i128(x, 2);
+        let b = from_i128(y, 2);
+        limbs::sub(&mut a, &b);
+        prop_assert_eq!(to_i128(&a), x.wrapping_sub(y));
+    }
+
+    #[test]
+    fn negate_matches_i128(x in any::<i128>()) {
+        let mut a = from_i128(x, 2);
+        limbs::negate(&mut a);
+        prop_assert_eq!(to_i128(&a), x.wrapping_neg());
+    }
+
+    #[test]
+    fn overflow_detection_matches_i128(x in any::<i128>(), y in any::<i128>()) {
+        let mut a = from_i128(x, 2);
+        let b = from_i128(y, 2);
+        let overflowed = limbs::add_detect_overflow(&mut a, &b);
+        prop_assert_eq!(overflowed, x.checked_add(y).is_none());
+    }
+
+    #[test]
+    fn cmp_matches_i128(x in any::<i128>(), y in any::<i128>()) {
+        let a = from_i128(x, 2);
+        let b = from_i128(y, 2);
+        prop_assert_eq!(limbs::cmp(&a, &b), x.cmp(&y));
+    }
+
+    #[test]
+    fn add_shifted_matches_i128(acc in any::<i64>(), v in any::<i64>(), shift in 0u32..60) {
+        let mut a = from_i128(acc as i128, 3);
+        limbs::add_shifted_i64(&mut a, v, shift);
+        let expect = (acc as i128).wrapping_add((v as i128) << shift);
+        // Result fits in 128 bits for these ranges (|v| < 2^63, shift < 60).
+        let n = a.len();
+        let top_ok = a[0] == if expect < 0 { u64::MAX } else { 0 };
+        prop_assert!(top_ok);
+        let _ = n;
+        prop_assert_eq!(to_i128(&a[..]), expect);
+    }
+
+    #[test]
+    fn widen_narrow_roundtrip(x in any::<i128>(), extra in 1usize..4) {
+        let src = from_i128(x, 2);
+        let mut wide = vec![0u64; 2 + extra];
+        limbs::sign_extend(&src, &mut wide);
+        // Decoded meaning unchanged (compare low limbs + sign fill).
+        let mut back = vec![0u64; 2];
+        prop_assert!(limbs::try_narrow(&wide, &mut back));
+        prop_assert_eq!(back, src);
+    }
+
+    #[test]
+    fn shl_then_shr_identity(x in any::<i64>(), bits in 0u32..120) {
+        let mut a = from_i128(x as i128, 4);
+        limbs::shl(&mut a, bits);
+        limbs::shr_arithmetic(&mut a, bits);
+        // x occupies ≤ 64 bits; with 4 limbs (256 bits) and bits < 120 no
+        // information reaches the sign bit for nonnegative x. Negative x
+        // keeps sign through arithmetic shift only if no bits were lost at
+        // the top, which holds for these bounds.
+        prop_assert_eq!(to_i128(&a[2..]), x as i128);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exact(x in representable_f64()) {
+        let mut a = vec![0u64; 3];
+        codec::encode_f64(x, 2, &mut a).unwrap();
+        prop_assert_eq!(codec::decode_f64(&a, 2), x);
+    }
+
+    #[test]
+    fn encode_is_additive_via_i128(
+        m1 in -(1i64 << 52)..(1i64 << 52),
+        m2 in -(1i64 << 52)..(1i64 << 52),
+    ) {
+        // Dyadic values with the same scale add exactly; limb addition must
+        // agree with the exact i128 sum of scaled integers.
+        let s = 2f64.powi(-80);
+        let x = m1 as f64 * s;
+        let y = m2 as f64 * s;
+        let mut a = vec![0u64; 3];
+        let mut b = vec![0u64; 3];
+        codec::encode_f64(x, 2, &mut a).unwrap();
+        codec::encode_f64(y, 2, &mut b).unwrap();
+        limbs::add(&mut a, &b);
+        let expect = (m1 as f64 + m2 as f64) * s; // exact: |m1+m2| < 2^53
+        prop_assert_eq!(codec::decode_f64(&a, 2), expect);
+    }
+
+    #[test]
+    fn decode_is_nearest_double(int_part in any::<u64>(), frac in any::<u64>()) {
+        // n=2, k=1 value = int_part + frac/2^64 (nonnegative here).
+        let a = vec![int_part >> 1, frac]; // keep below sign bit
+        let decoded = codec::decode_f64(&a, 1);
+        // Reference: compute with extra precision via two f64 terms and
+        // check decoded is within half an ulp.
+        let hi = (int_part >> 1) as f64;
+        let lo = frac as f64 * 2f64.powi(-64);
+        let approx = hi + lo;
+        let ulp = approx.max(f64::MIN_POSITIVE).to_bits();
+        let next = f64::from_bits(ulp + 1) - approx;
+        prop_assert!((decoded - approx).abs() <= next.abs() * 1.0 + f64::EPSILON * approx.abs());
+    }
+
+    #[test]
+    fn truncating_encode_magnitude_not_larger(x in any::<f64>()) {
+        prop_assume!(x.is_finite());
+        let mut a = vec![0u64; 3];
+        // n=3, k=1: range ±2^127, resolution 2^-64.
+        match codec::encode_f64_trunc(x, 1, &mut a) {
+            Ok(_) => {
+                let back = codec::decode_f64(&a, 1);
+                prop_assert!(back.abs() <= x.abs());
+                // Truncation error strictly below one resolution step.
+                prop_assert!((x - back).abs() < 2f64.powi(-64) + back.abs() * f64::EPSILON);
+            }
+            Err(codec::EncodeError::Overflow) => prop_assert!(x.abs() >= 2f64.powi(127)),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Level-3: reproducible dense matrix–matrix multiply.
+
+use crate::matrix::Matrix;
+use oisum_core::{hp_dot, Hp8x4};
+use rayon::prelude::*;
+
+/// `C ← α·A·B + β·C` with every inner product computed exactly.
+///
+/// Rows of `C` are computed in parallel with rayon; because each element
+/// is an independent exact dot (plus a fixed two-rounding combine, as in
+/// [`crate::gemv::exact_gemv`]), the result is bitwise identical for any
+/// thread count or work-stealing schedule — the reproducibility property
+/// that plain parallel GEMM implementations cannot offer across runs.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn exact_gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "A·B inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "C row dimension mismatch");
+    assert_eq!(c.cols(), b.cols(), "C column dimension mismatch");
+    // Column views of B, materialized once (B is row-major).
+    let bt: Vec<Vec<f64>> = (0..b.cols()).map(|j| b.col_to_vec(j)).collect();
+    let a_ref = a;
+    let bt_ref = &bt;
+    c.rows_mut()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            let a_row = a_ref.row(i);
+            for (j, cij) in c_row.iter_mut().enumerate() {
+                let dot = hp_dot::<8, 4>(a_row, &bt_ref[j]);
+                let scaled = alpha * dot.to_f64();
+                let (bp, be) = oisum_core::two_product(beta, *cij);
+                let mut acc = Hp8x4::from_f64_unchecked(scaled);
+                acc.add_assign(&Hp8x4::from_f64_unchecked(bp));
+                acc.add_assign(&Hp8x4::from_f64_unchecked(be));
+                *cij = acc.to_f64();
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = Matrix::identity(3);
+        let mut c = Matrix::zeros(3, 3);
+        exact_gemm(1.0, &a, &i, 0.0, &mut c);
+        assert_eq!(c, a);
+        exact_gemm(1.0, &i, &a, 0.0, &mut c);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn known_small_product() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        // C = 1·A·B + 2·C.
+        exact_gemm(1.0, &a, &b, 2.0, &mut c);
+        assert_eq!(
+            c,
+            Matrix::from_rows(2, 2, vec![19.0 + 2.0, 22.0 + 2.0, 43.0 + 2.0, 50.0 + 2.0])
+        );
+    }
+
+    #[test]
+    fn associativity_of_exact_products_on_integers() {
+        // With integer-valued inputs every dot is exactly an integer:
+        // (A·B)·C == A·(B·C) bitwise.
+        let a = Matrix::from_fn(4, 5, |r, c| ((r * 5 + c) % 7) as f64 - 3.0);
+        let b = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 5) as f64 - 2.0);
+        let d = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) % 3) as f64 - 1.0);
+        let mut ab = Matrix::zeros(4, 3);
+        exact_gemm(1.0, &a, &b, 0.0, &mut ab);
+        let mut ab_d = Matrix::zeros(4, 4);
+        exact_gemm(1.0, &ab, &d, 0.0, &mut ab_d);
+        let mut bd = Matrix::zeros(5, 4);
+        exact_gemm(1.0, &b, &d, 0.0, &mut bd);
+        let mut a_bd = Matrix::zeros(4, 4);
+        exact_gemm(1.0, &a, &bd, 0.0, &mut a_bd);
+        assert_eq!(ab_d, a_bd);
+    }
+
+    #[test]
+    fn reproducible_across_rayon_pools() {
+        let a = Matrix::from_fn(16, 24, |r, c| ((r * 24 + c) as f64).sin());
+        let b = Matrix::from_fn(24, 12, |r, c| ((r * 12 + c) as f64).cos());
+        let mut c1 = Matrix::zeros(16, 12);
+        exact_gemm(1.5, &a, &b, 0.0, &mut c1);
+        // Different pool sizes (and hence splits) must give identical bits.
+        for threads in [1usize, 2, 5] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut c2 = Matrix::zeros(16, 12);
+            pool.install(|| exact_gemm(1.5, &a, &b, 0.0, &mut c2));
+            assert_eq!(c1, c2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gemm_agrees_with_gemv_per_column() {
+        let a = Matrix::from_fn(6, 6, |r, c| 1.0 / (1.0 + (r + c) as f64));
+        let b = Matrix::from_fn(6, 4, |r, c| ((r + 2 * c) as f64) * 0.125);
+        let mut c = Matrix::zeros(6, 4);
+        exact_gemm(1.0, &a, &b, 0.0, &mut c);
+        for j in 0..4 {
+            let x = b.col_to_vec(j);
+            let mut y = vec![0.0; 6];
+            crate::gemv::exact_gemv(1.0, &a, &x, 0.0, &mut y);
+            for (i, yi) in y.iter().enumerate() {
+                assert_eq!(c.get(i, j).to_bits(), yi.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn mismatched_inner_dims_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        exact_gemm(1.0, &a, &b, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,112 @@
+//! Level-1 kernels: reductions over vectors, exact to one final rounding.
+
+use oisum_core::{hp_dot, HpFixed};
+
+/// The default accumulation format: 512 bits, range ±5.8e76, resolution
+/// 8.6e-78 (the paper's Fig. 4 format).
+pub type DefaultAcc = oisum_core::Hp8x4;
+
+/// Exact `Σ xᵢ`, rounded once.
+pub fn exact_sum(x: &[f64]) -> f64 {
+    exact_sum_in::<8, 4>(x)
+}
+
+/// [`exact_sum`] with an explicit accumulator format.
+pub fn exact_sum_in<const N: usize, const K: usize>(x: &[f64]) -> f64 {
+    HpFixed::<N, K>::sum_f64_slice(x).to_f64()
+}
+
+/// Exact `Σ |xᵢ|` (BLAS `asum`), rounded once.
+pub fn exact_asum(x: &[f64]) -> f64 {
+    exact_asum_in::<8, 4>(x)
+}
+
+/// [`exact_asum`] with an explicit accumulator format.
+pub fn exact_asum_in<const N: usize, const K: usize>(x: &[f64]) -> f64 {
+    let mut acc = HpFixed::<N, K>::ZERO;
+    for &v in x {
+        acc.add_assign(&HpFixed::from_f64_unchecked(v.abs()));
+    }
+    acc.to_f64()
+}
+
+/// Exact `Σ xᵢ·yᵢ` (BLAS `dot`), rounded once.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn exact_dot(x: &[f64], y: &[f64]) -> f64 {
+    hp_dot::<8, 4>(x, y).to_f64()
+}
+
+/// [`exact_dot`] with an explicit accumulator format.
+pub fn exact_dot_in<const N: usize, const K: usize>(x: &[f64], y: &[f64]) -> f64 {
+    hp_dot::<N, K>(x, y).to_f64()
+}
+
+/// Euclidean norm `√(Σ xᵢ²)` (BLAS `nrm2`): the sum of squares is exact,
+/// so the result carries exactly two roundings (HP→f64, then `sqrt`) and
+/// is reproducible for every evaluation order.
+pub fn exact_nrm2(x: &[f64]) -> f64 {
+    hp_dot::<8, 4>(x, x).to_f64().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisum_compensated::superacc;
+
+    #[test]
+    fn sum_matches_long_accumulator() {
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2654435761usize % 1000) as f64 - 500.0) * 1e-5)
+            .collect();
+        assert_eq!(exact_sum(&xs).to_bits(), superacc::exact_sum(&xs).to_bits());
+    }
+
+    #[test]
+    fn asum_is_exact_and_nonnegative() {
+        let xs = [1.0, -2.0, 3.5, -0.25];
+        assert_eq!(exact_asum(&xs), 6.75);
+        assert_eq!(exact_asum(&[]), 0.0);
+        // Cancellation cannot occur in asum: ill-conditioned input is easy.
+        let tricky = [1e15, -1e15, 1e-15];
+        assert_eq!(exact_asum(&tricky), 2e15 + 1e-15);
+    }
+
+    #[test]
+    fn dot_handles_cancellation() {
+        let x = [1.0e12, 1.0, -1.0e12];
+        let y = [1.0, 0.5, 1.0];
+        assert_eq!(exact_dot(&x, &y), 0.5);
+    }
+
+    #[test]
+    fn nrm2_pythagorean() {
+        assert_eq!(exact_nrm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(exact_nrm2(&[]), 0.0);
+        // Ill-conditioned for naive sumsq: large + tiny.
+        let v = [1.0e10, 1.0e-10];
+        let exact = (1.0e20 + 1.0e-20f64).sqrt();
+        assert_eq!(exact_nrm2(&v), exact);
+    }
+
+    #[test]
+    fn reductions_are_order_invariant() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 100) as f64 * 0.01 - 0.5).collect();
+        let ys: Vec<f64> = (0..500).map(|i| ((i * 53) % 100) as f64 * 0.01 - 0.5).collect();
+        let rx: Vec<f64> = xs.iter().rev().copied().collect();
+        let ry: Vec<f64> = ys.iter().rev().copied().collect();
+        assert_eq!(exact_sum(&xs).to_bits(), exact_sum(&rx).to_bits());
+        assert_eq!(exact_asum(&xs).to_bits(), exact_asum(&rx).to_bits());
+        assert_eq!(exact_dot(&xs, &ys).to_bits(), exact_dot(&rx, &ry).to_bits());
+        assert_eq!(exact_nrm2(&xs).to_bits(), exact_nrm2(&rx).to_bits());
+    }
+
+    #[test]
+    fn explicit_format_variant_matches_default() {
+        let xs = [0.125, -0.5, 0.0625];
+        assert_eq!(exact_sum_in::<8, 4>(&xs), exact_sum(&xs));
+        assert_eq!(exact_sum_in::<6, 3>(&xs), exact_sum(&xs));
+    }
+}

@@ -1,0 +1,46 @@
+//! # oisum-blas — reproducible BLAS kernels on the HP method
+//!
+//! The paper closes by predicting that "global reduction of a very large
+//! set of floating point data is expected to become a norm" at exascale;
+//! in practice those reductions arrive wrapped in BLAS calls. This crate
+//! packages the HP method the way a downstream numerical code would
+//! consume it: level-1/2/3 kernels whose results are **bitwise identical
+//! for every element order, blocking, and thread count**.
+//!
+//! * [`level1`] — `exact_sum`, `exact_asum`, `exact_dot`, `exact_nrm2`,
+//!   all exact to one final rounding.
+//! * [`gemv`] — dense matrix–vector multiply with exact row dots.
+//! * [`gemm`] — dense matrix–matrix multiply; rows parallelize freely
+//!   (rayon) because each output element is independently exact.
+//!
+//! Every inner product uses the error-free transformation
+//! `aᵢ·bᵢ = p + e` (`oisum_core::two_product`) with both halves
+//! accumulated in an [`Hp8x4`](oisum_core::Hp8x4) fixed-point register,
+//! so the only rounding in any result is the final HP→`f64` conversion.
+//!
+//! ```
+//! use oisum_blas::level1::exact_dot;
+//!
+//! let x = [1.0e12, 1.0, -1.0e12];
+//! let y = [1.0,    0.5,  1.0];
+//! // The 1e12 terms cancel exactly; naive f64 may lose the 0.5.
+//! assert_eq!(exact_dot(&x, &y), 0.5);
+//! ```
+//!
+//! Format contract: the default `Hp8x4` register (range ±5.8e76,
+//! resolution 8.6e-78) covers products of inputs with magnitudes in
+//! roughly `[1e-26, 1e26]` at any practical length; the `*_in` variants
+//! accept any `(N, K)` for other regimes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod gemv;
+pub mod level1;
+pub mod matrix;
+
+pub use gemm::exact_gemm;
+pub use gemv::exact_gemv;
+pub use level1::{exact_asum, exact_dot, exact_nrm2, exact_sum};
+pub use matrix::Matrix;

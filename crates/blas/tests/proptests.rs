@@ -1,0 +1,81 @@
+//! Property tests for the reproducible BLAS kernels against integer and
+//! long-accumulator oracles.
+
+use oisum_blas::{exact_asum, exact_dot, exact_gemm, exact_gemv, exact_sum, Matrix};
+use oisum_compensated::superacc;
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-(1i64 << 40)..(1i64 << 40)).prop_map(|m| m as f64 * 2f64.powi(-20))
+}
+
+proptest! {
+    #[test]
+    fn sum_matches_long_accumulator(xs in proptest::collection::vec(small_f64(), 0..50)) {
+        prop_assert_eq!(exact_sum(&xs).to_bits(), superacc::exact_sum(&xs).to_bits());
+    }
+
+    #[test]
+    fn asum_equals_sum_of_abs(xs in proptest::collection::vec(small_f64(), 0..50)) {
+        let abs: Vec<f64> = xs.iter().map(|x| x.abs()).collect();
+        prop_assert_eq!(exact_asum(&xs).to_bits(), exact_sum(&abs).to_bits());
+    }
+
+    #[test]
+    fn dot_matches_integer_oracle(
+        pairs in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 0..40),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0 as f64).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1 as f64).collect();
+        let exact: i64 = pairs.iter().map(|p| p.0 * p.1).sum();
+        prop_assert_eq!(exact_dot(&a, &b), exact as f64);
+    }
+
+    #[test]
+    fn gemv_is_linear_in_x(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // A·(x + y) == A·x + A·y exactly for integer data.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 2001) as f64 - 1000.0
+        };
+        let a = Matrix::from_fn(rows, cols, |_, _| next());
+        let x: Vec<f64> = (0..cols).map(|_| next()).collect();
+        let y: Vec<f64> = (0..cols).map(|_| next()).collect();
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + q).collect();
+        let mut out_xy = vec![0.0; rows];
+        exact_gemv(1.0, &a, &xy, 0.0, &mut out_xy);
+        let mut out_x = vec![0.0; rows];
+        exact_gemv(1.0, &a, &x, 0.0, &mut out_x);
+        let mut out_y = vec![0.0; rows];
+        exact_gemv(1.0, &a, &y, 0.0, &mut out_y);
+        for i in 0..rows {
+            prop_assert_eq!(out_xy[i], out_x[i] + out_y[i]);
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_identity(
+        n in 1usize..5,
+        m in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ bitwise for integer data (every dot exact).
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 201) as f64 - 100.0
+        };
+        let a = Matrix::from_fn(n, m, |_, _| next());
+        let b = Matrix::from_fn(m, n, |_, _| next());
+        let mut ab = Matrix::zeros(n, n);
+        exact_gemm(1.0, &a, &b, 0.0, &mut ab);
+        let mut btat = Matrix::zeros(n, n);
+        exact_gemm(1.0, &b.transpose(), &a.transpose(), 0.0, &mut btat);
+        prop_assert_eq!(ab.transpose(), btat);
+    }
+}

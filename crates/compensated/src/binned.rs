@@ -1,0 +1,249 @@
+//! Binned (pre-rounding) reproducible summation, after Demmel & Nguyen
+//! ("Fast reproducible floating-point summation", ARITH 2013 — the
+//! paper's refs \[6\]–\[8\] and the "previous state-of-the-art" family the
+//! HP method is positioned against).
+//!
+//! Idea: fix a ladder of `K` bin boundaries `B_j = 1.5·2^(e_max − j·W)`
+//! *before* summing. Each summand is split against the ladder with the
+//! Fast2Sum "big constant" trick: `hi = fl((x + B) − B)` extracts the bits
+//! of `x` at or above `B`'s granularity **exactly**, and every extracted
+//! `hi` at level `j` is a multiple of `ulp(B_j)` — so the per-bin
+//! accumulation `bins[j] += hi` commits *no rounding error at all* while
+//! the bin stays within its capacity. Addition of exact quantities is
+//! associative, hence the result is **order invariant**, like HP, without
+//! per-element integer conversion.
+//!
+//! The price is the paper's §I critique of this family: accuracy is
+//! limited to the `K·W` bits the ladder covers (it is *reproducible*, and
+//! exact only when the ladder spans all input bits), the maximum magnitude
+//! must be known (or bounded) in advance, and each bin tolerates at most
+//! `2^(52−W−1)` summands before its capacity (and with it exactness of the
+//! per-bin adds) is exhausted.
+
+/// Width of each bin in bits. 20 bits per bin leaves capacity for
+/// `2^31` summands per bin.
+pub const BIN_WIDTH: u32 = 20;
+
+/// A reproducible binned accumulator with `K` bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedSum<const K: usize> {
+    /// Extraction constants `1.5·2^(e_j + 52)` per level.
+    boundaries: [f64; K],
+    /// Per-level accumulated high parts (each a multiple of `ulp` of its
+    /// boundary).
+    bins: [f64; K],
+    /// Summands deposited so far (capacity tracking).
+    count: u64,
+}
+
+impl<const K: usize> BinnedSum<K> {
+    /// Creates an accumulator for summands with `|x| ≤ max_abs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_abs` is not finite and positive.
+    pub fn new(max_abs: f64) -> Self {
+        assert!(
+            max_abs.is_finite() && max_abs > 0.0,
+            "binned summation needs a positive finite magnitude bound"
+        );
+        // Top bin exponent: one above max_abs so the first extraction
+        // captures the leading bits of every summand.
+        let e_max = max_abs.log2().ceil() as i32 + 1;
+        let mut boundaries = [0.0; K];
+        let mut i = 0;
+        while i < K {
+            // Extraction constant: 1.5·2^(e + 52) so that adding any
+            // |x| < 2^e perturbs only the low 52 bits of the constant.
+            let e = e_max - (i as i32) * BIN_WIDTH as i32;
+            boundaries[i] = 1.5 * 2f64.powi(e + 52 - BIN_WIDTH as i32);
+            i += 1;
+        }
+        BinnedSum {
+            boundaries,
+            bins: [0.0; K],
+            count: 0,
+        }
+    }
+
+    /// Summands this accumulator can absorb before per-bin exactness can
+    /// no longer be guaranteed: `2^(52 − BIN_WIDTH − 1)`.
+    pub const fn capacity() -> u64 {
+        1 << (52 - BIN_WIDTH - 1)
+    }
+
+    /// Deposits one value (split across the bin ladder, all splits exact).
+    ///
+    /// Values with `|x|` above the configured bound make the result
+    /// *inaccurate but still reproducible*; debug builds assert the bound.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(
+            self.count < Self::capacity(),
+            "binned accumulator past its summand capacity"
+        );
+        let mut r = x;
+        for j in 0..K {
+            let b = self.boundaries[j];
+            // Fast2Sum extraction: exact because |r| < 2^e_j (granted by
+            // the previous level's subtraction) and b's ulp is 2^(e_j−W).
+            let hi = (r + b) - b;
+            self.bins[j] += hi;
+            r -= hi;
+        }
+        // Bits below the last bin's granularity are dropped: the
+        // reproducible-but-limited-accuracy trade of this method family.
+        self.count += 1;
+    }
+
+    /// Merges another accumulator built with the same bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladders differ (different `max_abs`).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.boundaries, other.boundaries,
+            "cannot merge binned accumulators with different ladders"
+        );
+        for j in 0..K {
+            self.bins[j] += other.bins[j];
+        }
+        self.count += other.count;
+    }
+
+    /// The reproducible total: bins folded from most to least significant
+    /// (a fixed order, so the final roundings are deterministic).
+    pub fn value(&self) -> f64 {
+        let mut total = 0.0;
+        for j in 0..K {
+            total += self.bins[j];
+        }
+        total
+    }
+}
+
+/// Sums a slice reproducibly with a `K`-bin ladder sized from an explicit
+/// magnitude bound.
+pub fn binned_sum<const K: usize>(xs: &[f64], max_abs: f64) -> f64 {
+    let mut acc = BinnedSum::<K>::new(max_abs);
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::superacc::exact_sum;
+
+    fn workload(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn order_invariant_by_construction() {
+        let xs = workload(20_000, 3);
+        let fwd = binned_sum::<4>(&xs, 1.0);
+        let rev: f64 = {
+            let mut acc = BinnedSum::<4>::new(1.0);
+            for &x in xs.iter().rev() {
+                acc.add(x);
+            }
+            acc.value()
+        };
+        assert_eq!(fwd.to_bits(), rev.to_bits());
+        // Also invariant under an adversarial sort.
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(binned_sum::<4>(&sorted, 1.0).to_bits(), fwd.to_bits());
+    }
+
+    #[test]
+    fn accuracy_improves_with_more_bins() {
+        let xs = workload(50_000, 9);
+        let exact = exact_sum(&xs);
+        let e2 = (binned_sum::<2>(&xs, 1.0) - exact).abs();
+        let e4 = (binned_sum::<4>(&xs, 1.0) - exact).abs();
+        // 4 bins × 20 bits cover the full double mantissa range of these
+        // inputs: the result is essentially exact.
+        assert!(e4 <= e2);
+        assert!(e4 < 1e-12, "e4 = {e4:e}");
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs = workload(10_000, 4);
+        let whole = binned_sum::<4>(&xs, 1.0);
+        let mut a = BinnedSum::<4>::new(1.0);
+        let mut b = BinnedSum::<4>::new(1.0);
+        for &x in &xs[..3333] {
+            a.add(x);
+        }
+        for &x in &xs[3333..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.value().to_bits(), whole.to_bits());
+    }
+
+    #[test]
+    fn distribution_invariance_across_partial_counts() {
+        // The reproducibility claim: any partitioning merges to the same
+        // bits.
+        let xs = workload(12_000, 8);
+        let reference = binned_sum::<4>(&xs, 1.0);
+        for parts in [2usize, 3, 7, 16] {
+            let chunk = xs.len().div_ceil(parts);
+            let mut total = BinnedSum::<4>::new(1.0);
+            for c in xs.chunks(chunk) {
+                let mut p = BinnedSum::<4>::new(1.0);
+                for &x in c {
+                    p.add(x);
+                }
+                total.merge(&p);
+            }
+            assert_eq!(total.value().to_bits(), reference.to_bits(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn zero_sum_sets_cancel_exactly_with_enough_bins() {
+        // Cancelling pairs: every deposited hi appears with both signs at
+        // the same level, so bins cancel exactly.
+        let mut acc = BinnedSum::<4>::new(0.001);
+        for i in 1..=5000 {
+            let v = i as f64 * 1.7e-7;
+            acc.add(v);
+            acc.add(-v);
+        }
+        assert_eq!(acc.value(), 0.0);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        assert_eq!(BinnedSum::<3>::capacity(), 1 << 31);
+        let acc = BinnedSum::<3>::new(1.0);
+        assert_eq!(acc.count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different ladders")]
+    fn mismatched_ladders_rejected() {
+        let mut a = BinnedSum::<3>::new(1.0);
+        let b = BinnedSum::<3>::new(2.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn invalid_bound_rejected() {
+        BinnedSum::<3>::new(f64::NAN);
+    }
+}

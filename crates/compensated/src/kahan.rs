@@ -1,0 +1,102 @@
+//! Kahan compensated summation (Kahan 1965; the paper's ref \[15\]).
+
+/// Kahan's compensated accumulator: tracks a running compensation term `c`
+/// holding the low-order bits lost by each addition.
+///
+/// Error bound O(ε) independent of `n` for well-conditioned sums, but the
+/// result still depends on summation order and compensation can fail when
+/// the next summand exceeds the running sum (see [`NeumaierSum`] for the
+/// fix).
+///
+/// [`NeumaierSum`]: crate::neumaier::NeumaierSum
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    c: f64,
+}
+
+impl KahanSum {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value with compensation.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let y = x - self.c;
+        let t = self.sum + y;
+        // (t - sum) is what actually got added; y - that is what was lost.
+        self.c = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// Merges a partial sum: adds the other sum and its residual
+    /// compensation.
+    #[inline]
+    pub fn merge(&mut self, other: &KahanSum) {
+        self.add(other.sum);
+        self.add(-other.c);
+    }
+
+    /// The current compensated sum.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Sums a slice with Kahan compensation.
+#[inline]
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut s = KahanSum::new();
+    for &x in xs {
+        s.add(x);
+    }
+    s.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_sum;
+
+    #[test]
+    fn recovers_small_values_naive_loses() {
+        // 1e16 + 1 + ... + 1 (100 ones): naive loses every 1.
+        let mut xs = vec![1.0e16];
+        xs.extend(std::iter::repeat_n(1.0, 100));
+        xs.push(-1.0e16);
+        let exact = 100.0;
+        assert_ne!(naive_sum(&xs), exact);
+        assert_eq!(kahan_sum(&xs), exact);
+    }
+
+    #[test]
+    fn known_failure_mode_large_summand() {
+        // Kahan's weakness: a summand larger than the running sum makes
+        // the compensation itself round. Neumaier handles this case.
+        let xs = [1.0, 1.0e100, 1.0, -1.0e100];
+        assert_eq!(kahan_sum(&xs), 0.0); // loses the 2.0
+    }
+
+    #[test]
+    fn merge_partial_sums() {
+        let xs: Vec<f64> = (0..1000).map(|i| 1e-3 + i as f64 * 1e-9).collect();
+        let mut whole = KahanSum::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut p1 = KahanSum::new();
+        let mut p2 = KahanSum::new();
+        for &x in &xs[..500] {
+            p1.add(x);
+        }
+        for &x in &xs[500..] {
+            p2.add(x);
+        }
+        p1.merge(&p2);
+        // Merged result within one rounding of the sequential result.
+        assert!((p1.value() - whole.value()).abs() <= f64::EPSILON * whole.value().abs());
+    }
+}

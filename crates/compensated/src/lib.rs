@@ -1,0 +1,40 @@
+//! # oisum-compensated — floating-point summation baselines
+//!
+//! The comparison points surrounding the paper's HP method:
+//!
+//! * [`naive`] — plain left-to-right `f64` accumulation, the baseline whose
+//!   order-dependent rounding error §II.A quantifies (error grows ~linearly
+//!   in the paper's semi-random workload, Fig. 1).
+//! * [`kahan`] / [`neumaier`] — error-free-transformation compensation
+//!   (§I's "error compensation methods", refs \[15\], \[21\]): dramatically
+//!   reduced but not eliminated error, and still order-dependent.
+//! * [`pairwise`] — summation-order manipulation (§I): O(ε·log n) error but
+//!   "prohibitive at large scales" to keep deterministic across
+//!   distributions.
+//! * [`binned`] — Demmel–Nguyen-style pre-rounding reproducible
+//!   summation (refs \[6\]–\[8\]): order-invariant like HP, with bounded
+//!   (ladder-limited) accuracy and an a-priori magnitude bound.
+//! * [`superacc`] — a Kulisch-style long accumulator covering the entire
+//!   `f64` range: exact and order-invariant with zero parameter choices,
+//!   at the cost of a much wider state than a tuned HP format. Serves as
+//!   the exactness oracle in tests and an ablation point in benches.
+//!
+//! All accumulators expose `add`/`merge`/`value` so the parallel substrates
+//! can treat every method uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binned;
+pub mod kahan;
+pub mod naive;
+pub mod neumaier;
+pub mod pairwise;
+pub mod superacc;
+
+pub use binned::{binned_sum, BinnedSum};
+pub use kahan::KahanSum;
+pub use naive::NaiveSum;
+pub use neumaier::NeumaierSum;
+pub use pairwise::pairwise_sum;
+pub use superacc::SuperAccumulator;

@@ -1,0 +1,82 @@
+//! Plain left-to-right `f64` accumulation — the "double precision"
+//! baseline of every figure in the paper.
+
+/// Running naive `f64` sum.
+///
+/// Each `add` commits one rounding error; over `n` additions of same-sign
+/// magnitudes the worst-case error grows linearly in `n`, and §II.A's
+/// experiment shows the paper's cancelling workload also walks linearly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NaiveSum {
+    acc: f64,
+}
+
+impl NaiveSum {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value (one rounding).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.acc += x;
+    }
+
+    /// Merges a partial sum (one more rounding — this is exactly where
+    /// parallel reductions pick up run-to-run variation).
+    #[inline]
+    pub fn merge(&mut self, other: &NaiveSum) {
+        self.acc += other.acc;
+    }
+
+    /// The current sum.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.acc
+    }
+}
+
+/// Sums a slice left to right.
+#[inline]
+pub fn naive_sum(xs: &[f64]) -> f64 {
+    let mut s = NaiveSum::new();
+    for &x in xs {
+        s.add(x);
+    }
+    s.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_simple_values() {
+        assert_eq!(naive_sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(naive_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn exhibits_order_dependence() {
+        // The defining defect: absorbing a small value into a large one.
+        let a = [1.0e16, 1.0, -1.0e16];
+        let b = [1.0e16, -1.0e16, 1.0];
+        assert_ne!(naive_sum(&a), naive_sum(&b));
+        assert_eq!(naive_sum(&b), 1.0);
+        assert_eq!(naive_sum(&a), 0.0); // 1.0 lost against 1e16
+    }
+
+    #[test]
+    fn merge_equals_concatenated_order() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let mut p1 = NaiveSum::new();
+        let mut p2 = NaiveSum::new();
+        p1.add(xs[0]);
+        p1.add(xs[1]);
+        p2.add(xs[2]);
+        p2.add(xs[3]);
+        p1.merge(&p2);
+        assert_eq!(p1.value(), ((xs[0] + xs[1]) + (xs[2] + xs[3])));
+    }
+}

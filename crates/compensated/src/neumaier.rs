@@ -1,0 +1,91 @@
+//! Neumaier's improved Kahan–Babuška summation (the robust variant of the
+//! paper's "error-free transformation" family, refs \[13\], \[16\], \[21\]).
+
+/// Neumaier accumulator: like Kahan, but branches on which operand is
+/// larger so compensation also works when a summand exceeds the running
+/// sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    c: f64,
+}
+
+impl NeumaierSum {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value with magnitude-aware compensation.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.c += (self.sum - t) + x;
+        } else {
+            self.c += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Merges a partial sum and its compensation.
+    #[inline]
+    pub fn merge(&mut self, other: &NeumaierSum) {
+        self.add(other.sum);
+        self.add(other.c);
+    }
+
+    /// The compensated total (`sum + c`, applied once at the end).
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.c
+    }
+}
+
+/// Sums a slice with Neumaier compensation.
+#[inline]
+pub fn neumaier_sum(xs: &[f64]) -> f64 {
+    let mut s = NeumaierSum::new();
+    for &x in xs {
+        s.add(x);
+    }
+    s.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kahan::kahan_sum;
+
+    #[test]
+    fn handles_kahan_failure_case() {
+        let xs = [1.0, 1.0e100, 1.0, -1.0e100];
+        assert_eq!(kahan_sum(&xs), 0.0); // Kahan loses it
+        assert_eq!(neumaier_sum(&xs), 2.0); // Neumaier keeps it
+    }
+
+    #[test]
+    fn cancellation_workload_near_exact() {
+        // Mimics the paper's §II.A zero-sum sets: values and negations.
+        let mut xs: Vec<f64> = (1..=512).map(|i| i as f64 * 1e-6).collect();
+        let negs: Vec<f64> = xs.iter().map(|x| -x).collect();
+        xs.extend(negs);
+        // Interleave adversarially.
+        xs.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+        assert_eq!(neumaier_sum(&xs), 0.0);
+    }
+
+    #[test]
+    fn still_order_dependent_in_general() {
+        // Compensation shrinks error but does not make addition
+        // associative: a crafted case where two orders differ.
+        let xs = [1.0, 2f64.powi(-60), -1.0, 2f64.powi(-60), 1.0e30, -1.0e30];
+        let mut rev = xs;
+        rev.reverse();
+        // Not asserting inequality (it may round the same on some inputs);
+        // assert both are within the error bound of the exact 2^-59.
+        let exact = 2f64.powi(-59);
+        assert!((neumaier_sum(&xs) - exact).abs() <= 1e-16);
+        assert!((neumaier_sum(&rev) - exact).abs() <= 1e-16);
+    }
+}

@@ -1,0 +1,85 @@
+//! Pairwise (cascade) summation — the "manipulating the summation order"
+//! family of §I, with O(ε·log n) error growth.
+
+/// Below this length the recursion falls back to a straight loop; the
+/// value balances recursion overhead against error growth and matches
+/// common library practice (e.g. NumPy uses 8–128).
+const BASE: usize = 64;
+
+/// Sums a slice by recursive halving: error grows with log₂(n) instead of
+/// n, at the price of a fixed (tree) evaluation order — which is exactly
+/// why the paper calls ordered approaches "prohibitive at large scales"
+/// for distributed data: every process must agree on the global tree.
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    if xs.len() <= BASE {
+        let mut s = 0.0;
+        for &x in xs {
+            s += x;
+        }
+        return s;
+    }
+    let mid = xs.len() / 2;
+    pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
+}
+
+/// Pairwise sum with an explicit chunk tree matching a `p`-way data
+/// distribution: each of the `p` chunks is pairwise-summed, then the `p`
+/// partials are pairwise-summed. Demonstrates that even pairwise results
+/// change when the distribution changes.
+pub fn pairwise_sum_chunked(xs: &[f64], p: usize) -> f64 {
+    assert!(p >= 1);
+    let chunk = xs.len().div_ceil(p);
+    let partials: Vec<f64> = xs.chunks(chunk.max(1)).map(pairwise_sum).collect();
+    pairwise_sum(&partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_sum;
+
+    #[test]
+    fn exact_on_integers() {
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        assert_eq!(pairwise_sum(&xs), (10_000.0 * 9_999.0) / 2.0);
+    }
+
+    #[test]
+    fn beats_naive_on_ill_conditioned_sum() {
+        // Summing n copies of 0.1 (inexact in binary): naive error grows
+        // linearly, pairwise logarithmically.
+        let n = 1 << 20;
+        let xs = vec![0.1f64; n];
+        let exact = 0.1 * n as f64;
+        let naive_err = (naive_sum(&xs) - exact).abs();
+        let pair_err = (pairwise_sum(&xs) - exact).abs();
+        assert!(
+            pair_err < naive_err / 100.0,
+            "pairwise {pair_err:e} vs naive {naive_err:e}"
+        );
+    }
+
+    #[test]
+    fn distribution_changes_the_result() {
+        // The same data split across different process counts can produce
+        // different pairwise sums — the reproducibility failure HP fixes.
+        let xs: Vec<f64> = (0..4096)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-7 - 5e-5)
+            .collect();
+        let sums: Vec<u64> = [1usize, 3, 7, 13]
+            .iter()
+            .map(|&p| pairwise_sum_chunked(&xs, p).to_bits())
+            .collect();
+        // At least one distribution disagrees bitwise with p=1.
+        assert!(
+            sums[1..].iter().any(|&s| s != sums[0]),
+            "expected at least one distribution-dependent result"
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[42.0]), 42.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! A Kulisch-style long accumulator: exact summation over the entire
+//! finite `f64` range with no format parameters to tune.
+//!
+//! This is the "given sufficient memory to represent the sum" end point of
+//! the high-precision-intermediate-sum design space (§I, refs \[11\], \[12\]):
+//! a fixed-point register wide enough that *any* finite `f64` — from
+//! `2^-1074` to `~2^1024` — lands inside it, plus headroom for `2^63`
+//! accumulations. The cost is state: 40 limbs (2560 bits) versus the 6
+//! limbs of the paper's tuned HP(6,3), which is precisely the trade the HP
+//! method's tunable `(N, k)` exists to avoid paying.
+
+use oisum_bignum::{codec, limbs};
+
+/// Fractional limbs: 64·17 = 1088 bits ≥ 1074 (covers subnormals).
+const K: usize = 17;
+/// Total limbs: 17 fraction + 23 whole (1472 bits ≥ 1024 + 63 headroom + sign).
+const N: usize = 40;
+
+/// An exact, order-invariant accumulator for arbitrary finite `f64`s.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SuperAccumulator {
+    limbs: [u64; N],
+}
+
+impl Default for SuperAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuperAccumulator {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        SuperAccumulator { limbs: [0; N] }
+    }
+
+    /// Adds any finite `f64` exactly. Panics on NaN/∞.
+    pub fn add(&mut self, x: f64) {
+        let mut enc = [0u64; N];
+        codec::encode_f64(x, K, &mut enc)
+            .expect("every finite f64 is exactly representable in the long accumulator");
+        limbs::add(&mut self.limbs, &enc);
+    }
+
+    /// Merges another accumulator exactly.
+    pub fn merge(&mut self, other: &SuperAccumulator) {
+        limbs::add(&mut self.limbs, &other.limbs);
+    }
+
+    /// The exact sum rounded once to the nearest `f64`.
+    pub fn value(&self) -> f64 {
+        codec::decode_f64(&self.limbs, K)
+    }
+
+    /// `true` if the exact sum is zero.
+    pub fn is_zero(&self) -> bool {
+        limbs::is_zero(&self.limbs)
+    }
+}
+
+impl core::fmt::Debug for SuperAccumulator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SuperAccumulator({:e})", self.value())
+    }
+}
+
+/// Sums a slice exactly with a long accumulator.
+pub fn exact_sum(xs: &[f64]) -> f64 {
+    let mut acc = SuperAccumulator::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_across_extreme_dynamic_range() {
+        let mut acc = SuperAccumulator::new();
+        acc.add(2f64.powi(1000));
+        acc.add(f64::from_bits(1)); // 2^-1074
+        acc.add(-(2f64.powi(1000)));
+        assert_eq!(acc.value(), f64::from_bits(1));
+    }
+
+    #[test]
+    fn order_invariant() {
+        let xs = [1e300, -1e300, 1e-300, 0.1, -0.1, 1.0];
+        let mut fwd = SuperAccumulator::new();
+        let mut rev = SuperAccumulator::new();
+        for &x in &xs {
+            fwd.add(x);
+        }
+        for &x in xs.iter().rev() {
+            rev.add(x);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn zero_sum_sets_sum_to_exact_zero() {
+        let vals: Vec<f64> = (1..=100).map(|i| i as f64 * 1.7e-7).collect();
+        let mut acc = SuperAccumulator::new();
+        for &v in &vals {
+            acc.add(v);
+            acc.add(-v);
+        }
+        assert!(acc.is_zero());
+        assert_eq!(acc.value(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) * 1e100).collect();
+        let mut whole = SuperAccumulator::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = SuperAccumulator::new();
+        let mut b = SuperAccumulator::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        SuperAccumulator::new().add(f64::NAN);
+    }
+}

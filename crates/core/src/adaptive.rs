@@ -1,0 +1,276 @@
+//! Adaptive-precision HP accumulation — the paper's stated future work.
+//!
+//! §V: "One flaw with this technique is the reliance on the user knowing
+//! the range of real numbers to be summed […] An opportunity for future
+//! research is to extend the HP method to adaptively adjust precision at
+//! runtime to accommodate any range of real numbers that may be
+//! encountered."
+//!
+//! [`AdaptiveHp`] implements that extension. It starts from a seed
+//! [`HpFormat`] and, whenever a conversion or addition would overflow (too
+//! large a whole part) or lose low bits (too fine a fraction), it widens
+//! the format — adding whole limbs on overflow, fractional limbs on
+//! underflow — re-encodes its running sum losslessly, and retries. Growth
+//! is capped by [`AdaptiveHp::MAX_LIMBS`] (64 limbs = 4096 bits), enough to
+//! absorb the entire finite `f64` range (`±2^1024` down to `2^-1074` needs
+//! 17 + 17 limbs).
+//!
+//! Determinism note: the *final format* an accumulator reaches depends only
+//! on the set of values seen, not their order (it is the element-wise
+//! maximum of required whole/fraction widths), and limb addition is order
+//! invariant, so adaptive sums retain the HP method's order-invariance
+//! guarantee.
+
+use crate::dyn_hp::DynHp;
+use crate::error::HpError;
+use crate::format::HpFormat;
+
+/// An HP accumulator that widens its format on demand.
+#[derive(Debug, Clone)]
+pub struct AdaptiveHp {
+    acc: DynHp,
+    grow_events: u32,
+}
+
+impl AdaptiveHp {
+    /// Upper bound on either dimension of format growth (limbs).
+    pub const MAX_LIMBS: usize = 64;
+
+    /// Creates an empty accumulator with a seed format.
+    pub fn new(seed: HpFormat) -> Self {
+        AdaptiveHp {
+            acc: DynHp::zero(seed),
+            grow_events: 0,
+        }
+    }
+
+    /// A reasonable default seed: the paper's (3, 2) format.
+    pub fn with_default_format() -> Self {
+        Self::new(HpFormat::new(3, 2))
+    }
+
+    /// The current format (grows monotonically).
+    pub fn format(&self) -> HpFormat {
+        self.acc.format()
+    }
+
+    /// How many times the accumulator has widened itself.
+    pub fn grow_events(&self) -> u32 {
+        self.grow_events
+    }
+
+    /// Adds `x` exactly, widening the format as needed.
+    ///
+    /// Returns [`HpError::NonFinite`] for NaN/∞ inputs. Other errors are
+    /// impossible until the [`Self::MAX_LIMBS`] cap is reached, which the
+    /// finite `f64` range cannot trigger from the default seed.
+    pub fn add_f64(&mut self, x: f64) -> Result<(), HpError> {
+        if !x.is_finite() {
+            return Err(HpError::NonFinite);
+        }
+        // Size the format directly from the input's exponent range so a
+        // single growth step (per dimension) always suffices.
+        self.grow_to_fit(x)?;
+        loop {
+            let fmt = self.acc.format();
+            match DynHp::from_f64(x, fmt) {
+                Ok(v) => {
+                    // Headroom policy: if the add itself overflows, grow the
+                    // whole part and retry (the running sum can exceed the
+                    // range even when each operand fits).
+                    let mut trial = self.acc.clone();
+                    match trial.checked_add_assign(&v) {
+                        Ok(()) => {
+                            self.acc = trial;
+                            return Ok(());
+                        }
+                        Err(HpError::AddOverflow) => self.grow(1, 0)?,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(HpError::ConvertOverflow) => self.grow(1, 0)?,
+                Err(HpError::ConvertUnderflow) => self.grow(0, 1)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Merges another adaptive accumulator into this one exactly (used for
+    /// parallel partial sums).
+    pub fn merge(&mut self, other: &AdaptiveHp) -> Result<(), HpError> {
+        loop {
+            let fmt = self.acc.format();
+            match other.acc.reformat(fmt) {
+                Ok(v) => {
+                    let mut trial = self.acc.clone();
+                    match trial.checked_add_assign(&v) {
+                        Ok(()) => {
+                            self.acc = trial;
+                            return Ok(());
+                        }
+                        Err(HpError::AddOverflow) => self.grow(1, 0)?,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(HpError::ConvertOverflow) => self.grow(1, 0)?,
+                Err(HpError::ConvertUnderflow) => self.grow(0, 1)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The current sum as the nearest `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.acc.to_f64()
+    }
+
+    /// The current sum as a [`DynHp`] value.
+    pub fn value(&self) -> &DynHp {
+        &self.acc
+    }
+
+    /// Widens the format so that `x` is exactly representable, based on the
+    /// positions of `x`'s most and least significant bits.
+    fn grow_to_fit(&mut self, x: f64) -> Result<(), HpError> {
+        if x == 0.0 {
+            return Ok(());
+        }
+        let bits = x.to_bits();
+        let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Exponents of the value's LSB and MSB.
+        let (e_lsb, e_msb) = if raw_exp == 0 {
+            let top = 63 - frac.leading_zeros() as i64;
+            (-1074 + frac.trailing_zeros() as i64, -1074 + top)
+        } else {
+            let e = raw_exp - 1075;
+            let tz = if frac == 0 { 52 } else { frac.trailing_zeros() as i64 };
+            (e + tz, e + 52)
+        };
+        let fmt = self.acc.format();
+        // Need 64·k ≥ −e_lsb and 64·(n−k) − 1 > e_msb.
+        let need_k = ((-e_lsb).max(0) as usize).div_ceil(64);
+        let need_whole = ((e_msb.max(0) as usize) + 2).div_ceil(64);
+        let dk = need_k.saturating_sub(fmt.k);
+        let dw = need_whole.saturating_sub(fmt.n - fmt.k);
+        if dk > 0 || dw > 0 {
+            self.grow(dw, dk)?;
+        }
+        Ok(())
+    }
+
+    /// Widens the format by `dw` whole limbs and `df` fractional limbs and
+    /// re-encodes the running sum (lossless by construction).
+    fn grow(&mut self, dw: usize, df: usize) -> Result<(), HpError> {
+        let fmt = self.acc.format();
+        let whole = fmt.n - fmt.k + dw;
+        let k = fmt.k + df;
+        if whole > Self::MAX_LIMBS || k > Self::MAX_LIMBS {
+            return Err(HpError::ConvertOverflow);
+        }
+        let new_fmt = HpFormat::new(whole + k, k);
+        self.acc = self
+            .acc
+            .reformat(new_fmt)
+            .expect("widening reformat cannot fail");
+        self.grow_events += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_seed_format_when_sufficient() {
+        let mut acc = AdaptiveHp::with_default_format();
+        for x in [0.5, -0.25, 3.0] {
+            acc.add_f64(x).unwrap();
+        }
+        assert_eq!(acc.format(), HpFormat::new(3, 2));
+        assert_eq!(acc.grow_events(), 0);
+        assert_eq!(acc.to_f64(), 3.25);
+    }
+
+    #[test]
+    fn grows_whole_part_on_large_values() {
+        let mut acc = AdaptiveHp::with_default_format();
+        acc.add_f64(1e30).unwrap(); // exceeds ±2^63
+        assert!(acc.format().n - acc.format().k > 1);
+        assert!(acc.grow_events() > 0);
+        assert_eq!(acc.to_f64(), 1e30);
+    }
+
+    #[test]
+    fn grows_fraction_on_fine_values() {
+        let mut acc = AdaptiveHp::with_default_format();
+        let tiny = 2f64.powi(-140); // below 2^-128 resolution
+        acc.add_f64(tiny).unwrap();
+        assert!(acc.format().k > 2);
+        assert_eq!(acc.to_f64(), tiny);
+    }
+
+    #[test]
+    fn handles_full_f64_dynamic_range_exactly() {
+        let mut acc = AdaptiveHp::with_default_format();
+        let big = 2f64.powi(1000);
+        let tiny = f64::from_bits(1); // 2^-1074 subnormal
+        acc.add_f64(big).unwrap();
+        acc.add_f64(tiny).unwrap();
+        acc.add_f64(-big).unwrap();
+        // The tiny value survives the cancellation exactly.
+        assert_eq!(acc.to_f64(), tiny);
+    }
+
+    #[test]
+    fn running_sum_overflow_triggers_growth() {
+        let mut acc = AdaptiveHp::new(HpFormat::new(2, 1));
+        let half_max = 2f64.powi(62);
+        acc.add_f64(half_max).unwrap();
+        acc.add_f64(half_max).unwrap(); // 2^63 exceeds ±2^63 range
+        assert_eq!(acc.to_f64(), 2f64.powi(63));
+        assert!(acc.grow_events() > 0);
+    }
+
+    #[test]
+    fn order_invariance_including_format_growth() {
+        let xs = [1e30, 2f64.powi(-140), -3.5, 1e-20, 7.25e15];
+        let mut fwd = AdaptiveHp::with_default_format();
+        for &x in &xs {
+            fwd.add_f64(x).unwrap();
+        }
+        let mut rev = AdaptiveHp::with_default_format();
+        for &x in xs.iter().rev() {
+            rev.add_f64(x).unwrap();
+        }
+        assert_eq!(fwd.format(), rev.format());
+        assert_eq!(fwd.value().as_limbs(), rev.value().as_limbs());
+    }
+
+    #[test]
+    fn merge_combines_partial_sums_exactly() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) * 1e20).collect();
+        let mut serial = AdaptiveHp::with_default_format();
+        for &x in &xs {
+            serial.add_f64(x).unwrap();
+        }
+        let mut p1 = AdaptiveHp::with_default_format();
+        let mut p2 = AdaptiveHp::with_default_format();
+        for &x in &xs[..50] {
+            p1.add_f64(x).unwrap();
+        }
+        for &x in &xs[50..] {
+            p2.add_f64(x).unwrap();
+        }
+        p1.merge(&p2).unwrap();
+        assert_eq!(p1.to_f64(), serial.to_f64());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut acc = AdaptiveHp::with_default_format();
+        assert_eq!(acc.add_f64(f64::NAN), Err(HpError::NonFinite));
+        assert_eq!(acc.add_f64(f64::INFINITY), Err(HpError::NonFinite));
+    }
+}

@@ -1,0 +1,313 @@
+//! Lock-free atomic HP accumulation (§III.B.2 of the paper).
+//!
+//! The paper observes that HP addition needs only *one atomic operation per
+//! limb*: add the addend limb (plus the carry propagated from the limb
+//! below) with an atomic read-modify-write, and derive the carry-out from
+//! the returned old value. Because integer addition is commutative and
+//! associative, and every carry is eventually deposited into its target
+//! limb, the accumulator converges to the exact sum **regardless of how
+//! concurrent updates interleave** — the very property that makes the HP
+//! method order-invariant also makes it atomic-update friendly.
+//!
+//! Two adders are provided:
+//!
+//! * [`AtomicHp::add`] uses `fetch_add` (a native atomic add; `LOCK XADD`
+//!   on x86).
+//! * [`AtomicHp::add_cas`] is the paper's construction for targets whose
+//!   only 64-bit primitive is compare-and-swap ("The HP method can
+//!   guarantee atomicity of addition using only the compare-and-swap (CAS)
+//!   synchronization primitive", e.g. CUDA `atomicCAS`).
+//!
+//! Both are linearizable per limb and produce identical final sums; the
+//! test suite hammers them from many threads and checks bitwise equality
+//! with the sequential sum.
+//!
+//! # Snapshot semantics
+//!
+//! Reading all `N` limbs is not a single atomic action. [`AtomicHp::load`]
+//! is exact only at quiescence (no concurrent writers) — the normal pattern
+//! of "accumulate in parallel, then read after the join" used by every
+//! substrate in this workspace. A torn intermediate read can be off by a
+//! not-yet-deposited carry. [`AtomicHp::load_exclusive`] borrows `&mut
+//! self` to prove quiescence statically.
+
+use crate::fixed::HpFixed;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared HP accumulator updatable concurrently from many threads.
+///
+/// ```
+/// use oisum_core::{AtomicHp, Hp3x2};
+/// use std::sync::Arc;
+///
+/// let acc = Arc::new(AtomicHp::<3, 2>::zero());
+/// std::thread::scope(|s| {
+///     for t in 0..4 {
+///         let acc = Arc::clone(&acc);
+///         s.spawn(move || {
+///             for i in 0..1000 {
+///                 let v = ((t * 1000 + i) as f64 - 2000.0) * 1e-6;
+///                 acc.add(&Hp3x2::from_f64_trunc(v).unwrap());
+///             }
+///         });
+///     }
+/// });
+/// let total = acc.load(); // quiescent: all threads joined
+/// let serial: Hp3x2 = (0..4000)
+///     .map(|i| Hp3x2::from_f64_trunc((i as f64 - 2000.0) * 1e-6).unwrap())
+///     .sum();
+/// assert_eq!(total, serial);
+/// ```
+#[derive(Debug)]
+pub struct AtomicHp<const N: usize, const K: usize> {
+    limbs: [AtomicU64; N],
+}
+
+impl<const N: usize, const K: usize> Default for AtomicHp<N, K> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<const N: usize, const K: usize> AtomicHp<N, K> {
+    /// A zeroed accumulator.
+    pub fn zero() -> Self {
+        AtomicHp {
+            limbs: core::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// An accumulator initialized to `v`.
+    pub fn new(v: HpFixed<N, K>) -> Self {
+        AtomicHp {
+            limbs: core::array::from_fn(|i| AtomicU64::new(v.as_limbs()[i])),
+        }
+    }
+
+    /// Atomically adds `b`, one `fetch_add` per limb, rippling carries
+    /// upward as separate atomic deposits.
+    ///
+    /// `Relaxed` ordering is sufficient: the final value depends only on
+    /// the per-location modification orders, which atomics guarantee, not
+    /// on cross-limb visibility ordering. Thread joins (or any
+    /// synchronizes-with edge before the read) make the result visible.
+    #[inline]
+    pub fn add(&self, b: &HpFixed<N, K>) {
+        let limbs = b.as_limbs();
+        let mut carry = 0u64;
+        for i in (0..N).rev() {
+            let (addend, wrapped) = limbs[i].overflowing_add(carry);
+            if addend == 0 && i > 0 {
+                // Nothing to deposit in this limb; a wrapped addend
+                // (b = MAX, carry = 1) still carries one out.
+                carry = wrapped as u64;
+                continue;
+            }
+            let old = self.limbs[i].fetch_add(addend, Ordering::Relaxed);
+            // Carry out of this limb: the deposit wrapped the cell, or the
+            // addend itself wrapped while being formed. At most one of the
+            // two can be 1 (if the addend wrapped it is 0, and depositing 0
+            // cannot wrap the cell).
+            let deposited_wrap = old.wrapping_add(addend) < addend;
+            carry = (deposited_wrap as u64) + (wrapped as u64);
+        }
+        // A carry out of limb 0 wraps mod 2^(64·N): two's-complement
+        // semantics, same as the non-atomic adder.
+    }
+
+    /// The paper's CAS-only atomic adder: each limb deposit is a
+    /// compare-exchange retry loop, as required on architectures whose only
+    /// wide atomic is CAS.
+    #[inline]
+    pub fn add_cas(&self, b: &HpFixed<N, K>) {
+        let limbs = b.as_limbs();
+        let mut carry = 0u64;
+        for i in (0..N).rev() {
+            let (addend, wrapped) = limbs[i].overflowing_add(carry);
+            if addend == 0 && i > 0 {
+                carry = wrapped as u64;
+                continue;
+            }
+            let mut cur = self.limbs[i].load(Ordering::Relaxed);
+            let old = loop {
+                match self.limbs[i].compare_exchange_weak(
+                    cur,
+                    cur.wrapping_add(addend),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(prev) => break prev,
+                    Err(now) => cur = now,
+                }
+            };
+            let deposited_wrap = old.wrapping_add(addend) < addend;
+            carry = (deposited_wrap as u64) + (wrapped as u64);
+        }
+    }
+
+    /// Adds an `f64` via the fast Listing-1 conversion (thread-local) and
+    /// one atomic deposit per limb.
+    #[inline]
+    pub fn add_f64(&self, x: f64) {
+        self.add(&HpFixed::<N, K>::from_f64_unchecked(x));
+    }
+
+    /// Reads the current value limb by limb.
+    ///
+    /// Exact only at quiescence; see the module docs. Prefer
+    /// [`Self::load_exclusive`] when you hold `&mut`.
+    pub fn load(&self) -> HpFixed<N, K> {
+        HpFixed::from_limbs(core::array::from_fn(|i| {
+            self.limbs[i].load(Ordering::Acquire)
+        }))
+    }
+
+    /// Exact read through exclusive access (no concurrent writers can
+    /// exist while `&mut self` is held).
+    pub fn load_exclusive(&mut self) -> HpFixed<N, K> {
+        HpFixed::from_limbs(core::array::from_fn(|i| *self.limbs[i].get_mut()))
+    }
+
+    /// Resets the accumulator to zero through exclusive access.
+    pub fn reset(&mut self) {
+        for l in &mut self.limbs {
+            *l.get_mut() = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{Hp2x1, Hp3x2};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        let acc = AtomicHp::<3, 2>::zero();
+        let mut seq = Hp3x2::ZERO;
+        for i in 0..1000 {
+            let v = Hp3x2::from_f64_trunc((i as f64 - 500.0) * 0.001).unwrap();
+            acc.add(&v);
+            seq += v;
+        }
+        assert_eq!(acc.load(), seq);
+    }
+
+    #[test]
+    fn cas_adder_matches_fetch_add_adder() {
+        let a1 = AtomicHp::<3, 2>::zero();
+        let a2 = AtomicHp::<3, 2>::zero();
+        for i in 0..500 {
+            let v = Hp3x2::from_f64_trunc((i as f64) * -0.37 + 11.1).unwrap();
+            a1.add(&v);
+            a2.add_cas(&v);
+        }
+        assert_eq!(a1.load(), a2.load());
+    }
+
+    #[test]
+    fn carry_ripples_between_limbs() {
+        // Adding 2^-64 twice to 0xFFFF…F in the low limb must carry into
+        // the middle limb.
+        let acc = AtomicHp::<3, 2>::zero();
+        let just_below = Hp3x2::from_limbs([0, 0, u64::MAX]);
+        let tick = Hp3x2::from_limbs([0, 0, 1]);
+        acc.add(&just_below);
+        acc.add(&tick);
+        assert_eq!(acc.load(), Hp3x2::from_limbs([0, 1, 0]));
+    }
+
+    #[test]
+    fn carry_chain_through_saturated_middle_limb() {
+        // [0, MAX, MAX] + [0, 0, 1] → [1, 0, 0]: the carry must ripple
+        // through two limbs via two extra deposits.
+        let acc = AtomicHp::<3, 2>::new(Hp3x2::from_limbs([0, u64::MAX, u64::MAX]));
+        acc.add(&Hp3x2::from_limbs([0, 0, 1]));
+        assert_eq!(acc.load(), Hp3x2::from_limbs([1, 0, 0]));
+    }
+
+    #[test]
+    fn addend_wrap_edge_case() {
+        // b limb = MAX with an incoming carry forms addend 0 with carry
+        // out; the cell must receive exactly MAX + 1 in total.
+        let acc = AtomicHp::<2, 1>::zero();
+        // value = MAX·2^-64 + (MAX + 1·2^-64): craft via raw limbs.
+        acc.add(&Hp2x1::from_limbs([0, u64::MAX]));
+        acc.add(&Hp2x1::from_limbs([u64::MAX, 1]));
+        // Sum: low: MAX+1 → 0 carry 1; high: MAX + 1 = 0 carry (wraps).
+        assert_eq!(acc.load(), Hp2x1::from_limbs([0, 0]));
+    }
+
+    #[test]
+    fn negative_values_accumulate() {
+        let acc = AtomicHp::<3, 2>::zero();
+        acc.add(&Hp3x2::from_f64(-1.5).unwrap());
+        acc.add(&Hp3x2::from_f64(0.25).unwrap());
+        acc.add(&Hp3x2::from_f64(1.5).unwrap());
+        assert_eq!(acc.load().to_f64(), 0.25);
+    }
+
+    #[test]
+    fn concurrent_adds_match_sequential_bitwise() {
+        const THREADS: usize = 8;
+        const PER: usize = 2000;
+        let acc = Arc::new(AtomicHp::<3, 2>::zero());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let acc = Arc::clone(&acc);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let v = ((t * PER + i) as f64 - (THREADS * PER / 2) as f64) * 1e-5;
+                        if i % 2 == 0 {
+                            acc.add(&Hp3x2::from_f64_trunc(v).unwrap());
+                        } else {
+                            acc.add_cas(&Hp3x2::from_f64_trunc(v).unwrap());
+                        }
+                    }
+                });
+            }
+        });
+        let mut seq = Hp3x2::ZERO;
+        for j in 0..THREADS * PER {
+            seq += Hp3x2::from_f64_trunc((j as f64 - (THREADS * PER / 2) as f64) * 1e-5).unwrap();
+        }
+        assert_eq!(acc.load(), seq);
+    }
+
+    #[test]
+    fn concurrent_carry_storm() {
+        // All adds are ±(2^-64): maximal carry traffic across the low limb
+        // boundary around zero crossings.
+        const THREADS: usize = 4;
+        const PER: usize = 5000;
+        let acc = Arc::new(AtomicHp::<2, 1>::zero());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let acc = Arc::clone(&acc);
+                s.spawn(move || {
+                    let tick = Hp2x1::from_limbs([0, 1]);
+                    let ntick = -tick;
+                    for i in 0..PER {
+                        if (i + t) % 2 == 0 {
+                            acc.add(&tick);
+                        } else {
+                            acc.add(&ntick);
+                        }
+                    }
+                });
+            }
+        });
+        // Equal numbers of +1 and −1 ticks per thread → exact zero.
+        assert!(acc.load().is_zero());
+    }
+
+    #[test]
+    fn load_exclusive_and_reset() {
+        let mut acc = AtomicHp::<2, 1>::zero();
+        acc.add(&Hp2x1::from_f64(7.0).unwrap());
+        assert_eq!(acc.load_exclusive().to_f64(), 7.0);
+        acc.reset();
+        assert!(acc.load_exclusive().is_zero());
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's conversion routines between `f64` and HP limbs.
+//!
+//! [`encode_listing1`] is a faithful Rust rendering of Listing 1: a single
+//! pass of floating-point multiplies that simultaneously extracts limbs and
+//! applies two's-complement negation using the look-ahead carry trick. Every
+//! floating-point operation in the loop is exact (truncation and the
+//! subtraction of a value's own integer part are error-free), so the result
+//! is bit-identical to the integer-path oracle `oisum_bignum::codec` with
+//! truncating semantics — a property the test suite checks exhaustively.
+//!
+//! [`decode_float_path`] is the paper's "inverse of Listing 1": a Horner
+//! fold of the limbs through `f64`. Unlike the exact decoder it can double
+//! round (each fold step rounds), so the library's `to_f64` uses the exact
+//! decoder and exposes this one for comparison and testing.
+
+use oisum_bignum::codec::pow2_f64;
+use oisum_bignum::limbs;
+
+/// Exact `2^64` as `f64`.
+const TWO64: f64 = 18446744073709551616.0;
+
+/// Listing 1: converts `x` to HP limbs with `k = K` fractional limbs,
+/// truncating any bits below `2^(−64·K)` toward zero.
+///
+/// # Panics (debug)
+///
+/// Debug-asserts that `x` is finite and within the format's range; release
+/// builds saturate the first limb cast instead, so out-of-range inputs must
+/// be screened by the caller (see `HpFixed::try_from_f64`).
+#[inline]
+pub fn encode_listing1<const N: usize, const K: usize>(x: f64) -> [u64; N] {
+    debug_assert!(x.is_finite());
+    debug_assert!(
+        x.abs() < pow2_f64(64 * (N as i64 - K as i64) - 1),
+        "HP conversion overflow: |{x}| exceeds format range"
+    );
+    let isneg = x < 0.0;
+    // Scale so the integer part of `dtmp` is limb 0: the limb-0 weight in
+    // Eq. 2 is 2^(64·(N−K−1)).
+    let mut dtmp = x.abs() * pow2_f64(-64 * (N as i64 - K as i64 - 1));
+    let mut a = [0u64; N];
+    for (i, limb) in a.iter_mut().enumerate().take(N - 1) {
+        let itmp = dtmp as u64; // truncation toward zero; exact
+        dtmp = (dtmp - itmp as f64) * TWO64; // error-free: remainder then exact scale
+        *limb = if isneg {
+            // Look-ahead two's complement: the +1 of negation propagates
+            // into this limb iff every lower limb will truncate to zero,
+            // i.e. the remaining remainder (scaled so limb i+1 is its
+            // integer part) is below one unit of the last limb. The paper's
+            // Listing 1 tests `dtmp <= 0.0`, which drops the carry when a
+            // sub-resolution tail truncates to zero later in the loop; the
+            // strict threshold below fixes that while reducing to the
+            // paper's test for inputs with no bits beyond the resolution.
+            let carry_in = dtmp < pow2_f64(-64 * (N as i64 - 2 - i as i64));
+            (!itmp).wrapping_add(carry_in as u64)
+        } else {
+            itmp
+        };
+    }
+    a[N - 1] = if isneg {
+        (!(dtmp as u64)).wrapping_add(1)
+    } else {
+        dtmp as u64
+    };
+    a
+}
+
+/// The inverse of Listing 1: reconstructs an `f64` by folding limbs from
+/// most to least significant through floating point.
+///
+/// Subject to double rounding (each fold step rounds to `f64`), so the
+/// result can differ from the correctly rounded value by 1 ulp in rare
+/// cases; provided for fidelity with the paper and for cross-checking the
+/// exact decoder.
+pub fn decode_float_path<const N: usize, const K: usize>(a: &[u64; N]) -> f64 {
+    let neg = limbs::is_negative(a);
+    let mut mag = *a;
+    if neg {
+        limbs::negate(&mut mag);
+    }
+    let mut r = 0.0f64;
+    for &limb in mag.iter() {
+        r = r * TWO64 + limb as f64;
+    }
+    let r = r * pow2_f64(-64 * K as i64);
+    if neg {
+        -r
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisum_bignum::codec;
+
+    fn oracle<const N: usize>(x: f64, k: usize) -> [u64; N] {
+        let mut out = vec![0u64; N];
+        codec::encode_f64_trunc(x, k, &mut out).unwrap();
+        let mut arr = [0u64; N];
+        arr.copy_from_slice(&out);
+        arr
+    }
+
+    #[test]
+    fn listing1_matches_oracle_on_simple_values() {
+        for x in [
+            0.0, -0.0, 1.0, -1.0, 0.5, -0.5, 0.001, -0.001, 12345.678, -98765.4321,
+            1e-30, -1e-30, 3.5e17, -3.5e17,
+        ] {
+            let got = encode_listing1::<3, 2>(x);
+            let want = oracle::<3>(x, 2);
+            assert_eq!(got, want, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn listing1_matches_oracle_various_formats() {
+        let xs = [0.25, -0.125, 7.0, -1023.75, 1.9999999e10, -2.7e-13];
+        for &x in &xs {
+            assert_eq!(encode_listing1::<2, 1>(x), oracle::<2>(x, 1), "2,1 {x}");
+            assert_eq!(encode_listing1::<6, 3>(x), oracle::<6>(x, 3), "6,3 {x}");
+            assert_eq!(encode_listing1::<8, 4>(x), oracle::<8>(x, 4), "8,4 {x}");
+        }
+    }
+
+    #[test]
+    fn listing1_lookahead_carry_negative_power_of_two() {
+        // -1.0 with (N=3, K=2): magnitude is limb pattern [0,1,0]... i.e.
+        // the +1 of two's complement must propagate through the zero low
+        // limb into the middle limb.
+        let got = encode_listing1::<3, 2>(-1.0);
+        // Magnitude of 1.0 is [1, 0, 0]; two's complement over 192 bits
+        // leaves [MAX, 0, 0] (the +1 re-zeroes both low limbs).
+        assert_eq!(got, [u64::MAX, 0, 0]);
+        // Check against exact negation of +1.0.
+        let mut pos = encode_listing1::<3, 2>(1.0);
+        limbs::negate(&mut pos);
+        assert_eq!(got, pos);
+    }
+
+    #[test]
+    fn listing1_truncates_toward_zero() {
+        // 2^-129 is below (N=3,K=2) resolution 2^-128: truncates to zero.
+        assert_eq!(encode_listing1::<3, 2>(2f64.powi(-129)), [0; 3]);
+        assert_eq!(encode_listing1::<3, 2>(-(2f64.powi(-129))), [0; 3]);
+        // 2^-128 + 2^-129 truncates to 2^-128 in magnitude for both signs.
+        let x = 2f64.powi(-128) + 2f64.powi(-129);
+        let pos = encode_listing1::<3, 2>(x);
+        assert_eq!(pos, [0, 0, 1]);
+        let mut neg = encode_listing1::<3, 2>(-x);
+        limbs::negate(&mut neg);
+        assert_eq!(neg, [0, 0, 1]);
+    }
+
+    #[test]
+    fn decode_float_path_close_to_exact() {
+        for x in [0.0, 1.0, -1.0, 0.001, -123.456, 9.87e12, -2.2e-16] {
+            let a = encode_listing1::<3, 2>(x);
+            let exact = codec::decode_f64(&a, 2);
+            let float = decode_float_path::<3, 2>(&a);
+            assert!(
+                (float - exact).abs() <= exact.abs() * f64::EPSILON,
+                "x={x}: float-path {float} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_listing1_exact_for_representable() {
+        // Values with ≤ 53 significant bits above 2^-128 and below 2^63
+        // round-trip exactly.
+        for x in [0.001953125, -3.75, 2f64.powi(-100), 1.0 + 2f64.powi(-52)] {
+            let a = encode_listing1::<3, 2>(x);
+            assert_eq!(codec::decode_f64(&a, 2), x, "{x}");
+        }
+    }
+}

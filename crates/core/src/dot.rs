@@ -1,0 +1,217 @@
+//! Exact, order-invariant dot products.
+//!
+//! The natural extension of the paper's summation method to the level-1
+//! BLAS operation that actually dominates scientific codes: `Σ aᵢ·bᵢ`.
+//! Each product is split into an **error-free transformation**
+//! `aᵢ·bᵢ = pᵢ + eᵢ` (two exactly-representable doubles, computed with a
+//! fused multiply-add), and both halves are accumulated into an HP
+//! fixed-point sum. Since the splitting is exact and HP addition is exact,
+//! the dot product is exact — and therefore invariant to element order,
+//! blocking, and thread count, just like the plain sum.
+//!
+//! Format requirements: products square the dynamic range, so the HP
+//! format must cover `max|aᵢ·bᵢ|` above and resolve `ulp²`-scale error
+//! terms below. [`dot_format_ok`] checks a given format against value
+//! bounds; `Hp8x4` comfortably covers products of `[-1, 1]`-scale data.
+
+use crate::fixed::HpFixed;
+use oisum_bignum::codec::pow2_f64;
+
+/// Error-free product: returns `(p, e)` with `a·b = p + e` exactly,
+/// `p = fl(a·b)`.
+///
+/// Uses one fused multiply-add (`f64::mul_add` is correctly rounded on
+/// every Rust target, in hardware where available). Exactness holds
+/// whenever `a·b` neither overflows nor lands in the subnormal range.
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+/// Checks that an `(N, K)` format can exactly absorb products of values
+/// bounded by `max_abs` whose factors have magnitude at least `min_abs`:
+/// range must exceed `max_abs²` (with headroom for `count` summands) and
+/// resolution must reach the error term of the smallest product.
+pub fn dot_format_ok<const N: usize, const K: usize>(
+    max_abs: f64,
+    min_abs: f64,
+    count: usize,
+) -> bool {
+    let max_product = max_abs * max_abs * count as f64;
+    // Error terms are below ulp(product) ≈ product·2^-53; the smallest
+    // nonzero error magnitude is bounded below by the subnormal floor of
+    // the product space, conservatively min_abs²·2^-106.
+    let min_term = min_abs * min_abs * pow2_f64(-106);
+    max_product < HpFixed::<N, K>::max_range() && min_term >= HpFixed::<N, K>::smallest()
+}
+
+/// Exact dot product of two slices into an HP accumulator.
+///
+/// Both the rounded product and its error term are accumulated, so the
+/// result equals the mathematically exact `Σ aᵢ·bᵢ` of the input doubles
+/// (given an adequate format; see [`dot_format_ok`]). Products whose error
+/// term falls below the format resolution are truncated toward zero — with
+/// `K·64 ≥ 106 + |min exponent|` this never happens.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn hp_dot<const N: usize, const K: usize>(a: &[f64], b: &[f64]) -> HpFixed<N, K> {
+    assert_eq!(a.len(), b.len(), "dot product needs equal-length slices");
+    let mut acc = HpFixed::<N, K>::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        let (p, e) = two_product(x, y);
+        acc.add_assign(&HpFixed::from_f64_unchecked(p));
+        if e != 0.0 {
+            acc.add_assign(&HpFixed::from_f64_unchecked(e));
+        }
+    }
+    acc
+}
+
+/// Exact squared Euclidean norm `Σ aᵢ²`.
+pub fn hp_norm_sq<const N: usize, const K: usize>(a: &[f64]) -> HpFixed<N, K> {
+    hp_dot::<N, K>(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::Hp8x4;
+
+    #[test]
+    fn two_product_is_error_free() {
+        let cases = [
+            (0.1, 0.3),
+            (1.0e8 + 1.0, 1.0e8 - 1.0),
+            (-3.5, 7.25),
+            (1.0 + 2f64.powi(-52), 1.0 + 2f64.powi(-52)),
+            (0.2, -0.7),
+        ];
+        for (a, b) in cases {
+            let (p, e) = two_product(a, b);
+            // Oracle: compare scaled-integer mantissas. With a common
+            // exponent floor, a·b, p, and e are all exact i128 multiples.
+            let (ma, ea) = decompose(a);
+            let (mb, eb) = decompose(b);
+            let exact = ma as i128 * mb as i128; // value · 2^-(ea+eb)
+            let emin = ea + eb;
+            let sum = scaled(p, emin) + scaled(e, emin);
+            assert_eq!(exact, sum, "{a} * {b}: p={p:e} e={e:e}");
+        }
+    }
+
+    /// Returns `x / 2^emin` as an exact i128 (panics if not integral —
+    /// which would itself indicate a broken error-free transform).
+    fn scaled(x: f64, emin: i32) -> i128 {
+        if x == 0.0 {
+            return 0;
+        }
+        let (m, e) = decompose(x);
+        let shift = e - emin;
+        if shift >= 0 {
+            assert!(shift <= 126, "x={x:e} too large for the i128 oracle");
+            (m as i128) << shift
+        } else {
+            // The normalized mantissa carries trailing zeros; the value is
+            // still a multiple of 2^emin iff those cover the deficit.
+            let back = (-shift) as u32;
+            assert!(
+                m.trailing_zeros() >= back,
+                "x={x:e} not a multiple of 2^{emin}"
+            );
+            (m >> back) as i128
+        }
+    }
+
+    fn decompose(x: f64) -> (i64, i32) {
+        let bits = x.to_bits();
+        let neg = (bits >> 63) != 0;
+        let raw = ((bits >> 52) & 0x7ff) as i32;
+        let frac = (bits & ((1 << 52) - 1)) as i64;
+        let (m, e) = if raw == 0 {
+            (frac, -1074)
+        } else {
+            (frac | (1 << 52), raw - 1075)
+        };
+        (if neg { -m } else { m }, e)
+    }
+
+    #[test]
+    fn dot_is_exact_against_integer_oracle() {
+        // Integer-valued data: the dot product is exactly computable in
+        // i128.
+        let a: Vec<f64> = (0..500).map(|i| (i as f64) - 250.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| ((i * 7 % 31) as f64) - 15.0).collect();
+        let exact: i128 = (0..500)
+            .map(|i| (i as i128 - 250) * ((i as i128 * 7 % 31) - 15))
+            .sum();
+        let hp = hp_dot::<8, 4>(&a, &b);
+        assert_eq!(hp.to_f64(), exact as f64);
+    }
+
+    #[test]
+    fn dot_recovers_cancellation_f64_loses() {
+        // The classic ill-conditioned dot product: huge cancelling terms
+        // with a tiny true value.
+        let a = [1.0e10, -1.0e10, 1.0, 3.0];
+        let b = [1.0e10, 1.0e10, 0.5, 0.125];
+        let exact = 0.5 + 0.375; // the 1e20 terms cancel exactly
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let hp = hp_dot::<8, 4>(&a, &b).to_f64();
+        assert_eq!(hp, exact);
+        // f64 may or may not get this one right; the guarantee difference
+        // is what matters — check the HP result is exact regardless.
+        let _ = naive;
+    }
+
+    #[test]
+    fn dot_is_order_invariant() {
+        let a: Vec<f64> = (0..300).map(|i| ((i * 37 % 100) as f64 - 50.0) * 0.01).collect();
+        let b: Vec<f64> = (0..300).map(|i| ((i * 53 % 100) as f64 - 50.0) * 0.01).collect();
+        let fwd = hp_dot::<8, 4>(&a, &b);
+        let rev_a: Vec<f64> = a.iter().rev().copied().collect();
+        let rev_b: Vec<f64> = b.iter().rev().copied().collect();
+        let rev = hp_dot::<8, 4>(&rev_a, &rev_b);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn dot_blocked_equals_whole() {
+        // Blocked evaluation (as a threaded version would do) merges to the
+        // identical accumulator.
+        let a: Vec<f64> = (0..256).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..256).map(|i| (i as f64).cos()).collect();
+        let whole = hp_dot::<8, 4>(&a, &b);
+        let mut blocked = Hp8x4::ZERO;
+        for (ca, cb) in a.chunks(37).zip(b.chunks(37)) {
+            blocked += hp_dot::<8, 4>(ca, cb);
+        }
+        assert_eq!(whole, blocked);
+    }
+
+    #[test]
+    fn norm_sq_nonnegative_and_exact() {
+        let a = [3.0, -4.0];
+        assert_eq!(hp_norm_sq::<8, 4>(&a).to_f64(), 25.0);
+        let zero: [f64; 4] = [0.0; 4];
+        assert!(hp_norm_sq::<8, 4>(&zero).is_zero());
+    }
+
+    #[test]
+    fn format_check_flags_inadequate_formats() {
+        // [-1, 1] data, 1M elements: Hp8x4 is fine, Hp2x1 resolution is not.
+        assert!(dot_format_ok::<8, 4>(1.0, 1e-8, 1 << 20));
+        assert!(!dot_format_ok::<2, 1>(1.0, 1e-8, 1 << 20));
+        // Huge values: range check fails for Hp6x3 beyond ~2^95 per factor.
+        assert!(!dot_format_ok::<6, 3>(1e30, 1.0, 1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_rejected() {
+        hp_dot::<8, 4>(&[1.0], &[1.0, 2.0]);
+    }
+}

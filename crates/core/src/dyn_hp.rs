@@ -1,0 +1,223 @@
+//! `DynHp` — an HP number whose format `(n, k)` is chosen at runtime.
+//!
+//! The const-generic [`HpFixed`](crate::fixed::HpFixed) monomorphizes the
+//! hot loops and is the right choice when the format is known at compile
+//! time (all of the paper's experiments). `DynHp` serves the remaining
+//! cases: format selection from configuration, and the adaptive-precision
+//! extension (`crate::adaptive`) which re-formats values at runtime.
+
+use crate::error::HpError;
+use crate::format::HpFormat;
+use oisum_bignum::{codec, fmt as bfmt, limbs};
+
+/// A heap-allocated HP number with a runtime [`HpFormat`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DynHp {
+    format: HpFormat,
+    limbs: Vec<u64>,
+}
+
+impl DynHp {
+    /// The zero value in the given format.
+    pub fn zero(format: HpFormat) -> Self {
+        DynHp {
+            format,
+            limbs: vec![0; format.n],
+        }
+    }
+
+    /// Checked exact conversion from `f64`.
+    pub fn from_f64(x: f64, format: HpFormat) -> Result<Self, HpError> {
+        let mut limbs = vec![0; format.n];
+        codec::encode_f64(x, format.k, &mut limbs)?;
+        Ok(DynHp { format, limbs })
+    }
+
+    /// Truncating conversion from `f64` (Listing-1 semantics).
+    pub fn from_f64_trunc(x: f64, format: HpFormat) -> Result<Self, HpError> {
+        let mut limbs = vec![0; format.n];
+        codec::encode_f64_trunc(x, format.k, &mut limbs)?;
+        Ok(DynHp { format, limbs })
+    }
+
+    /// This value's format.
+    pub fn format(&self) -> HpFormat {
+        self.format
+    }
+
+    /// Constructs directly from raw limbs (most significant first).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `limbs.len() == format.n`.
+    pub fn from_raw(format: HpFormat, limbs: Vec<u64>) -> Self {
+        assert_eq!(limbs.len(), format.n, "limb count must match the format");
+        DynHp { format, limbs }
+    }
+
+    /// Raw limbs, most significant first.
+    pub fn as_limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Converts to the nearest `f64` (round-to-nearest-even).
+    pub fn to_f64(&self) -> f64 {
+        codec::decode_f64(&self.limbs, self.format.k)
+    }
+
+    /// In-place wrapping addition. Panics if the formats differ; use
+    /// [`Self::reformat`] first when mixing formats.
+    pub fn add_assign(&mut self, rhs: &DynHp) {
+        assert_eq!(
+            self.format, rhs.format,
+            "DynHp format mismatch: {:?} vs {:?}",
+            self.format, rhs.format
+        );
+        limbs::add(&mut self.limbs, &rhs.limbs);
+    }
+
+    /// In-place addition with overflow detection (§III.B.1 sign test).
+    pub fn checked_add_assign(&mut self, rhs: &DynHp) -> Result<(), HpError> {
+        assert_eq!(self.format, rhs.format, "DynHp format mismatch");
+        if limbs::add_detect_overflow(&mut self.limbs, &rhs.limbs) {
+            Err(HpError::AddOverflow)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Two's-complement negation in place.
+    pub fn negate(&mut self) {
+        limbs::negate(&mut self.limbs);
+    }
+
+    /// `true` when the sign bit is set.
+    pub fn is_negative(&self) -> bool {
+        limbs::is_negative(&self.limbs)
+    }
+
+    /// `true` when the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        limbs::is_zero(&self.limbs)
+    }
+
+    /// Converts this value losslessly into another format, or reports why
+    /// it cannot be represented there.
+    ///
+    /// Widening (larger `n − k` and larger `k`) always succeeds. Narrowing
+    /// fails with [`HpError::ConvertOverflow`] when high bits would be
+    /// dropped and [`HpError::ConvertUnderflow`] when nonzero low bits
+    /// would be dropped.
+    pub fn reformat(&self, target: HpFormat) -> Result<DynHp, HpError> {
+        let mut out = DynHp::zero(target);
+        // Work in a buffer wide enough for both formats' bit ranges:
+        // whole = max(n−k), frac = max(k).
+        let whole = (self.format.n - self.format.k).max(target.n - target.k);
+        let frac = self.format.k.max(target.k);
+        let mut buf = vec![0u64; whole + frac];
+        // Place self: writing it into the top `w − pad_low` limbs leaves
+        // `pad_low` zero limbs below, which is exactly the left shift by
+        // 64·(frac − self.k) bits that re-aligns the radix point.
+        let pad_low = frac - self.format.k;
+        let w = buf.len();
+        limbs::sign_extend(&self.limbs, &mut buf[..w - pad_low]);
+        // Now extract the target window: target needs (n−k) whole limbs and
+        // k fractional limbs; the buffer has `whole` and `frac`.
+        let drop_low = frac - target.k;
+        if drop_low > 0 && buf[w - drop_low..].iter().any(|&l| l != 0) {
+            return Err(HpError::ConvertUnderflow);
+        }
+        let window = &buf[..w - drop_low];
+        if !limbs::try_narrow(window, &mut out.limbs) {
+            return Err(HpError::ConvertOverflow);
+        }
+        Ok(out)
+    }
+}
+
+impl core::fmt::Debug for DynHp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "DynHp(n={}, k={}, {})",
+            self.format.n,
+            self.format.k,
+            bfmt::describe(&self.limbs, self.format.k)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(n: usize, k: usize) -> HpFormat {
+        HpFormat::new(n, k)
+    }
+
+    #[test]
+    fn roundtrip_and_add() {
+        let a = DynHp::from_f64(1.5, f(3, 2)).unwrap();
+        let mut b = DynHp::from_f64(-0.25, f(3, 2)).unwrap();
+        b.add_assign(&a);
+        assert_eq!(b.to_f64(), 1.25);
+    }
+
+    #[test]
+    fn matches_const_generic_type() {
+        use crate::fixed::Hp3x2;
+        for x in [0.1, -7.25, 1e-30, 123456.789] {
+            let d = DynHp::from_f64_trunc(x, f(3, 2)).unwrap();
+            let c = Hp3x2::from_f64_trunc(x).unwrap();
+            assert_eq!(d.as_limbs(), c.as_limbs().as_slice(), "{x}");
+        }
+    }
+
+    #[test]
+    fn widening_reformat_is_lossless() {
+        let a = DynHp::from_f64(-123.4375, f(3, 2)).unwrap();
+        let wide = a.reformat(f(6, 3)).unwrap();
+        assert_eq!(wide.to_f64(), -123.4375);
+        // And back down again.
+        let narrow = wide.reformat(f(3, 2)).unwrap();
+        assert_eq!(narrow.as_limbs(), a.as_limbs());
+    }
+
+    #[test]
+    fn narrowing_detects_overflow_and_underflow() {
+        // Large whole value: fits (6,3), not (2,1).
+        let big = DynHp::from_f64(2f64.powi(100), f(6, 3)).unwrap();
+        assert_eq!(big.reformat(f(2, 1)), Err(HpError::ConvertOverflow));
+        // Fine fraction: fits k=3, not k=1.
+        let fine = DynHp::from_f64(2f64.powi(-100), f(6, 3)).unwrap();
+        assert_eq!(fine.reformat(f(2, 1)), Err(HpError::ConvertUnderflow));
+        // Negative large value also rejected.
+        let mut nbig = big.clone();
+        nbig.negate();
+        assert_eq!(nbig.reformat(f(2, 1)), Err(HpError::ConvertOverflow));
+    }
+
+    #[test]
+    fn reformat_preserves_negative_values() {
+        let a = DynHp::from_f64(-0.5, f(2, 1)).unwrap();
+        let wide = a.reformat(f(4, 2)).unwrap();
+        assert_eq!(wide.to_f64(), -0.5);
+        assert!(wide.is_negative());
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        // 2^62 + 2^62 = 2^63 overflows the (2,1) format's ±2^63 range.
+        let mut a = DynHp::from_f64(2f64.powi(62), f(2, 1)).unwrap();
+        let b = a.clone();
+        assert_eq!(a.checked_add_assign(&b), Err(HpError::AddOverflow));
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn mixed_format_add_panics() {
+        let mut a = DynHp::zero(f(2, 1));
+        let b = DynHp::zero(f(3, 2));
+        a.add_assign(&b);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for HP conversions and arithmetic.
+
+use oisum_bignum::EncodeError;
+
+/// Errors arising from HP conversions and arithmetic (§III.B.1 of the
+/// paper enumerates the overflow/underflow points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HpError {
+    /// The `f64` input was NaN or ±∞.
+    NonFinite,
+    /// Overflow point 1: the `f64` magnitude exceeds the HP format's range
+    /// during double→HP conversion.
+    ConvertOverflow,
+    /// Underflow during double→HP conversion: the value has significant
+    /// bits below the format's resolution of `2^(−64·k)` and the caller
+    /// asked for an exact conversion.
+    ConvertUnderflow,
+    /// Overflow point 2: the sum of two HP numbers left the representable
+    /// range (detected by the sign test of §III.B.1).
+    AddOverflow,
+    /// Overflow point 3: the HP value exceeds the `f64` range during
+    /// HP→double conversion.
+    DecodeOverflow,
+}
+
+impl core::fmt::Display for HpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HpError::NonFinite => write!(f, "input is NaN or infinite"),
+            HpError::ConvertOverflow => {
+                write!(f, "double→HP conversion overflow: value exceeds HP range")
+            }
+            HpError::ConvertUnderflow => {
+                write!(f, "double→HP conversion underflow: value below HP resolution")
+            }
+            HpError::AddOverflow => write!(f, "HP addition overflow"),
+            HpError::DecodeOverflow => {
+                write!(f, "HP→double conversion overflow: value exceeds f64 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HpError {}
+
+impl From<EncodeError> for HpError {
+    fn from(e: EncodeError) -> Self {
+        match e {
+            EncodeError::NonFinite => HpError::NonFinite,
+            EncodeError::Overflow => HpError::ConvertOverflow,
+            EncodeError::Inexact => HpError::ConvertUnderflow,
+        }
+    }
+}

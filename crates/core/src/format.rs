@@ -1,0 +1,156 @@
+//! Runtime description of an HP format and its numeric properties
+//! (Table 1 of the paper).
+
+use oisum_bignum::codec::pow2_f64;
+
+/// A runtime `(N, k)` HP format descriptor.
+///
+/// `n` is the total number of 64-bit limbs; `k ≤ n` of them hold the
+/// fractional part (Eq. 2 of the paper). The represented value of limbs
+/// `a_0 … a_{N−1}` (limb 0 most significant) is
+///
+/// ```text
+/// r = Σ a_i · 2^(64·(n−k−1−i))
+/// ```
+///
+/// interpreted in two's complement, so exactly one bit — bit 63 of limb 0 —
+/// is a sign bit and every other bit carries value. This is the paper's
+/// "information content maximization" contrast with Hallberg's carry
+/// headroom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HpFormat {
+    /// Total number of 64-bit limbs (`N` in the paper).
+    pub n: usize,
+    /// Number of fractional limbs (`k` in the paper), `0 ≤ k ≤ n`.
+    pub k: usize,
+}
+
+impl HpFormat {
+    /// Creates a format, validating `1 ≤ n` and `k ≤ n`.
+    ///
+    /// Note: the paper's float conversion loop (Listing 1, used by
+    /// `HpFixed`) additionally needs `n − k ≤ 16` so its scale factor
+    /// `2^(−64·(n−k−1))` stays a normal `f64`; the integer-path conversions
+    /// used by `DynHp` have no such restriction. When `n − k > 16` the
+    /// format's range exceeds `f64` entirely and [`Self::max_range`]
+    /// reports `∞`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n >= 1, "HP format needs at least one limb");
+        assert!(k <= n, "fractional limbs k={k} must not exceed n={n}");
+        HpFormat { n, k }
+    }
+
+    /// Total bit width, `64·n`.
+    pub const fn bits(&self) -> usize {
+        64 * self.n
+    }
+
+    /// Bits contributing to precision: all but the single sign bit
+    /// (`64·n − 1`).
+    pub const fn precision_bits(&self) -> usize {
+        64 * self.n - 1
+    }
+
+    /// Exclusive magnitude bound `2^(64·(n−k)−1)`; conversions of values
+    /// with `|x| ≥` this overflow (Table 1's "Max Range").
+    pub fn max_range(&self) -> f64 {
+        pow2_f64(64 * (self.n - self.k) as i64 - 1)
+    }
+
+    /// Smallest positive representable value, `2^(−64·k)` (Table 1's
+    /// "Smallest").
+    pub fn smallest(&self) -> f64 {
+        pow2_f64(-64 * self.k as i64)
+    }
+
+    /// The maximum number of summands `count` of magnitude ≤ `max_abs`
+    /// that are guaranteed not to overflow this format.
+    pub fn guaranteed_summands(&self, max_abs: f64) -> u128 {
+        if max_abs <= 0.0 {
+            return u128::MAX;
+        }
+        let head = self.max_range() / max_abs;
+        if head >= 2f64.powi(127) {
+            u128::MAX
+        } else {
+            head as u128
+        }
+    }
+}
+
+/// The four formats of Table 1, in paper order.
+pub const TABLE1_FORMATS: [HpFormat; 4] = [
+    HpFormat { n: 2, k: 1 },
+    HpFormat { n: 3, k: 2 },
+    HpFormat { n: 6, k: 3 },
+    HpFormat { n: 8, k: 4 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_max_range_matches_paper() {
+        // Paper Table 1 values (±max range).
+        let expect = [9.223372e18, 9.223372e18, 3.138551e57, 5.789604e76];
+        for (fmt, e) in TABLE1_FORMATS.iter().zip(expect) {
+            let got = fmt.max_range();
+            assert!(
+                (got / e - 1.0).abs() < 1e-6,
+                "N={} k={}: got {got:e} want {e:e}",
+                fmt.n,
+                fmt.k
+            );
+        }
+    }
+
+    #[test]
+    fn table1_smallest_matches_paper() {
+        let expect = [5.421011e-20, 2.938736e-39, 1.593092e-58, 8.636169e-78];
+        for (fmt, e) in TABLE1_FORMATS.iter().zip(expect) {
+            let got = fmt.smallest();
+            assert!(
+                (got / e - 1.0).abs() < 1e-6,
+                "N={} k={}: got {got:e} want {e:e}",
+                fmt.n,
+                fmt.k
+            );
+        }
+    }
+
+    #[test]
+    fn bits_column() {
+        // Note: the paper's Table 1 prints 256 for N=6, but 64·6 = 384;
+        // DESIGN.md records this as an erratum.
+        let bits: Vec<usize> = TABLE1_FORMATS.iter().map(|f| f.bits()).collect();
+        assert_eq!(bits, vec![128, 192, 384, 512]);
+    }
+
+    #[test]
+    fn precision_bits_excludes_sign() {
+        assert_eq!(HpFormat::new(8, 4).precision_bits(), 511);
+        assert_eq!(HpFormat::new(6, 3).precision_bits(), 383);
+    }
+
+    #[test]
+    fn guaranteed_summands_bounds() {
+        let fmt = HpFormat::new(6, 3);
+        // 32M values of |x| ≤ 0.5 must be far within range.
+        assert!(fmt.guaranteed_summands(0.5) > 1 << 25);
+        assert_eq!(fmt.guaranteed_summands(0.0), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional limbs")]
+    fn k_greater_than_n_rejected() {
+        HpFormat::new(2, 3);
+    }
+
+    #[test]
+    fn k_equal_n_allowed() {
+        // Pure fraction: range ±0.5.
+        let f = HpFormat::new(2, 2);
+        assert_eq!(f.max_range(), 0.5);
+    }
+}

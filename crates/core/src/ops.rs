@@ -1,0 +1,306 @@
+//! Scalar operations beyond addition: multiplication by integers and
+//! scaling by powers of two.
+//!
+//! The paper's method is a summation format, but real reduction kernels
+//! often need a little more: weighted sums with integer weights
+//! (histogram/count weighting), averaging by power-of-two block sizes, and
+//! magnitude queries. These operations stay inside the "exact integer
+//! arithmetic" envelope — an integer multiply of a fixed-point value is
+//! exact (modulo range), and power-of-two scaling is a bit shift — so they
+//! preserve the order-invariance guarantee.
+
+use crate::error::HpError;
+use crate::fixed::HpFixed;
+use oisum_bignum::limbs;
+
+impl<const N: usize, const K: usize> HpFixed<N, K> {
+    /// Exact multiplication by a signed 64-bit integer, wrapping on
+    /// overflow (like `wrapping_add`).
+    #[inline]
+    pub fn wrapping_mul_i64(&self, c: i64) -> Self {
+        let mut limbs_buf = *self.as_limbs();
+        let neg_in = limbs::is_negative(&limbs_buf);
+        if neg_in {
+            limbs::negate(&mut limbs_buf);
+        }
+        let neg_c = c < 0;
+        limbs::mul_u64(&mut limbs_buf, c.unsigned_abs());
+        if neg_in != neg_c {
+            limbs::negate(&mut limbs_buf);
+        }
+        HpFixed::from_limbs(limbs_buf)
+    }
+
+    /// Multiplication by a signed 64-bit integer with overflow detection.
+    ///
+    /// Returns [`HpError::AddOverflow`] when the product leaves the
+    /// representable range.
+    pub fn checked_mul_i64(&self, c: i64) -> Result<Self, HpError> {
+        let mut limbs_buf = *self.as_limbs();
+        let neg_in = limbs::is_negative(&limbs_buf);
+        if neg_in {
+            limbs::negate(&mut limbs_buf);
+            if limbs::is_negative(&limbs_buf) && c.unsigned_abs() > 1 {
+                // Two's-complement minimum: |min| is not representable, so
+                // any |c| > 1 overflows.
+                return Err(HpError::AddOverflow);
+            }
+        }
+        let carry = limbs::mul_u64(&mut limbs_buf, c.unsigned_abs());
+        // Overflow if the magnitude spilled past the top limb or into the
+        // sign bit.
+        if carry != 0 || limbs::is_negative(&limbs_buf) {
+            return Err(HpError::AddOverflow);
+        }
+        if neg_in != (c < 0) {
+            limbs::negate(&mut limbs_buf);
+        }
+        Ok(HpFixed::from_limbs(limbs_buf))
+    }
+
+    /// Exact scaling by `2^e` (arithmetic shift), wrapping on overflow and
+    /// truncating bits shifted below the resolution toward −∞ (arithmetic
+    /// right shift semantics).
+    #[inline]
+    pub fn wrapping_shl_pow2(&self, e: u32) -> Self {
+        let mut limbs_buf = *self.as_limbs();
+        limbs::shl(&mut limbs_buf, e);
+        HpFixed::from_limbs(limbs_buf)
+    }
+
+    /// Exact scaling by `2^(−e)` (arithmetic right shift). Bits below the
+    /// resolution are floored (shifted out); for exact halving of sums of
+    /// even integers this is lossless.
+    #[inline]
+    pub fn shr_pow2(&self, e: u32) -> Self {
+        let mut limbs_buf = *self.as_limbs();
+        limbs::shr_arithmetic(&mut limbs_buf, e);
+        HpFixed::from_limbs(limbs_buf)
+    }
+
+    /// Absolute value (wraps on the format minimum, like `i64::abs` in
+    /// release mode would wrap).
+    #[inline]
+    pub fn abs(&self) -> Self {
+        if self.is_negative() {
+            self.negate()
+        } else {
+            *self
+        }
+    }
+
+    /// Sign of the value: −1, 0, or 1.
+    #[inline]
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.is_negative() {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Exact full-width multiplication: the product of two `(N, K)` values
+    /// as a `(2N, 2K)` [`DynHp`](crate::dyn_hp::DynHp) — no rounding, no overflow, for any
+    /// operands.
+    ///
+    /// `(I_a·2^(−64K)) · (I_b·2^(−64K)) = I_a·I_b · 2^(−64·2K)`, and the
+    /// magnitude product of two `(64N−1)`-bit integers needs at most
+    /// `128N − 2` bits, which `2N` limbs hold with the sign bit to spare.
+    /// Enables exact polynomial/product accumulation on top of exact
+    /// summation.
+    pub fn mul_full(&self, rhs: &Self) -> crate::dyn_hp::DynHp {
+        let mut ma = *self.as_limbs();
+        let neg_a = limbs::is_negative(&ma);
+        if neg_a {
+            limbs::negate(&mut ma);
+        }
+        let mut mb = *rhs.as_limbs();
+        let neg_b = limbs::is_negative(&mb);
+        if neg_b {
+            limbs::negate(&mut mb);
+        }
+        let mut out = vec![0u64; 2 * N];
+        limbs::mul_unsigned(&ma, &mb, &mut out);
+        if neg_a != neg_b {
+            limbs::negate(&mut out);
+        }
+        crate::dyn_hp::DynHp::from_raw(crate::format::HpFormat::new(2 * N, 2 * K), out)
+    }
+
+    /// Exact conversion from a signed 64-bit integer (integers up to
+    /// 63 whole bits always fit when `N − K ≥ 1`).
+    pub fn from_i64(v: i64) -> Result<Self, HpError> {
+        if N == K {
+            // Pure-fraction format: only 0 fits among the integers ±…
+            if v != 0 {
+                return Err(HpError::ConvertOverflow);
+            }
+            return Ok(Self::ZERO);
+        }
+        let mut limbs_buf = [0u64; N];
+        let whole = N - K;
+        limbs_buf[whole - 1] = v.unsigned_abs();
+        if v < 0 {
+            // Two's-complement negation; `i64::MIN` with a one-limb whole
+            // part lands exactly on the format minimum, which is valid.
+            limbs::negate(&mut limbs_buf);
+        }
+        Ok(HpFixed::from_limbs(limbs_buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{Hp2x1, Hp3x2};
+
+    #[test]
+    fn mul_matches_repeated_addition() {
+        let x = Hp3x2::from_f64(0.375).unwrap();
+        let mut sum = Hp3x2::ZERO;
+        for _ in 0..7 {
+            sum += x;
+        }
+        assert_eq!(x.wrapping_mul_i64(7), sum);
+        assert_eq!(x.checked_mul_i64(7).unwrap(), sum);
+    }
+
+    #[test]
+    fn mul_by_negative_flips_sign() {
+        let x = Hp3x2::from_f64(2.5).unwrap();
+        assert_eq!(x.wrapping_mul_i64(-3).to_f64(), -7.5);
+        let nx = Hp3x2::from_f64(-2.5).unwrap();
+        assert_eq!(nx.wrapping_mul_i64(-3).to_f64(), 7.5);
+        assert_eq!(nx.wrapping_mul_i64(3).to_f64(), -7.5);
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let x = Hp3x2::from_f64(123.456).unwrap();
+        assert!(x.wrapping_mul_i64(0).is_zero());
+        assert_eq!(x.wrapping_mul_i64(1), x);
+        assert_eq!(x.wrapping_mul_i64(-1), -x);
+    }
+
+    #[test]
+    fn checked_mul_detects_overflow() {
+        let near_max = Hp2x1::from_f64(2f64.powi(62)).unwrap();
+        assert!(near_max.checked_mul_i64(1).is_ok());
+        assert_eq!(near_max.checked_mul_i64(2), Err(HpError::AddOverflow));
+        assert_eq!(near_max.checked_mul_i64(-4), Err(HpError::AddOverflow));
+        // Well in range.
+        let small = Hp2x1::from_f64(1.5).unwrap();
+        assert_eq!(small.checked_mul_i64(1_000_000).unwrap().to_f64(), 1.5e6);
+    }
+
+    #[test]
+    fn mul_spans_limb_boundaries() {
+        // 2^-64 × 2^40 crosses from the fraction limb into the next.
+        let tick = Hp3x2::from_limbs([0, 0, 1 << 30]);
+        let scaled = tick.wrapping_mul_i64(1 << 40);
+        assert_eq!(*scaled.as_limbs(), [0, 1 << 6, 0]);
+    }
+
+    #[test]
+    fn pow2_scaling_round_trips() {
+        let x = Hp3x2::from_f64(3.1416015625).unwrap();
+        assert_eq!(x.wrapping_shl_pow2(7).shr_pow2(7), x);
+        assert_eq!(x.wrapping_shl_pow2(3).to_f64(), x.to_f64() * 8.0);
+        assert_eq!(x.shr_pow2(2).to_f64(), x.to_f64() / 4.0);
+    }
+
+    #[test]
+    fn shr_floors_negative_values() {
+        // -1 × 2^-1 at the resolution limit floors toward −∞, matching
+        // arithmetic shift semantics.
+        let neg_tick = -Hp2x1::from_limbs([0, 1]); // −2^-64
+        let halved = neg_tick.shr_pow2(1);
+        assert_eq!(halved, neg_tick, "floor(−2^-65) at 2^-64 resolution = −2^-64");
+    }
+
+    #[test]
+    fn abs_and_signum() {
+        let x = Hp3x2::from_f64(-4.25).unwrap();
+        assert_eq!(x.abs().to_f64(), 4.25);
+        assert_eq!(x.signum(), -1);
+        assert_eq!(x.abs().signum(), 1);
+        assert_eq!(Hp3x2::ZERO.signum(), 0);
+        assert_eq!(Hp3x2::ZERO.abs(), Hp3x2::ZERO);
+    }
+
+    #[test]
+    fn from_i64_round_trips() {
+        for v in [0i64, 1, -1, 42, -9_000_000_000, i64::MAX / 2] {
+            let hp = Hp3x2::from_i64(v).unwrap();
+            assert_eq!(hp.to_f64(), v as f64, "{v}");
+        }
+    }
+
+    #[test]
+    fn mul_full_matches_f64_products_on_dyadics() {
+        let cases = [
+            (1.5, 2.25),
+            (-0.125, 8.0),
+            (3.0, -7.0),
+            (-0.5, -0.5),
+            (0.0, 123.0),
+            (2f64.powi(30), 2f64.powi(30)),
+        ];
+        for (x, y) in cases {
+            let hx = Hp3x2::from_f64(x).unwrap();
+            let hy = Hp3x2::from_f64(y).unwrap();
+            let p = hx.mul_full(&hy);
+            assert_eq!(p.format(), crate::format::HpFormat::new(6, 4));
+            assert_eq!(p.to_f64(), x * y, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn mul_full_is_exact_beyond_f64() {
+        // (1 + 2^-52)² = 1 + 2^-51 + 2^-104: f64 rounds the last term
+        // away; the full product keeps it.
+        let x = 1.0 + 2f64.powi(-52);
+        let hx = Hp3x2::from_f64(x).unwrap();
+        let p = hx.mul_full(&hx);
+        // Subtract the f64-representable part and verify the 2^-104 tail.
+        let main = crate::dyn_hp::DynHp::from_f64(1.0 + 2f64.powi(-51), p.format()).unwrap();
+        let mut tail = p.clone();
+        let mut neg_main = main;
+        neg_main.negate();
+        tail.add_assign(&neg_main);
+        assert_eq!(tail.to_f64(), 2f64.powi(-104));
+    }
+
+    #[test]
+    fn mul_full_handles_extreme_magnitudes() {
+        // Near the format range: (2^62)·(2^62) = 2^124 needs the doubled
+        // whole part.
+        let big = Hp2x1::from_f64(2f64.powi(62)).unwrap();
+        let p = big.mul_full(&big);
+        assert_eq!(p.to_f64(), 2f64.powi(124));
+        let nbig = -big;
+        assert_eq!(nbig.mul_full(&big).to_f64(), -(2f64.powi(124)));
+        assert_eq!(nbig.mul_full(&nbig).to_f64(), 2f64.powi(124));
+    }
+
+    #[test]
+    fn weighted_sum_is_order_invariant() {
+        // Σ w_i · x_i with integer weights: fully exact and permutable.
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 - 100.0) * 0.001).collect();
+        let ws: Vec<i64> = (0..200).map(|i| (i % 17) as i64 - 8).collect();
+        let fwd: Hp3x2 = xs
+            .iter()
+            .zip(&ws)
+            .map(|(&x, &w)| Hp3x2::from_f64(x).unwrap().wrapping_mul_i64(w))
+            .sum();
+        let rev: Hp3x2 = xs
+            .iter()
+            .zip(&ws)
+            .rev()
+            .map(|(&x, &w)| Hp3x2::from_f64(x).unwrap().wrapping_mul_i64(w))
+            .sum();
+        assert_eq!(fwd, rev);
+    }
+}

@@ -1,0 +1,183 @@
+//! Serde support (feature `serde`): checkpointing HP values.
+//!
+//! Long-running simulations that adopt HP accumulators need to persist
+//! them across restarts *without* converting through `f64` (which would
+//! round away exactly the bits the method exists to keep). Values
+//! serialize as their raw limb sequence, most significant first, so a
+//! checkpoint restores bit-for-bit on any architecture.
+
+use crate::dyn_hp::DynHp;
+use crate::fixed::HpFixed;
+use crate::format::HpFormat;
+use serde::de::{Error as DeError, SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl<const N: usize, const K: usize> Serialize for HpFixed<N, K> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(N))?;
+        for limb in self.as_limbs() {
+            seq.serialize_element(limb)?;
+        }
+        seq.end()
+    }
+}
+
+struct LimbVisitor<const N: usize, const K: usize>;
+
+impl<'de, const N: usize, const K: usize> Visitor<'de> for LimbVisitor<N, K> {
+    type Value = HpFixed<N, K>;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "a sequence of {N} u64 limbs")
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+        let mut limbs = [0u64; N];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = seq
+                .next_element()?
+                .ok_or_else(|| A::Error::invalid_length(i, &self))?;
+        }
+        if seq.next_element::<u64>()?.is_some() {
+            return Err(A::Error::custom(format!("more than {N} limbs")));
+        }
+        Ok(HpFixed::from_limbs(limbs))
+    }
+}
+
+impl<'de, const N: usize, const K: usize> Deserialize<'de> for HpFixed<N, K> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_seq(LimbVisitor::<N, K>)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct DynHpRepr {
+    n: usize,
+    k: usize,
+    limbs: Vec<u64>,
+}
+
+impl Serialize for DynHp {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        DynHpRepr {
+            n: self.format().n,
+            k: self.format().k,
+            limbs: self.as_limbs().to_vec(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for DynHp {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = DynHpRepr::deserialize(deserializer)?;
+        if repr.k > repr.n || repr.n == 0 {
+            return Err(D::Error::custom(format!(
+                "invalid HP format n={} k={}",
+                repr.n, repr.k
+            )));
+        }
+        if repr.limbs.len() != repr.n {
+            return Err(D::Error::custom(format!(
+                "expected {} limbs, found {}",
+                repr.n,
+                repr.limbs.len()
+            )));
+        }
+        Ok(DynHp::from_raw(HpFormat::new(repr.n, repr.k), repr.limbs))
+    }
+}
+
+impl Serialize for HpFormat {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.n, self.k).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for HpFormat {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (n, k): (usize, usize) = Deserialize::deserialize(deserializer)?;
+        if k > n || n == 0 {
+            return Err(D::Error::custom(format!("invalid HP format n={n} k={k}")));
+        }
+        Ok(HpFormat::new(n, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{Hp3x2, Hp8x4};
+
+    #[test]
+    fn hpfixed_json_roundtrip_preserves_bits() {
+        for x in [0.0, -1.25, 0.1, 1e15, -2.2e-30] {
+            let v = Hp3x2::from_f64_trunc(x).unwrap();
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Hp3x2 = serde_json::from_str(&json).unwrap();
+            assert_eq!(v, back, "{x}: {json}");
+        }
+    }
+
+    #[test]
+    fn hpfixed_serializes_as_limb_array() {
+        let v = Hp3x2::from_limbs([1, 2, 3]);
+        assert_eq!(serde_json::to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn wrong_limb_count_rejected() {
+        assert!(serde_json::from_str::<Hp3x2>("[1,2]").is_err());
+        assert!(serde_json::from_str::<Hp3x2>("[1,2,3,4]").is_err());
+        assert!(serde_json::from_str::<Hp8x4>("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn dyn_hp_json_roundtrip() {
+        let v = DynHp::from_f64(-42.625, HpFormat::new(4, 2)).unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: DynHp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.format(), v.format());
+        assert_eq!(back.as_limbs(), v.as_limbs());
+        assert_eq!(back.to_f64(), -42.625);
+    }
+
+    #[test]
+    fn dyn_hp_invalid_payloads_rejected() {
+        // k > n.
+        assert!(
+            serde_json::from_str::<DynHp>(r#"{"n":2,"k":3,"limbs":[0,0]}"#).is_err()
+        );
+        // Limb count mismatch.
+        assert!(
+            serde_json::from_str::<DynHp>(r#"{"n":3,"k":1,"limbs":[0,0]}"#).is_err()
+        );
+        // n = 0.
+        assert!(serde_json::from_str::<DynHp>(r#"{"n":0,"k":0,"limbs":[]}"#).is_err());
+    }
+
+    #[test]
+    fn format_json_roundtrip() {
+        let f = HpFormat::new(6, 3);
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<HpFormat>(&json).unwrap(), f);
+        assert!(serde_json::from_str::<HpFormat>("[2,9]").is_err());
+    }
+
+    #[test]
+    fn checkpoint_restores_running_sum_exactly() {
+        // The use case: persist a partial sum mid-reduction, restore, and
+        // finish — identical to the uninterrupted run.
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 - 500.0) * 1e-7).collect();
+        let whole = Hp3x2::sum_f64_slice(&xs);
+        let partial = Hp3x2::sum_f64_slice(&xs[..437]);
+        let checkpoint = serde_json::to_vec(&partial).unwrap();
+        let mut restored: Hp3x2 = serde_json::from_slice(&checkpoint).unwrap();
+        for &x in &xs[437..] {
+            restored += Hp3x2::from_f64_unchecked(x);
+        }
+        assert_eq!(restored, whole);
+    }
+}

@@ -1,0 +1,165 @@
+//! Step-by-step traces of HP conversion and addition, reproducing the
+//! worked example of the paper's Figure 3.
+//!
+//! These helpers run the same kernels as the production paths but record a
+//! human-readable transcript of each step: the scaled remainder of the
+//! Listing-1 conversion loop, the two's-complement look-ahead carries, and
+//! the per-limb carry chain of Listing 2. The `fig3_walkthrough` example
+//! binary prints such a trace.
+
+use crate::fixed::HpFixed;
+use oisum_bignum::codec;
+use oisum_bignum::fmt::limbs_hex;
+
+/// Transcript of one traced operation.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// One line per recorded step.
+    pub steps: Vec<String>,
+}
+
+impl core::fmt::Display for Trace {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for s in &self.steps {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts `x` with the Listing-1 float loop, recording each extraction
+/// step. Returns the converted value and the transcript.
+pub fn trace_encode<const N: usize, const K: usize>(x: f64) -> (HpFixed<N, K>, Trace) {
+    let mut steps = Vec::new();
+    steps.push(format!(
+        "convert {x:e} to HP(N={N}, k={K}): scale by 2^-{} so limb 0 is the integer part",
+        64 * (N - K - 1)
+    ));
+    let isneg = x < 0.0;
+    let mut dtmp = x.abs() * codec::pow2_f64(-64 * (N as i64 - K as i64 - 1));
+    let mut a = [0u64; N];
+    for (i, limb) in a.iter_mut().enumerate().take(N - 1) {
+        let itmp = dtmp as u64;
+        dtmp = (dtmp - itmp as f64) * 18446744073709551616.0;
+        *limb = if isneg {
+            // Same corrected look-ahead as `convert::encode_listing1`.
+            let carry_in = dtmp < codec::pow2_f64(-64 * (N as i64 - 2 - i as i64));
+            steps.push(format!(
+                "  limb {i}: magnitude {itmp:#018x}, remaining limbs {} → ~limb+{}",
+                if carry_in { "all zero" } else { "nonzero" },
+                carry_in as u64
+            ));
+            (!itmp).wrapping_add(carry_in as u64)
+        } else {
+            steps.push(format!("  limb {i}: {itmp:#018x}, remainder scaled up by 2^64"));
+            itmp
+        };
+    }
+    let last = dtmp as u64;
+    a[N - 1] = if isneg {
+        steps.push(format!("  limb {}: magnitude {last:#018x} → ~limb+1", N - 1));
+        (!last).wrapping_add(1)
+    } else {
+        steps.push(format!("  limb {}: {last:#018x}", N - 1));
+        last
+    };
+    steps.push(format!("  result: {}", limbs_hex(&a)));
+    (HpFixed::from_limbs(a), Trace { steps })
+}
+
+/// Adds `b` into `a` with the Listing-2 carry chain, recording each limb
+/// addition and carry. Returns the sum and the transcript.
+pub fn trace_add<const N: usize, const K: usize>(
+    a: HpFixed<N, K>,
+    b: HpFixed<N, K>,
+) -> (HpFixed<N, K>, Trace) {
+    let mut steps = Vec::new();
+    steps.push(format!("add  a = {}", limbs_hex(a.as_limbs())));
+    steps.push(format!("     b = {}", limbs_hex(b.as_limbs())));
+    let mut out = *a.as_limbs();
+    let bl = b.as_limbs();
+    let mut carry = false;
+    for i in (0..N).rev() {
+        let (s1, c1) = out[i].overflowing_add(bl[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        steps.push(format!(
+            "  limb {i}: {:#018x} + {:#018x} + carry {} = {s2:#018x}, carry out {}",
+            out[i],
+            bl[i],
+            carry as u64,
+            (c1 | c2) as u64
+        ));
+        out[i] = s2;
+        carry = c1 | c2;
+    }
+    let sum = HpFixed::from_limbs(out);
+    steps.push(format!("  sum = {} ≈ {:e}", limbs_hex(&out), sum.to_f64()));
+    (sum, Trace { steps })
+}
+
+/// Runs the full Figure-3 walkthrough: encode two doubles, add them, and
+/// decode the sum, returning the combined transcript.
+pub fn figure3<const N: usize, const K: usize>(x: f64, y: f64) -> (f64, Trace) {
+    let (hx, tx) = trace_encode::<N, K>(x);
+    let (hy, ty) = trace_encode::<N, K>(y);
+    let (sum, tadd) = trace_add(hx, hy);
+    let mut steps = tx.steps;
+    steps.extend(ty.steps);
+    steps.extend(tadd.steps);
+    let result = sum.to_f64();
+    steps.push(format!("decode: {result:e}"));
+    (result, Trace { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisum_bignum::limbs;
+
+    #[test]
+    fn traced_encode_matches_production_path() {
+        for x in [0.001, -0.001, 1234.5, -77.25] {
+            let (traced, t) = trace_encode::<3, 2>(x);
+            let direct = HpFixed::<3, 2>::from_f64_trunc(x).unwrap();
+            assert_eq!(traced, direct, "{x}\n{t}");
+            assert!(!t.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn traced_add_matches_production_path() {
+        let a = HpFixed::<3, 2>::from_f64_trunc(1.5).unwrap();
+        let b = HpFixed::<3, 2>::from_f64_trunc(-0.75).unwrap();
+        let (sum, t) = trace_add(a, b);
+        assert_eq!(sum, a + b, "{t}");
+        assert_eq!(sum.to_f64(), 0.75);
+    }
+
+    #[test]
+    fn figure3_walkthrough_produces_exact_sum() {
+        // The figure adds two small reals; any dyadic pair checks exactness.
+        let (result, trace) = figure3::<3, 2>(2.5, -0.625);
+        assert_eq!(result, 1.875);
+        assert!(trace.steps.iter().any(|s| s.contains("carry")));
+    }
+
+    #[test]
+    fn trace_shows_carry_propagation() {
+        let a = HpFixed::<2, 1>::from_limbs([0, u64::MAX]);
+        let b = HpFixed::<2, 1>::from_limbs([0, 1]);
+        let (sum, t) = trace_add(a, b);
+        assert_eq!(*sum.as_limbs(), [1, 0]);
+        let text = t.to_string();
+        assert!(text.contains("carry out 1"), "{text}");
+    }
+
+    #[test]
+    fn negate_trace_consistency() {
+        // trace_encode of -x must equal negate(trace_encode(x)).
+        let (pos, _) = trace_encode::<3, 2>(0.3);
+        let (neg, _) = trace_encode::<3, 2>(-0.3);
+        let mut manual = *pos.as_limbs();
+        limbs::negate(&mut manual);
+        assert_eq!(*neg.as_limbs(), manual);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the HP method: Listing-1 fidelity against the exact
+//! integer oracle, order invariance, exactness against scaled-integer
+//! references, and atomic/sequential agreement.
+
+use oisum_bignum::codec;
+use oisum_core::{AdaptiveHp, AtomicHp, Hp3x2, Hp6x3, HpFixed, HpFormat};
+use proptest::prelude::*;
+
+/// Doubles representable in (N=3, K=2): |x| < 2^62, ulp ≥ 2^-128.
+fn representable() -> impl Strategy<Value = f64> {
+    (any::<bool>(), 0u64..(1 << 53), -75i32..=9).prop_map(|(neg, m, e)| {
+        let v = m as f64 * 2f64.powi(e);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+/// Arbitrary finite doubles within (3,2) range but possibly with bits below
+/// the resolution (exercises the truncating path).
+fn in_range_any_precision() -> impl Strategy<Value = f64> {
+    (any::<bool>(), 0u64..(1 << 53), -200i32..=9).prop_map(|(neg, m, e)| {
+        let v = m as f64 * 2f64.powi(e);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+fn oracle3(x: f64) -> [u64; 3] {
+    let mut out = [0u64; 3];
+    codec::encode_f64_trunc(x, 2, &mut out).unwrap();
+    out
+}
+
+proptest! {
+    /// Listing 1 (float loop) is bit-identical to the integer-path oracle
+    /// for every in-range double, including sub-resolution tails.
+    #[test]
+    fn listing1_matches_integer_oracle(x in in_range_any_precision()) {
+        let got = *Hp3x2::from_f64_trunc(x).unwrap().as_limbs();
+        prop_assert_eq!(got, oracle3(x), "x = {:e}", x);
+    }
+
+    /// Checked round trip through HP is the identity for representable
+    /// values.
+    #[test]
+    fn roundtrip_identity(x in representable()) {
+        let hp = Hp3x2::from_f64(x).unwrap();
+        prop_assert_eq!(hp.to_f64(), x);
+    }
+
+    /// The float-path decoder (inverse Listing 1) stays within 1 ulp of the
+    /// exact decoder.
+    #[test]
+    fn float_path_decode_close(x in representable()) {
+        let hp = Hp3x2::from_f64(x).unwrap();
+        let exact = hp.to_f64();
+        let float = hp.to_f64_float_path();
+        let ulp = f64::from_bits(exact.abs().max(f64::MIN_POSITIVE).to_bits() + 1)
+            - exact.abs();
+        prop_assert!((float - exact).abs() <= ulp, "x={:e} float={:e} exact={:e}", x, float, exact);
+    }
+
+    /// Permutation invariance: any shuffle of the summands produces the
+    /// bitwise-identical HP sum.
+    #[test]
+    fn permutation_invariance(
+        mut xs in proptest::collection::vec(representable(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let reference: Hp3x2 = xs.iter().map(|&x| Hp3x2::from_f64(x).unwrap()).sum();
+        // Fisher–Yates with a simple LCG so no extra dependency is needed.
+        let mut state = seed | 1;
+        for i in (1..xs.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            xs.swap(i, j);
+        }
+        let shuffled: Hp3x2 = xs.iter().map(|&x| Hp3x2::from_f64(x).unwrap()).sum();
+        prop_assert_eq!(reference, shuffled);
+    }
+
+    /// Exactness: the HP sum of dyadic values equals the i128 integer sum
+    /// of their scaled representations.
+    #[test]
+    fn sum_matches_scaled_integer_reference(
+        ms in proptest::collection::vec(-(1i64 << 40)..(1i64 << 40), 1..60),
+    ) {
+        let scale = 2f64.powi(-50);
+        let hp: Hp3x2 = ms
+            .iter()
+            .map(|&m| Hp3x2::from_f64(m as f64 * scale).unwrap())
+            .sum();
+        let exact: i128 = ms.iter().map(|&m| m as i128).sum();
+        prop_assert_eq!(hp.to_f64(), exact as f64 * scale);
+    }
+
+    /// Sub + neg consistency: a − b == a + (−b) bitwise.
+    #[test]
+    fn sub_is_add_neg(a in representable(), b in representable()) {
+        let ha = Hp3x2::from_f64(a).unwrap();
+        let hb = Hp3x2::from_f64(b).unwrap();
+        prop_assert_eq!(ha - hb, ha + (-hb));
+    }
+
+    /// Ordering agrees with f64 ordering for representable values.
+    #[test]
+    fn ordering_agrees_with_f64(a in representable(), b in representable()) {
+        let ha = Hp3x2::from_f64(a).unwrap();
+        let hb = Hp3x2::from_f64(b).unwrap();
+        prop_assert_eq!(ha.cmp(&hb), a.partial_cmp(&b).unwrap());
+    }
+
+    /// The atomic accumulator (both adders) agrees bitwise with the
+    /// sequential sum.
+    #[test]
+    fn atomic_matches_sequential(xs in proptest::collection::vec(representable(), 1..30)) {
+        let seq: Hp3x2 = xs.iter().map(|&x| Hp3x2::from_f64(x).unwrap()).sum();
+        let acc = AtomicHp::<3, 2>::zero();
+        let acc_cas = AtomicHp::<3, 2>::zero();
+        for &x in &xs {
+            let v = Hp3x2::from_f64(x).unwrap();
+            acc.add(&v);
+            acc_cas.add_cas(&v);
+        }
+        prop_assert_eq!(acc.load(), seq);
+        prop_assert_eq!(acc_cas.load(), seq);
+    }
+
+    /// The adaptive accumulator agrees with a fixed wide format whenever
+    /// the values fit the wide format.
+    #[test]
+    fn adaptive_matches_fixed(xs in proptest::collection::vec(representable(), 1..30)) {
+        let fixed: Hp6x3 = xs.iter().map(|&x| Hp6x3::from_f64(x).unwrap()).sum();
+        let mut adaptive = AdaptiveHp::new(HpFormat::new(2, 1));
+        for &x in &xs {
+            adaptive.add_f64(x).unwrap();
+        }
+        prop_assert_eq!(adaptive.to_f64(), fixed.to_f64());
+    }
+
+    /// Wider formats embed narrower ones: sums computed in (3,2) and (6,3)
+    /// decode identically for (3,2)-representable inputs whose total stays
+    /// within the narrow range (scale down so ≤30 summands cannot reach
+    /// the ±2^63 bound).
+    #[test]
+    fn format_widening_consistency(xs in proptest::collection::vec(representable(), 1..30)) {
+        let xs: Vec<f64> = xs.iter().map(|x| x * 2f64.powi(-20)).collect();
+        let narrow: Hp3x2 = xs.iter().map(|&x| Hp3x2::from_f64(x).unwrap()).sum();
+        let wide: HpFixed<6, 3> = xs.iter().map(|&x| HpFixed::<6, 3>::from_f64(x).unwrap()).sum();
+        prop_assert_eq!(narrow.to_f64(), wide.to_f64());
+    }
+}

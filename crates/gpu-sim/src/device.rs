@@ -1,0 +1,312 @@
+//! The GPU execution model: a thread grid accumulating into shared partial
+//! sums, executed for real on the host plus a calibrated device-time
+//! model.
+
+use crate::method::GpuMethod;
+use crate::model::GpuCostModel;
+use std::time::Instant;
+
+/// A modeled GPU device.
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Maximum resident threads; launching more gives no extra
+    /// parallelism (the paper's Tesla K20m "supports a maximum of 2496
+    /// concurrent threads", producing Fig. 7's plateau).
+    pub max_concurrent_threads: usize,
+    /// Number of shared partial sums (the paper uses 256).
+    pub num_partials: usize,
+    /// Host OS threads used to execute the grid for real.
+    pub host_workers: usize,
+    /// Device-time cost model.
+    pub model: GpuCostModel,
+}
+
+impl GpuDevice {
+    /// A Tesla-K20m-like device (Fig. 7's hardware).
+    pub fn k20m() -> Self {
+        GpuDevice {
+            name: "Tesla K20m (modeled)",
+            max_concurrent_threads: 2496,
+            num_partials: 256,
+            host_workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            model: GpuCostModel::k20m(),
+        }
+    }
+}
+
+/// Result of one modeled kernel run.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuRunResult {
+    /// The reduced value (from real execution with real atomics).
+    pub value: f64,
+    /// Host wall-clock seconds of the real execution (diagnostic only;
+    /// the host serializes the grid).
+    pub host_seconds: f64,
+    /// Modeled device seconds (the Fig. 7 series).
+    pub device_seconds: f64,
+}
+
+/// Launches the paper's global-sum kernel on the device: logical thread
+/// `t` grid-strides over `data` and atomically accumulates each element
+/// into partial `t % num_partials`; the partials are then folded on the
+/// host.
+///
+/// The execution is real — every logical thread's atomic updates happen —
+/// while the reported `device_seconds` comes from the cost model
+/// parameterized by the method's memory traffic (see
+/// [`GpuCostModel::predict`]).
+pub fn launch_sum<M: GpuMethod>(
+    device: &GpuDevice,
+    method: &M,
+    data: &[f64],
+    threads: usize,
+) -> GpuRunResult {
+    assert!(threads >= 1, "need at least one thread");
+    let t0 = Instant::now();
+    let cells: Vec<M::Cell> = (0..device.num_partials).map(|_| method.new_cell()).collect();
+
+    // Execute the grid: split logical thread ids across host workers.
+    let workers = device.host_workers.max(1).min(threads);
+    std::thread::scope(|s| {
+        let cells = &cells;
+        for w in 0..workers {
+            s.spawn(move || {
+                // Host worker w executes logical threads w, w+workers, …
+                let mut t = w;
+                while t < threads {
+                    let cell = &cells[t % device.num_partials];
+                    // Grid-stride loop over the data for logical thread t.
+                    let mut i = t;
+                    while i < data.len() {
+                        method.atomic_accumulate(cell, data[i]);
+                        i += threads;
+                    }
+                    t += workers;
+                }
+            });
+        }
+    });
+    let value = method.host_fold(&cells);
+    let host_seconds = t0.elapsed().as_secs_f64();
+    let device_seconds = device.model.predict(
+        data.len(),
+        threads,
+        device.max_concurrent_threads,
+        device.num_partials,
+        method.words_read_per_add() + method.words_written_per_add(),
+        method.words_written_per_add(),
+        method.lockable_words_per_cell(),
+    );
+    GpuRunResult {
+        value,
+        host_seconds,
+        device_seconds,
+    }
+}
+
+/// Launches the standard CUDA reduction pattern instead of per-element
+/// atomics: each *block* of `block_size` threads tree-reduces its
+/// grid-strided elements through (modeled) shared memory, then issues one
+/// atomic add of the block partial into global memory.
+///
+/// This is the ablation counterpart to [`launch_sum`]: it trades the
+/// paper's showcase of fine-grained atomic support for ~`block_size`×
+/// fewer global atomics. For order-invariant operands both kernels return
+/// the bitwise-identical value; for `f64` both are schedule dependent.
+/// The modeled time reflects the reduced atomic traffic (one atomic per
+/// block rather than per element).
+pub fn launch_sum_block_tree<M: GpuMethod>(
+    device: &GpuDevice,
+    method: &M,
+    data: &[f64],
+    threads: usize,
+    block_size: usize,
+) -> GpuRunResult {
+    assert!(threads >= 1 && block_size >= 1);
+    let t0 = Instant::now();
+    let blocks = threads.div_ceil(block_size);
+    let cells: Vec<M::Cell> = (0..device.num_partials).map(|_| method.new_cell()).collect();
+    let workers = device.host_workers.max(1).min(blocks);
+    std::thread::scope(|s| {
+        let cells = &cells;
+        for w in 0..workers {
+            s.spawn(move || {
+                let mut blk = w;
+                while blk < blocks {
+                    // Threads [blk·bs, (blk+1)·bs) reduce their
+                    // grid-strided elements into one block partial (the
+                    // device's shared-memory tree), then a single global
+                    // atomic deposits the block partial.
+                    let cell = &cells[blk % device.num_partials];
+                    let block_acc = method.new_cell();
+                    for t in blk * block_size..((blk + 1) * block_size).min(threads) {
+                        let mut i = t;
+                        while i < data.len() {
+                            method.atomic_accumulate(&block_acc, data[i]);
+                            i += threads;
+                        }
+                    }
+                    method.merge_cells(cell, &block_acc);
+                    blk += workers;
+                }
+            });
+        }
+    });
+    let value = method.host_fold(&cells);
+    let host_seconds = t0.elapsed().as_secs_f64();
+    // Modeled time: the data pass reads the same words per element, but
+    // partial-sum traffic stays in (modeled) shared memory; only one
+    // global atomic deposit of `limbs` words happens per block. Express
+    // that as amortized per-element atomic ops.
+    let words = method.words_read_per_add() + method.words_written_per_add();
+    let per_block_atomics = method.words_written_per_add();
+    let amortized_atomics = ((per_block_atomics * blocks) as f64
+        / data.len().max(1) as f64)
+        .ceil()
+        .clamp(1.0, per_block_atomics as f64) as usize;
+    let device_seconds = device.model.predict(
+        data.len(),
+        threads,
+        device.max_concurrent_threads,
+        device.num_partials,
+        words,
+        amortized_atomics,
+        method.lockable_words_per_cell(),
+    );
+    GpuRunResult {
+        value,
+        host_seconds,
+        device_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{F64Gpu, HallbergGpu, HpGpu};
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    fn small_device() -> GpuDevice {
+        let mut d = GpuDevice::k20m();
+        d.host_workers = 4;
+        d
+    }
+
+    #[test]
+    fn hp_gpu_sum_is_bitwise_reproducible_across_thread_counts() {
+        let xs = data(20_000);
+        let d = small_device();
+        let serial = oisum_core::Hp6x3::sum_f64_slice(&xs).to_f64();
+        for threads in [1usize, 17, 256, 1000] {
+            let r = launch_sum(&d, &HpGpu::<6, 3>, &xs, threads);
+            assert_eq!(r.value.to_bits(), serial.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn hallberg_gpu_sum_matches_serial() {
+        let xs = data(10_000);
+        let d = small_device();
+        let m = HallbergGpu::<10>::with_m(38);
+        let r = launch_sum(&d, &m, &xs, 512);
+        let codec = oisum_hallberg::HallbergCodec::<10>::with_m(38);
+        let serial = codec.decode(&codec.sum_f64_slice(&xs));
+        assert_eq!(r.value.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn f64_gpu_sum_is_close_but_distribution_dependent() {
+        let xs = data(50_000);
+        let d = small_device();
+        let r1 = launch_sum(&d, &F64Gpu, &xs, 64);
+        let exact = oisum_core::Hp6x3::sum_f64_slice(&xs).to_f64();
+        assert!((r1.value - exact).abs() < 1e-9);
+        // Different thread counts give different partial groupings; at
+        // least one of several should differ bitwise from the first.
+        let bits: Vec<u64> = [1usize, 7, 64, 333, 1024]
+            .iter()
+            .map(|&t| launch_sum(&d, &F64Gpu, &xs, t).value.to_bits())
+            .collect();
+        assert!(bits[1..].iter().any(|&b| b != bits[0]), "{bits:?}");
+    }
+
+    #[test]
+    fn modeled_time_plateaus_at_device_concurrency() {
+        let xs = data(1 << 14);
+        let d = small_device();
+        let t_1k = launch_sum(&d, &HpGpu::<6, 3>, &xs, 1024).device_seconds;
+        let t_2k = launch_sum(&d, &HpGpu::<6, 3>, &xs, 2048).device_seconds;
+        let t_8k = launch_sum(&d, &HpGpu::<6, 3>, &xs, 8192).device_seconds;
+        let t_32k = launch_sum(&d, &HpGpu::<6, 3>, &xs, 32768).device_seconds;
+        assert!(t_2k < t_1k);
+        // Beyond 2496 resident threads the curve flattens.
+        assert!((t_8k - t_32k).abs() / t_8k < 0.2, "t8k={t_8k} t32k={t_32k}");
+    }
+
+    #[test]
+    fn block_tree_kernel_matches_atomic_kernel_for_hp() {
+        let xs = data(15_000);
+        let d = small_device();
+        let m = HpGpu::<6, 3>;
+        let atomic = launch_sum(&d, &m, &xs, 1024).value;
+        for bs in [32usize, 128, 256] {
+            let tree = launch_sum_block_tree(&d, &m, &xs, 1024, bs).value;
+            assert_eq!(tree.to_bits(), atomic.to_bits(), "block_size={bs}");
+        }
+        // And across grid sizes.
+        let t2 = launch_sum_block_tree(&d, &m, &xs, 4096, 128).value;
+        assert_eq!(t2.to_bits(), atomic.to_bits());
+    }
+
+    #[test]
+    fn block_tree_kernel_matches_serial_for_hallberg() {
+        let xs = data(8_000);
+        let d = small_device();
+        let m = HallbergGpu::<10>::with_m(38);
+        let r = launch_sum_block_tree(&d, &m, &xs, 512, 64);
+        let codec = oisum_hallberg::HallbergCodec::<10>::with_m(38);
+        assert_eq!(r.value, codec.decode(&codec.sum_f64_slice(&xs)));
+    }
+
+    #[test]
+    fn block_tree_reduces_modeled_atomic_pressure() {
+        // With far fewer global atomics, the modeled time for the atomic-
+        // heavy Hallberg method must not exceed the per-element kernel.
+        let xs = data(1 << 14);
+        let d = small_device();
+        let m = HallbergGpu::<10>::with_m(38);
+        let per_elem = launch_sum(&d, &m, &xs, 2048).device_seconds;
+        let tree = launch_sum_block_tree(&d, &m, &xs, 2048, 256).device_seconds;
+        assert!(tree <= per_elem + 1e-12, "tree {tree} vs atomic {per_elem}");
+    }
+
+    #[test]
+    fn block_tree_f64_close_to_exact() {
+        let xs = data(30_000);
+        let d = small_device();
+        let r = launch_sum_block_tree(&d, &F64Gpu, &xs, 2048, 128);
+        let exact = oisum_core::Hp6x3::sum_f64_slice(&xs).to_f64();
+        assert!((r.value - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_count_larger_than_data() {
+        let xs = data(100);
+        let d = small_device();
+        let r = launch_sum(&d, &HpGpu::<3, 2>, &xs, 4096);
+        let serial = oisum_core::Hp3x2::sum_f64_slice(&xs).to_f64();
+        assert_eq!(r.value, serial);
+    }
+}

@@ -1,0 +1,30 @@
+//! # oisum-gpu — GPU execution model (CUDA analog)
+//!
+//! The substrate behind the paper's Fig. 7: a thread grid where logical
+//! thread `t` atomically accumulates its grid-strided elements into
+//! partial sum `t mod 256`, partials are copied back, and the host folds
+//! them. Built to "showcase the method's support for atomic operations"
+//! (§IV.B) — HP addition needs only per-limb atomic RMWs.
+//!
+//! Two layers:
+//!
+//! * **real execution** ([`device::launch_sum`]) — every logical thread's
+//!   atomic CAS/fetch-add updates actually run on host threads, so
+//!   reproducibility claims are tested with real contention: HP results
+//!   are bitwise identical for every grid size; CAS-emulated `f64`
+//!   atomicAdd results are not.
+//! * **device-time model** ([`model::GpuCostModel`]) — the paper's own
+//!   §IV.B memory-operation argument (13/21/3 words per add, atomic
+//!   serialization on 256 partials, thread saturation at 2496) turned
+//!   into a formula, generating the Fig. 7 curves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod method;
+pub mod model;
+
+pub use device::{launch_sum, launch_sum_block_tree, GpuDevice, GpuRunResult};
+pub use method::{F64Gpu, GpuMethod, HallbergGpu, HpGpu};
+pub use model::GpuCostModel;

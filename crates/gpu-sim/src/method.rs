@@ -1,0 +1,261 @@
+//! Per-method shared-memory accumulation cells for the GPU model.
+//!
+//! The paper's CUDA benchmark (§IV.B) has "all p threads simultaneously
+//! accumulate results into 256 partial sums using atomic operations, where
+//! the partial result used by each thread t is selected by (t modulus
+//! 256)". Each method therefore needs a *shared atomic cell* type:
+//!
+//! * `f64`: Kepler-class GPUs have no native double-precision `atomicAdd`;
+//!   it is emulated with an `atomicCAS` loop on the bit pattern — which is
+//!   exactly what [`F64Gpu`] does with an `AtomicU64`. Note the
+//!   consequence: the *order* in which CAS winners land is scheduling
+//!   dependent, so repeated runs produce different rounding — the
+//!   reproducibility failure under study.
+//! * HP: one atomic add per limb with carry deposits ([`oisum_core::AtomicHp`]).
+//! * Hallberg: one atomic add per limb, no carries ([`oisum_hallberg::AtomicHallberg`]).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use oisum_core::{AtomicHp, HpFixed};
+use oisum_hallberg::{AtomicHallberg, HallbergCodec, HallbergNum};
+
+/// A summation method runnable on the GPU execution model.
+pub trait GpuMethod: Sync {
+    /// One shared partial-sum cell in "global memory".
+    type Cell: Send + Sync;
+
+    /// Allocates a zeroed cell.
+    fn new_cell(&self) -> Self::Cell;
+
+    /// Atomically accumulates one summand into a cell (device side).
+    fn atomic_accumulate(&self, cell: &Self::Cell, x: f64);
+
+    /// Atomically folds a quiescent `src` cell into `dst` — the single
+    /// per-block global atomic of the block-tree reduction kernel.
+    fn merge_cells(&self, dst: &Self::Cell, src: &Self::Cell);
+
+    /// Host-side fold of the copied-back partial cells into the final
+    /// value (the paper copies the 256 partials to the host "where the
+    /// final sum is calculated").
+    fn host_fold(&self, cells: &[Self::Cell]) -> f64;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Global-memory words read per accumulate (§IV.B: 2 / 7 / 11).
+    fn words_read_per_add(&self) -> usize;
+
+    /// Global-memory words written per accumulate (§IV.B: 1 / 6 / 10).
+    fn words_written_per_add(&self) -> usize;
+
+    /// Independently lockable words per cell (§IV.B's concurrency
+    /// argument: several threads can update different limbs of one HP
+    /// partial simultaneously, only one can update a double).
+    fn lockable_words_per_cell(&self) -> usize;
+
+    /// Whether results are bitwise reproducible across schedules.
+    fn order_invariant(&self) -> bool;
+}
+
+/// Double precision with CAS-emulated atomic add.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F64Gpu;
+
+impl GpuMethod for F64Gpu {
+    type Cell = AtomicU64;
+
+    fn new_cell(&self) -> AtomicU64 {
+        AtomicU64::new(0f64.to_bits())
+    }
+
+    #[inline]
+    fn atomic_accumulate(&self, cell: &AtomicU64, x: f64) {
+        // Kepler-style emulation: CAS on the bit pattern until our add wins.
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + x).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn merge_cells(&self, dst: &AtomicU64, src: &AtomicU64) {
+        self.atomic_accumulate(dst, f64::from_bits(src.load(Ordering::Acquire)));
+    }
+
+    fn host_fold(&self, cells: &[AtomicU64]) -> f64 {
+        cells
+            .iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "double"
+    }
+    fn words_read_per_add(&self) -> usize {
+        2
+    }
+    fn words_written_per_add(&self) -> usize {
+        1
+    }
+    fn lockable_words_per_cell(&self) -> usize {
+        1
+    }
+    fn order_invariant(&self) -> bool {
+        false
+    }
+}
+
+/// The HP method on the GPU model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HpGpu<const N: usize, const K: usize>;
+
+impl<const N: usize, const K: usize> GpuMethod for HpGpu<N, K> {
+    type Cell = AtomicHp<N, K>;
+
+    fn new_cell(&self) -> Self::Cell {
+        AtomicHp::zero()
+    }
+
+    #[inline]
+    fn atomic_accumulate(&self, cell: &Self::Cell, x: f64) {
+        // CAS adder for parity with the CUDA implementation.
+        cell.add_cas(&HpFixed::from_f64_unchecked(x));
+    }
+
+    fn merge_cells(&self, dst: &Self::Cell, src: &Self::Cell) {
+        dst.add_cas(&src.load());
+    }
+
+    fn host_fold(&self, cells: &[Self::Cell]) -> f64 {
+        let mut total = HpFixed::<N, K>::ZERO;
+        for c in cells {
+            total.add_assign(&c.load());
+        }
+        total.to_f64()
+    }
+
+    fn name(&self) -> &'static str {
+        "hp"
+    }
+    fn words_read_per_add(&self) -> usize {
+        1 + N
+    }
+    fn words_written_per_add(&self) -> usize {
+        N
+    }
+    fn lockable_words_per_cell(&self) -> usize {
+        N
+    }
+    fn order_invariant(&self) -> bool {
+        true
+    }
+}
+
+/// The Hallberg method on the GPU model.
+#[derive(Debug, Clone)]
+pub struct HallbergGpu<const N: usize> {
+    codec: HallbergCodec<N>,
+}
+
+impl<const N: usize> HallbergGpu<N> {
+    /// Creates the method for limb width `m`.
+    pub fn with_m(m: u32) -> Self {
+        HallbergGpu {
+            codec: HallbergCodec::with_m(m),
+        }
+    }
+}
+
+impl<const N: usize> GpuMethod for HallbergGpu<N> {
+    type Cell = AtomicHallberg<N>;
+
+    fn new_cell(&self) -> Self::Cell {
+        AtomicHallberg::zero()
+    }
+
+    #[inline]
+    fn atomic_accumulate(&self, cell: &Self::Cell, x: f64) {
+        cell.add_cas(&self.codec.encode_unchecked(x));
+    }
+
+    fn merge_cells(&self, dst: &Self::Cell, src: &Self::Cell) {
+        dst.add_cas(&src.load());
+    }
+
+    fn host_fold(&self, cells: &[Self::Cell]) -> f64 {
+        let mut total = HallbergNum::<N>::ZERO;
+        for c in cells {
+            total.add_assign(&c.load());
+        }
+        self.codec.decode(&total)
+    }
+
+    fn name(&self) -> &'static str {
+        "hallberg"
+    }
+    fn words_read_per_add(&self) -> usize {
+        1 + N
+    }
+    fn words_written_per_add(&self) -> usize {
+        N
+    }
+    fn lockable_words_per_cell(&self) -> usize {
+        N
+    }
+    fn order_invariant(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_cas_cell_accumulates() {
+        let m = F64Gpu;
+        let cell = m.new_cell();
+        for i in 0..100 {
+            m.atomic_accumulate(&cell, i as f64);
+        }
+        assert_eq!(m.host_fold(std::slice::from_ref(&cell)), 4950.0);
+    }
+
+    #[test]
+    fn hp_cell_matches_sequential() {
+        let m = HpGpu::<6, 3>;
+        let cell = m.new_cell();
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 - 250.0) * 1e-5).collect();
+        for &x in &xs {
+            m.atomic_accumulate(&cell, x);
+        }
+        let serial = oisum_core::Hp6x3::sum_f64_slice(&xs).to_f64();
+        assert_eq!(m.host_fold(std::slice::from_ref(&cell)), serial);
+    }
+
+    #[test]
+    fn memory_counts_match_paper_quote() {
+        // "the addition of a summand to a partial sum requires, at a
+        // minimum, reads of seven 64-bit words … and writes of six words.
+        // The Hallberg method requires eleven reads and ten writes.
+        // Meanwhile, double precision requires a read of two words … and
+        // one write."
+        let hp = HpGpu::<6, 3>;
+        assert_eq!(
+            (hp.words_read_per_add(), hp.words_written_per_add()),
+            (7, 6)
+        );
+        let hb = HallbergGpu::<10>::with_m(38);
+        assert_eq!(
+            (hb.words_read_per_add(), hb.words_written_per_add()),
+            (11, 10)
+        );
+        assert_eq!(
+            (F64Gpu.words_read_per_add(), F64Gpu.words_written_per_add()),
+            (2, 1)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # oisum-hallberg — the Hallberg–Adcroft order-invariant sum
+//!
+//! The baseline the IPDPS 2016 paper's HP method is evaluated against:
+//!
+//! > R. Hallberg, A. Adcroft. *An order-invariant real-to-integer
+//! > conversion sum.* Parallel Computing 40(5–6):140–143, 2014.
+//!
+//! A real number is `N` **signed** 64-bit limbs with `M < 63` value bits
+//! each (Eq. 1 of the IPDPS paper); the remaining `63 − M` bits per limb
+//! are carry headroom, letting up to `2^(63−M) − 1` values be summed with
+//! **no carry processing at all** ("carry minimization"). The cost is
+//! overhead — only `N·M` of `64·N` bits carry precision — plus aliasing
+//! (multiple representations per value) and the need to know the summand
+//! count up front to pick `M`. The HP method trades the other way
+//! ("information content maximization"); `oisum-bench`'s Fig. 4 harness
+//! measures where each wins.
+//!
+//! ```
+//! use oisum_hallberg::{HallbergCodec, HallbergNum};
+//!
+//! let codec = HallbergCodec::<10>::with_m(38); // Figs. 5–8 configuration
+//! let xs = [0.25, -1.5, 3.0e-9, 0.125];
+//! let sum: HallbergNum<10> = xs.iter().map(|&x| codec.encode(x).unwrap()).sum();
+//! assert_eq!(codec.decode(&sum), 0.25 - 1.5 + 3.0e-9 + 0.125);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod num;
+pub mod params;
+#[cfg(feature = "serde")]
+mod serde_impls;
+
+pub use atomic::AtomicHallberg;
+pub use num::{HallbergCodec, HallbergNum};
+pub use params::{HallbergFormat, TABLE2_ROWS};

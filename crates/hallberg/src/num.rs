@@ -1,0 +1,459 @@
+//! The Hallberg number type and its codec.
+//!
+//! Conversion and normalization follow Hallberg & Adcroft (Parallel
+//! Computing 40, 2014) as summarized in §II.B of the IPDPS paper: each
+//! limb holds a signed multiple of its weight `2^(M·(i − N/2))`; addition
+//! is `N` independent `i64` additions with **no carries**, valid for up to
+//! `2^(63−M) − 1` accumulations.
+//!
+//! The conversion loop costs `2N` floating-point multiplies and `N`
+//! floating-point adds — the operation counts the paper's §IV.A analysis
+//! starts from.
+//!
+//! **Aliasing**: many limb vectors denote the same real value (carry
+//! headroom means digit values are not unique). [`HallbergCodec::normalize`]
+//! produces the canonical representative; `PartialEq` on the raw type is
+//! representation equality, while [`HallbergCodec::value_eq`] compares
+//! mathematical values.
+
+use crate::params::HallbergFormat;
+use oisum_bignum::codec::pow2_f64;
+use oisum_bignum::{codec, limbs};
+
+/// A Hallberg fixed-point number: `N` signed limbs, least significant
+/// first, with runtime weight parameter `M` held by the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HallbergNum<const N: usize> {
+    limbs: [i64; N],
+}
+
+impl<const N: usize> HallbergNum<N> {
+    /// The zero value (canonical in every format).
+    pub const ZERO: Self = HallbergNum { limbs: [0; N] };
+
+    /// Raw limbs, least significant first.
+    pub fn as_limbs(&self) -> &[i64; N] {
+        &self.limbs
+    }
+
+    /// Constructs from raw limbs (least significant first).
+    pub fn from_limbs(limbs: [i64; N]) -> Self {
+        HallbergNum { limbs }
+    }
+
+    /// Carry-free addition: `N` independent integer adds (the method's
+    /// whole point). Wraps on per-limb overflow — callers must respect
+    /// [`HallbergFormat::max_summands`]; see [`Self::checked_add`].
+    #[inline]
+    pub fn wrapping_add(mut self, rhs: &Self) -> Self {
+        for i in 0..N {
+            self.limbs[i] = self.limbs[i].wrapping_add(rhs.limbs[i]);
+        }
+        self
+    }
+
+    /// In-place carry-free accumulation (the hot-loop primitive).
+    #[inline]
+    pub fn add_assign(&mut self, rhs: &Self) {
+        for i in 0..N {
+            self.limbs[i] = self.limbs[i].wrapping_add(rhs.limbs[i]);
+        }
+    }
+
+    /// Addition that reports per-limb overflow — the "catastrophic
+    /// overflow" §II.B warns about when the summand budget is exceeded.
+    pub fn checked_add(mut self, rhs: &Self) -> Option<Self> {
+        for i in 0..N {
+            self.limbs[i] = self.limbs[i].checked_add(rhs.limbs[i])?;
+        }
+        Some(self)
+    }
+
+    /// Negation (limb-wise; exact since limbs are signed).
+    pub fn negate(mut self) -> Self {
+        for l in &mut self.limbs {
+            *l = -*l;
+        }
+        self
+    }
+
+    /// `true` if every limb is zero. Note a value can equal zero without
+    /// all-zero limbs until normalized (aliasing).
+    pub fn is_zero_repr(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+}
+
+impl<const N: usize> Default for HallbergNum<N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize> core::ops::Add for HallbergNum<N> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(&rhs)
+    }
+}
+
+impl<const N: usize> core::ops::AddAssign for HallbergNum<N> {
+    fn add_assign(&mut self, rhs: Self) {
+        HallbergNum::add_assign(self, &rhs);
+    }
+}
+
+impl<const N: usize> core::iter::Sum for HallbergNum<N> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let mut acc = Self::ZERO;
+        for v in iter {
+            acc.add_assign(&v);
+        }
+        acc
+    }
+}
+
+/// Encoder/decoder binding a limb count `N` to a runtime `M`, with the
+/// per-limb scale factors precomputed.
+#[derive(Debug, Clone)]
+pub struct HallbergCodec<const N: usize> {
+    format: HallbergFormat,
+    /// `2^(M·(i − N/2))` for each limb.
+    scales: [f64; N],
+    /// `2^(−M·(i − N/2))` for each limb.
+    inv_scales: [f64; N],
+}
+
+impl<const N: usize> HallbergCodec<N> {
+    /// Creates a codec for limb width `m`; panics unless
+    /// `format.n == N`.
+    pub fn new(format: HallbergFormat) -> Self {
+        assert_eq!(format.n, N, "codec limb count mismatch");
+        let mut scales = [0.0; N];
+        let mut inv_scales = [0.0; N];
+        for i in 0..N {
+            scales[i] = pow2_f64(format.weight_exp(i));
+            inv_scales[i] = pow2_f64(-format.weight_exp(i));
+        }
+        HallbergCodec {
+            format,
+            scales,
+            inv_scales,
+        }
+    }
+
+    /// Convenience constructor from `(N, M)`.
+    pub fn with_m(m: u32) -> Self {
+        Self::new(HallbergFormat::new(N, m))
+    }
+
+    /// The underlying format.
+    pub fn format(&self) -> HallbergFormat {
+        self.format
+    }
+
+    /// Converts `x` to Hallberg form: per limb (most significant first)
+    /// extract `trunc(rem · 2^(−weight))` and subtract it back out —
+    /// `2N` FP multiplies + `N` FP subtractions, the paper's §IV.A count.
+    ///
+    /// Bits of `x` below the least limb's resolution are truncated toward
+    /// zero. Returns `None` when `|x|` exceeds the format range or is not
+    /// finite.
+    #[inline]
+    pub fn encode(&self, x: f64) -> Option<HallbergNum<N>> {
+        if !x.is_finite() || x.abs() >= self.format.max_range() {
+            return None;
+        }
+        let mut rem = x;
+        let mut out = [0i64; N];
+        for i in (0..N).rev() {
+            // |rem| < 2^(M·(i+1−half)) ⇒ |t| ≤ 2^M, exact as f64 for M ≤ 52.
+            // The cast truncates toward zero, matching the C original.
+            let t = (rem * self.inv_scales[i]) as i64;
+            out[i] = t;
+            rem -= t as f64 * self.scales[i]; // error-free: multiples of a common scale
+        }
+        Some(HallbergNum { limbs: out })
+    }
+
+    /// Unchecked encode for pre-screened hot loops (debug-asserts range).
+    #[inline]
+    pub fn encode_unchecked(&self, x: f64) -> HallbergNum<N> {
+        debug_assert!(x.is_finite() && x.abs() < self.format.max_range());
+        let mut rem = x;
+        let mut out = [0i64; N];
+        for i in (0..N).rev() {
+            let t = (rem * self.inv_scales[i]) as i64;
+            out[i] = t;
+            rem -= t as f64 * self.scales[i];
+        }
+        HallbergNum { limbs: out }
+    }
+
+    /// Decodes to the nearest `f64` exactly (round-to-nearest-even), by
+    /// folding the signed limbs into a wide two's-complement fixed-point
+    /// value and using the exact decoder.
+    ///
+    /// This is the "normalization process … when the summation is complete
+    /// and the sum is converted back to a real number" of §II.B, done in
+    /// integer arithmetic so no double rounding can occur.
+    pub fn decode(&self, v: &HallbergNum<N>) -> f64 {
+        let m = self.format.m as i64;
+        let half = self.format.half() as i64;
+        // Fraction bits needed: M·half, rounded up to whole limbs.
+        let kbuf = ((m * half).max(0) as usize).div_ceil(64);
+        // Whole bits: M·(N − half) plus limb headroom (values may be
+        // unnormalized, so each limb can be ±2^63).
+        let whole_bits = (m * (N as i64 - half)).max(0) as usize + 66;
+        let nbuf = kbuf + whole_bits.div_ceil(64);
+        let mut buf = vec![0u64; nbuf];
+        for i in 0..N {
+            let shift = m * (i as i64 - half) + 64 * kbuf as i64;
+            debug_assert!(shift >= 0);
+            limbs::add_shifted_i64(&mut buf, v.limbs[i], shift as u32);
+        }
+        codec::decode_f64(&buf, kbuf)
+    }
+
+    /// Canonicalizes the representation: propagates carries so every limb
+    /// except the top lies in `[0, 2^M)`, eliminating aliasing. The top
+    /// limb keeps the sign.
+    pub fn normalize(&self, v: &mut HallbergNum<N>) {
+        let base = 1i64 << self.format.m;
+        for i in 0..N - 1 {
+            let q = v.limbs[i].div_euclid(base);
+            v.limbs[i] -= q * base;
+            v.limbs[i + 1] += q;
+        }
+    }
+
+    /// Mathematical equality across aliased representations.
+    pub fn value_eq(&self, a: &HallbergNum<N>, b: &HallbergNum<N>) -> bool {
+        let mut ca = *a;
+        let mut cb = *b;
+        self.normalize(&mut ca);
+        self.normalize(&mut cb);
+        ca == cb
+    }
+
+    /// Sums a slice of `f64` values (unchecked encode + carry-free adds).
+    pub fn sum_f64_slice(&self, xs: &[f64]) -> HallbergNum<N> {
+        debug_assert!(xs.len() as u64 <= self.format.max_summands() + 1);
+        let mut acc = HallbergNum::ZERO;
+        for &x in xs {
+            acc.add_assign(&self.encode_unchecked(x));
+        }
+        acc
+    }
+
+    /// `true` if any limb could exhaust its carry headroom within the next
+    /// `headroom_adds` additions — the runtime "carryout detection" §II.B
+    /// describes for summations whose length is not known a priori.
+    pub fn needs_normalization(&self, v: &HallbergNum<N>, headroom_adds: u64) -> bool {
+        // Each addition contributes at most ±2^m per limb.
+        let reserve = (headroom_adds as i128 + 1) << self.format.m;
+        let threshold = i64::MAX as i128 - reserve;
+        v.as_limbs().iter().any(|&l| (l as i128).abs() > threshold)
+    }
+
+    /// Sums a slice with runtime overflow protection: every `check_every`
+    /// additions the accumulator is tested and, when near capacity,
+    /// normalized in place (carries propagated so each limb returns to
+    /// `[0, 2^M)`).
+    ///
+    /// This is the §II.B alternative to knowing the summand count up
+    /// front: "an expensive carryout detection and normalization process
+    /// needs to be conducted at runtime which defeats the purpose of this
+    /// format". The `ablation_hallberg_renorm` harness measures how
+    /// expensive, as a function of `check_every`.
+    ///
+    /// `check_every` must not exceed the format's guaranteed summand
+    /// budget, otherwise a limb could overflow between checks.
+    pub fn sum_f64_slice_renormalizing(&self, xs: &[f64], check_every: usize) -> HallbergNum<N> {
+        assert!(
+            check_every >= 1 && check_every as u64 <= self.format.max_summands(),
+            "check interval must stay within the carry-headroom budget"
+        );
+        let mut acc = HallbergNum::ZERO;
+        for chunk in xs.chunks(check_every) {
+            for &x in chunk {
+                acc.add_assign(&self.encode_unchecked(x));
+            }
+            if self.needs_normalization(&acc, check_every as u64) {
+                self.normalize(&mut acc);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> HallbergCodec<10> {
+        HallbergCodec::with_m(38)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = codec();
+        for x in [0.0, 1.0, -1.0, 0.5, -0.5, 123.456, -0.001, 3.25e9, -7.5e-11] {
+            let v = c.encode(x).unwrap();
+            assert_eq!(c.decode(&v), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn negative_values_have_signed_limbs() {
+        let c = codec();
+        let v = c.encode(-1.5).unwrap();
+        assert!(v.as_limbs().iter().any(|&l| l < 0));
+        assert_eq!(c.decode(&v), -1.5);
+    }
+
+    #[test]
+    fn addition_is_exact_and_order_invariant() {
+        let c = codec();
+        let xs = [1.0e9, -0.25, 3.5e-10, -1.0e9, 7.75];
+        let fwd: HallbergNum<10> = xs.iter().map(|&x| c.encode(x).unwrap()).sum();
+        let rev: HallbergNum<10> = xs.iter().rev().map(|&x| c.encode(x).unwrap()).sum();
+        assert_eq!(fwd, rev); // carry-free adds commute limb-wise
+        let expect = 7.75 - 0.25 + 3.5e-10;
+        assert_eq!(c.decode(&fwd), expect);
+    }
+
+    #[test]
+    fn truncates_below_resolution() {
+        let c = codec(); // smallest = 2^-190
+        let v = c.encode(2f64.powi(-200)).unwrap();
+        assert!(v.is_zero_repr());
+        let v = c.encode(-(2f64.powi(-200))).unwrap();
+        assert_eq!(c.decode(&v), 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_non_finite() {
+        let c = codec(); // range 2^190
+        assert!(c.encode(2f64.powi(190)).is_none());
+        assert!(c.encode(f64::NAN).is_none());
+        assert!(c.encode(f64::INFINITY).is_none());
+        assert!(c.encode(2f64.powi(189)).is_some());
+    }
+
+    #[test]
+    fn aliasing_detected_and_normalized() {
+        let c = codec();
+        // value 2^38 can be limb1 = 1 or limb0 = 2^38 (with half = 5,
+        // limb 5 is weight 2^0, limb 6 is weight 2^38).
+        let mut a = HallbergNum::<10>::ZERO;
+        let mut b = HallbergNum::<10>::ZERO;
+        {
+            let mut la = *a.as_limbs();
+            la[6] = 1;
+            a = HallbergNum::from_limbs(la);
+            let mut lb = *b.as_limbs();
+            lb[5] = 1 << 38;
+            b = HallbergNum::from_limbs(lb);
+        }
+        assert_ne!(a, b); // representations differ…
+        assert!(c.value_eq(&a, &b)); // …but the value is the same
+        assert_eq!(c.decode(&a), c.decode(&b));
+    }
+
+    #[test]
+    fn normalize_canonical_ranges() {
+        let c = codec();
+        let mut v = c.encode(-12345.6789).unwrap();
+        let mut w = v;
+        c.normalize(&mut w);
+        for (i, &l) in w.as_limbs().iter().enumerate().take(9) {
+            assert!((0..(1i64 << 38)).contains(&l), "limb {i} = {l}");
+        }
+        // Value preserved.
+        assert_eq!(c.decode(&w), c.decode(&v));
+        let _ = &mut v;
+    }
+
+    #[test]
+    fn checked_add_detects_limb_overflow() {
+        let mut big = HallbergNum::<10>::ZERO;
+        let mut limbs = *big.as_limbs();
+        limbs[3] = i64::MAX;
+        big = HallbergNum::from_limbs(limbs);
+        assert!(big.checked_add(&big).is_none());
+        assert!(big.checked_add(&HallbergNum::ZERO).is_some());
+    }
+
+    #[test]
+    fn summand_budget_is_honored() {
+        // With M = 52 the headroom is 2^11 − 1 = 2047 additions; adding
+        // 2047 copies of a maximal-limb value must not overflow a limb.
+        let c = HallbergCodec::<10>::with_m(52);
+        let x = 0.999_999; // limb values close to 2^52
+        let v = c.encode(x).unwrap();
+        let mut acc = HallbergNum::ZERO;
+        for _ in 0..2047 {
+            acc = acc.checked_add(&v).expect("within budget");
+        }
+        let total = c.decode(&acc);
+        assert!((total - 2047.0 * x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn renormalizing_sum_matches_plain_sum() {
+        let c = codec();
+        let xs: Vec<f64> = (0..5000).map(|i| (i as f64 - 2500.0) * 1e-4).collect();
+        let plain = c.sum_f64_slice(&xs);
+        for every in [1usize, 7, 512, 5000] {
+            let renorm = c.sum_f64_slice_renormalizing(&xs, every);
+            assert!(c.value_eq(&plain, &renorm), "every={every}");
+            assert_eq!(c.decode(&renorm), c.decode(&plain));
+        }
+    }
+
+    #[test]
+    fn renormalization_extends_the_summand_budget() {
+        // M = 52 allows only 2047 carry-free adds of near-maximal values,
+        // but renormalizing every 1024 additions survives 100k of them.
+        let c = HallbergCodec::<10>::with_m(52);
+        let xs = vec![0.999_999f64; 100_000];
+        let total = c.sum_f64_slice_renormalizing(&xs, 1024);
+        let got = c.decode(&total);
+        assert!((got - 99_999.9).abs() < 1e-3, "got {got}");
+    }
+
+    #[test]
+    fn needs_normalization_triggers_near_capacity() {
+        let c = HallbergCodec::<10>::with_m(52);
+        assert!(!c.needs_normalization(&HallbergNum::ZERO, 1024));
+        let mut limbs = [0i64; 10];
+        limbs[4] = i64::MAX - 1;
+        assert!(c.needs_normalization(&HallbergNum::from_limbs(limbs), 1));
+        limbs[4] = -(i64::MAX - 1);
+        assert!(c.needs_normalization(&HallbergNum::from_limbs(limbs), 1));
+        // A limb within `headroom · 2^m` of the boundary triggers for the
+        // large interval but not for a tiny one.
+        limbs[4] = i64::MAX - (600 << 52);
+        assert!(c.needs_normalization(&HallbergNum::from_limbs(limbs), 1024));
+        assert!(!c.needs_normalization(&HallbergNum::from_limbs(limbs), 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "carry-headroom budget")]
+    fn oversized_check_interval_rejected() {
+        let c = HallbergCodec::<10>::with_m(52); // budget 2047
+        c.sum_f64_slice_renormalizing(&[1.0], 4096);
+    }
+
+    #[test]
+    fn matches_hp_method_on_common_values() {
+        use oisum_core::Hp6x3;
+        let c = codec();
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 - 250.0) * 0.125).collect();
+        let hb: HallbergNum<10> = xs.iter().map(|&x| c.encode(x).unwrap()).sum();
+        let hp = Hp6x3::sum_f64_slice(&xs);
+        // Dyadic inputs: both methods are exact and must agree.
+        assert_eq!(c.decode(&hb), hp.to_f64());
+    }
+}

@@ -1,0 +1,158 @@
+//! Hallberg format parameters `(N, M)` and their selection rules
+//! (paper §II.B and Table 2).
+//!
+//! A Hallberg number is `N` signed 64-bit integers `a_i` with (Eq. 1)
+//!
+//! ```text
+//! r = Σ_{i=0}^{N-1} a_i · 2^(M·(i − N/2))
+//! ```
+//!
+//! Each limb carries `M` value bits; the remaining `63 − M` bits are carry
+//! headroom, so up to `2^(63−M) − 1` numbers can be accumulated without any
+//! carry processing — the "carry minimization" strategy the HP method is
+//! contrasted against. Choosing `M` therefore trades per-limb precision
+//! against the guaranteed summand count, which is why Table 2 pairs each
+//! problem size with its own `(N, M)`.
+
+/// A Hallberg format: `n` limbs of `m` value bits each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HallbergFormat {
+    /// Number of 64-bit signed limbs (`N` in the paper).
+    pub n: usize,
+    /// Value bits per limb (`M` in the paper), `1 ≤ m ≤ 52`.
+    pub m: u32,
+}
+
+impl HallbergFormat {
+    /// Creates a format, validating `n ≥ 1` and `1 ≤ m ≤ 52`.
+    ///
+    /// `m ≤ 52` keeps every limb value exactly representable as `f64`
+    /// during conversion (the paper's largest Table 2 choice is 52).
+    pub fn new(n: usize, m: u32) -> Self {
+        assert!(n >= 1, "Hallberg format needs at least one limb");
+        assert!((1..=52).contains(&m), "m={m} must be in 1..=52");
+        HallbergFormat { n, m }
+    }
+
+    /// Total precision bits, `n · m` (Table 2's "Precision Bits").
+    pub const fn precision_bits(&self) -> u64 {
+        self.n as u64 * self.m as u64
+    }
+
+    /// Maximum number of summands guaranteed to need no carry handling:
+    /// `2^(63−m) − 1` (Table 2's "Maximum Summands").
+    pub const fn max_summands(&self) -> u64 {
+        (1u64 << (63 - self.m)) - 1
+    }
+
+    /// Index offset of the radix point: limbs `0 .. n/2` are fractional.
+    pub const fn half(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Weight exponent of limb `i`: `m · (i − n/2)`.
+    pub const fn weight_exp(&self, i: usize) -> i64 {
+        self.m as i64 * (i as i64 - self.half() as i64)
+    }
+
+    /// Exclusive magnitude bound `2^(m·(n − n/2))` for a *normalized*
+    /// value.
+    pub fn max_range(&self) -> f64 {
+        oisum_bignum::codec::pow2_f64(self.m as i64 * (self.n - self.half()) as i64)
+    }
+
+    /// Smallest positive representable value, `2^(−m·(n/2))`.
+    pub fn smallest(&self) -> f64 {
+        oisum_bignum::codec::pow2_f64(-(self.m as i64) * self.half() as i64)
+    }
+
+    /// Selects the Table-2-style format for a given target precision (in
+    /// bits) and summand count: the largest `m` whose carry headroom covers
+    /// `count` additions, then the block count *nearest* the precision.
+    ///
+    /// Nearest (not ceiling) matches the paper's "near equivalency"
+    /// convention: its Table 2 rows come out as 520/516/518 bits for the
+    /// 512-bit target, and its Figs. 5–8 use `N = 10` (380 bits) against
+    /// the 383-bit HP(6,3) — slightly *under* the target when that is
+    /// closer.
+    ///
+    /// `params_for(512, 2047)` → (10, 52); `params_for(512, 2^20−1)` →
+    /// (12, 43); `params_for(512, 2^26−1)` → (14, 37): exactly the paper's
+    /// Table 2 (whose "maximum summands" column is `2^(63−M) − 1`).
+    pub fn params_for(precision_bits: u64, count: u64) -> Self {
+        // Need 2^(63−m) − 1 ≥ count ⟺ 63 − m ≥ log2(count + 1).
+        let need = 64 - count.leading_zeros(); // ceil(log2(count+1))
+        let m = (63 - need).clamp(1, 52);
+        // Round blocks to nearest: (b + m/2) / m in integer arithmetic.
+        let n = ((2 * precision_bits + m as u64) / (2 * m as u64)).max(1) as usize;
+        HallbergFormat::new(n, m)
+    }
+}
+
+/// The paper's Table 2: Hallberg formats near-equivalent to the 512-bit HP
+/// method, as `(format, max summands)` rows.
+pub const TABLE2_ROWS: [(usize, u32); 3] = [(10, 52), (12, 43), (14, 37)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_reproduced_by_selection() {
+        // (precision 512, count) → paper's rows. Table 2's "≤ 2048" row
+        // strictly guarantees 2^11 − 1 = 2047 summands for M = 52.
+        assert_eq!(HallbergFormat::params_for(512, 2047), HallbergFormat::new(10, 52));
+        assert_eq!(
+            HallbergFormat::params_for(512, (1 << 20) - 1),
+            HallbergFormat::new(12, 43)
+        );
+        assert_eq!(
+            HallbergFormat::params_for(512, (1 << 26) - 1),
+            HallbergFormat::new(14, 37)
+        );
+    }
+
+    #[test]
+    fn table2_precision_bits() {
+        let expect = [520u64, 516, 518];
+        for (&(n, m), &bits) in TABLE2_ROWS.iter().zip(expect.iter()) {
+            assert_eq!(HallbergFormat::new(n, m).precision_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn table2_max_summands() {
+        assert_eq!(HallbergFormat::new(10, 52).max_summands(), 2047);
+        assert_eq!(HallbergFormat::new(12, 43).max_summands(), (1 << 20) - 1);
+        assert_eq!(HallbergFormat::new(14, 37).max_summands(), (1 << 26) - 1);
+    }
+
+    #[test]
+    fn fig5_format_supports_32m_summands() {
+        // Figs. 5–8 use (N=10, M=38): headroom 2^25 − 1 ≈ 32M.
+        let f = HallbergFormat::new(10, 38);
+        assert_eq!(f.max_summands(), (1 << 25) - 1);
+        assert_eq!(f.precision_bits(), 380);
+    }
+
+    #[test]
+    fn weights_are_centered() {
+        let f = HallbergFormat::new(10, 38);
+        assert_eq!(f.weight_exp(5), 0);
+        assert_eq!(f.weight_exp(0), -5 * 38);
+        assert_eq!(f.weight_exp(9), 4 * 38);
+    }
+
+    #[test]
+    fn range_and_smallest() {
+        let f = HallbergFormat::new(10, 38);
+        assert_eq!(f.max_range(), 2f64.powi(5 * 38));
+        assert_eq!(f.smallest(), 2f64.powi(-5 * 38));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=52")]
+    fn m_above_52_rejected() {
+        HallbergFormat::new(10, 53);
+    }
+}

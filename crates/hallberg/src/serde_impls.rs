@@ -1,0 +1,96 @@
+//! Serde support (feature `serde`): checkpointing Hallberg partial sums
+//! as their raw signed limb sequence, least significant first.
+
+use crate::num::HallbergNum;
+use crate::params::HallbergFormat;
+use serde::de::{Error as DeError, SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl<const N: usize> Serialize for HallbergNum<N> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(N))?;
+        for limb in self.as_limbs() {
+            seq.serialize_element(limb)?;
+        }
+        seq.end()
+    }
+}
+
+struct LimbVisitor<const N: usize>;
+
+impl<'de, const N: usize> Visitor<'de> for LimbVisitor<N> {
+    type Value = HallbergNum<N>;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "a sequence of {N} i64 limbs")
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+        let mut limbs = [0i64; N];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = seq
+                .next_element()?
+                .ok_or_else(|| A::Error::invalid_length(i, &self))?;
+        }
+        if seq.next_element::<i64>()?.is_some() {
+            return Err(A::Error::custom(format!("more than {N} limbs")));
+        }
+        Ok(HallbergNum::from_limbs(limbs))
+    }
+}
+
+impl<'de, const N: usize> Deserialize<'de> for HallbergNum<N> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_seq(LimbVisitor::<N>)
+    }
+}
+
+impl Serialize for HallbergFormat {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.n, self.m).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for HallbergFormat {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (n, m): (usize, u32) = Deserialize::deserialize(deserializer)?;
+        if n == 0 || !(1..=52).contains(&m) {
+            return Err(D::Error::custom(format!(
+                "invalid Hallberg format n={n} m={m}"
+            )));
+        }
+        Ok(HallbergFormat::new(n, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::HallbergCodec;
+
+    #[test]
+    fn num_json_roundtrip_preserves_limbs() {
+        let c = HallbergCodec::<10>::with_m(38);
+        let v = c.encode(-123.456).unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: HallbergNum<10> = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(c.decode(&back), c.decode(&v));
+    }
+
+    #[test]
+    fn wrong_limb_count_rejected() {
+        assert!(serde_json::from_str::<HallbergNum<10>>("[1,2,3]").is_err());
+        assert!(serde_json::from_str::<HallbergNum<2>>("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn format_roundtrip_and_validation() {
+        let f = HallbergFormat::new(10, 38);
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<HallbergFormat>(&json).unwrap(), f);
+        assert!(serde_json::from_str::<HallbergFormat>("[10,53]").is_err());
+        assert!(serde_json::from_str::<HallbergFormat>("[0,38]").is_err());
+    }
+}

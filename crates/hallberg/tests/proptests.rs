@@ -1,0 +1,95 @@
+//! Property tests for the Hallberg baseline: round-trip exactness,
+//! order invariance, aliasing-safe equality, and agreement with the HP
+//! method on shared inputs.
+
+use oisum_core::Hp6x3;
+use oisum_hallberg::{HallbergCodec, HallbergNum};
+use proptest::prelude::*;
+
+/// Doubles representable in both Hallberg (10, 38) and HP (6, 3):
+/// |x| < 2^62 with ulp ≥ 2^-128 (well inside both formats).
+fn representable() -> impl Strategy<Value = f64> {
+    (any::<bool>(), 0u64..(1 << 53), -75i32..=9).prop_map(|(neg, m, e)| {
+        let v = m as f64 * 2f64.powi(e);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_exact(x in representable()) {
+        let c = HallbergCodec::<10>::with_m(38);
+        let v = c.encode(x).unwrap();
+        prop_assert_eq!(c.decode(&v), x);
+    }
+
+    #[test]
+    fn permutation_invariance(
+        mut xs in proptest::collection::vec(representable(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let c = HallbergCodec::<10>::with_m(38);
+        let reference: HallbergNum<10> = xs.iter().map(|&x| c.encode(x).unwrap()).sum();
+        let mut state = seed | 1;
+        for i in (1..xs.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            xs.swap(i, j);
+        }
+        let shuffled: HallbergNum<10> = xs.iter().map(|&x| c.encode(x).unwrap()).sum();
+        // Carry-free limb addition commutes exactly, so even the raw
+        // representation is identical.
+        prop_assert_eq!(reference, shuffled);
+    }
+
+    #[test]
+    fn agrees_with_hp_method(xs in proptest::collection::vec(representable(), 1..50)) {
+        let c = HallbergCodec::<10>::with_m(38);
+        let hb: HallbergNum<10> = xs.iter().map(|&x| c.encode(x).unwrap()).sum();
+        let hp: Hp6x3 = xs.iter().map(|&x| Hp6x3::from_f64(x).unwrap()).sum();
+        // Both methods are exact on these inputs; the decoded doubles must
+        // be bit-identical.
+        prop_assert_eq!(c.decode(&hb).to_bits(), hp.to_f64().to_bits());
+    }
+
+    #[test]
+    fn normalize_preserves_value(x in representable(), y in representable()) {
+        let c = HallbergCodec::<10>::with_m(38);
+        let mut v = c.encode(x).unwrap().wrapping_add(&c.encode(y).unwrap());
+        let before = c.decode(&v);
+        c.normalize(&mut v);
+        prop_assert_eq!(c.decode(&v), before);
+        // Normalized limbs are canonical.
+        for &l in v.as_limbs().iter().take(9) {
+            prop_assert!((0..(1i64 << 38)).contains(&l));
+        }
+    }
+
+    #[test]
+    fn value_eq_across_aliases(x in representable()) {
+        let c = HallbergCodec::<10>::with_m(38);
+        let v = c.encode(x).unwrap();
+        // Create an alias: move one unit from limb i+1 to 2^38 units of i.
+        let mut limbs = *v.as_limbs();
+        if limbs[6] != 0 && limbs[5].abs() < (1i64 << 24) {
+            let sgn = limbs[6].signum();
+            limbs[6] -= sgn;
+            limbs[5] += sgn << 38;
+            let alias = HallbergNum::from_limbs(limbs);
+            prop_assert!(c.value_eq(&v, &alias));
+            prop_assert_eq!(c.decode(&alias), c.decode(&v));
+        }
+    }
+
+    #[test]
+    fn negate_roundtrip(x in representable()) {
+        let c = HallbergCodec::<10>::with_m(38);
+        let v = c.encode(x).unwrap();
+        prop_assert_eq!(c.decode(&v.negate()), -x);
+        prop_assert_eq!(v.negate().negate(), v);
+    }
+}

@@ -1,0 +1,442 @@
+//! Collective operations over the communicator: broadcast, reduce,
+//! allreduce, gather, scatter.
+//!
+//! `reduce` supports **custom reduction operators** — the Rust analog of
+//! the paper's "creation of a custom MPI data type and `MPI_Op` operation
+//! to support reduction with `MPI_Reduce()`" (§IV.B). Two reduction
+//! shapes are provided:
+//!
+//! * [`reduce_binomial`] — the log₂(p)-depth tree a real MPI library uses.
+//!   With a non-associative op (f64 `+`) the result depends on the tree,
+//!   i.e. on `p`; with HP/Hallberg operands it cannot.
+//! * [`reduce_linear`] — root receives partials in rank order, matching
+//!   the paper's "master PE reduces the p partial sums" description.
+
+use crate::comm::{CommError, Communicator, Tag};
+
+/// Tags reserved by the collectives (user code should avoid 60000+).
+const TAG_BCAST: Tag = 60001;
+const TAG_REDUCE: Tag = 60002;
+const TAG_GATHER: Tag = 60003;
+const TAG_SCATTER: Tag = 60004;
+const TAG_RING: Tag = 60005;
+const TAG_SCAN: Tag = 60006;
+
+/// A binary reduction operator. Must be deterministic; associativity is
+/// the *operand type's* business (that distinction is the whole paper).
+pub trait ReduceOp<T>: Sync {
+    /// Combines two values.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+impl<T, F: Fn(T, T) -> T + Sync> ReduceOp<T> for F {
+    fn combine(&self, a: T, b: T) -> T {
+        self(a, b)
+    }
+}
+
+/// Broadcasts root's value to every rank along a binomial tree; returns
+/// the value on every rank.
+pub fn broadcast<T: Clone + Send + 'static>(
+    comm: &Communicator,
+    root: usize,
+    value: Option<T>,
+) -> Result<T, CommError> {
+    let size = comm.size();
+    let vrank = (comm.rank() + size - root) % size; // rotate so root is 0
+    let mut have: Option<T> = if vrank == 0 {
+        Some(value.expect("root must supply the broadcast value"))
+    } else {
+        None
+    };
+    // Receive phase: each non-root receives exactly once, from its virtual
+    // rank with the highest set bit cleared (standard binomial tree).
+    if vrank != 0 {
+        let top = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
+        let src = (vrank - top + root) % size;
+        have = Some(comm.recv::<T>(src, TAG_BCAST)?);
+    }
+    // Send phase: forward to vrank + m for each m > (vrank's top bit).
+    let start = if vrank == 0 {
+        1usize
+    } else {
+        1usize << (usize::BITS - vrank.leading_zeros()) // next power of two above top bit
+    };
+    let mut m = start;
+    while vrank + m < size {
+        let dst = (vrank + m + root) % size;
+        comm.send(dst, TAG_BCAST, have.clone().expect("value present"))?;
+        m <<= 1;
+    }
+    Ok(have.expect("broadcast value missing"))
+}
+
+/// Binomial-tree reduction to `root`; returns `Some(total)` on the root
+/// and `None` elsewhere. Combination order is the fixed tree order, so it
+/// is deterministic for a given `p` — but different `p` produce different
+/// trees, which changes f64 results and never changes HP results.
+pub fn reduce_binomial<T, O>(
+    comm: &Communicator,
+    root: usize,
+    local: T,
+    op: &O,
+) -> Result<Option<T>, CommError>
+where
+    T: Send + 'static,
+    O: ReduceOp<T>,
+{
+    let size = comm.size();
+    let vrank = (comm.rank() + size - root) % size;
+    let mut acc = local;
+    let mut mask = 1usize;
+    while mask < size {
+        if vrank & mask == 0 {
+            let partner = vrank | mask;
+            if partner < size {
+                let v = comm.recv::<T>((partner + root) % size, TAG_REDUCE)?;
+                acc = op.combine(acc, v);
+            }
+        } else {
+            let partner = vrank & !mask;
+            comm.send((partner + root) % size, TAG_REDUCE, acc)?;
+            return Ok(None);
+        }
+        mask <<= 1;
+    }
+    Ok(Some(acc))
+}
+
+/// Linear reduction: root folds partials in rank order (the paper's
+/// "master PE" description). Deterministic for a fixed `p`.
+pub fn reduce_linear<T, O>(
+    comm: &Communicator,
+    root: usize,
+    local: T,
+    op: &O,
+) -> Result<Option<T>, CommError>
+where
+    T: Send + 'static,
+    O: ReduceOp<T>,
+{
+    if comm.rank() == root {
+        let mut acc = None;
+        let mut pending: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
+        pending[root] = Some(local);
+        for (r, slot) in pending.iter_mut().enumerate() {
+            if r != root {
+                *slot = Some(comm.recv::<T>(r, TAG_REDUCE)?);
+            }
+        }
+        for v in pending.into_iter().flatten() {
+            acc = Some(match acc {
+                None => v,
+                Some(a) => op.combine(a, v),
+            });
+        }
+        Ok(acc)
+    } else {
+        comm.send(root, TAG_REDUCE, local)?;
+        Ok(None)
+    }
+}
+
+/// Reduce-then-broadcast: every rank gets the total.
+pub fn allreduce<T, O>(comm: &Communicator, local: T, op: &O) -> Result<T, CommError>
+where
+    T: Clone + Send + 'static,
+    O: ReduceOp<T>,
+{
+    let total = reduce_binomial(comm, 0, local, op)?;
+    broadcast(comm, 0, total)
+}
+
+/// Ring allreduce: each rank passes its accumulating value around the
+/// ring `p − 1` times, combining at each hop — the bandwidth-optimal
+/// pattern large-scale training frameworks use.
+///
+/// Combination order is "my value, then my left neighbours' values in
+/// ring order", which **differs per rank** — so a non-associative op
+/// (f64 `+`) yields *different totals on different ranks* of the same
+/// run. That is precisely the pathology the paper's integer-addition
+/// operands remove: with HP operands every rank converges to the bitwise
+/// identical total. The test below pins both behaviours.
+pub fn allreduce_ring<T, O>(comm: &Communicator, local: T, op: &O) -> Result<T, CommError>
+where
+    T: Clone + Send + 'static,
+    O: ReduceOp<T>,
+{
+    let size = comm.size();
+    if size == 1 {
+        return Ok(local);
+    }
+    let right = (comm.rank() + 1) % size;
+    let left = (comm.rank() + size - 1) % size;
+    // Send our running value right, receive the left value, fold it in.
+    // After p − 1 hops every contribution has visited every rank.
+    let mut acc = local.clone();
+    let mut forward = local;
+    for _ in 0..size - 1 {
+        comm.send(right, TAG_RING, forward)?;
+        let incoming = comm.recv::<T>(left, TAG_RING)?;
+        acc = op.combine(acc, incoming.clone());
+        forward = incoming;
+    }
+    Ok(acc)
+}
+
+/// Inclusive prefix scan: rank `r` receives `op(v_0, v_1, …, v_r)`,
+/// combined in rank order (MPI `MPI_Scan` semantics).
+///
+/// Implemented as a hypercube scan: log₂(p) rounds where each rank
+/// exchanges its running prefix with the partner `rank ^ 2^round`,
+/// folding partners below it into its own prefix. With integer-addition
+/// operands (HP/Hallberg) the result is identical to a serial prefix
+/// pass; used for reproducible cumulative integration.
+pub fn scan<T, O>(comm: &Communicator, local: T, op: &O) -> Result<T, CommError>
+where
+    T: Clone + Send + 'static,
+    O: ReduceOp<T>,
+{
+    let size = comm.size();
+    let rank = comm.rank();
+    // `prefix` is op over ranks ≤ rank seen so far; `total` is op over the
+    // whole hypercube face seen so far (needed to keep contributing to
+    // higher partners even after our own prefix is complete).
+    let mut prefix = local.clone();
+    let mut total = local;
+    let mut mask = 1usize;
+    while mask < size {
+        let partner = rank ^ mask;
+        if partner < size {
+            comm.send(partner, TAG_SCAN, total.clone())?;
+            let incoming = comm.recv::<T>(partner, TAG_SCAN)?;
+            if partner < rank {
+                // Partner's face precedes ours in rank order.
+                prefix = op.combine(incoming.clone(), prefix);
+                total = op.combine(incoming, total);
+            } else {
+                total = op.combine(total, incoming);
+            }
+        }
+        mask <<= 1;
+    }
+    Ok(prefix)
+}
+
+/// Gathers every rank's value at `root`, ordered by rank.
+pub fn gather<T: Send + 'static>(
+    comm: &Communicator,
+    root: usize,
+    value: T,
+) -> Result<Option<Vec<T>>, CommError> {
+    if comm.rank() == root {
+        let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
+        out[root] = Some(value);
+        for (r, slot) in out.iter_mut().enumerate() {
+            if r != root {
+                *slot = Some(comm.recv::<T>(r, TAG_GATHER)?);
+            }
+        }
+        Ok(Some(out.into_iter().map(|v| v.expect("gather hole")).collect()))
+    } else {
+        comm.send(root, TAG_GATHER, value)?;
+        Ok(None)
+    }
+}
+
+/// Scatters `chunks[r]` from root to each rank `r`; returns this rank's
+/// chunk.
+pub fn scatter<T: Send + 'static>(
+    comm: &Communicator,
+    root: usize,
+    chunks: Option<Vec<T>>,
+) -> Result<T, CommError> {
+    if comm.rank() == root {
+        let chunks = chunks.expect("root must supply scatter chunks");
+        assert_eq!(chunks.len(), comm.size(), "one chunk per rank required");
+        let mut own: Option<T> = None;
+        for (r, chunk) in chunks.into_iter().enumerate() {
+            if r == comm.rank() {
+                own = Some(chunk);
+            } else {
+                comm.send(r, TAG_SCATTER, chunk)?;
+            }
+        }
+        Ok(own.expect("root chunk missing"))
+    } else {
+        comm.recv::<T>(root, TAG_SCATTER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run;
+
+    #[test]
+    fn broadcast_reaches_every_rank() {
+        for size in [1usize, 2, 3, 5, 8, 13] {
+            for root in [0, size - 1] {
+                let out = run(size, |c| {
+                    let v = if c.rank() == root { Some(1234u32) } else { None };
+                    broadcast(c, root, v).unwrap()
+                });
+                assert!(out.iter().all(|&v| v == 1234), "size={size} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_reduce_sums_integers() {
+        for size in [1usize, 2, 3, 4, 7, 16, 33] {
+            let out = run(size, |c| {
+                reduce_binomial(c, 0, c.rank() as u64, &|a: u64, b: u64| a + b).unwrap()
+            });
+            assert_eq!(out[0], Some((0..size as u64).sum()), "size={size}");
+            assert!(out[1..].iter().all(|v| v.is_none()));
+        }
+    }
+
+    #[test]
+    fn linear_reduce_matches_binomial_for_associative_ops() {
+        let size = 9;
+        let lin = run(size, |c| {
+            reduce_linear(c, 0, (c.rank() + 1) as u64, &|a: u64, b| a * b).unwrap()
+        });
+        let bin = run(size, |c| {
+            reduce_binomial(c, 0, (c.rank() + 1) as u64, &|a: u64, b| a * b).unwrap()
+        });
+        assert_eq!(lin[0], bin[0]);
+    }
+
+    #[test]
+    fn allreduce_gives_total_everywhere() {
+        let out = run(6, |c| allreduce(c, 1u64 << c.rank(), &|a: u64, b| a | b).unwrap());
+        assert!(out.iter().all(|&v| v == 0b111111));
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let out = run(5, |c| gather(c, 2, c.rank() as u32 * 10).unwrap());
+        assert_eq!(out[2], Some(vec![0, 10, 20, 30, 40]));
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn scatter_delivers_chunks() {
+        let out = run(4, |c| {
+            let chunks = if c.rank() == 0 {
+                Some(vec![100u32, 101, 102, 103])
+            } else {
+                None
+            };
+            scatter(c, 0, chunks).unwrap()
+        });
+        assert_eq!(out, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn ring_allreduce_associative_op_agrees_everywhere() {
+        for size in [1usize, 2, 3, 6, 9] {
+            let out = run(size, |c| {
+                allreduce_ring(c, 1u64 << c.rank(), &|a: u64, b| a | b).unwrap()
+            });
+            let all = (1u64 << size) - 1;
+            assert!(out.iter().all(|&v| v == all), "size={size}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_hp_is_identical_on_every_rank() {
+        use oisum_core::Hp6x3;
+        let out = run(7, |c| {
+            let local: Hp6x3 = (0..500)
+                .map(|i| {
+                    let h = ((c.rank() * 500 + i) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    Hp6x3::from_f64_unchecked((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+                })
+                .sum();
+            allreduce_ring(c, local, &crate::ops::hp_sum).unwrap()
+        });
+        let first = out[0];
+        assert!(out.iter().all(|&v| v == first));
+        // And the total equals the serial sum.
+        let serial: Hp6x3 = (0..7 * 500)
+            .map(|j| {
+                let h = (j as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                Hp6x3::from_f64_unchecked((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+            })
+            .sum();
+        assert_eq!(first, serial);
+    }
+
+    #[test]
+    fn ring_allreduce_f64_can_disagree_between_ranks() {
+        // Each rank folds contributions in a different rotation; find a
+        // size where at least two ranks disagree bitwise.
+        let mut found = false;
+        for seed in 0..20u64 {
+            let out = run(6, move |c| {
+                let local: f64 = (0..2000)
+                    .map(|i| {
+                        let h = ((c.rank() * 2000 + i) as u64 ^ seed)
+                            .wrapping_mul(0x9E3779B97F4A7C15);
+                        (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                    })
+                    .sum();
+                allreduce_ring(c, local, &crate::ops::f64_sum).unwrap()
+            });
+            if out.iter().any(|v| v.to_bits() != out[0].to_bits()) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected rank-dependent f64 ring-allreduce results");
+    }
+
+    #[test]
+    fn scan_matches_serial_prefix_for_all_sizes() {
+        for size in [1usize, 2, 3, 4, 5, 6, 7, 8, 13, 16] {
+            let out = run(size, |c| {
+                // Non-commutative op (string concat order) would be ideal,
+                // but MPI_Scan only requires rank order with an associative
+                // op; use (sum, max-rank-seen) pairs to detect misordering
+                // and missing contributions.
+                scan(c, (c.rank() as u64 + 1, c.rank()), &|a: (u64, usize), b: (u64, usize)| {
+                    (a.0 + b.0, a.1.max(b.1))
+                })
+                .unwrap()
+            });
+            for (r, &(sum, maxr)) in out.iter().enumerate() {
+                let expect: u64 = (1..=r as u64 + 1).sum();
+                assert_eq!(sum, expect, "size={size} rank={r}");
+                assert_eq!(maxr, r, "size={size} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_hp_gives_reproducible_cumulative_sums() {
+        use oisum_core::Hp6x3;
+        let size = 6;
+        let out = run(size, |c| {
+            let local = Hp6x3::from_f64_unchecked((c.rank() as f64 + 1.0) * 0.1);
+            scan(c, local, &crate::ops::hp_sum).unwrap()
+        });
+        // Rank r holds Σ_{i≤r} (i+1)·0.1 exactly (of the f64 inputs).
+        let mut acc = Hp6x3::ZERO;
+        for (r, got) in out.iter().enumerate() {
+            acc += Hp6x3::from_f64_unchecked((r as f64 + 1.0) * 0.1);
+            assert_eq!(*got, acc, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_with_nonroot_root() {
+        let out = run(7, |c| {
+            reduce_binomial(c, 3, c.rank() as u64, &|a: u64, b| a + b).unwrap()
+        });
+        assert_eq!(out[3], Some(21));
+        assert_eq!(out.iter().flatten().count(), 1);
+    }
+}

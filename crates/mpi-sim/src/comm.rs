@@ -1,0 +1,346 @@
+//! Ranks, point-to-point messaging, and the communicator.
+//!
+//! The runtime spawns one OS thread per rank and gives each a
+//! [`Communicator`] handle. Point-to-point messages are typed values sent
+//! over channels and matched by `(source, tag)` with an unexpected-message
+//! queue, mirroring MPI matching semantics closely enough to host the
+//! collectives in [`crate::collectives`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tag distinguishing message streams between the same pair of ranks.
+pub type Tag = u16;
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Errors surfaced by the messaging layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination rank has already returned from the program closure
+    /// (its inbox is closed) — the "rank death" failure mode.
+    RankFinished {
+        /// The unreachable destination rank.
+        dst: usize,
+    },
+    /// No matching message arrived within the timeout.
+    Timeout {
+        /// The source rank the receive was matching.
+        src: usize,
+        /// The tag the receive was matching.
+        tag: Tag,
+    },
+    /// A matching message arrived but carried a different payload type.
+    TypeMismatch {
+        /// The source rank of the mismatched message.
+        src: usize,
+        /// The tag of the mismatched message.
+        tag: Tag,
+    },
+}
+
+impl core::fmt::Display for CommError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CommError::RankFinished { dst } => write!(f, "rank {dst} has finished"),
+            CommError::Timeout { src, tag } => {
+                write!(f, "timed out waiting for message from rank {src} tag {tag}")
+            }
+            CommError::TypeMismatch { src, tag } => {
+                write!(f, "message from rank {src} tag {tag} has unexpected type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Per-rank handle into the communicator: knows its rank, the world size,
+/// every rank's inbox sender, its own receiver, and the shared barrier.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received while matching a different `(src, tag)`.
+    pending: std::cell::RefCell<Vec<Envelope>>,
+    barrier: Arc<std::sync::Barrier>,
+    /// Receive timeout guarding against deadlock in tests and harnesses.
+    timeout: Duration,
+}
+
+impl Communicator {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        inbox: Receiver<Envelope>,
+        barrier: Arc<std::sync::Barrier>,
+    ) -> Self {
+        Communicator {
+            rank,
+            size,
+            senders,
+            inbox,
+            pending: std::cell::RefCell::new(Vec::new()),
+            barrier,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Overrides the receive timeout (default 60 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Sends `value` to `dst` with `tag`. Fails with
+    /// [`CommError::RankFinished`] if the destination's inbox is gone.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) -> Result<(), CommError> {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .map_err(|_| CommError::RankFinished { dst })
+    }
+
+    /// Receives the next message from `src` with `tag`, buffering
+    /// non-matching arrivals for later receives.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
+        // Check the unexpected-message queue first. `remove` (not
+        // `swap_remove`) keeps arrival order: two buffered messages with
+        // the same (src, tag) must match receives in FIFO order, as in
+        // MPI's non-overtaking rule.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = pending.remove(pos);
+                return env
+                    .payload
+                    .downcast::<T>()
+                    .map(|b| *b)
+                    .map_err(|_| CommError::TypeMismatch { src, tag });
+            }
+        }
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(CommError::Timeout { src, tag })?;
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) if env.src == src && env.tag == tag => {
+                    return env
+                        .payload
+                        .downcast::<T>()
+                        .map(|b| *b)
+                        .map_err(|_| CommError::TypeMismatch { src, tag });
+                }
+                Ok(env) => self.pending.borrow_mut().push(env),
+                Err(_) => return Err(CommError::Timeout { src, tag }),
+            }
+        }
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Runs `size` ranks, each executing `f` on its own OS thread, and returns
+/// each rank's result ordered by rank.
+///
+/// The closure receives this rank's [`Communicator`]. Panics in any rank
+/// propagate after all ranks are joined.
+pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Communicator) -> T + Send + Sync,
+{
+    assert!(size >= 1, "need at least one rank");
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+    let barrier = Arc::new(std::sync::Barrier::new(size));
+    let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = receivers
+            .drain(..)
+            .enumerate()
+            .map(|(rank, inbox)| {
+                let senders = Arc::clone(&senders);
+                let barrier = Arc::clone(&barrier);
+                let f = &f;
+                s.spawn(move || {
+                    let mut comm = Communicator::new(rank, size, senders, inbox, barrier);
+                    f(&mut comm)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            out[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+    });
+    out.into_iter().map(|v| v.expect("rank produced no value")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_their_identity() {
+        let ids = run(4, |c| (c.rank(), c.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, 42u64).unwrap();
+                c.recv::<u64>(1, 8).unwrap()
+            } else {
+                let v = c.recv::<u64>(0, 7).unwrap();
+                c.send(0, 8, v * 2).unwrap();
+                v
+            }
+        });
+        assert_eq!(out, vec![84, 42]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 10i32).unwrap();
+                c.send(1, 2, 20i32).unwrap();
+                0
+            } else {
+                // Receive tag 2 first even though tag 1 arrives first.
+                let b = c.recv::<i32>(0, 2).unwrap();
+                let a = c.recv::<i32>(0, 1).unwrap();
+                a + b
+            }
+        });
+        assert_eq!(out[1], 30);
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, "text").unwrap();
+                true
+            } else {
+                matches!(
+                    c.recv::<u64>(0, 0),
+                    Err(CommError::TypeMismatch { src: 0, tag: 0 })
+                )
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn timeout_on_missing_message() {
+        let out = run(2, |c| {
+            if c.rank() == 1 {
+                c.set_timeout(Duration::from_millis(50));
+                matches!(c.recv::<u64>(0, 9), Err(CommError::Timeout { .. }))
+            } else {
+                true
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let ok = run(8, |c| {
+            before.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all 8 increments.
+            before.load(Ordering::SeqCst) == 8
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn buffered_same_tag_messages_match_in_fifo_order() {
+        // Regression: three same-tag messages of different types must be
+        // received in send order even after being buffered past an
+        // unrelated receive (MPI non-overtaking).
+        let out = run(3, |c| {
+            match c.rank() {
+                0 => {
+                    c.send(2, 5, 1u32).unwrap();
+                    c.send(2, 5, 2.5f64).unwrap();
+                    c.send(2, 5, 3i64).unwrap();
+                    // Release rank 1 only after rank 2 has had time to
+                    // buffer rank 0's messages while matching rank 1.
+                    c.send(1, 9, ()).unwrap();
+                    true
+                }
+                1 => {
+                    c.recv::<()>(0, 9).unwrap();
+                    c.send(2, 5, "done").unwrap();
+                    true
+                }
+                _ => {
+                    // Buffer rank 0's three messages while waiting on 1.
+                    let s = c.recv::<&'static str>(1, 5).unwrap();
+                    let a = c.recv::<u32>(0, 5).unwrap();
+                    let b = c.recv::<f64>(0, 5).unwrap();
+                    let d = c.recv::<i64>(0, 5).unwrap();
+                    s == "done" && a == 1 && b == 2.5 && d == 3
+                }
+            }
+        });
+        assert!(out[2]);
+    }
+
+    #[test]
+    fn many_ranks_oversubscribed() {
+        // 64 ranks on one core: the runtime must still terminate quickly.
+        let sums = run(64, |c| {
+            let me = c.rank() as u64;
+            if c.rank() != 0 {
+                c.send(0, 3, me).unwrap();
+                0u64
+            } else {
+                let mut total = me;
+                for src in 1..c.size() {
+                    total += c.recv::<u64>(src, 3).unwrap();
+                }
+                total
+            }
+        });
+        assert_eq!(sums[0], (0..64).sum::<u64>());
+    }
+}

@@ -1,0 +1,41 @@
+//! # oisum-mpi — message-passing runtime (MPI analog)
+//!
+//! The substrate behind the paper's Fig. 6: ranks with point-to-point
+//! typed messaging, barriers, and collectives including `reduce` with
+//! **custom reduction operators** — the analog of the custom MPI datatype
+//! + `MPI_Op` the paper builds for `MPI_Reduce()` over HP operands.
+//!
+//! Ranks run as OS threads inside one process (this container has no
+//! multi-node fabric); the messaging semantics — typed envelopes matched
+//! by `(source, tag)` with an unexpected-message queue, binomial-tree
+//! collectives — mirror MPI closely enough that the property under study
+//! (bitwise reproducibility of reductions across process counts and tree
+//! shapes) is exercised for real.
+//!
+//! ```
+//! use oisum_mpi::{run, reduce_binomial, ops};
+//! use oisum_core::Hp6x3;
+//!
+//! let totals = run(4, |comm| {
+//!     // Each rank owns a slice of the data…
+//!     let local: Hp6x3 = (0..1000)
+//!         .map(|i| Hp6x3::from_f64_unchecked(((comm.rank() * 1000 + i) as f64) * 1e-6))
+//!         .sum();
+//!     // …and the custom HP op reduces exactly.
+//!     reduce_binomial(comm, 0, local, &ops::hp_sum).unwrap()
+//! });
+//! assert!(totals[0].is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+pub mod ops;
+
+pub use collectives::{
+    allreduce, allreduce_ring, broadcast, gather, reduce_binomial, reduce_linear, scan, scatter,
+    ReduceOp,
+};
+pub use comm::{run, CommError, Communicator, Tag};

@@ -1,0 +1,109 @@
+//! Reduction operators for the paper's operand types — the analog of the
+//! custom `MPI_Op` + MPI datatype pair §IV.B describes building for
+//! `MPI_Reduce()`.
+
+use oisum_core::HpFixed;
+use oisum_hallberg::HallbergNum;
+
+/// `f64` addition (the standard `MPI_SUM` on `MPI_DOUBLE`): associative
+/// only in exact arithmetic, hence distribution-dependent results.
+pub fn f64_sum(a: f64, b: f64) -> f64 {
+    a + b
+}
+
+/// HP addition: exact integer addition of limb vectors (the custom op the
+/// paper registers). Associative, so any reduction tree yields bitwise
+/// identical totals.
+pub fn hp_sum<const N: usize, const K: usize>(a: HpFixed<N, K>, b: HpFixed<N, K>) -> HpFixed<N, K> {
+    a.wrapping_add(&b)
+}
+
+/// Hallberg addition: carry-free limb addition. Equally associative; the
+/// caller owns the summand budget (`2^(63−M) − 1`).
+pub fn hallberg_sum<const N: usize>(a: HallbergNum<N>, b: HallbergNum<N>) -> HallbergNum<N> {
+    a.wrapping_add(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{reduce_binomial, reduce_linear};
+    use crate::comm::run;
+    use oisum_core::Hp6x3;
+    use oisum_hallberg::HallbergCodec;
+
+    fn rank_values(rank: usize, per: usize) -> Vec<f64> {
+        (0..per)
+            .map(|i| {
+                let h = ((rank * per + i) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hp_reduce_is_identical_across_process_counts_and_trees() {
+        let per_total = 12_000;
+        let mut reference: Option<u64> = None;
+        for size in [1usize, 2, 3, 4, 6, 8] {
+            let per = per_total / size;
+            let totals = run(size, |c| {
+                let local = Hp6x3::sum_f64_slice(&rank_values(c.rank(), per));
+                let bin = reduce_binomial(c, 0, local, &hp_sum).unwrap();
+                let lin = reduce_linear(c, 0, local, &hp_sum).unwrap();
+                (bin, lin)
+            });
+            let (bin, lin) = (totals[0].0.unwrap(), totals[0].1.unwrap());
+            // Tree shape is irrelevant for HP.
+            assert_eq!(bin, lin, "size={size}");
+            let bits = bin.to_f64().to_bits();
+            match reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(bits, r, "size={size}"),
+            }
+        }
+    }
+
+    #[test]
+    fn f64_reduce_varies_with_distribution() {
+        let per_total = 24_000;
+        let mut results = Vec::new();
+        for size in [1usize, 2, 3, 5, 8] {
+            let per = per_total / size;
+            let totals = run(size, |c| {
+                let local: f64 = rank_values(c.rank(), per).iter().sum();
+                reduce_binomial(c, 0, local, &f64_sum).unwrap()
+            });
+            results.push(totals[0].unwrap().to_bits());
+        }
+        assert!(
+            results[1..].iter().any(|&b| b != results[0]),
+            "expected f64 reductions to differ across process counts: {results:?}"
+        );
+    }
+
+    #[test]
+    fn hallberg_reduce_matches_serial() {
+        let codec = HallbergCodec::<10>::with_m(38);
+        let per = 2_000;
+        let size = 6;
+        let serial = {
+            let mut acc = HallbergNum::<10>::ZERO;
+            for r in 0..size {
+                for x in rank_values(r, per) {
+                    acc.add_assign(&codec.encode(x).unwrap());
+                }
+            }
+            codec.decode(&acc)
+        };
+        let codec2 = codec.clone();
+        let totals = run(size, |c| {
+            let mut local = HallbergNum::<10>::ZERO;
+            for x in rank_values(c.rank(), per) {
+                local.add_assign(&codec2.encode(x).unwrap());
+            }
+            reduce_binomial(c, 0, local, &hallberg_sum).unwrap()
+        });
+        assert_eq!(codec.decode(&totals[0].unwrap()), serial);
+    }
+}

@@ -1,0 +1,32 @@
+//! # oisum-phi — offload coprocessor model (Xeon Phi analog)
+//!
+//! The substrate behind the paper's Fig. 8: the heterogeneous offload
+//! programming model, where the host ships the summands to a many-core
+//! coprocessor, the device computes per-thread partial sums, and the
+//! result returns to the host.
+//!
+//! Fig. 8's three qualitative features are explicit model terms:
+//!
+//! 1. a **huge single-thread gap** between native `f64` and the
+//!    high-precision methods, because the Intel compiler vectorizes the
+//!    native double loop over the Phi's 512-bit SIMD lanes while the
+//!    carry-chained integer loops stay scalar ([`PhiModel::simd_lanes`]);
+//! 2. **amortization** of that gap as threads are added (up to 240
+//!    hardware threads);
+//! 3. a **transfer-dominated tail**: "the runtimes for all three summation
+//!    methods are dominated by the data transfer times between the host
+//!    CPU and device for high thread counts"
+//!    ([`PhiModel::transfer_seconds`]).
+//!
+//! As with the other substrates, the value itself always comes from a real
+//! execution (real threads over the real kernels), so the reproducibility
+//! properties are tested, not assumed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod offload;
+
+pub use model::PhiModel;
+pub use offload::{offload_sum, OffloadDevice, OffloadRunResult};

@@ -1,0 +1,123 @@
+//! Cost model for the offload device (Xeon Phi 5110P-like).
+
+/// Model constants for a Knights-Corner-class coprocessor.
+#[derive(Debug, Clone, Copy)]
+pub struct PhiModel {
+    /// Hardware threads on the device (the 5110P exposes 240).
+    pub hw_threads: usize,
+    /// Host↔device transfer bandwidth, bytes/second (PCIe gen2 x16
+    /// effective ≈ 6 GB/s).
+    pub transfer_bytes_per_second: f64,
+    /// Fixed offload initiation latency, seconds.
+    pub offload_latency: f64,
+    /// How much slower one in-order 1.05 GHz Phi thread runs a scalar
+    /// kernel than one host core (per-element cost multiplier).
+    pub scalar_slowdown: f64,
+    /// SIMD lanes the Intel compiler exploits for the native double
+    /// reduction (512-bit vectors = 8 doubles); carry-chained integer
+    /// kernels do not vectorize and get a factor of 1.
+    pub simd_lanes: f64,
+}
+
+impl PhiModel {
+    /// A Xeon Phi 5110P-like configuration.
+    pub fn phi_5110p() -> Self {
+        PhiModel {
+            hw_threads: 240,
+            transfer_bytes_per_second: 6.0e9,
+            offload_latency: 5.0e-3,
+            scalar_slowdown: 8.0,
+            simd_lanes: 8.0,
+        }
+    }
+
+    /// Seconds to ship `n` doubles to the device.
+    pub fn transfer_seconds(&self, n: usize) -> f64 {
+        self.offload_latency + (n as f64 * 8.0) / self.transfer_bytes_per_second
+    }
+
+    /// Seconds of device compute for `n` elements on `threads` threads,
+    /// given the method's *measured host* per-element cost and whether its
+    /// inner loop vectorizes.
+    pub fn compute_seconds(
+        &self,
+        n: usize,
+        threads: usize,
+        host_per_element: f64,
+        vectorizes: bool,
+    ) -> f64 {
+        let t_eff = threads.clamp(1, self.hw_threads) as f64;
+        let per_elem_device = if vectorizes {
+            host_per_element * self.scalar_slowdown / self.simd_lanes
+        } else {
+            host_per_element * self.scalar_slowdown
+        };
+        (n as f64 / t_eff).ceil() * per_elem_device
+    }
+
+    /// Total modeled offload time: transfer + compute (the paper's Fig. 8
+    /// series).
+    pub fn total_seconds(
+        &self,
+        n: usize,
+        threads: usize,
+        host_per_element: f64,
+        vectorizes: bool,
+    ) -> f64 {
+        self.transfer_seconds(n) + self.compute_seconds(n, threads, host_per_element, vectorizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 1 << 25;
+
+    #[test]
+    fn transfer_time_for_32m_doubles() {
+        let m = PhiModel::phi_5110p();
+        let t = m.transfer_seconds(N);
+        // 256 MiB over ~6 GB/s ≈ 45 ms plus latency.
+        assert!((0.01..0.2).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn single_thread_gap_is_large_like_fig8() {
+        // Host per-element costs roughly like ours: double ~1.2 ns
+        // (vectorizes), HP(6,3) ~40 ns (scalar).
+        let m = PhiModel::phi_5110p();
+        let dd = m.total_seconds(N, 1, 1.2e-9, true);
+        let hp = m.total_seconds(N, 1, 40e-9, false);
+        // Fig. 8 shows ~20+ s for HP at one thread vs well under 1 s… the
+        // ratio is the point: an order of magnitude or more.
+        assert!(hp / dd > 10.0, "hp={hp} dd={dd}");
+    }
+
+    #[test]
+    fn transfer_dominates_at_high_thread_counts() {
+        let m = PhiModel::phi_5110p();
+        for &(per, vec) in &[(1.2e-9, true), (40e-9, false), (60e-9, false)] {
+            let total = m.total_seconds(N, 240, per, vec);
+            let transfer = m.transfer_seconds(N);
+            // Transfer is the single largest component for every method at
+            // full thread count (the heaviest scalar method keeps a
+            // comparable compute share, hence 0.4 rather than a strict
+            // majority).
+            assert!(
+                transfer / total > 0.4,
+                "per={per}: transfer {transfer} of total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_amortizes_with_threads() {
+        let m = PhiModel::phi_5110p();
+        let c1 = m.compute_seconds(N, 1, 40e-9, false);
+        let c240 = m.compute_seconds(N, 240, 40e-9, false);
+        assert!(c240 < c1 / 200.0);
+        // No further gain beyond the hardware thread count.
+        assert_eq!(m.compute_seconds(N, 240, 40e-9, false), m.compute_seconds(N, 10_000, 40e-9, false));
+    }
+}

@@ -1,0 +1,133 @@
+//! The offload execution path: real device-style reduction plus modeled
+//! transfer and compute times.
+
+use crate::model::PhiModel;
+use oisum_threads::{sum_parallel, SumMethod};
+
+/// A modeled offload coprocessor.
+#[derive(Debug, Clone)]
+pub struct OffloadDevice {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// The cost model.
+    pub model: PhiModel,
+    /// Cap on real OS threads used to execute the device program (240
+    /// modeled device threads run fine as 240 OS threads, but callers can
+    /// lower this).
+    pub max_real_threads: usize,
+}
+
+impl OffloadDevice {
+    /// A Xeon Phi 5110P-like device (Fig. 8's hardware).
+    pub fn phi_5110p() -> Self {
+        OffloadDevice {
+            name: "Xeon Phi 5110P (modeled)",
+            model: PhiModel::phi_5110p(),
+            max_real_threads: 240,
+        }
+    }
+}
+
+/// Result of one offloaded reduction.
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadRunResult {
+    /// The reduced value (from real execution).
+    pub value: f64,
+    /// Host wall-clock seconds of the real execution (diagnostic).
+    pub host_seconds: f64,
+    /// Modeled host↔device transfer seconds.
+    pub transfer_seconds: f64,
+    /// Modeled device compute seconds.
+    pub compute_seconds: f64,
+    /// Modeled total (the Fig. 8 series).
+    pub device_seconds: f64,
+}
+
+/// Offloads the global sum: "The Xeon Phi benchmark used the heterogeneous
+/// offload programming model to distribute the summands to the PEs and
+/// compute the partial sums" (§IV.B); the master thread folds the
+/// partials.
+///
+/// `host_per_element` is the measured host cost (from
+/// [`oisum_threads::calibrate`]) driving the compute model; `vectorizes`
+/// states whether the method's inner loop SIMD-vectorizes on the device
+/// (true only for native `f64`).
+pub fn offload_sum<M: SumMethod>(
+    device: &OffloadDevice,
+    method: &M,
+    data: &[f64],
+    threads: usize,
+    host_per_element: f64,
+    vectorizes: bool,
+) -> OffloadRunResult {
+    assert!(threads >= 1);
+    // Real execution with the modeled thread count (capped to keep OS
+    // thread counts sane); chunking follows the modeled thread count so
+    // the reduction tree matches the device program.
+    let real = sum_parallel(method, data, threads.min(device.max_real_threads));
+    let transfer = device.model.transfer_seconds(data.len());
+    let compute = device
+        .model
+        .compute_seconds(data.len(), threads, host_per_element, vectorizes);
+    OffloadRunResult {
+        value: real.value,
+        host_seconds: real.seconds,
+        transfer_seconds: transfer,
+        compute_seconds: compute,
+        device_seconds: transfer + compute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisum_threads::{DoubleMethod, HpMethod};
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn offloaded_hp_sum_is_bitwise_stable_across_thread_counts() {
+        let xs = data(30_000);
+        let d = OffloadDevice::phi_5110p();
+        let m = HpMethod::<6, 3>;
+        let base = offload_sum(&d, &m, &xs, 1, 40e-9, false).value;
+        for t in [2usize, 16, 60, 240] {
+            let r = offload_sum(&d, &m, &xs, t, 40e-9, false);
+            assert_eq!(r.value.to_bits(), base.to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn modeled_curve_has_fig8_shape() {
+        let xs = data(4096);
+        let d = OffloadDevice::phi_5110p();
+        let n_model = 1 << 25; // model evaluated at the paper's size
+        let m = &d.model;
+        // Single-thread: HP much slower than double.
+        let hp1 = m.total_seconds(n_model, 1, 40e-9, false);
+        let dd1 = m.total_seconds(n_model, 1, 1.2e-9, true);
+        assert!(hp1 / dd1 > 10.0);
+        // 240 threads: both converge toward the transfer floor.
+        let hp240 = m.total_seconds(n_model, 240, 40e-9, false);
+        let dd240 = m.total_seconds(n_model, 240, 1.2e-9, true);
+        assert!(hp240 / dd240 < 2.0, "hp240={hp240} dd240={dd240}");
+        let _ = (xs, DoubleMethod);
+    }
+
+    #[test]
+    fn run_result_totals_are_consistent() {
+        let xs = data(10_000);
+        let d = OffloadDevice::phi_5110p();
+        let r = offload_sum(&d, &HpMethod::<6, 3>, &xs, 8, 40e-9, false);
+        assert!(r.device_seconds >= r.transfer_seconds);
+        assert!((r.device_seconds - (r.transfer_seconds + r.compute_seconds)).abs() < 1e-12);
+        assert!(r.host_seconds > 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # oisum-sim — a reproducible N-body simulation substrate
+//!
+//! The paper motivates the HP method with exactly this workload: "There
+//! is an accumulation of forces or displacements at each time step within
+//! these applications, each contribution consisting of a small positive
+//! or negative floating point value" (§II.A), and warns that "at worst,
+//! error is compounded in each time step until the simulation results are
+//! meaningless" (§I).
+//!
+//! This crate is a small but complete molecular-dynamics-style engine
+//! demonstrating HP accumulation in situ:
+//!
+//! * [`vec3`] — fixed 3-vector math.
+//! * [`system`] — a softened-gravity N-body system with a velocity-Verlet
+//!   integrator, where per-particle force accumulation runs either in
+//!   plain `f64` ([`system::ForceAccumulation::F64`]) or through HP
+//!   registers ([`system::ForceAccumulation::Hp`]).
+//!
+//! With HP accumulation the trajectory is **bitwise identical for any
+//! pair traversal order** (i.e. any parallel force decomposition), and
+//! Newton's-third-law momentum conservation holds *exactly* at every
+//! step; with `f64` accumulation both properties fail at machine-epsilon
+//! scale and compound over time. The test suite pins all four claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod system;
+pub mod vec3;
+
+pub use system::{ForceAccumulation, NBodySystem, StepStats};
+pub use vec3::Vec3;

@@ -1,0 +1,375 @@
+//! A uniform interface over summation methods, so every parallel substrate
+//! (threads, message passing, GPU model, offload model) can run the
+//! paper's three contenders — double precision, HP, Hallberg — plus the
+//! compensated baselines through one code path.
+
+use oisum_compensated::{KahanSum, NeumaierSum, SuperAccumulator};
+
+use oisum_core::HpFixed;
+use oisum_hallberg::{HallbergCodec, HallbergNum};
+
+/// A summation method with thread-local partial state.
+///
+/// `accumulate` is the per-element hot path; `merge` combines partials in
+/// the reduction step. For the order-invariant methods (HP, Hallberg,
+/// superaccumulator) the final value is independent of how elements are
+/// split and merged; for `f64`-based methods it is not — which is the
+/// paper's subject.
+pub trait SumMethod: Send + Sync {
+    /// Thread-local accumulator state.
+    type Partial: Send;
+
+    /// A fresh zero partial.
+    fn new_partial(&self) -> Self::Partial;
+
+    /// Adds one input value to a partial.
+    fn accumulate(&self, p: &mut Self::Partial, x: f64);
+
+    /// Folds another partial into `into`.
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial);
+
+    /// Rounds a finished partial to `f64`.
+    fn finish(&self, p: Self::Partial) -> f64;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the method guarantees order-invariant (bitwise reproducible)
+    /// results.
+    fn order_invariant(&self) -> bool;
+
+    /// 64-bit words read from shared memory per accumulate when the
+    /// partial lives in global memory (summand + partial state): the
+    /// §IV.B GPU memory-traffic model. Double: 1 + 1; HP(6,3): 1 + 6;
+    /// Hallberg(10): 1 + 10.
+    fn words_read_per_add(&self) -> usize;
+
+    /// Words written back per accumulate (partial state only).
+    fn words_written_per_add(&self) -> usize;
+}
+
+/// Plain `f64` accumulation (the paper's "Double precision" series).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DoubleMethod;
+
+impl SumMethod for DoubleMethod {
+    type Partial = f64;
+    fn new_partial(&self) -> f64 {
+        0.0
+    }
+    #[inline]
+    fn accumulate(&self, p: &mut f64, x: f64) {
+        *p += x;
+    }
+    fn merge(&self, into: &mut f64, from: f64) {
+        *into += from;
+    }
+    fn finish(&self, p: f64) -> f64 {
+        p
+    }
+    fn name(&self) -> &'static str {
+        "double"
+    }
+    fn order_invariant(&self) -> bool {
+        false
+    }
+    fn words_read_per_add(&self) -> usize {
+        2
+    }
+    fn words_written_per_add(&self) -> usize {
+        1
+    }
+}
+
+/// The HP method with compile-time format `(N, K)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HpMethod<const N: usize, const K: usize>;
+
+impl<const N: usize, const K: usize> SumMethod for HpMethod<N, K> {
+    type Partial = HpFixed<N, K>;
+    fn new_partial(&self) -> Self::Partial {
+        HpFixed::ZERO
+    }
+    #[inline]
+    fn accumulate(&self, p: &mut Self::Partial, x: f64) {
+        p.add_assign(&HpFixed::from_f64_unchecked(x));
+    }
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.add_assign(&from);
+    }
+    fn finish(&self, p: Self::Partial) -> f64 {
+        p.to_f64()
+    }
+    fn name(&self) -> &'static str {
+        "hp"
+    }
+    fn order_invariant(&self) -> bool {
+        true
+    }
+    fn words_read_per_add(&self) -> usize {
+        1 + N
+    }
+    fn words_written_per_add(&self) -> usize {
+        N
+    }
+}
+
+/// The Hallberg method with compile-time limb count and runtime `M`.
+#[derive(Debug, Clone)]
+pub struct HallbergMethod<const N: usize> {
+    codec: HallbergCodec<N>,
+}
+
+impl<const N: usize> HallbergMethod<N> {
+    /// Creates the method for limb width `m`.
+    pub fn with_m(m: u32) -> Self {
+        HallbergMethod {
+            codec: HallbergCodec::with_m(m),
+        }
+    }
+
+    /// Access to the codec (for decode in tests).
+    pub fn codec(&self) -> &HallbergCodec<N> {
+        &self.codec
+    }
+}
+
+impl<const N: usize> SumMethod for HallbergMethod<N> {
+    type Partial = HallbergNum<N>;
+    fn new_partial(&self) -> Self::Partial {
+        HallbergNum::ZERO
+    }
+    #[inline]
+    fn accumulate(&self, p: &mut Self::Partial, x: f64) {
+        p.add_assign(&self.codec.encode_unchecked(x));
+    }
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.add_assign(&from);
+    }
+    fn finish(&self, p: Self::Partial) -> f64 {
+        self.codec.decode(&p)
+    }
+    fn name(&self) -> &'static str {
+        "hallberg"
+    }
+    fn order_invariant(&self) -> bool {
+        true
+    }
+    fn words_read_per_add(&self) -> usize {
+        1 + N
+    }
+    fn words_written_per_add(&self) -> usize {
+        N
+    }
+}
+
+/// Kahan compensated summation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanMethod;
+
+impl SumMethod for KahanMethod {
+    type Partial = KahanSum;
+    fn new_partial(&self) -> KahanSum {
+        KahanSum::new()
+    }
+    #[inline]
+    fn accumulate(&self, p: &mut KahanSum, x: f64) {
+        p.add(x);
+    }
+    fn merge(&self, into: &mut KahanSum, from: KahanSum) {
+        into.merge(&from);
+    }
+    fn finish(&self, p: KahanSum) -> f64 {
+        p.value()
+    }
+    fn name(&self) -> &'static str {
+        "kahan"
+    }
+    fn order_invariant(&self) -> bool {
+        false
+    }
+    fn words_read_per_add(&self) -> usize {
+        3
+    }
+    fn words_written_per_add(&self) -> usize {
+        2
+    }
+}
+
+/// Neumaier compensated summation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeumaierMethod;
+
+impl SumMethod for NeumaierMethod {
+    type Partial = NeumaierSum;
+    fn new_partial(&self) -> NeumaierSum {
+        NeumaierSum::new()
+    }
+    #[inline]
+    fn accumulate(&self, p: &mut NeumaierSum, x: f64) {
+        p.add(x);
+    }
+    fn merge(&self, into: &mut NeumaierSum, from: NeumaierSum) {
+        into.merge(&from);
+    }
+    fn finish(&self, p: NeumaierSum) -> f64 {
+        p.value()
+    }
+    fn name(&self) -> &'static str {
+        "neumaier"
+    }
+    fn order_invariant(&self) -> bool {
+        false
+    }
+    fn words_read_per_add(&self) -> usize {
+        3
+    }
+    fn words_written_per_add(&self) -> usize {
+        2
+    }
+}
+
+/// Demmel–Nguyen-style binned reproducible summation with a `K`-level
+/// ladder sized for `|x| ≤ max_abs` — the pre-rounding competitor family
+/// (paper refs \[6\]–\[8\]). Order invariant like HP, accuracy limited to the
+/// ladder's `K·20` bits.
+#[derive(Debug, Clone, Copy)]
+pub struct BinnedMethod<const K: usize> {
+    max_abs: f64,
+}
+
+impl<const K: usize> BinnedMethod<K> {
+    /// Creates the method for summands bounded by `max_abs`.
+    pub fn new(max_abs: f64) -> Self {
+        BinnedMethod { max_abs }
+    }
+}
+
+impl<const K: usize> SumMethod for BinnedMethod<K> {
+    type Partial = oisum_compensated::BinnedSum<K>;
+    fn new_partial(&self) -> Self::Partial {
+        oisum_compensated::BinnedSum::new(self.max_abs)
+    }
+    #[inline]
+    fn accumulate(&self, p: &mut Self::Partial, x: f64) {
+        p.add(x);
+    }
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.merge(&from);
+    }
+    fn finish(&self, p: Self::Partial) -> f64 {
+        p.value()
+    }
+    fn name(&self) -> &'static str {
+        "binned"
+    }
+    fn order_invariant(&self) -> bool {
+        true
+    }
+    fn words_read_per_add(&self) -> usize {
+        1 + K
+    }
+    fn words_written_per_add(&self) -> usize {
+        K
+    }
+}
+
+/// Kulisch long-accumulator summation (exact, parameter-free, wide).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuperaccMethod;
+
+impl SumMethod for SuperaccMethod {
+    type Partial = SuperAccumulator;
+    fn new_partial(&self) -> SuperAccumulator {
+        SuperAccumulator::new()
+    }
+    #[inline]
+    fn accumulate(&self, p: &mut SuperAccumulator, x: f64) {
+        p.add(x);
+    }
+    fn merge(&self, into: &mut SuperAccumulator, from: SuperAccumulator) {
+        into.merge(&from);
+    }
+    fn finish(&self, p: SuperAccumulator) -> f64 {
+        p.value()
+    }
+    fn name(&self) -> &'static str {
+        "superacc"
+    }
+    fn order_invariant(&self) -> bool {
+        true
+    }
+    fn words_read_per_add(&self) -> usize {
+        1 + 40
+    }
+    fn words_written_per_add(&self) -> usize {
+        40
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<M: SumMethod>(m: &M, xs: &[f64]) -> f64 {
+        let mut p = m.new_partial();
+        for &x in xs {
+            m.accumulate(&mut p, x);
+        }
+        m.finish(p)
+    }
+
+    #[test]
+    fn all_methods_agree_on_easy_input() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let expect = 4950.0;
+        assert_eq!(run(&DoubleMethod, &xs), expect);
+        assert_eq!(run(&HpMethod::<6, 3>, &xs), expect);
+        assert_eq!(run(&HallbergMethod::<10>::with_m(38), &xs), expect);
+        assert_eq!(run(&KahanMethod, &xs), expect);
+        assert_eq!(run(&NeumaierMethod, &xs), expect);
+        assert_eq!(run(&SuperaccMethod, &xs), expect);
+        assert_eq!(run(&BinnedMethod::<4>::new(100.0), &xs), expect);
+    }
+
+    #[test]
+    fn binned_method_is_order_invariant_through_reduction() {
+        let xs: Vec<f64> = (0..5000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let m = BinnedMethod::<4>::new(1.0);
+        let serial = crate::reduce::sum_serial(&m, &xs).value;
+        for p in [2usize, 7, 16] {
+            assert_eq!(
+                crate::reduce::sum_parallel(&m, &xs, p).value.to_bits(),
+                serial.to_bits(),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn invariance_flags() {
+        assert!(!DoubleMethod.order_invariant());
+        assert!(HpMethod::<6, 3>.order_invariant());
+        assert!(HallbergMethod::<10>::with_m(38).order_invariant());
+        assert!(SuperaccMethod.order_invariant());
+    }
+
+    #[test]
+    fn memory_model_word_counts_match_paper() {
+        // §IV.B: HP(6,3) ⇒ 7 reads + 6 writes; Hallberg(10) ⇒ 11 + 10;
+        // double ⇒ 2 + 1.
+        let hp = HpMethod::<6, 3>;
+        assert_eq!(hp.words_read_per_add(), 7);
+        assert_eq!(hp.words_written_per_add(), 6);
+        let hb = HallbergMethod::<10>::with_m(38);
+        assert_eq!(hb.words_read_per_add(), 11);
+        assert_eq!(hb.words_written_per_add(), 10);
+        assert_eq!(DoubleMethod.words_read_per_add(), 2);
+        assert_eq!(DoubleMethod.words_written_per_add(), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Calibrated strong-scaling cost model.
+//!
+//! The container running this reproduction exposes a single CPU core, so
+//! the paper's strong-scaling curves (Figs. 5–8) cannot be re-measured
+//! directly. Instead each figure harness (a) executes the real algorithms
+//! — real threads / messages / atomics — to establish bitwise correctness
+//! and the single-PE cost ratios, and (b) projects the scaling curves from
+//! this model, whose inputs are *measured on this host*:
+//!
+//! ```text
+//! T(n, p) = (n / p) · c_elem + (p − 1) · c_merge + p · c_spawn
+//! ```
+//!
+//! `c_elem` is the measured per-element cost of the method's real kernel;
+//! `c_merge` the measured partial-merge cost; `c_spawn` a per-PE
+//! dispatch overhead. Substrate crates add their own architecture terms
+//! (reduction-tree depth for message passing, atomic contention and thread
+//! saturation for the GPU model, transfer time for the offload model).
+//!
+//! Because every method shares the same `(p, n)` geometry, the *ratios*
+//! between methods — the paper's actual subject — come entirely from the
+//! measured `c_elem`/`c_merge`, not from modeling assumptions.
+
+use crate::method::SumMethod;
+use std::time::Instant;
+
+/// Measured per-operation costs of a summation method on this host.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Seconds per accumulated element (convert + add).
+    pub per_element: f64,
+    /// Seconds per partial-sum merge.
+    pub per_merge: f64,
+}
+
+/// Measures `per_element` and `per_merge` for a method by timing its real
+/// kernels over the given sample (best of `reps` runs to shed scheduler
+/// noise).
+pub fn calibrate<M: SumMethod>(method: &M, sample: &[f64], reps: usize) -> Calibration {
+    assert!(!sample.is_empty());
+    let reps = reps.max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        // black_box prevents LLVM from hoisting the pure reduction out of
+        // the repetition loop (observed with the trivial f64 kernel).
+        let sample = std::hint::black_box(sample);
+        let t0 = Instant::now();
+        let mut p = method.new_partial();
+        for &x in sample {
+            method.accumulate(&mut p, x);
+        }
+        let v = std::hint::black_box(method.finish(p));
+        let dt = t0.elapsed().as_secs_f64();
+        if v.is_nan() {
+            unreachable!("summation produced NaN");
+        }
+        best = best.min(dt);
+    }
+    let per_element = best / sample.len() as f64;
+
+    // Merge cost: build a set of partials and time folding them.
+    const MERGES: usize = 4096;
+    let mut best_m = f64::INFINITY;
+    for _ in 0..reps {
+        let parts: Vec<M::Partial> = (0..MERGES)
+            .map(|i| {
+                let mut p = method.new_partial();
+                method.accumulate(&mut p, sample[i % sample.len()]);
+                p
+            })
+            .collect();
+        let t0 = Instant::now();
+        let mut total = method.new_partial();
+        for p in parts {
+            method.merge(&mut total, p);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let v = method.finish(total);
+        if v.is_nan() {
+            unreachable!();
+        }
+        best_m = best_m.min(dt);
+    }
+    Calibration {
+        per_element,
+        per_merge: best_m / MERGES as f64,
+    }
+}
+
+/// Strong-scaling projection for a flat (master-reduces-all) reduction.
+#[derive(Debug, Clone, Copy)]
+pub struct StrongScalingModel {
+    /// Measured kernel costs.
+    pub calib: Calibration,
+    /// Per-PE dispatch overhead (thread spawn / kernel launch), seconds.
+    pub spawn_overhead: f64,
+}
+
+impl StrongScalingModel {
+    /// Default thread-spawn overhead on Linux (~10 µs per thread).
+    pub const DEFAULT_SPAWN: f64 = 10e-6;
+
+    /// Creates a model from a calibration with the default spawn cost.
+    pub fn new(calib: Calibration) -> Self {
+        StrongScalingModel {
+            calib,
+            spawn_overhead: Self::DEFAULT_SPAWN,
+        }
+    }
+
+    /// Projected wall-clock seconds to reduce `n` elements on `p` PEs.
+    pub fn predict(&self, n: usize, p: usize) -> f64 {
+        assert!(p >= 1);
+        let work = (n as f64 / p as f64).ceil() * self.calib.per_element;
+        let reduce = (p - 1) as f64 * self.calib.per_merge;
+        let spawn = if p > 1 { p as f64 * self.spawn_overhead } else { 0.0 };
+        work + reduce + spawn
+    }
+
+    /// Strong-scaling efficiency `T(1) / (p · T(p))`.
+    pub fn efficiency(&self, n: usize, p: usize) -> f64 {
+        self.predict(n, 1) / (p as f64 * self.predict(n, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{DoubleMethod, HallbergMethod, HpMethod};
+
+    fn sample() -> Vec<f64> {
+        (0..100_000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_is_positive_and_sane() {
+        let c = calibrate(&DoubleMethod, &sample(), 2);
+        assert!(c.per_element > 0.0 && c.per_element < 1e-6);
+        assert!(c.per_merge >= 0.0);
+    }
+
+    #[test]
+    fn hp_costs_more_than_double_per_element() {
+        let s = sample();
+        let cd = calibrate(&DoubleMethod, &s, 3);
+        let ch = calibrate(&HpMethod::<6, 3>, &s, 3);
+        // §IV.B reports ~37× on a Xeon; any clear multiple confirms the
+        // qualitative relationship on this host.
+        assert!(
+            ch.per_element > 2.0 * cd.per_element,
+            "hp {:.2e} vs double {:.2e}",
+            ch.per_element,
+            cd.per_element
+        );
+    }
+
+    #[test]
+    fn model_predicts_monotone_speedup_with_plateau_effects() {
+        let c = Calibration {
+            per_element: 10e-9,
+            per_merge: 50e-9,
+        };
+        let m = StrongScalingModel::new(c);
+        let n = 1 << 25;
+        let t1 = m.predict(n, 1);
+        let t8 = m.predict(n, 8);
+        assert!(t8 < t1 / 4.0, "8 PEs should cut time well below T1/4");
+        // Efficiency decays but stays in (0, 1].
+        for p in [1, 2, 4, 8, 64, 1024] {
+            let e = m.efficiency(n, p);
+            assert!(e > 0.0 && e <= 1.0 + 1e-9, "p={p} e={e}");
+        }
+        // Huge p: reduce/spawn terms dominate; time stops improving.
+        assert!(m.predict(n, 1 << 20) > m.predict(n, 1 << 10));
+    }
+
+    #[test]
+    fn amortization_shape_matches_paper() {
+        // The paper's headline: the HP/double runtime *ratio* at p PEs
+        // stays the single-PE ratio for the work term, so the absolute gap
+        // shrinks as 1/p ("this increased cost is amortized effectively").
+        let s = sample();
+        let cd = calibrate(&DoubleMethod, &s, 2);
+        let ch = calibrate(&HpMethod::<6, 3>, &s, 2);
+        let md = StrongScalingModel::new(cd);
+        let mh = StrongScalingModel::new(ch);
+        let n = 1 << 25;
+        let gap1 = mh.predict(n, 1) - md.predict(n, 1);
+        let gap8 = mh.predict(n, 8) - md.predict(n, 8);
+        assert!(gap8 < gap1 / 4.0, "gap1={gap1:.3} gap8={gap8:.3}");
+    }
+
+    #[test]
+    fn hallberg_calibrates() {
+        let c = calibrate(&HallbergMethod::<10>::with_m(38), &sample()[..10_000], 2);
+        assert!(c.per_element > 0.0);
+    }
+}

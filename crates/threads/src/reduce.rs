@@ -1,0 +1,179 @@
+//! Shared-memory parallel reductions: the OpenMP-analog execution pattern
+//! of §IV.B ("each PE computes a local partial sum of n/p values, and the
+//! master PE reduces the p partial sums into a final result").
+
+use crate::method::SumMethod;
+use std::time::Instant;
+
+/// Result of one reduction run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// The reduced value.
+    pub value: f64,
+    /// Wall-clock seconds for the reduction (excludes input generation).
+    pub seconds: f64,
+}
+
+/// Serial reduction over the whole slice.
+pub fn sum_serial<M: SumMethod>(method: &M, xs: &[f64]) -> RunResult {
+    let t0 = Instant::now();
+    let mut p = method.new_partial();
+    for &x in xs {
+        method.accumulate(&mut p, x);
+    }
+    let value = method.finish(p);
+    RunResult {
+        value,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Parallel reduction with `p` OS threads over even contiguous chunks,
+/// master merging partials in rank order (the deterministic OpenMP-style
+/// schedule).
+///
+/// With an order-invariant method the value is bitwise identical to
+/// [`sum_serial`] for every `p`; with `f64` it generally is not.
+pub fn sum_parallel<M: SumMethod>(method: &M, xs: &[f64], p: usize) -> RunResult {
+    assert!(p >= 1, "need at least one processing element");
+    if p == 1 {
+        return sum_serial(method, xs);
+    }
+    let t0 = Instant::now();
+    let chunk = xs.len().div_ceil(p);
+    let mut partials: Vec<M::Partial> = Vec::with_capacity(p);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = xs
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut acc = method.new_partial();
+                    for &x in slice {
+                        method.accumulate(&mut acc, x);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("summation thread panicked"));
+        }
+    });
+    // Master reduce, rank order.
+    let mut total = method.new_partial();
+    for part in partials {
+        method.merge(&mut total, part);
+    }
+    RunResult {
+        value: method.finish(total),
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Rayon-based reduction: the work-stealing scheduler splits and merges in
+/// a nondeterministic order, which is exactly the environment where `f64`
+/// sums lose run-to-run reproducibility and order-invariant methods keep
+/// it.
+pub fn sum_rayon<M>(method: &M, xs: &[f64]) -> RunResult
+where
+    M: SumMethod,
+{
+    use rayon::prelude::*;
+    let t0 = Instant::now();
+    let total = xs
+        .par_chunks(4096)
+        .map(|slice| {
+            let mut acc = method.new_partial();
+            for &x in slice {
+                method.accumulate(&mut acc, x);
+            }
+            acc
+        })
+        .reduce(
+            || method.new_partial(),
+            |mut a, b| {
+                method.merge(&mut a, b);
+                a
+            },
+        );
+    RunResult {
+        value: method.finish(total),
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{DoubleMethod, HallbergMethod, HpMethod};
+
+    fn workload(n: usize) -> Vec<f64> {
+        // Deterministic pseudo-random values in [-0.5, 0.5] (the Figs. 5–8
+        // workload shape) without pulling in rand here.
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hp_parallel_is_bitwise_stable_across_pe_counts() {
+        let xs = workload(40_000);
+        let m = HpMethod::<6, 3>;
+        let base = sum_serial(&m, &xs).value;
+        for p in [2, 3, 4, 7, 16] {
+            assert_eq!(
+                sum_parallel(&m, &xs, p).value.to_bits(),
+                base.to_bits(),
+                "p = {p}"
+            );
+        }
+        assert_eq!(sum_rayon(&m, &xs).value.to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn hallberg_parallel_is_bitwise_stable_across_pe_counts() {
+        let xs = workload(40_000);
+        let m = HallbergMethod::<10>::with_m(38);
+        let base = sum_serial(&m, &xs).value;
+        for p in [2, 5, 8] {
+            assert_eq!(sum_parallel(&m, &xs, p).value.to_bits(), base.to_bits());
+        }
+    }
+
+    #[test]
+    fn double_parallel_depends_on_pe_count() {
+        let xs = workload(100_000);
+        let m = DoubleMethod;
+        let bits: Vec<u64> = [1usize, 2, 3, 7, 31]
+            .iter()
+            .map(|&p| sum_parallel(&m, &xs, p).value.to_bits())
+            .collect();
+        assert!(
+            bits[1..].iter().any(|&b| b != bits[0]),
+            "expected f64 reduction to vary with the distribution; got {bits:?}"
+        );
+    }
+
+    #[test]
+    fn hp_matches_double_within_rounding() {
+        // On a benign workload the exact sum and the f64 sum agree to ~1e-12
+        // relative — sanity that HP computes the *right* number.
+        let xs = workload(10_000);
+        let hp = sum_serial(&HpMethod::<6, 3>, &xs).value;
+        let dd = sum_serial(&DoubleMethod, &xs).value;
+        assert!((hp - dd).abs() < 1e-9, "hp={hp} dd={dd}");
+    }
+
+    #[test]
+    fn chunk_boundaries_cover_all_elements() {
+        // p > n edge case: every element must still be summed once.
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let r = sum_parallel(&HpMethod::<3, 2>, &xs, 16);
+        assert_eq!(r.value, 10.0);
+        let r = sum_parallel(&HpMethod::<3, 2>, &xs, 5);
+        assert_eq!(r.value, 10.0);
+    }
+}

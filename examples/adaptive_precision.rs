@@ -1,0 +1,67 @@
+//! Adaptive precision — the paper's §V future-work extension, implemented:
+//! an accumulator that widens its HP format at runtime when it meets
+//! values outside the current range or resolution, so the user never has
+//! to know the dynamic range up front.
+//!
+//! ```text
+//! cargo run --release --example adaptive_precision
+//! ```
+
+use oisum::prelude::*;
+
+fn main() {
+    // A hostile dynamic range: astronomical, everyday, and subnormal
+    // magnitudes in one stream. No fixed small format holds all of it.
+    let stream = [
+        1.0e300,
+        -2.5,
+        3.0e-200,
+        -1.0e300,
+        2.5,
+        f64::from_bits(1), // 2^-1074, the smallest positive double
+        1.0e-300,
+    ];
+    // Exact expected value: the big/medium values cancel exactly.
+    let expect = 3.0e-200 + f64::from_bits(1) + 1.0e-300;
+
+    // A fixed paper format rejects the out-of-range values outright…
+    match Hp6x3::from_f64(1.0e300) {
+        Err(HpError::ConvertOverflow) => {
+            println!("Hp6x3 rejects 1e300 (range ±3.1e57): ConvertOverflow")
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // …while the adaptive accumulator grows as needed.
+    let mut acc = AdaptiveHp::with_default_format();
+    println!(
+        "\nseed format: N={}, k={} ({} bits)",
+        acc.format().n,
+        acc.format().k,
+        acc.format().bits()
+    );
+    for &x in &stream {
+        acc.add_f64(x).unwrap();
+        println!(
+            "after {:>10.3e}: N={:>2}, k={:>2} ({} bits, {} grow events)",
+            x,
+            acc.format().n,
+            acc.format().k,
+            acc.format().bits(),
+            acc.grow_events()
+        );
+    }
+    let got = acc.to_f64();
+    println!("\nadaptive sum : {got:.17e}");
+    println!("exact        : {expect:.17e}");
+    assert_eq!(got, expect, "every contribution survived exactly");
+
+    // Order invariance holds across growth schedules too.
+    let mut rev = AdaptiveHp::with_default_format();
+    for &x in stream.iter().rev() {
+        rev.add_f64(x).unwrap();
+    }
+    assert_eq!(rev.to_f64().to_bits(), got.to_bits());
+    assert_eq!(rev.format(), acc.format());
+    println!("reverse-order sum bitwise identical, same final format: true");
+}

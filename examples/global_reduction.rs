@@ -1,0 +1,55 @@
+//! Distributed global reduction with a custom reduce op — the MPI use
+//! case of §IV.B: a custom datatype + op for `MPI_Reduce()` makes the
+//! global sum independent of the process count and reduction tree.
+//!
+//! ```text
+//! cargo run --release --example global_reduction
+//! ```
+
+use oisum::analysis::workload::uniform_symmetric;
+use oisum::mpi::{allreduce, ops, reduce_binomial, run};
+use oisum::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let n = 1 << 20;
+    let data = Arc::new(uniform_symmetric(n, 99));
+
+    println!("global sum of {n} doubles in [-0.5, 0.5], distributed across p ranks:\n");
+    println!("{:>4} {:>26} {:>26}", "p", "HP(6,3) total", "f64 total");
+    let mut hp_results = Vec::new();
+    let mut f64_results = Vec::new();
+    for p in [1usize, 2, 4, 8, 16, 64] {
+        let d = Arc::clone(&data);
+        let out = run(p, move |comm| {
+            // Block distribution of the global array.
+            let chunk = d.len().div_ceil(comm.size());
+            let lo = (comm.rank() * chunk).min(d.len());
+            let hi = ((comm.rank() + 1) * chunk).min(d.len());
+            let slice = &d[lo..hi];
+
+            // Local partial sums.
+            let hp_local = Hp6x3::sum_f64_slice(slice);
+            let f64_local: f64 = slice.iter().sum();
+
+            // Global reduction: custom HP op vs plain f64 op. Every rank
+            // receives the total via allreduce for the HP case.
+            let hp_total = allreduce(comm, hp_local, &ops::hp_sum).unwrap();
+            let f64_total = reduce_binomial(comm, 0, f64_local, &ops::f64_sum).unwrap();
+            (hp_total.to_f64(), f64_total)
+        });
+        // All ranks hold the same HP total (allreduce).
+        let hp0 = out[0].0;
+        assert!(out.iter().all(|(h, _)| h.to_bits() == hp0.to_bits()));
+        let f0 = out[0].1.unwrap();
+        println!("{p:>4} {hp0:>26.17e} {f0:>26.17e}");
+        hp_results.push(hp0.to_bits());
+        f64_results.push(f0.to_bits());
+    }
+    println!();
+    let hp_stable = hp_results.iter().all(|&b| b == hp_results[0]);
+    let f64_stable = f64_results.iter().all(|&b| b == f64_results[0]);
+    println!("HP totals bitwise identical across process counts : {hp_stable}");
+    println!("f64 totals bitwise identical across process counts: {f64_stable}");
+    assert!(hp_stable);
+}

@@ -1,0 +1,49 @@
+//! CUDA-style atomic accumulation (§IV.B): thousands of logical threads
+//! hammer 256 shared partial sums with atomic operations; the partials
+//! are folded on the host. HP's per-limb CAS adder gives the same bitwise
+//! answer for every grid size; the CAS-emulated f64 atomicAdd does not.
+//!
+//! ```text
+//! cargo run --release --example gpu_atomic
+//! ```
+
+use oisum::analysis::workload::uniform_symmetric;
+use oisum::gpu::{launch_sum, F64Gpu, GpuDevice, HpGpu};
+use oisum::prelude::*;
+
+fn main() {
+    let n = 1 << 20;
+    let data = uniform_symmetric(n, 4242);
+    let device = GpuDevice::k20m();
+    let serial = Hp6x3::sum_f64_slice(&data).to_f64();
+
+    println!(
+        "device: {} ({} resident threads, {} shared partials)\n",
+        device.name, device.max_concurrent_threads, device.num_partials
+    );
+    println!(
+        "{:>8} {:>26} {:>12} {:>26}",
+        "grid", "HP value", "HP==serial", "f64 value"
+    );
+    for threads in [256usize, 1024, 4096, 32768] {
+        let hp = launch_sum(&device, &HpGpu::<6, 3>, &data, threads);
+        let dd = launch_sum(&device, &F64Gpu, &data, threads);
+        println!(
+            "{threads:>8} {:>26.17e} {:>12} {:>26.17e}",
+            hp.value,
+            hp.value.to_bits() == serial.to_bits(),
+            dd.value
+        );
+        assert_eq!(hp.value.to_bits(), serial.to_bits());
+    }
+    println!();
+    println!("modeled K20m kernel time at 32M elements, 32K threads:");
+    for (name, words, atomics, lockable) in
+        [("double", 3usize, 1usize, 1usize), ("hp", 13, 6, 6), ("hallberg", 21, 10, 10)]
+    {
+        let t = device
+            .model
+            .predict(1 << 25, 32768, device.max_concurrent_threads, 256, words, atomics, lockable);
+        println!("  {name:<9} {t:.4} s");
+    }
+}

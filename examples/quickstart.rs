@@ -1,0 +1,59 @@
+//! Quickstart: why floating-point sums are order dependent, and how the
+//! HP method fixes it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oisum::prelude::*;
+
+fn main() {
+    // A workload with a large cancelling pair and small survivors — the
+    // shape that breaks f64 summation.
+    let data = [1.0e16, 3.25, -1.0e16, 2.75, 0.001];
+    let exact = 3.25 + 2.75 + 0.001;
+
+    // Plain f64: the result depends on the order you happen to sum in.
+    let forward: f64 = data.iter().sum();
+    let reverse: f64 = data.iter().rev().sum();
+    println!("f64 forward : {forward:.6}");
+    println!("f64 reverse : {reverse:.6}");
+    println!("exact       : {exact:.6}");
+    assert_ne!(forward, reverse, "the two orders really do disagree");
+
+    // HP: pick a format wide enough for your data (Table 1 of the paper).
+    // Hp6x3 = 6 limbs, 3 fractional → range ±3.1e57, resolution 1.6e-58.
+    let hp_forward: Hp6x3 = data
+        .iter()
+        .map(|&x| Hp6x3::from_f64(x).expect("in range"))
+        .sum();
+    let hp_reverse: Hp6x3 = data
+        .iter()
+        .rev()
+        .map(|&x| Hp6x3::from_f64(x).expect("in range"))
+        .sum();
+    println!("HP forward  : {:.6}", hp_forward.to_f64());
+    println!("HP reverse  : {:.6}", hp_reverse.to_f64());
+    assert_eq!(hp_forward, hp_reverse, "bitwise identical in any order");
+    assert!((hp_forward.to_f64() - exact).abs() < 1e-12);
+
+    // The same guarantee holds through a parallel reduction: every thread
+    // count gives the bitwise-identical answer.
+    let big: Vec<f64> = (0..1_000_000)
+        .map(|i| ((i * 2654435761usize) % 1_000_003) as f64 * 1e-9 - 5e-4)
+        .collect();
+    let serial = sum_serial(&HpMethod::<6, 3>, &big).value;
+    for p in [2, 3, 8, 32] {
+        let parallel = sum_parallel(&HpMethod::<6, 3>, &big, p).value;
+        assert_eq!(parallel.to_bits(), serial.to_bits());
+    }
+    println!("1M-element HP reduction identical on 1/2/3/8/32 threads: {serial:.12}");
+
+    // f64 cannot make that promise.
+    let f_serial = sum_serial(&DoubleMethod, &big).value;
+    let f_par32 = sum_parallel(&DoubleMethod, &big, 32).value;
+    println!(
+        "f64 serial vs 32 threads differ by {:+.3e}",
+        f_par32 - f_serial
+    );
+}

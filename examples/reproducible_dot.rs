@@ -1,0 +1,54 @@
+//! Reproducible dot products — extending the paper's summation method to
+//! the inner products that dominate real numerical kernels.
+//!
+//! Each product is split into an error-free pair `a·b = p + e` (one fused
+//! multiply-add) and both halves are accumulated exactly in HP, so the
+//! dot product is exact and therefore invariant to element order,
+//! blocking, and parallel schedule.
+//!
+//! ```text
+//! cargo run --release --example reproducible_dot
+//! ```
+
+use oisum::hp::{hp_dot, hp_norm_sq};
+use oisum::prelude::*;
+
+fn main() {
+    // An ill-conditioned inner product: large cancelling terms hiding a
+    // small true value (condition number ~1e20).
+    let a = [1.0e10, -1.0e10, 0.1, 3.0, 1e-8];
+    let b = [1.0e10, 1.0e10, 0.2, 0.125, 1e-8];
+    let exact = 0.1 * 0.2 + 3.0 * 0.125 + 1e-16;
+
+    let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+    let hp = hp_dot::<8, 4>(&a, &b);
+    println!("naive f64 dot : {naive:.17}");
+    println!("HP exact dot  : {:.17}", hp.to_f64());
+    println!("true value    : {exact:.17}");
+    assert!((hp.to_f64() - exact).abs() < 1e-16 * exact.abs() + 1e-30);
+
+    // Order invariance: reverse both vectors.
+    let ra: Vec<f64> = a.iter().rev().copied().collect();
+    let rb: Vec<f64> = b.iter().rev().copied().collect();
+    assert_eq!(hp, hp_dot::<8, 4>(&ra, &rb));
+    println!("reversed order: bitwise identical");
+
+    // Blocked (threaded-style) evaluation merges to the identical result.
+    let n = 100_000;
+    let xs: Vec<f64> = (0..n).map(|i| ((i * 48271 % 65536) as f64 - 32768.0) * 1e-4).collect();
+    let ys: Vec<f64> = (0..n).map(|i| ((i * 16807 % 65536) as f64 - 32768.0) * 1e-4).collect();
+    let whole = hp_dot::<8, 4>(&xs, &ys);
+    let mut blocked = Hp8x4::ZERO;
+    for (ca, cb) in xs.chunks(1777).zip(ys.chunks(1777)) {
+        blocked += hp_dot::<8, 4>(ca, cb);
+    }
+    assert_eq!(whole, blocked);
+    println!("{n}-element dot, blocked vs whole: bitwise identical = true");
+
+    // Norms come for free.
+    let v = [3.0, 4.0, 12.0];
+    println!(
+        "‖(3,4,12)‖² = {} (exact integer arithmetic)",
+        hp_norm_sq::<8, 4>(&v).to_f64()
+    );
+}

@@ -1,0 +1,53 @@
+//! A reproducible N-body run end to end: the `oisum-sim` engine keeps
+//! per-particle momentum in HP registers, so the trajectory is bitwise
+//! identical for any interaction order (i.e. any parallel force
+//! decomposition) and Newton's third law holds exactly at every step.
+//!
+//! ```text
+//! cargo run --release --example reproducible_simulation
+//! ```
+
+use oisum::sim::{ForceAccumulation, NBodySystem};
+use rand::prelude::*;
+
+fn shuffled_pairs(sys: &NBodySystem, seed: u64) -> Vec<(usize, usize)> {
+    let mut pairs = sys.canonical_pairs();
+    pairs.shuffle(&mut StdRng::seed_from_u64(seed));
+    pairs
+}
+
+fn main() {
+    const N: usize = 120;
+    const STEPS: usize = 60;
+    const DT: f64 = 5e-3;
+
+    for mode in [ForceAccumulation::Hp, ForceAccumulation::F64] {
+        // Two replicas of the same physical system, integrated with
+        // differently-ordered interaction lists each step — the situation
+        // a work-stealing parallel force loop creates.
+        let mut a = NBodySystem::random_cluster(N, 2016, mode);
+        let mut b = a.clone();
+        let mut worst_momentum = 0.0f64;
+        for step in 0..STEPS {
+            let s1 = {
+                let pairs = a.canonical_pairs();
+                a.step_with_order(DT, &pairs)
+            };
+            let pairs = shuffled_pairs(&b, step as u64 * 131 + 7);
+            b.step_with_order(DT, &pairs);
+            worst_momentum = worst_momentum.max(s1.momentum_norm);
+        }
+        let identical = a.state_fingerprint() == b.state_fingerprint();
+        println!("{mode:?} accumulation after {STEPS} steps of {N} bodies:");
+        println!("  trajectories identical across interaction orders: {identical}");
+        println!("  worst |total momentum| (exactly 0 physically): {worst_momentum:.3e}");
+        println!("  kinetic energy: {:.6e}", a.stats().kinetic);
+        println!();
+        if mode == ForceAccumulation::Hp {
+            assert!(identical);
+            assert_eq!(worst_momentum, 0.0);
+        }
+    }
+    println!("HP keeps the simulation bitwise reproducible and exactly momentum-");
+    println!("conserving; f64 accumulation drifts and depends on the schedule.");
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extension
+# experiments at full scale, writing outputs to results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p oisum-bench
+
+mkdir -p results
+run() {
+    local name=$1; shift
+    echo "== $name $*"
+    ./target/release/"$name" "$@" | tee "results/$name.txt"
+}
+
+run table1_ranges
+run table2_hallberg_params
+run fig1_stddev --full
+run fig2_histogram --full
+run fig4_hp_vs_hallberg --full
+run fig5_openmp --full
+run fig6_mpi --full
+run fig7_cuda --full
+run fig8_phi --full
+run opcount_model
+run ablation_breakeven --full
+run ablation_reproducible_methods --full
+run ablation_hallberg_renorm --full
+run condition_sweep --full
+run drift_experiment --full
+
+echo "== criterion micro-benchmarks"
+cargo bench -p oisum-bench

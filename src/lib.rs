@@ -1,0 +1,69 @@
+//! # oisum — Order-Invariant Real Number Summation
+//!
+//! A Rust implementation of the **HP (High-Precision) method** and its
+//! surrounding evaluation ecosystem, reproducing
+//!
+//! > P. E. Small, R. K. Kalia, A. Nakano, P. Vashishta. *Order-Invariant
+//! > Real Number Summation: Circumventing Accuracy Loss for Multimillion
+//! > Summands on Multiple Parallel Architectures.* IPDPS 2016,
+//! > DOI 10.1109/IPDPS.2016.41.
+//!
+//! Floating-point addition is not associative, so parallel reductions
+//! produce different sums depending on data distribution, thread count,
+//! reduction-tree shape, and scheduling. The HP method represents each
+//! real number as a `64·N`-bit two's-complement fixed-point integer
+//! (with `64·k` fraction bits), reducing real summation to integer
+//! addition — which **is** associative. Sums become exact, bitwise
+//! reproducible, and architecture independent.
+//!
+//! ```
+//! use oisum::hp::Hp6x3;
+//!
+//! let data: Vec<f64> = (0..100_000).map(|i| (i as f64 - 50_000.0) * 1e-9).collect();
+//! let forward = Hp6x3::sum_f64_slice(&data);
+//! let reversed: Hp6x3 = data.iter().rev().map(|&x| Hp6x3::from_f64_unchecked(x)).sum();
+//! assert_eq!(forward, reversed); // bitwise identical, any order
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`hp`] | `oisum-core` | the HP method: `HpFixed<N, K>`, atomic accumulators, adaptive precision |
+//! | [`hallberg`] | `oisum-hallberg` | the Hallberg–Adcroft baseline |
+//! | [`compensated`] | `oisum-compensated` | naive/Kahan/Neumaier/pairwise/long-accumulator baselines |
+//! | [`bignum`] | `oisum-bignum` | shared limb kernels and the exact f64 codec |
+//! | [`threads`] | `oisum-threads` | shared-memory reductions + `SumMethod` trait |
+//! | [`mpi`] | `oisum-mpi` | message-passing runtime with custom reduce ops |
+//! | [`gpu`] | `oisum-gpu` | GPU execution model with atomic partial sums |
+//! | [`phi`] | `oisum-phi` | offload coprocessor model |
+//! | [`analysis`] | `oisum-analysis` | error experiments, workloads, op-count model |
+//! | [`blas`] | `oisum-blas` | reproducible dot/asum/nrm2/gemv/gemm kernels |
+//! | [`sim`] | `oisum-sim` | reproducible N-body engine (HP momentum registers) |
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oisum_analysis as analysis;
+pub use oisum_bignum as bignum;
+pub use oisum_blas as blas;
+pub use oisum_compensated as compensated;
+pub use oisum_core as hp;
+pub use oisum_gpu as gpu;
+pub use oisum_hallberg as hallberg;
+pub use oisum_mpi as mpi;
+pub use oisum_phi as phi;
+pub use oisum_sim as sim;
+pub use oisum_threads as threads;
+
+/// The most common entry points, for glob import.
+pub mod prelude {
+    pub use oisum_core::{
+        AdaptiveHp, AtomicHp, Hp2x1, Hp3x2, Hp6x3, Hp8x4, HpError, HpFixed, HpFormat,
+    };
+    pub use oisum_hallberg::{HallbergCodec, HallbergFormat, HallbergNum};
+    pub use oisum_threads::{sum_parallel, sum_serial, DoubleMethod, HpMethod, SumMethod};
+}

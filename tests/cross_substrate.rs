@@ -1,0 +1,123 @@
+//! The paper's central claim, end to end: the same data reduced through
+//! every parallel substrate — serial, OS threads, work-stealing, message
+//! passing, the GPU model, and the offload model — produces the
+//! bitwise-identical HP sum, while f64 does not.
+
+use oisum::analysis::workload::uniform_symmetric;
+use oisum::gpu::{launch_sum, GpuDevice, HpGpu};
+use oisum::mpi::{ops, reduce_binomial, run};
+use oisum::phi::{offload_sum, OffloadDevice};
+use oisum::prelude::*;
+use oisum::threads::{sum_rayon, DoubleMethod};
+use std::sync::Arc;
+
+const N: usize = 1 << 17;
+
+fn data() -> Vec<f64> {
+    uniform_symmetric(N, 0xC0FFEE)
+}
+
+fn serial_hp(xs: &[f64]) -> u64 {
+    Hp6x3::sum_f64_slice(xs).to_f64().to_bits()
+}
+
+#[test]
+fn every_substrate_produces_the_identical_hp_sum() {
+    let xs = data();
+    let reference = serial_hp(&xs);
+    let method = HpMethod::<6, 3>;
+
+    // OS-thread reduction, several PE counts.
+    for p in [2usize, 3, 8, 16] {
+        assert_eq!(
+            sum_parallel(&method, &xs, p).value.to_bits(),
+            reference,
+            "threads p={p}"
+        );
+    }
+
+    // Rayon work stealing (nondeterministic merge order).
+    assert_eq!(sum_rayon(&method, &xs).value.to_bits(), reference, "rayon");
+
+    // Message passing with a binomial reduction tree.
+    let shared = Arc::new(xs.clone());
+    for p in [2usize, 5, 16] {
+        let d = Arc::clone(&shared);
+        let out = run(p, move |comm| {
+            let chunk = d.len().div_ceil(comm.size());
+            let lo = (comm.rank() * chunk).min(d.len());
+            let hi = ((comm.rank() + 1) * chunk).min(d.len());
+            let local = Hp6x3::sum_f64_slice(&d[lo..hi]);
+            reduce_binomial(comm, 0, local, &ops::hp_sum).unwrap()
+        });
+        assert_eq!(out[0].unwrap().to_f64().to_bits(), reference, "mpi p={p}");
+    }
+
+    // GPU model with shared atomic partials, several grid sizes.
+    let device = GpuDevice::k20m();
+    for t in [256usize, 1333, 8192] {
+        assert_eq!(
+            launch_sum(&device, &HpGpu::<6, 3>, &xs, t).value.to_bits(),
+            reference,
+            "gpu t={t}"
+        );
+    }
+
+    // Offload model.
+    let phi = OffloadDevice::phi_5110p();
+    for t in [1usize, 30, 240] {
+        assert_eq!(
+            offload_sum(&phi, &method, &xs, t, 40e-9, false).value.to_bits(),
+            reference,
+            "phi t={t}"
+        );
+    }
+}
+
+#[test]
+fn f64_disagrees_somewhere_across_substrates() {
+    let xs = data();
+    let serial = sum_serial(&DoubleMethod, &xs).value.to_bits();
+    let mut all = vec![serial];
+    for p in [2usize, 3, 7, 16, 64] {
+        all.push(sum_parallel(&DoubleMethod, &xs, p).value.to_bits());
+    }
+    assert!(
+        all[1..].iter().any(|&b| b != all[0]),
+        "expected at least one f64 disagreement, got {all:?}"
+    );
+}
+
+#[test]
+fn hallberg_is_equally_invariant_across_substrates() {
+    let xs = data();
+    let method = oisum::threads::HallbergMethod::<10>::with_m(38);
+    let reference = sum_serial(&method, &xs).value.to_bits();
+    for p in [2usize, 9, 32] {
+        assert_eq!(sum_parallel(&method, &xs, p).value.to_bits(), reference);
+    }
+}
+
+#[test]
+fn hp_and_hallberg_and_superacc_agree_on_the_value() {
+    // Three independent exact methods must decode to the same double.
+    let xs = data();
+    let hp = Hp6x3::sum_f64_slice(&xs).to_f64();
+    let codec = HallbergCodec::<10>::with_m(38);
+    let hb = codec.decode(&codec.sum_f64_slice(&xs));
+    let sa = oisum::compensated::superacc::exact_sum(&xs);
+    assert_eq!(hp.to_bits(), hb.to_bits());
+    assert_eq!(hp.to_bits(), sa.to_bits());
+}
+
+#[test]
+fn architecture_independence_cpu_vs_gpu_model() {
+    // §III.B.3: "it is possible to add a sequence of real numbers
+    // separately on an Intel CPU and on an Nvidia GPU … and derive the
+    // same result in both cases." Here: host serial loop vs the GPU
+    // model's CAS-atomic grid.
+    let xs = data();
+    let cpu = Hp6x3::sum_f64_slice(&xs);
+    let gpu = launch_sum(&GpuDevice::k20m(), &HpGpu::<6, 3>, &xs, 4096);
+    assert_eq!(cpu.to_f64().to_bits(), gpu.value.to_bits());
+}

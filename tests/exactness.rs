@@ -1,0 +1,92 @@
+//! Exactness of the HP method against independent references: the long
+//! accumulator, integer arithmetic, and the paper's §II.A experiment.
+
+use oisum::analysis::workload::{log_uniform, uniform_symmetric, zero_sum_set};
+use oisum::analysis::zerosum::run_zero_sum_experiment;
+use oisum::compensated::superacc::exact_sum;
+use oisum::compensated::{kahan::kahan_sum, naive::naive_sum, pairwise::pairwise_sum};
+use oisum::prelude::*;
+
+#[test]
+fn hp_sum_equals_long_accumulator_on_uniform_workload() {
+    let xs = uniform_symmetric(1 << 15, 31);
+    let hp = Hp6x3::sum_f64_slice(&xs).to_f64();
+    assert_eq!(hp.to_bits(), exact_sum(&xs).to_bits());
+}
+
+#[test]
+fn hp8x4_sum_equals_long_accumulator_on_wide_range_workload() {
+    // The Fig. 4 workload spans ±2^191 with floor 2^-223 — inside
+    // HP(8,4)'s format, so the tuned format matches the parameter-free
+    // long accumulator exactly.
+    let xs = log_uniform(1 << 13, -223, 191, 77);
+    let hp = Hp8x4::sum_f64_slice(&xs).to_f64();
+    assert_eq!(hp.to_bits(), exact_sum(&xs).to_bits());
+}
+
+#[test]
+fn zero_sum_sets_reduce_to_exact_zero_for_hp_only() {
+    let xs = zero_sum_set(2048, 0.001, 5);
+    // HP: identically zero.
+    assert!(Hp3x2::sum_f64_slice(&xs).is_zero());
+    // Long accumulator: also exact.
+    assert_eq!(exact_sum(&xs), 0.0);
+    // f64 methods: at least one order shows residual error. Sort to
+    // create an adversarial order (all positives first).
+    let mut sorted = xs.clone();
+    sorted.sort_by(f64::total_cmp);
+    let naive = naive_sum(&sorted);
+    assert_ne!(naive, 0.0, "sorted zero-sum set should expose f64 error");
+    // Pairwise and Kahan reduce but don't always eliminate the error;
+    // whatever they return, HP is exactly zero.
+    let _ = (pairwise_sum(&sorted), kahan_sum(&sorted));
+}
+
+#[test]
+fn paper_fig1_claim_hp_residual_zero_for_every_size() {
+    for n in [64usize, 256, 1024] {
+        let out = run_zero_sum_experiment(n, 0.001, 64, n as u64);
+        assert_eq!(out.hp_max_abs_residual, 0.0, "n={n}");
+        assert!(out.f64_residuals.iter().any(|&r| r != 0.0), "n={n}");
+    }
+}
+
+#[test]
+fn truncating_conversion_error_is_bounded_by_resolution() {
+    // Every conversion truncates toward zero by strictly less than one
+    // resolution step; a sum of n values is off by < n steps.
+    let xs = log_uniform(4096, -200, 10, 13);
+    let hp: Hp3x2 = xs.iter().map(|&x| Hp3x2::from_f64_trunc(x).unwrap()).sum();
+    let exact = exact_sum(&xs);
+    let bound = 4096.0 * Hp3x2::smallest();
+    assert!(
+        (hp.to_f64() - exact).abs() <= bound,
+        "err {:e} bound {bound:e}",
+        (hp.to_f64() - exact).abs()
+    );
+}
+
+#[test]
+fn checked_conversions_round_trip_every_workload_value() {
+    let xs = uniform_symmetric(10_000, 3);
+    for &x in &xs {
+        let hp = Hp6x3::from_f64(x).expect("uniform [-0.5,0.5] is exactly representable");
+        assert_eq!(hp.to_f64(), x);
+    }
+}
+
+#[test]
+fn compensated_methods_rank_by_accuracy() {
+    // n copies of 0.1: exact error ordering naive ≥ pairwise ≥ kahan ≈ 0,
+    // and HP == long accumulator == exact sum of the f64 inputs.
+    let n = 1 << 18;
+    let xs = vec![0.1f64; n];
+    let exact = exact_sum(&xs);
+    let e_naive = (naive_sum(&xs) - exact).abs();
+    let e_pair = (pairwise_sum(&xs) - exact).abs();
+    let e_kahan = (kahan_sum(&xs) - exact).abs();
+    let e_hp = (Hp3x2::sum_f64_slice(&xs).to_f64() - exact).abs();
+    assert!(e_naive > e_pair, "naive {e_naive:e} vs pairwise {e_pair:e}");
+    assert!(e_pair >= e_kahan, "pairwise {e_pair:e} vs kahan {e_kahan:e}");
+    assert_eq!(e_hp, 0.0);
+}

@@ -1,0 +1,139 @@
+//! Failure injection across the workspace: overflow mid-reduction,
+//! out-of-range conversions, exceeded Hallberg summand budgets, rank
+//! death in the message-passing runtime, and receive timeouts.
+
+use oisum::mpi::{run, CommError};
+use oisum::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn hp_overflow_mid_reduction_is_detected() {
+    // Keep adding the near-max value with the checked adder: the sign
+    // test must fire before the sum silently wraps.
+    let big = Hp2x1::from_f64(2f64.powi(62)).unwrap();
+    let mut acc = Hp2x1::ZERO;
+    let mut overflowed = false;
+    for _ in 0..4 {
+        match acc.checked_add(&big) {
+            Ok(v) => acc = v,
+            Err(HpError::AddOverflow) => {
+                overflowed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    assert!(overflowed, "third 2^62 add exceeds the ±2^63 range");
+}
+
+#[test]
+fn hp_conversion_failures_are_typed() {
+    assert_eq!(Hp2x1::from_f64(f64::NAN), Err(HpError::NonFinite));
+    assert_eq!(Hp2x1::from_f64(f64::INFINITY), Err(HpError::NonFinite));
+    assert_eq!(Hp2x1::from_f64(1e30), Err(HpError::ConvertOverflow));
+    assert_eq!(Hp2x1::from_f64(1e-30), Err(HpError::ConvertUnderflow));
+    // The truncating path accepts underflow but still rejects overflow.
+    assert!(Hp2x1::from_f64_trunc(1e-30).is_ok());
+    assert_eq!(Hp2x1::from_f64_trunc(1e30), Err(HpError::ConvertOverflow));
+}
+
+#[test]
+fn hp_decode_overflow_is_detected() {
+    // Overflow point 3 of §III.B.1: an HP value can exceed f64's range
+    // when the format is wide enough. Build 2^1030 by repeated doubling of
+    // 2^1000 in an (18, 0) format (range up to ±2^1151) and decode.
+    let fmt = HpFormat::new(18, 0);
+    let mut d = oisum::hp::DynHp::from_f64(2f64.powi(1000), fmt).unwrap();
+    for _ in 0..30 {
+        let c = d.clone();
+        d.checked_add_assign(&c).expect("within the 1151-bit range");
+    }
+    assert!(d.to_f64().is_infinite());
+}
+
+#[test]
+fn hallberg_budget_exhaustion_detected_by_checked_add() {
+    // M = 52 allows 2047 guaranteed summands; pushing far beyond with
+    // maximal values must eventually trip the checked adder.
+    let codec = HallbergCodec::<10>::with_m(52);
+    let v = codec.encode(0.999_999_999).unwrap();
+    let mut acc = HallbergNum::<10>::ZERO;
+    let mut tripped = false;
+    for i in 0..10_000 {
+        match acc.checked_add(&v) {
+            Some(next) => acc = next,
+            None => {
+                tripped = true;
+                assert!(
+                    i as u64 >= codec.format().max_summands(),
+                    "must not trip within the guaranteed budget (tripped at {i})"
+                );
+                break;
+            }
+        }
+    }
+    assert!(tripped, "10k maximal adds must exceed the 2047 budget");
+}
+
+#[test]
+fn hallberg_out_of_range_encode_is_none() {
+    let codec = HallbergCodec::<10>::with_m(38);
+    assert!(codec.encode(2f64.powi(195)).is_none());
+    assert!(codec.encode(f64::NAN).is_none());
+}
+
+#[test]
+fn mpi_send_to_finished_rank_reports_rank_death() {
+    let out = run(2, |c| {
+        if c.rank() == 0 {
+            // Rank 1 exits immediately; give it a moment, then send.
+            std::thread::sleep(Duration::from_millis(50));
+            match c.send(1, 0, 42u8) {
+                Err(CommError::RankFinished { dst: 1 }) => true,
+                other => panic!("expected RankFinished, got {other:?}"),
+            }
+        } else {
+            true // exit immediately, dropping the inbox
+        }
+    });
+    assert!(out[0]);
+}
+
+#[test]
+fn mpi_recv_timeout_does_not_hang() {
+    let out = run(2, |c| {
+        if c.rank() == 0 {
+            c.set_timeout(Duration::from_millis(30));
+            matches!(c.recv::<u8>(1, 0), Err(CommError::Timeout { src: 1, tag: 0 }))
+        } else {
+            true
+        }
+    });
+    assert!(out[0]);
+}
+
+#[test]
+fn adaptive_accumulator_rejects_non_finite_but_survives_everything_else() {
+    let mut acc = AdaptiveHp::with_default_format();
+    assert_eq!(acc.add_f64(f64::NAN), Err(HpError::NonFinite));
+    // Full finite range in one accumulator.
+    acc.add_f64(f64::MAX).unwrap();
+    acc.add_f64(f64::MIN_POSITIVE).unwrap();
+    acc.add_f64(-f64::MAX).unwrap();
+    assert_eq!(acc.to_f64(), f64::MIN_POSITIVE);
+}
+
+#[test]
+fn atomic_accumulator_wraps_like_the_sequential_adder_on_overflow() {
+    // Atomic mode cannot run the sign test (§III.B.1 applies to the
+    // sequential adder); verify it wraps *identically* to wrapping_add so
+    // behaviour stays deterministic.
+    let big = Hp2x1::from_f64(2f64.powi(62)).unwrap();
+    let atomic = AtomicHp::<2, 1>::zero();
+    let mut plain = Hp2x1::ZERO;
+    for _ in 0..5 {
+        atomic.add(&big);
+        plain = plain.wrapping_add(&big);
+    }
+    assert_eq!(atomic.load(), plain);
+}

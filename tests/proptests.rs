@@ -1,0 +1,127 @@
+//! Workspace-level property tests: cross-method equivalence, exact dot
+//! products against big-integer oracles, scalar-operation laws, and
+//! collective-vs-serial agreement.
+
+use oisum::compensated::superacc::exact_sum;
+use oisum::hp::{hp_dot, two_product};
+use oisum::mpi::{ops, run, scan};
+use oisum::prelude::*;
+use proptest::prelude::*;
+
+/// f64 values exactly representable in every format used below.
+fn representable() -> impl Strategy<Value = f64> {
+    (any::<bool>(), 0u64..(1 << 53), -75i32..=9).prop_map(|(neg, m, e)| {
+        let v = m as f64 * 2f64.powi(e);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    /// Three independent exact methods agree bitwise on the decoded sum.
+    #[test]
+    fn hp_hallberg_superacc_trilateral_agreement(
+        xs in proptest::collection::vec(representable(), 1..60),
+    ) {
+        let hp = Hp6x3::sum_f64_slice(&xs).to_f64();
+        let codec = HallbergCodec::<10>::with_m(38);
+        let hb = codec.decode(&codec.sum_f64_slice(&xs));
+        let sa = exact_sum(&xs);
+        prop_assert_eq!(hp.to_bits(), hb.to_bits());
+        prop_assert_eq!(hp.to_bits(), sa.to_bits());
+    }
+
+    /// two_product really is error free: p + e recovers a·b exactly when
+    /// accumulated in a wide-enough HP format.
+    #[test]
+    fn two_product_recovers_exact_product(
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+    ) {
+        let (p, e) = two_product(a, b);
+        // Accumulate p + e in HP(8,4): resolution 2^-256 swallows any e
+        // from inputs of magnitude ≥ ~1e-6.
+        let mut acc = Hp8x4::from_f64_trunc(p).unwrap();
+        acc += Hp8x4::from_f64_trunc(e).unwrap();
+        // Oracle: mantissa product in i128, scaled.
+        let exact_dot = hp_dot::<8, 4>(&[a], &[b]);
+        prop_assert_eq!(acc, exact_dot);
+        // And decoding is within half an ulp of the f64 product (the
+        // rounded product is p by definition).
+        prop_assert_eq!(acc.to_f64(), p + e);
+    }
+
+    /// Dot products are invariant under simultaneous permutation.
+    #[test]
+    fn dot_permutation_invariance(
+        pairs in proptest::collection::vec((representable(), representable()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0 * 1e-6).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1 * 1e-6).collect();
+        let reference = hp_dot::<8, 4>(&a, &b);
+        let mut idx: Vec<usize> = (0..pairs.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..idx.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            idx.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let pa: Vec<f64> = idx.iter().map(|&i| a[i]).collect();
+        let pb: Vec<f64> = idx.iter().map(|&i| b[i]).collect();
+        prop_assert_eq!(reference, hp_dot::<8, 4>(&pa, &pb));
+    }
+
+    /// Scalar multiplication distributes over HP addition exactly.
+    #[test]
+    fn mul_distributes_over_add(
+        x in representable(),
+        y in representable(),
+        c in -1000i64..1000,
+    ) {
+        let hx = Hp6x3::from_f64(x).unwrap();
+        let hy = Hp6x3::from_f64(y).unwrap();
+        let lhs = (hx + hy).wrapping_mul_i64(c);
+        let rhs = hx.wrapping_mul_i64(c) + hy.wrapping_mul_i64(c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Multiplying by a power of two equals shifting.
+    #[test]
+    fn mul_pow2_equals_shift(x in representable(), e in 0u32..10) {
+        let hx = Hp6x3::from_f64(x).unwrap();
+        prop_assert_eq!(hx.wrapping_mul_i64(1 << e), hx.wrapping_shl_pow2(e));
+    }
+
+    /// The adaptive accumulator matches the superaccumulator on arbitrary
+    /// finite doubles (full dynamic range).
+    #[test]
+    fn adaptive_matches_superaccumulator(
+        xs in proptest::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 1..25),
+    ) {
+        let mut adaptive = AdaptiveHp::with_default_format();
+        for &x in &xs {
+            adaptive.add_f64(x).unwrap();
+        }
+        prop_assert_eq!(adaptive.to_f64().to_bits(), exact_sum(&xs).to_bits());
+    }
+}
+
+#[test]
+fn mpi_scan_matches_serial_prefix_with_hp() {
+    // Deterministic (non-proptest) cross-substrate check: distributed
+    // prefix sums equal the serial prefix bitwise for several world sizes.
+    for size in [2usize, 3, 5, 8, 11] {
+        let out = run(size, move |c| {
+            let local = Hp6x3::from_f64_unchecked(((c.rank() + 1) as f64) * 0.0625);
+            scan(c, local, &ops::hp_sum).unwrap()
+        });
+        let mut acc = Hp6x3::ZERO;
+        for (r, got) in out.iter().enumerate() {
+            acc += Hp6x3::from_f64_unchecked(((r + 1) as f64) * 0.0625);
+            assert_eq!(*got, acc, "size={size} rank={r}");
+        }
+    }
+}
