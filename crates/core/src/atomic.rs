@@ -61,6 +61,10 @@ use core::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug)]
 pub struct AtomicHp<const N: usize, const K: usize> {
     limbs: [AtomicU64; N],
+    /// Saturating count of detected top-limb signed overflows. Non-zero
+    /// means the accumulated value left the representable range at some
+    /// point and the current contents cannot be trusted ("poisoned").
+    overflows: AtomicU64,
 }
 
 impl<const N: usize, const K: usize> Default for AtomicHp<N, K> {
@@ -74,6 +78,7 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
     pub fn zero() -> Self {
         AtomicHp {
             limbs: core::array::from_fn(|_| AtomicU64::new(0)),
+            overflows: AtomicU64::new(0),
         }
     }
 
@@ -81,7 +86,64 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
     pub fn new(v: HpFixed<N, K>) -> Self {
         AtomicHp {
             limbs: core::array::from_fn(|i| AtomicU64::new(v.as_limbs()[i])),
+            overflows: AtomicU64::new(0),
         }
+    }
+
+    /// Records one detected top-limb signed overflow, saturating at
+    /// `u64::MAX` so the sticky poison flag can never wrap back to
+    /// "clean" under sustained overflow traffic.
+    #[cold]
+    fn note_overflow(&self) {
+        let mut cur = self.overflows.load(Ordering::Relaxed);
+        while cur != u64::MAX {
+            match self.overflows.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Detects signed overflow of the top-limb deposit: the sum left the
+    /// representable range iff `old` and `addend` share a sign that `new`
+    /// does not (standard two's-complement overflow predicate).
+    #[inline]
+    fn check_top_limb(&self, old: u64, addend: u64) {
+        let new = old.wrapping_add(addend);
+        if ((old ^ new) & (addend ^ new)) >> 63 != 0 {
+            self.note_overflow();
+        }
+    }
+
+    /// True if a top-limb signed overflow has ever been detected.
+    ///
+    /// The flag is *sticky*: once set it stays set until
+    /// [`Self::clear_poison`]. Detection is conservative under
+    /// concurrency — a transient excursion outside the representable
+    /// range (e.g. a large positive deposit landing before the negative
+    /// one that cancels it) is flagged even though the final value is
+    /// exact. A poisoned accumulator therefore means "the range margin
+    /// was exhausted at least momentarily; widen K or shard the stream",
+    /// not necessarily that the final bits are wrong. What it guarantees
+    /// is the converse: an unpoisoned accumulator never wrapped, so its
+    /// value is unconditionally exact.
+    pub fn poisoned(&self) -> bool {
+        self.overflows.load(Ordering::Relaxed) != 0
+    }
+
+    /// Number of detected top-limb overflows (saturating).
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Clears the sticky poison flag through exclusive access.
+    pub fn clear_poison(&mut self) {
+        *self.overflows.get_mut() = 0;
     }
 
     /// Atomically adds `b`, one `fetch_add` per limb, rippling carries
@@ -104,6 +166,9 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
                 continue;
             }
             let old = self.limbs[i].fetch_add(addend, Ordering::Relaxed);
+            if i == 0 {
+                self.check_top_limb(old, addend);
+            }
             // Carry out of this limb: the deposit wrapped the cell, or the
             // addend itself wrapped while being formed. At most one of the
             // two can be 1 (if the addend wrapped it is 0, and depositing 0
@@ -112,7 +177,9 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
             carry = (deposited_wrap as u64) + (wrapped as u64);
         }
         // A carry out of limb 0 wraps mod 2^(64·N): two's-complement
-        // semantics, same as the non-atomic adder.
+        // semantics, same as the non-atomic adder — except that a *signed*
+        // overflow of limb 0 is detected and recorded; see
+        // [`Self::poisoned`].
     }
 
     /// The paper's CAS-only atomic adder: each limb deposit is a
@@ -140,6 +207,9 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
                     Err(now) => cur = now,
                 }
             };
+            if i == 0 {
+                self.check_top_limb(old, addend);
+            }
             let deposited_wrap = old.wrapping_add(addend) < addend;
             carry = (deposited_wrap as u64) + (wrapped as u64);
         }
@@ -168,11 +238,13 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
         HpFixed::from_limbs(core::array::from_fn(|i| *self.limbs[i].get_mut()))
     }
 
-    /// Resets the accumulator to zero through exclusive access.
+    /// Resets the accumulator to zero (and clears the poison flag)
+    /// through exclusive access.
     pub fn reset(&mut self) {
         for l in &mut self.limbs {
             *l.get_mut() = 0;
         }
+        self.clear_poison();
     }
 }
 
@@ -300,6 +372,63 @@ mod tests {
         });
         // Equal numbers of +1 and −1 ticks per thread → exact zero.
         assert!(acc.load().is_zero());
+    }
+
+    #[test]
+    fn overflow_poisons_single_limb_accumulator_from_four_threads() {
+        // A 1-limb accumulator holds only ±2^62 (one sign bit + integer
+        // bits); four threads depositing i64::MAX-sized limbs wrap it many
+        // times over. The wraps must be detected, sticky, and counted.
+        let acc = Arc::new(AtomicHp::<1, 1>::zero());
+        let big = HpFixed::<1, 1>::from_limbs([i64::MAX as u64]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let acc = Arc::clone(&acc);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        acc.add(&big);
+                        acc.add_cas(&big);
+                    }
+                });
+            }
+        });
+        assert!(acc.poisoned());
+        assert!(acc.overflow_count() >= 1);
+        // Poison survives further (non-overflowing) traffic: sticky.
+        acc.add(&HpFixed::<1, 1>::from_limbs([0]));
+        assert!(acc.poisoned());
+    }
+
+    #[test]
+    fn in_range_concurrent_traffic_never_poisons() {
+        // The converse guarantee: values far inside the representable
+        // range must not trip the detector, however the threads interleave.
+        let acc = Arc::new(AtomicHp::<2, 1>::zero());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let acc = Arc::clone(&acc);
+                s.spawn(move || {
+                    for i in 0..2000 {
+                        let v = ((i + t) as f64 - 1000.0) * 1e-3;
+                        acc.add(&Hp2x1::from_f64_trunc(v).unwrap());
+                    }
+                });
+            }
+        });
+        assert!(!acc.poisoned());
+        assert_eq!(acc.overflow_count(), 0);
+    }
+
+    #[test]
+    fn reset_clears_poison() {
+        let mut acc = AtomicHp::<1, 1>::zero();
+        let big = HpFixed::<1, 1>::from_limbs([i64::MAX as u64]);
+        acc.add(&big);
+        acc.add(&big);
+        assert!(acc.poisoned());
+        acc.reset();
+        assert!(!acc.poisoned());
+        assert!(acc.load_exclusive().is_zero());
     }
 
     #[test]

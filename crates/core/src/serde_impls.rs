@@ -9,8 +9,8 @@
 use crate::dyn_hp::DynHp;
 use crate::fixed::HpFixed;
 use crate::format::HpFormat;
-use serde::de::{Error as DeError, SeqAccess, Visitor};
-use serde::ser::SerializeSeq;
+use serde::de::{Error as DeError, MapAccess, SeqAccess, Visitor};
+use serde::ser::{SerializeSeq, SerializeStruct};
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 impl<const N: usize, const K: usize> Serialize for HpFixed<N, K> {
@@ -52,11 +52,53 @@ impl<'de, const N: usize, const K: usize> Deserialize<'de> for HpFixed<N, K> {
     }
 }
 
-#[derive(Serialize, Deserialize)]
 struct DynHpRepr {
     n: usize,
     k: usize,
     limbs: Vec<u64>,
+}
+
+impl Serialize for DynHpRepr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("DynHpRepr", 3)?;
+        s.serialize_field("n", &self.n)?;
+        s.serialize_field("k", &self.k)?;
+        s.serialize_field("limbs", &self.limbs)?;
+        s.end()
+    }
+}
+
+struct DynHpReprVisitor;
+
+impl<'de> Visitor<'de> for DynHpReprVisitor {
+    type Value = DynHpRepr;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("a map with fields n, k, limbs")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let (mut n, mut k, mut limbs) = (None, None, None);
+        while let Some(key) = map.next_key::<String>()? {
+            match key.as_str() {
+                "n" => n = Some(map.next_value::<usize>()?),
+                "k" => k = Some(map.next_value::<usize>()?),
+                "limbs" => limbs = Some(map.next_value::<Vec<u64>>()?),
+                other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
+            }
+        }
+        Ok(DynHpRepr {
+            n: n.ok_or_else(|| A::Error::custom("missing field `n`"))?,
+            k: k.ok_or_else(|| A::Error::custom("missing field `k`"))?,
+            limbs: limbs.ok_or_else(|| A::Error::custom("missing field `limbs`"))?,
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for DynHpRepr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_struct("DynHpRepr", &["n", "k", "limbs"], DynHpReprVisitor)
+    }
 }
 
 impl Serialize for DynHp {

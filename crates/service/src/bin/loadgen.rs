@@ -1,0 +1,181 @@
+//! Load generator: hammers a summation server from many client threads
+//! and verifies bitwise reproducibility under fire.
+//!
+//! ```text
+//! loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] [--out PATH]
+//! ```
+//!
+//! Generates one dataset of `--values` summands with magnitudes spread
+//! over ~30 orders of magnitude, splits it into batches, deals the
+//! batches to `--threads` clients *in shuffled order*, and streams them
+//! at an in-process server. When every batch is ACKed it asserts the
+//! server's `Sum` limbs are bitwise identical to the sequential
+//! `ServiceHp::sum_f64_slice` of the un-shuffled dataset, then reports
+//! throughput and per-request latency percentiles to stdout and (as
+//! JSON) to `--out` (default `BENCH_service.json`).
+
+use oisum_service::{serve, Client, ServerConfig, ServiceHp};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    threads: usize,
+    values: usize,
+    batch: usize,
+    shards: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            threads: 4,
+            values: 200_000,
+            batch: 500,
+            shards: 8,
+            seed: 0x5EED,
+            out: "BENCH_service.json".to_owned(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--threads" => a.threads = value().parse().unwrap_or_else(|_| usage()),
+            "--values" => a.values = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => a.batch = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => a.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = value(),
+            _ => usage(),
+        }
+    }
+    if a.threads == 0 || a.values == 0 || a.batch == 0 {
+        usage();
+    }
+    a
+}
+
+/// Summands spanning ~30 orders of magnitude with mixed signs — the
+/// regime where floating-point reductions lose reproducibility.
+fn generate(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mantissa = rng.random_range(-1.0f64..1.0);
+            let exponent = rng.random_range(-15i32..=15);
+            mantissa * 10f64.powi(exponent)
+        })
+        .collect()
+}
+
+fn percentile_us(sorted: &[u128], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 / 1000.0
+}
+
+fn main() {
+    let args = parse_args();
+    let data = generate(args.values, args.seed);
+    let expected = ServiceHp::sum_f64_slice(&data);
+
+    let server = serve(ServerConfig {
+        shards: args.shards,
+        workers: args.threads,
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process server");
+    let addr = server.addr();
+
+    // Deal batch indices round-robin, then shuffle each thread's hand so
+    // arrival order shares nothing with dataset order.
+    let batches: Vec<&[f64]> = data.chunks(args.batch).collect();
+    let mut hands: Vec<Vec<usize>> = vec![Vec::new(); args.threads];
+    for (i, _) in batches.iter().enumerate() {
+        hands[i % args.threads].push(i);
+    }
+    for (t, hand) in hands.iter_mut().enumerate() {
+        hand.shuffle(&mut StdRng::seed_from_u64(args.seed ^ (t as u64 + 1)));
+    }
+
+    let started = Instant::now();
+    let latencies_ns: Vec<u128> = std::thread::scope(|s| {
+        let handles: Vec<_> = hands
+            .iter()
+            .map(|hand| {
+                let batches = &batches;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(hand.len());
+                    for &i in hand {
+                        let t0 = Instant::now();
+                        let n = client.add("loadgen", batches[i]).expect("add");
+                        lat.push(t0.elapsed().as_nanos());
+                        assert_eq!(n as usize, batches[i].len());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    // Every batch is ACKed, so the ledger is quiescent: the sum must be
+    // bitwise the sequential HP sum of the original ordering.
+    let mut client = Client::connect(addr).expect("connect");
+    let reply = client.sum("loadgen").expect("sum");
+    assert_eq!(
+        reply.limbs,
+        expected.as_limbs().to_vec(),
+        "server sum diverged from sequential HP sum"
+    );
+    assert!(!reply.poisoned, "accumulator poisoned under loadgen range");
+    client.shutdown().expect("shutdown");
+    server.join().expect("server join");
+
+    let mut sorted = latencies_ns.clone();
+    sorted.sort_unstable();
+    let ops = sorted.len() as f64;
+    let ops_per_sec = ops / elapsed.as_secs_f64();
+    let p50_us = percentile_us(&sorted, 0.50);
+    let p99_us = percentile_us(&sorted, 0.99);
+
+    println!(
+        "loadgen: {} values in {} batches over {} threads ({} shards)",
+        args.values,
+        batches.len(),
+        args.threads,
+        args.shards
+    );
+    println!("  sum bitwise-identical to sequential HP sum: OK");
+    println!(
+        "  {ops_per_sec:.0} add-ops/s, p50 {p50_us:.1} us, p99 {p99_us:.1} us, wall {:?}",
+        elapsed
+    );
+
+    let json = format!(
+        "{{\"ops_per_sec\":{ops_per_sec:.2},\"p50_us\":{p50_us:.2},\"p99_us\":{p99_us:.2},\"threads\":{},\"values\":{},\"batch\":{},\"shards\":{},\"bitwise_identical\":true}}\n",
+        args.threads, args.values, args.batch, args.shards
+    );
+    let mut f = std::fs::File::create(&args.out).expect("create bench output");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("  wrote {}", args.out);
+}

@@ -1,0 +1,49 @@
+//! Standalone summation server.
+//!
+//! ```text
+//! oisum-server [--addr HOST:PORT] [--shards N] [--workers N] [--snapshot PATH]
+//! ```
+//!
+//! Runs until a client sends a `Shutdown` frame; if `--snapshot` is
+//! given, restores from it at startup (when present) and persists a
+//! final snapshot on graceful shutdown.
+
+use oisum_service::{serve, ServerConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oisum-server [--addr HOST:PORT] [--shards N] [--workers N] [--snapshot PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--shards" => config.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--snapshot" => config.snapshot_path = Some(value().into()),
+            _ => usage(),
+        }
+    }
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("oisum-server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("oisum-server listening on {}", handle.addr());
+    match handle.join() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("oisum-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A blocking client for the summation service.
+//!
+//! One request/one reply over a persistent connection. Typed helpers
+//! unwrap the reply kind; a mismatched or `Error` reply surfaces as
+//! [`ClientError::Server`] with the server's code and message.
+
+use crate::proto::{read_frame, write_frame, ErrorCode, Request, Response, StreamStatsRepr};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Io(io::Error),
+    /// The server replied with a typed error.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server replied with the wrong kind of frame.
+    UnexpectedReply(&'static str),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::UnexpectedReply(expected) => {
+                write!(f, "unexpected reply kind (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The exact sum of a stream as reported by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumReply {
+    /// Raw accumulator limbs, most significant first — compare these for
+    /// bitwise identity across runs.
+    pub limbs: Vec<u64>,
+    /// True if the stream's range guarantee was violated at some point.
+    pub poisoned: bool,
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, req)?;
+        let reply = read_frame::<_, Response>(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        if let Response::Error { code, message } = reply {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(reply)
+    }
+
+    /// Deposits a batch; returns the number of values the server landed.
+    pub fn add(&mut self, stream: &str, values: &[f64]) -> Result<u64, ClientError> {
+        match self.call(&Request::Add {
+            stream: stream.to_owned(),
+            values: values.to_vec(),
+        })? {
+            Response::Added { count } => Ok(count),
+            _ => Err(ClientError::UnexpectedReply("added")),
+        }
+    }
+
+    /// Reads the exact sum of a stream.
+    pub fn sum(&mut self, stream: &str) -> Result<SumReply, ClientError> {
+        match self.call(&Request::Sum { stream: stream.to_owned() })? {
+            Response::Sum { limbs, poisoned } => Ok(SumReply { limbs, poisoned }),
+            _ => Err(ClientError::UnexpectedReply("sum")),
+        }
+    }
+
+    /// Asks the server to persist a snapshot; returns the stream count.
+    pub fn snapshot(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot { streams } => Ok(streams),
+            _ => Err(ClientError::UnexpectedReply("snapshot")),
+        }
+    }
+
+    /// Drops every stream on the server.
+    pub fn reset(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Reset)? {
+            Response::ResetDone => Ok(()),
+            _ => Err(ClientError::UnexpectedReply("reset")),
+        }
+    }
+
+    /// Reads ledger statistics.
+    pub fn stats(&mut self) -> Result<(u64, Vec<StreamStatsRepr>), ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { shard_count, streams } => Ok((shard_count, streams)),
+            _ => Err(ClientError::UnexpectedReply("stats")),
+        }
+    }
+
+    /// Requests a graceful shutdown (acknowledged before the server
+    /// stops accepting).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::UnexpectedReply("shutting_down")),
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The sharded HP ledger: named accumulation streams, each backed by a
+//! bank of cache-padded [`AtomicHp`] shards.
+//!
+//! Sharding exists purely to spread atomic contention — because HP
+//! addition is exactly associative, the total over any shard assignment
+//! is bitwise identical to the sequential sum of the same multiset of
+//! values. A deposit picks its shard round-robin; a read folds the
+//! shards in index order with `wrapping_add`. Neither the shard count
+//! nor the interleaving of concurrent depositors can change a single
+//! bit of the result, which is what lets two service runs with
+//! different client counts, batch orders, and `--shards` settings agree
+//! exactly.
+//!
+//! Locking is two-level: a `RwLock` guards only the stream *directory*
+//! (name → shard bank); the hot deposit path takes the read lock,
+//! clones an `Arc`, and proceeds lock-free on the shard atomics.
+
+use crate::ServiceHp;
+use crossbeam::utils::CachePadded;
+use oisum_core::AtomicHp;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of integer/fractional limbs in the service accumulator format.
+pub const SERVICE_LIMBS: usize = 6;
+
+/// One named stream: its shard bank plus deposit statistics.
+#[derive(Debug)]
+pub struct Stream {
+    shards: Vec<CachePadded<AtomicHp<6, 3>>>,
+    /// Round-robin cursor for shard selection.
+    cursor: AtomicU64,
+    batches: AtomicU64,
+    values: AtomicU64,
+}
+
+impl Stream {
+    fn new(shard_count: usize) -> Self {
+        Stream {
+            shards: (0..shard_count)
+                .map(|_| CachePadded::new(AtomicHp::zero()))
+                .collect(),
+            cursor: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            values: AtomicU64::new(0),
+        }
+    }
+
+    /// Deposits a batch into one shard (round-robin), lock-free.
+    fn add(&self, values: &[f64]) {
+        let shard =
+            &self.shards[self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.shards.len()];
+        for &x in values {
+            shard.add_f64(x);
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.values.fetch_add(values.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Folds the shards in index order. Exact at quiescence (the service
+    /// replies to an `Add` only after its deposits land, so any `Sum`
+    /// issued after those replies observes them).
+    fn sum(&self) -> ServiceHp {
+        self.shards
+            .iter()
+            .fold(ServiceHp::ZERO, |acc, s| acc.wrapping_add(&s.load()))
+    }
+
+    /// Total detected top-limb overflows across the shard bank.
+    fn overflows(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |n, s| n.saturating_add(s.overflow_count()))
+    }
+}
+
+/// Point-in-time statistics for one stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Stream name.
+    pub name: String,
+    /// Batches deposited.
+    pub batches: u64,
+    /// Values deposited.
+    pub values: u64,
+    /// Detected top-limb overflows (saturating); non-zero poisons the
+    /// stream's range guarantee.
+    pub overflows: u64,
+}
+
+/// Aggregate statistics for the whole ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LedgerStats {
+    /// Shards per stream.
+    pub shard_count: u64,
+    /// Per-stream counters, sorted by name.
+    pub streams: Vec<StreamStats>,
+}
+
+/// A concurrent map of named streams to sharded HP accumulators.
+#[derive(Debug)]
+pub struct ShardedLedger {
+    streams: RwLock<BTreeMap<String, Arc<Stream>>>,
+    shard_count: usize,
+}
+
+impl ShardedLedger {
+    /// A ledger whose streams each hold `shard_count` shards (min 1).
+    pub fn new(shard_count: usize) -> Self {
+        ShardedLedger {
+            streams: RwLock::new(BTreeMap::new()),
+            shard_count: shard_count.max(1),
+        }
+    }
+
+    /// Shards allocated per stream.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    fn stream(&self, name: &str) -> Arc<Stream> {
+        if let Some(s) = self.streams.read().unwrap().get(name) {
+            return Arc::clone(s);
+        }
+        let mut map = self.streams.write().unwrap();
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Stream::new(self.shard_count))),
+        )
+    }
+
+    /// Deposits `values` into `name`, creating the stream on first use.
+    pub fn add(&self, name: &str, values: &[f64]) {
+        self.stream(name).add(values);
+    }
+
+    /// The exact HP sum of everything deposited into `name`, or `None`
+    /// for a stream that has never been written.
+    pub fn sum(&self, name: &str) -> Option<ServiceHp> {
+        self.streams.read().unwrap().get(name).map(|s| s.sum())
+    }
+
+    /// Detected overflow count for `name` (0 for unknown streams).
+    pub fn overflows(&self, name: &str) -> u64 {
+        self.streams
+            .read()
+            .unwrap()
+            .get(name)
+            .map_or(0, |s| s.overflows())
+    }
+
+    /// Drops every stream.
+    pub fn reset(&self) {
+        self.streams.write().unwrap().clear();
+    }
+
+    /// Snapshots every stream as `(name, exact sum, overflows)`, sorted
+    /// by name. Shard structure is deliberately not preserved: the split
+    /// is a contention artifact, not part of the value.
+    pub fn snapshot(&self) -> Vec<(String, ServiceHp, u64)> {
+        self.streams
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, s)| (name.clone(), s.sum(), s.overflows()))
+            .collect()
+    }
+
+    /// Restores a snapshot produced by [`Self::snapshot`], replacing any
+    /// existing contents. Each restored sum lands in shard 0; subsequent
+    /// deposits spread over the bank as usual.
+    pub fn restore(&self, entries: &[(String, ServiceHp, u64)]) {
+        let mut map = self.streams.write().unwrap();
+        map.clear();
+        for (name, value, _overflows) in entries {
+            let stream = Stream::new(self.shard_count);
+            stream.shards[0].add(value);
+            map.insert(name.clone(), Arc::new(stream));
+        }
+    }
+
+    /// Aggregate statistics, streams sorted by name.
+    pub fn stats(&self) -> LedgerStats {
+        LedgerStats {
+            shard_count: self.shard_count as u64,
+            streams: self
+                .streams
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, s)| StreamStats {
+                    name: name.clone(),
+                    batches: s.batches.load(Ordering::Relaxed),
+                    values: s.values.load(Ordering::Relaxed),
+                    overflows: s.overflows(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stream_is_none() {
+        let ledger = ShardedLedger::new(4);
+        assert!(ledger.sum("nope").is_none());
+    }
+
+    #[test]
+    fn single_batch_matches_slice_sum() {
+        let ledger = ShardedLedger::new(4);
+        let xs = [0.1, -2.5, 1e9, -1e-9, 0.25];
+        ledger.add("s", &xs);
+        assert_eq!(ledger.sum("s").unwrap(), ServiceHp::sum_f64_slice(&xs));
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let ledger = ShardedLedger::new(2);
+        ledger.add("a", &[1.0]);
+        ledger.add("b", &[2.0]);
+        assert_eq!(ledger.sum("a").unwrap().to_f64(), 1.0);
+        assert_eq!(ledger.sum("b").unwrap().to_f64(), 2.0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_bitwise() {
+        let ledger = ShardedLedger::new(8);
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 - 250.0) * 1e-7).collect();
+        for chunk in xs.chunks(37) {
+            ledger.add("s", chunk);
+        }
+        ledger.add("t", &[42.0]);
+        let snap = ledger.snapshot();
+        let restored = ShardedLedger::new(3); // different shard count
+        restored.restore(&snap);
+        assert_eq!(restored.sum("s"), ledger.sum("s"));
+        assert_eq!(restored.sum("t"), ledger.sum("t"));
+    }
+
+    #[test]
+    fn stats_count_batches_and_values() {
+        let ledger = ShardedLedger::new(2);
+        ledger.add("s", &[1.0, 2.0]);
+        ledger.add("s", &[3.0]);
+        let stats = ledger.stats();
+        assert_eq!(stats.shard_count, 2);
+        assert_eq!(stats.streams.len(), 1);
+        assert_eq!(stats.streams[0].batches, 2);
+        assert_eq!(stats.streams[0].values, 3);
+        assert_eq!(stats.streams[0].overflows, 0);
+    }
+
+    proptest! {
+        /// The ledger invariant behind the whole service: whatever the
+        /// shard count, batch partition, and thread interleaving, the
+        /// ledger total is bitwise the sequential HP sum.
+        #[test]
+        fn ledger_sum_matches_sequential_hp_sum(
+            shard_count in 1usize..9,
+            threads in 1usize..5,
+            batch_size in 1usize..40,
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        ) {
+            let ledger = ShardedLedger::new(shard_count);
+            let batches: Vec<&[f64]> = xs.chunks(batch_size).collect();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let ledger = &ledger;
+                    let mine: Vec<&[f64]> = batches
+                        .iter()
+                        .copied()
+                        .skip(t)
+                        .step_by(threads)
+                        .collect();
+                    s.spawn(move || {
+                        for b in mine {
+                            ledger.add("s", b);
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(
+                ledger.sum("s").unwrap(),
+                ServiceHp::sum_f64_slice(&xs)
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Order-invariant summation as a network service.
+//!
+//! This crate wraps the HP method's headline property — sums that are
+//! *bitwise identical* regardless of operand order, partitioning, or
+//! thread interleaving — in a small TCP service, so independent
+//! producers can stream summands at a shared accumulator and every
+//! reader sees the same exact answer:
+//!
+//! * [`ledger`] — [`ShardedLedger`](ledger::ShardedLedger): named
+//!   streams of cache-padded atomic HP shards (two-level locking: an
+//!   `RwLock` directory over lock-free shard deposits).
+//! * [`proto`] — the wire protocol: `b"OIS\x01"`-tagged,
+//!   length-prefixed JSON frames; sums travel as raw limbs, never
+//!   `f64`.
+//! * [`server`] — acceptor + crossbeam worker pool, graceful shutdown,
+//!   snapshot on exit.
+//! * [`snapshot`] — atomic JSON persistence of exact per-stream sums.
+//! * [`client`] — a blocking client with typed calls.
+//!
+//! The `loadgen` binary hammers a server from many threads with
+//! shuffled partitions of one dataset and asserts the ledger total is
+//! bitwise the sequential HP sum; see `examples/roundtrip.rs` for the
+//! minimal end-to-end loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod ledger;
+pub mod proto;
+pub mod server;
+pub mod snapshot;
+
+/// The accumulator format used by the service: 6 limbs (384 bits), 3 of
+/// them integer — the paper's "small" configuration, covering the full
+/// `f64` exponent range seen in practice with ~64 bits of carry margin.
+pub type ServiceHp = oisum_core::Hp6x3;
+
+pub use client::{Client, ClientError, SumReply};
+pub use ledger::{LedgerStats, ShardedLedger, StreamStats};
+pub use server::{serve, ServerConfig, ServerHandle};

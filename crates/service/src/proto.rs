@@ -1,0 +1,526 @@
+//! Wire protocol: length-prefixed JSON frames with a versioned header.
+//!
+//! Every frame is `b"OIS" <version byte> <u32 big-endian payload length>
+//! <payload>`, where the payload is one JSON-encoded [`Request`] or
+//! [`Response`]. The magic-plus-version prefix lets either side reject a
+//! non-protocol peer (or a future incompatible revision) before parsing
+//! anything, and the explicit length keeps framing independent of the
+//! payload encoding.
+//!
+//! HP sums cross the wire as their raw limb sequences (most significant
+//! first) — exactly the `oisum-core` serde representation — so clients
+//! can compare results *bitwise* instead of through a lossy `f64`.
+
+use serde::de::{Error as DeError, MapAccess, Visitor};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::io::{self, Read, Write};
+
+/// Frame magic; the final byte is the protocol version.
+pub const MAGIC: [u8; 4] = *b"OIS\x01";
+
+/// Hard cap on payload size (16 MiB) so a corrupt or hostile length
+/// prefix cannot drive an unbounded allocation.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Machine-readable error categories carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame payload was not a valid request.
+    BadRequest,
+    /// The named stream has never been written.
+    UnknownStream,
+    /// The server failed to act on a valid request (e.g. snapshot I/O).
+    Internal,
+}
+
+impl ErrorCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownStream => "unknown_stream",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_stream" => ErrorCode::UnknownStream,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A client-to-server command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Deposit `values` into the named stream.
+    Add {
+        /// Target stream (created on first use).
+        stream: String,
+        /// Batch of summands.
+        values: Vec<f64>,
+    },
+    /// Read the exact HP sum of the named stream.
+    Sum {
+        /// Stream to read.
+        stream: String,
+    },
+    /// Persist all streams to the server's snapshot path.
+    Snapshot,
+    /// Drop every stream.
+    Reset,
+    /// Read ledger statistics.
+    Stats,
+    /// Stop the server gracefully (finishes in-flight connections,
+    /// writes a final snapshot if configured).
+    Shutdown,
+}
+
+impl Request {
+    fn op(&self) -> &'static str {
+        match self {
+            Request::Add { .. } => "add",
+            Request::Sum { .. } => "sum",
+            Request::Snapshot => "snapshot",
+            Request::Reset => "reset",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Request", 3)?;
+        s.serialize_field("op", &self.op())?;
+        match self {
+            Request::Add { stream, values } => {
+                s.serialize_field("stream", stream)?;
+                s.serialize_field("values", values)?;
+            }
+            Request::Sum { stream } => s.serialize_field("stream", stream)?,
+            Request::Snapshot | Request::Reset | Request::Stats | Request::Shutdown => {}
+        }
+        s.end()
+    }
+}
+
+struct RequestVisitor;
+
+impl<'de> Visitor<'de> for RequestVisitor {
+    type Value = Request;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("a request object with an `op` field")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Request, A::Error> {
+        let (mut op, mut stream, mut values) = (None::<String>, None::<String>, None::<Vec<f64>>);
+        while let Some(key) = map.next_key::<String>()? {
+            match key.as_str() {
+                "op" => op = Some(map.next_value()?),
+                "stream" => stream = Some(map.next_value()?),
+                "values" => values = Some(map.next_value()?),
+                other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
+            }
+        }
+        let op = op.ok_or_else(|| A::Error::custom("missing field `op`"))?;
+        let need_stream = |stream: Option<String>| {
+            stream.ok_or_else(|| A::Error::custom(format!("`{op}` requires `stream`")))
+        };
+        Ok(match op.as_str() {
+            "add" => Request::Add {
+                stream: need_stream(stream)?,
+                values: values.ok_or_else(|| A::Error::custom("`add` requires `values`"))?,
+            },
+            "sum" => Request::Sum { stream: need_stream(stream)? },
+            "snapshot" => Request::Snapshot,
+            "reset" => Request::Reset,
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => return Err(A::Error::custom(format!("unknown op `{other}`"))),
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_struct("Request", &["op", "stream", "values"], RequestVisitor)
+    }
+}
+
+/// Per-stream counters inside a [`Response::Stats`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStatsRepr {
+    /// Stream name.
+    pub name: String,
+    /// Batches deposited.
+    pub batches: u64,
+    /// Values deposited.
+    pub values: u64,
+    /// Detected top-limb overflows.
+    pub overflows: u64,
+}
+
+impl Serialize for StreamStatsRepr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("StreamStats", 4)?;
+        s.serialize_field("name", &self.name)?;
+        s.serialize_field("batches", &self.batches)?;
+        s.serialize_field("values", &self.values)?;
+        s.serialize_field("overflows", &self.overflows)?;
+        s.end()
+    }
+}
+
+struct StreamStatsVisitor;
+
+impl<'de> Visitor<'de> for StreamStatsVisitor {
+    type Value = StreamStatsRepr;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("a per-stream stats object")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let (mut name, mut batches, mut values, mut overflows) = (None, None, None, None);
+        while let Some(key) = map.next_key::<String>()? {
+            match key.as_str() {
+                "name" => name = Some(map.next_value()?),
+                "batches" => batches = Some(map.next_value()?),
+                "values" => values = Some(map.next_value()?),
+                "overflows" => overflows = Some(map.next_value()?),
+                other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
+            }
+        }
+        Ok(StreamStatsRepr {
+            name: name.ok_or_else(|| A::Error::custom("missing `name`"))?,
+            batches: batches.ok_or_else(|| A::Error::custom("missing `batches`"))?,
+            values: values.ok_or_else(|| A::Error::custom("missing `values`"))?,
+            overflows: overflows.ok_or_else(|| A::Error::custom("missing `overflows`"))?,
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for StreamStatsRepr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_struct(
+            "StreamStats",
+            &["name", "batches", "values", "overflows"],
+            StreamStatsVisitor,
+        )
+    }
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The batch was deposited; `count` values landed.
+    Added {
+        /// Values deposited by this request.
+        count: u64,
+    },
+    /// The exact sum, as raw HP limbs (most significant first).
+    Sum {
+        /// The 6 limbs of the service-format accumulator.
+        limbs: Vec<u64>,
+        /// True if any shard of the stream detected a range overflow.
+        poisoned: bool,
+    },
+    /// Snapshot written; `streams` entries persisted.
+    Snapshot {
+        /// Number of streams in the snapshot.
+        streams: u64,
+    },
+    /// All streams dropped.
+    ResetDone,
+    /// Ledger statistics.
+    Stats {
+        /// Shards per stream.
+        shard_count: u64,
+        /// Per-stream counters, sorted by name.
+        streams: Vec<StreamStatsRepr>,
+    },
+    /// The server acknowledges shutdown and will stop.
+    ShuttingDown,
+    /// The request failed.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    fn kind(&self) -> &'static str {
+        match self {
+            Response::Added { .. } => "added",
+            Response::Sum { .. } => "sum",
+            Response::Snapshot { .. } => "snapshot",
+            Response::ResetDone => "reset",
+            Response::Stats { .. } => "stats",
+            Response::ShuttingDown => "shutting_down",
+            Response::Error { .. } => "error",
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Response", 3)?;
+        s.serialize_field("kind", &self.kind())?;
+        match self {
+            Response::Added { count } => s.serialize_field("count", count)?,
+            Response::Sum { limbs, poisoned } => {
+                s.serialize_field("limbs", limbs)?;
+                s.serialize_field("poisoned", poisoned)?;
+            }
+            Response::Snapshot { streams } => s.serialize_field("streams", streams)?,
+            Response::ResetDone | Response::ShuttingDown => {}
+            Response::Stats { shard_count, streams } => {
+                s.serialize_field("shard_count", shard_count)?;
+                s.serialize_field("stream_stats", streams)?;
+            }
+            Response::Error { code, message } => {
+                s.serialize_field("code", &code.as_str())?;
+                s.serialize_field("message", message)?;
+            }
+        }
+        s.end()
+    }
+}
+
+struct ResponseVisitor;
+
+impl<'de> Visitor<'de> for ResponseVisitor {
+    type Value = Response;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("a response object with a `kind` field")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Response, A::Error> {
+        let mut kind = None::<String>;
+        let mut count = None::<u64>;
+        let mut limbs = None::<Vec<u64>>;
+        let mut poisoned = None::<bool>;
+        let mut streams = None::<u64>;
+        let mut shard_count = None::<u64>;
+        let mut stream_stats = None::<Vec<StreamStatsRepr>>;
+        let mut code = None::<String>;
+        let mut message = None::<String>;
+        while let Some(key) = map.next_key::<String>()? {
+            match key.as_str() {
+                "kind" => kind = Some(map.next_value()?),
+                "count" => count = Some(map.next_value()?),
+                "limbs" => limbs = Some(map.next_value()?),
+                "poisoned" => poisoned = Some(map.next_value()?),
+                "streams" => streams = Some(map.next_value()?),
+                "shard_count" => shard_count = Some(map.next_value()?),
+                "stream_stats" => stream_stats = Some(map.next_value()?),
+                "code" => code = Some(map.next_value()?),
+                "message" => message = Some(map.next_value()?),
+                other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
+            }
+        }
+        let kind = kind.ok_or_else(|| A::Error::custom("missing field `kind`"))?;
+        let missing = |f: &str| A::Error::custom(format!("`{kind}` reply missing `{f}`"));
+        Ok(match kind.as_str() {
+            "added" => Response::Added { count: count.ok_or_else(|| missing("count"))? },
+            "sum" => Response::Sum {
+                limbs: limbs.ok_or_else(|| missing("limbs"))?,
+                poisoned: poisoned.ok_or_else(|| missing("poisoned"))?,
+            },
+            "snapshot" => Response::Snapshot {
+                streams: streams.ok_or_else(|| missing("streams"))?,
+            },
+            "reset" => Response::ResetDone,
+            "stats" => Response::Stats {
+                shard_count: shard_count.ok_or_else(|| missing("shard_count"))?,
+                streams: stream_stats.ok_or_else(|| missing("stream_stats"))?,
+            },
+            "shutting_down" => Response::ShuttingDown,
+            "error" => {
+                let code = code.ok_or_else(|| missing("code"))?;
+                Response::Error {
+                    code: ErrorCode::parse(&code)
+                        .ok_or_else(|| A::Error::custom(format!("unknown code `{code}`")))?,
+                    message: message.ok_or_else(|| missing("message"))?,
+                }
+            }
+            other => return Err(A::Error::custom(format!("unknown kind `{other}`"))),
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for Response {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_struct(
+            "Response",
+            &[
+                "kind",
+                "count",
+                "limbs",
+                "poisoned",
+                "streams",
+                "shard_count",
+                "stream_stats",
+                "code",
+                "message",
+            ],
+            ResponseVisitor,
+        )
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one frame: header, length, JSON payload.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let payload = serde_json::to_vec(msg).map_err(|e| bad_data(e.to_string()))?;
+    let len = u32::try_from(payload.len()).map_err(|_| bad_data("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(bad_data("frame too large"));
+    }
+    w.write_all(&MAGIC)?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning `None` on a clean EOF at a frame boundary.
+pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> io::Result<Option<T>> {
+    let mut header = [0u8; 8];
+    // A clean close between frames yields 0 bytes; mid-header EOF is an
+    // error.
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(bad_data("connection closed mid-header"));
+        }
+        filled += n;
+    }
+    if header[..4] != MAGIC {
+        return Err(bad_data(format!(
+            "bad frame magic {:02x?} (speaking a different protocol or version?)",
+            &header[..4]
+        )));
+    }
+    let len = u32::from_be_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(bad_data(format!("frame length {len} exceeds cap {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    serde_json::from_slice(&payload)
+        .map(Some)
+        .map_err(|e| bad_data(format!("bad frame payload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: Request = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_frames_roundtrip() {
+        roundtrip_request(Request::Add {
+            stream: "s".into(),
+            values: vec![0.1, -2.5e-30, 1e15, -0.0],
+        });
+        roundtrip_request(Request::Sum { stream: "s".into() });
+        roundtrip_request(Request::Snapshot);
+        roundtrip_request(Request::Reset);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_frames_roundtrip() {
+        for resp in [
+            Response::Added { count: 17 },
+            Response::Sum { limbs: vec![1, 2, 3, u64::MAX, 0, 9], poisoned: false },
+            Response::Snapshot { streams: 2 },
+            Response::ResetDone,
+            Response::Stats {
+                shard_count: 8,
+                streams: vec![StreamStatsRepr {
+                    name: "s".into(),
+                    batches: 3,
+                    values: 90,
+                    overflows: 0,
+                }],
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                code: ErrorCode::UnknownStream,
+                message: "no such stream".into(),
+            },
+        ] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &resp).unwrap();
+            let back: Response = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        assert!(read_frame::<_, Request>(&mut { empty }).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        let partial: &[u8] = &MAGIC[..3];
+        assert!(read_frame::<_, Request>(&mut { partial }).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Reset).unwrap();
+        buf[3] = 0x02; // future version byte
+        assert!(read_frame::<_, Request>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(read_frame::<_, Request>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn values_cross_the_wire_bit_exactly() {
+        // The summands that motivate the whole service: values whose
+        // low-order bits vanish under naive f64 round-tripping schemes.
+        let values = vec![f64::MIN_POSITIVE, 2f64.powi(-1074), 1e308, -0.0, 0.1 + 0.2];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Add { stream: "s".into(), values: values.clone() })
+            .unwrap();
+        let Some(Request::Add { values: back, .. }) = read_frame(&mut buf.as_slice()).unwrap()
+        else {
+            panic!("wrong frame")
+        };
+        let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, back_bits);
+    }
+}

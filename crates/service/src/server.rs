@@ -1,0 +1,275 @@
+//! The TCP summation server: acceptor + crossbeam-fed worker pool over a
+//! shared [`ShardedLedger`].
+//!
+//! One acceptor thread hands incoming connections to a fixed pool of
+//! workers through an unbounded crossbeam channel; each worker owns a
+//! connection for its whole lifetime (length-prefixed frames in,
+//! replies out). Shutdown is graceful by construction: the `Shutdown`
+//! frame is acknowledged, the listener stops accepting, the channel
+//! disconnects, and every worker finishes draining its live connections
+//! before the final snapshot is written. Because a batch is only ACKed
+//! *after* its deposits land in the ledger, "every ACKed batch is in
+//! the final snapshot" holds without any extra bookkeeping.
+
+use crate::ledger::ShardedLedger;
+use crate::proto::{read_frame, write_frame, ErrorCode, Request, Response, StreamStatsRepr};
+use crate::snapshot;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Shards per ledger stream.
+    pub shards: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// If set, `Snapshot` requests and graceful shutdown persist the
+    /// ledger here (and the server restores from it at startup if the
+    /// file exists).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 8,
+            workers: 4,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// A running server; dropping the handle does *not* stop it — send a
+/// `Shutdown` frame (or call [`ServerHandle::shutdown`]) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ledger: Arc<ShardedLedger>,
+    acceptor: JoinHandle<io::Result<()>>,
+    stopping: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared ledger (for in-process inspection in tests/loadgen).
+    pub fn ledger(&self) -> Arc<ShardedLedger> {
+        Arc::clone(&self.ledger)
+    }
+
+    /// Requests a stop as if a client had sent `Shutdown`.
+    pub fn shutdown(&self) {
+        signal_shutdown(&self.stopping, self.addr);
+    }
+
+    /// Waits until the acceptor and every worker have finished and the
+    /// final snapshot (if configured) is on disk.
+    ///
+    /// Workers drain their live connections to EOF before exiting, so a
+    /// client held open past the shutdown request delays this join until
+    /// that client disconnects.
+    pub fn join(self) -> io::Result<()> {
+        self.acceptor
+            .join()
+            .map_err(|_| io::Error::other("acceptor thread panicked"))?
+    }
+}
+
+/// Marks the server stopping and wakes the blocking `accept` with a
+/// throwaway connection.
+fn signal_shutdown(stopping: &AtomicBool, addr: SocketAddr) {
+    stopping.store(true, Ordering::SeqCst);
+    // The acceptor checks `stopping` after every accept; poke it so it
+    // does not sit in `accept` forever waiting for a client that never
+    // comes.
+    drop(TcpStream::connect(addr));
+}
+
+/// Binds, restores any existing snapshot, and starts serving in
+/// background threads.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let ledger = Arc::new(ShardedLedger::new(config.shards));
+    if let Some(path) = &config.snapshot_path {
+        if path.exists() {
+            snapshot::load(path, &ledger)?;
+        }
+    }
+    let stopping = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let ledger = Arc::clone(&ledger);
+        let stopping = Arc::clone(&stopping);
+        let snapshot_path = config.snapshot_path.clone();
+        let workers = config.workers.max(1);
+        std::thread::spawn(move || -> io::Result<()> {
+            let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+            let pool: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let ledger = Arc::clone(&ledger);
+                    let stopping = Arc::clone(&stopping);
+                    let snapshot_path = snapshot_path.clone();
+                    std::thread::spawn(move || {
+                        while let Ok(conn) = rx.recv() {
+                            // Connection-level errors (peer vanished,
+                            // malformed frame) only poison that one
+                            // connection.
+                            let _ = serve_connection(conn, &ledger, &stopping, &snapshot_path);
+                        }
+                    })
+                })
+                .collect();
+            drop(rx);
+
+            for conn in listener.incoming() {
+                if stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            drop(tx); // disconnect: workers drain and exit
+            for w in pool {
+                w.join().map_err(|_| io::Error::other("worker panicked"))?;
+            }
+            if let Some(path) = &snapshot_path {
+                snapshot::save(path, &ledger)?;
+            }
+            Ok(())
+        })
+    };
+
+    Ok(ServerHandle { addr, ledger, acceptor, stopping })
+}
+
+/// Serves one connection until EOF, protocol error, or shutdown ACK.
+fn serve_connection(
+    conn: TcpStream,
+    ledger: &ShardedLedger,
+    stopping: &AtomicBool,
+    snapshot_path: &Option<PathBuf>,
+) -> io::Result<()> {
+    // An accepted socket's local address is the listener's address, so it
+    // doubles as the shutdown-poke target.
+    let local = conn.local_addr()?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    loop {
+        let req = match read_frame::<_, Request>(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed frame or request: send the typed error
+                // best-effort (the peer may already be gone), then close —
+                // once framing is suspect the stream cannot be resynced.
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let (reply, stop_after) = handle(req, ledger, snapshot_path);
+        write_frame(&mut writer, &reply)?;
+        if stop_after {
+            signal_shutdown(stopping, local);
+            return Ok(());
+        }
+    }
+}
+
+/// Executes one request against the ledger. Returns the reply and
+/// whether the server should stop after sending it.
+fn handle(
+    req: Request,
+    ledger: &ShardedLedger,
+    snapshot_path: &Option<PathBuf>,
+) -> (Response, bool) {
+    match req {
+        Request::Add { stream, values } => {
+            let count = values.len() as u64;
+            ledger.add(&stream, &values);
+            (Response::Added { count }, false)
+        }
+        Request::Sum { stream } => match ledger.sum(&stream) {
+            Some(sum) => (
+                Response::Sum {
+                    limbs: sum.as_limbs().to_vec(),
+                    poisoned: ledger.overflows(&stream) != 0,
+                },
+                false,
+            ),
+            None => (
+                Response::Error {
+                    code: ErrorCode::UnknownStream,
+                    message: format!("stream `{stream}` has never been written"),
+                },
+                false,
+            ),
+        },
+        Request::Snapshot => match snapshot_path {
+            Some(path) => match snapshot::save(path, ledger) {
+                Ok(streams) => (Response::Snapshot { streams: streams as u64 }, false),
+                Err(e) => (
+                    Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("snapshot failed: {e}"),
+                    },
+                    false,
+                ),
+            },
+            None => (
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "server started without a snapshot path".to_owned(),
+                },
+                false,
+            ),
+        },
+        Request::Reset => {
+            ledger.reset();
+            (Response::ResetDone, false)
+        }
+        Request::Stats => {
+            let stats = ledger.stats();
+            (
+                Response::Stats {
+                    shard_count: stats.shard_count,
+                    streams: stats
+                        .streams
+                        .into_iter()
+                        .map(|s| StreamStatsRepr {
+                            name: s.name,
+                            batches: s.batches,
+                            values: s.values,
+                            overflows: s.overflows,
+                        })
+                        .collect(),
+                },
+                false,
+            )
+        }
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}

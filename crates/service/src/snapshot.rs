@@ -1,0 +1,227 @@
+//! Ledger persistence: a JSON snapshot file of exact per-stream sums.
+//!
+//! The on-disk format is
+//!
+//! ```json
+//! {"version":1,"entries":[{"stream":"s","overflows":0,"sum":[l0,l1,l2,l3,l4,l5]}]}
+//! ```
+//!
+//! where `sum` is the `oisum-core` serde representation of the service
+//! accumulator — its raw limbs, most significant first — so a restore
+//! is bitwise, never routed through `f64`. Shard structure is not
+//! persisted: the shard split is a contention artifact with no effect
+//! on the value (HP addition is exactly associative), so a snapshot
+//! taken under `--shards 16` restores identically into a server running
+//! `--shards 2`.
+//!
+//! Writes go through a sibling temp file + rename so a crash mid-write
+//! cannot leave a truncated snapshot where a good one stood.
+
+use crate::ledger::ShardedLedger;
+use crate::ServiceHp;
+use serde::de::{Error as DeError, MapAccess, Visitor};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Snapshot format version written by [`save`].
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// One stream's persisted state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Stream name.
+    pub stream: String,
+    /// Exact accumulated sum.
+    pub sum: ServiceHp,
+    /// Detected top-limb overflows at snapshot time.
+    pub overflows: u64,
+}
+
+impl Serialize for SnapshotEntry {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("SnapshotEntry", 3)?;
+        s.serialize_field("stream", &self.stream)?;
+        s.serialize_field("overflows", &self.overflows)?;
+        s.serialize_field("sum", &self.sum)?;
+        s.end()
+    }
+}
+
+struct EntryVisitor;
+
+impl<'de> Visitor<'de> for EntryVisitor {
+    type Value = SnapshotEntry;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("a snapshot entry")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let (mut stream, mut sum, mut overflows) = (None, None, None);
+        while let Some(key) = map.next_key::<String>()? {
+            match key.as_str() {
+                "stream" => stream = Some(map.next_value()?),
+                "sum" => sum = Some(map.next_value()?),
+                "overflows" => overflows = Some(map.next_value()?),
+                other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
+            }
+        }
+        Ok(SnapshotEntry {
+            stream: stream.ok_or_else(|| A::Error::custom("missing `stream`"))?,
+            sum: sum.ok_or_else(|| A::Error::custom("missing `sum`"))?,
+            overflows: overflows.ok_or_else(|| A::Error::custom("missing `overflows`"))?,
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for SnapshotEntry {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_struct(
+            "SnapshotEntry",
+            &["stream", "sum", "overflows"],
+            EntryVisitor,
+        )
+    }
+}
+
+/// The whole snapshot file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotFile {
+    /// Format version; [`load`] rejects versions it does not know.
+    pub version: u64,
+    /// Per-stream entries, sorted by stream name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Serialize for SnapshotFile {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("SnapshotFile", 2)?;
+        s.serialize_field("version", &self.version)?;
+        s.serialize_field("entries", &self.entries)?;
+        s.end()
+    }
+}
+
+struct FileVisitor;
+
+impl<'de> Visitor<'de> for FileVisitor {
+    type Value = SnapshotFile;
+
+    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("a snapshot file object")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let (mut version, mut entries) = (None, None);
+        while let Some(key) = map.next_key::<String>()? {
+            match key.as_str() {
+                "version" => version = Some(map.next_value()?),
+                "entries" => entries = Some(map.next_value()?),
+                other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
+            }
+        }
+        Ok(SnapshotFile {
+            version: version.ok_or_else(|| A::Error::custom("missing `version`"))?,
+            entries: entries.ok_or_else(|| A::Error::custom("missing `entries`"))?,
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for SnapshotFile {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_struct("SnapshotFile", &["version", "entries"], FileVisitor)
+    }
+}
+
+/// Persists the ledger to `path` atomically. Returns the number of
+/// streams written.
+pub fn save(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
+    let file = SnapshotFile {
+        version: SNAPSHOT_VERSION,
+        entries: ledger
+            .snapshot()
+            .into_iter()
+            .map(|(stream, sum, overflows)| SnapshotEntry { stream, sum, overflows })
+            .collect(),
+    };
+    let json = serde_json::to_string(&file)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(file.entries.len())
+}
+
+/// Replaces the ledger's contents with the snapshot at `path`.
+pub fn load(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
+    let json = std::fs::read_to_string(path)?;
+    let file: SnapshotFile = serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if file.version != SNAPSHOT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported snapshot version {}", file.version),
+        ));
+    }
+    let count = file.entries.len();
+    let entries: Vec<(String, ServiceHp, u64)> = file
+        .entries
+        .into_iter()
+        .map(|e| (e.stream, e.sum, e.overflows))
+        .collect();
+    ledger.restore(&entries);
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oisum-snapshot-test-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bitwise() {
+        let path = temp_path("roundtrip");
+        let ledger = ShardedLedger::new(8);
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 - 500.0) * 1.7e-8).collect();
+        for chunk in xs.chunks(93) {
+            ledger.add("a", chunk);
+        }
+        ledger.add("b", &[f64::MIN_POSITIVE, -0.0, 1e12]);
+        assert_eq!(save(&path, &ledger).unwrap(), 2);
+
+        let restored = ShardedLedger::new(2);
+        assert_eq!(load(&path, &restored).unwrap(), 2);
+        assert_eq!(restored.sum("a"), ledger.sum("a"));
+        assert_eq!(restored.sum("b"), ledger.sum("b"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let path = temp_path("version");
+        std::fs::write(&path, r#"{"version":99,"entries":[]}"#).unwrap();
+        let ledger = ShardedLedger::new(1);
+        assert!(load(&path, &ledger).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "not json").unwrap();
+        let ledger = ShardedLedger::new(1);
+        assert!(load(&path, &ledger).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end service tests over real TCP connections.
+
+use oisum_service::{serve, Client, ClientError, ServerConfig, ServiceHp};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oisum-service-test-{}-{name}.json", std::process::id()));
+    p
+}
+
+fn dataset(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let m = rng.random_range(-1.0f64..1.0);
+            let e = rng.random_range(-12i32..=12);
+            m * 10f64.powi(e)
+        })
+        .collect()
+}
+
+/// Runs one full server lifecycle: `clients` threads deposit shuffled
+/// batch hands of `data` into stream `s`, then the sum limbs are read
+/// and the server is shut down.
+fn run_service(data: &[f64], clients: usize, batch: usize, shards: usize, seed: u64) -> Vec<u64> {
+    let server = serve(ServerConfig {
+        shards,
+        workers: clients.max(1),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let batches: Vec<&[f64]> = data.chunks(batch).collect();
+    let mut hands: Vec<Vec<usize>> = vec![Vec::new(); clients];
+    for i in 0..batches.len() {
+        hands[i % clients].push(i);
+    }
+    for (t, hand) in hands.iter_mut().enumerate() {
+        hand.shuffle(&mut StdRng::seed_from_u64(seed ^ (0xC0FFEE + t as u64)));
+    }
+
+    std::thread::scope(|s| {
+        for hand in &hands {
+            let batches = &batches;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for &i in hand {
+                    assert_eq!(client.add("s", batches[i]).unwrap() as usize, batches[i].len());
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.sum("s").unwrap();
+    assert!(!reply.poisoned);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    reply.limbs
+}
+
+/// The acceptance criterion for the whole subsystem: two runs that agree
+/// on nothing but the multiset of summands — different client counts,
+/// different batch sizes and orders, different shard counts — must
+/// return bitwise-identical serialized sums, equal to the sequential HP
+/// sum.
+#[test]
+fn bitwise_identical_across_configurations() {
+    let data = dataset(20_000, 42);
+    let expected = ServiceHp::sum_f64_slice(&data).as_limbs().to_vec();
+
+    let run_a = run_service(&data, 2, 700, 16, 1);
+    let run_b = run_service(&data, 5, 123, 3, 2);
+    assert_eq!(run_a, expected);
+    assert_eq!(run_b, expected);
+    assert_eq!(run_a, run_b);
+}
+
+#[test]
+fn graceful_shutdown_loses_no_acked_batches() {
+    let path = temp_path("shutdown");
+    std::fs::remove_file(&path).ok();
+    let data = dataset(5_000, 7);
+
+    let server = serve(ServerConfig {
+        shards: 4,
+        workers: 3,
+        snapshot_path: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Three clients deposit everything; every batch is ACKed before its
+    // client moves on, so by the time the threads join, all deposits are
+    // in the ledger.
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            let data = &data;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for (i, chunk) in data.chunks(91).enumerate() {
+                    if i % 3 == t {
+                        client.add("s", chunk).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    server.join().unwrap();
+
+    // The post-shutdown snapshot must contain every ACKed batch: restore
+    // it into a fresh server and compare limbs bitwise.
+    let expected = ServiceHp::sum_f64_slice(&data).as_limbs().to_vec();
+    let restored = serve(ServerConfig {
+        shards: 9, // different shard count: must not matter
+        workers: 1,
+        snapshot_path: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(restored.addr()).unwrap();
+    let reply = client.sum("s").unwrap();
+    assert_eq!(reply.limbs, expected, "snapshot lost ACKed batches");
+    client.shutdown().unwrap();
+    restored.join().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_request_persists_on_demand() {
+    let path = temp_path("on-demand");
+    std::fs::remove_file(&path).ok();
+    let server = serve(ServerConfig {
+        snapshot_path: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.add("x", &[1.5, -0.25]).unwrap();
+    client.add("y", &[2.0]).unwrap();
+    assert_eq!(client.snapshot().unwrap(), 2);
+    assert!(path.exists());
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_stream_yields_typed_error() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.sum("never-written") {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, oisum_service::proto::ErrorCode::UnknownStream);
+        }
+        other => panic!("expected typed server error, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn stats_reflect_traffic_and_reset_clears() {
+    let server = serve(ServerConfig { shards: 5, ..ServerConfig::default() }).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.add("a", &[1.0, 2.0, 3.0]).unwrap();
+    client.add("a", &[4.0]).unwrap();
+    client.add("b", &[5.0]).unwrap();
+
+    let (shard_count, streams) = client.stats().unwrap();
+    assert_eq!(shard_count, 5);
+    assert_eq!(streams.len(), 2);
+    let a = streams.iter().find(|s| s.name == "a").unwrap();
+    assert_eq!((a.batches, a.values, a.overflows), (2, 4, 0));
+
+    client.reset().unwrap();
+    let (_, streams) = client.stats().unwrap();
+    assert!(streams.is_empty());
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn garbage_bytes_do_not_wedge_the_server() {
+    use std::io::Write;
+    let server = serve(ServerConfig::default()).unwrap();
+    // A peer speaking the wrong protocol gets dropped...
+    let mut bogus = std::net::TcpStream::connect(server.addr()).unwrap();
+    bogus.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    drop(bogus);
+    // ...while real clients keep working.
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.add("s", &[1.0]).unwrap();
+    assert_eq!(
+        client.sum("s").unwrap().limbs,
+        ServiceHp::sum_f64_slice(&[1.0]).as_limbs().to_vec()
+    );
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn malformed_request_gets_typed_bad_request_reply() {
+    use oisum_service::proto::{read_frame, ErrorCode, Response, MAGIC};
+    use std::io::Write;
+    let server = serve(ServerConfig::default()).unwrap();
+    // Well-framed, but an op the protocol does not know.
+    let mut sock = std::net::TcpStream::connect(server.addr()).unwrap();
+    let payload = br#"{"op":"frobnicate"}"#;
+    sock.write_all(&MAGIC).unwrap();
+    sock.write_all(&(payload.len() as u32).to_be_bytes()).unwrap();
+    sock.write_all(payload).unwrap();
+    sock.flush().unwrap();
+    match read_frame::<_, Response>(&mut sock).unwrap().expect("typed reply before close") {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("frobnicate"), "{message}");
+        }
+        other => panic!("expected a bad_request error reply, got {other:?}"),
+    }
+    // After the reply the server closes: framing can no longer be trusted.
+    assert!(read_frame::<_, Response>(&mut sock).unwrap().is_none());
+    drop(sock);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and lint the whole workspace offline.
+#
+# Usage: scripts/verify.sh [--with-loadgen]
+#
+# --with-loadgen additionally runs the service load generator end-to-end
+# (spawns an in-process server, asserts bitwise-identical sums under
+# concurrent load) and refreshes BENCH_service.json at the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (workspace)"
+cargo test --offline --workspace -q
+
+echo "==> cargo test (serde feature)"
+cargo test --offline -q -p oisum-core --features serde
+cargo test --offline -q -p oisum-hallberg --features serde
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--with-loadgen" ]]; then
+    echo "==> loadgen (service benchmark + bitwise check)"
+    cargo run --offline --release -q -p oisum-service --bin loadgen -- \
+        --out BENCH_service.json
+fi
+
+echo "verify: OK"

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-definition API (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `Throughput`) so the workspace's benches compile and
+//! run offline, replacing criterion's statistics with a simple
+//! calibrated wall-clock loop: warm up, pick an iteration count
+//! targeting ~0.2 s per sample, take `sample_size` samples, report
+//! median / min / max ns per iteration (and element throughput when
+//! declared).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched setup output is sized; accepted for API parity.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Measurement backends; only wall time exists here.
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Runs one benchmark body repeatedly and times it.
+pub struct Bencher<'a> {
+    iters_per_sample: u64,
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample.max(1) as u32);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples.push(total / self.iters_per_sample.max(1) as u32);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+    _measurement: core::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate: run once to estimate the per-iteration cost, then
+        // size the sample loop toward ~200 ms per sample (capped).
+        let mut probe: Vec<Duration> = Vec::new();
+        let mut bench = Bencher {
+            iters_per_sample: 1,
+            samples: &mut probe,
+            sample_count: 1,
+        };
+        f(&mut bench);
+        let est = probe.first().copied().unwrap_or(Duration::from_micros(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / est.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let mut bench = Bencher {
+            iters_per_sample: iters,
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        f(&mut bench);
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(
+                "  {:>12.1} Melem/s",
+                n as f64 / median.as_secs_f64() / 1e6
+            ),
+            Some(Throughput::Bytes(n)) => format!(
+                "  {:>12.1} MiB/s",
+                n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+            ),
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: median {median:?} (min {min:?}, max {max:?}, {} samples × {iters} iters){rate}",
+            self.name,
+            samples.len(),
+        );
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+            _measurement: core::marker::PhantomData,
+        }
+    }
+
+    /// Defines and runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collects bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! this workspace's property tests use, running each test body over
+//! [`test_runner::CASES`] deterministically seeded random cases. There is
+//! no shrinking: a failing case panics with the sampled inputs in the
+//! assertion message (all workspace prop-asserts carry enough context to
+//! reproduce).
+//!
+//! Supported surface: `any::<T>()` for the primitive types below, range
+//! and inclusive-range strategies over integers, tuple strategies up to
+//! arity 6, `prop_map`, `prop_filter`, `prop_assume!`, `Just`,
+//! `proptest::collection::vec`, `prop_assert!`, and `prop_assert_eq!`.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::prelude::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs one proptest case body; used by the `proptest!` expansion.
+///
+/// `ControlFlow::Break` marks a case discarded by `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __accepted = 0u32;
+                let mut __attempts = 0u32;
+                while __accepted < $crate::test_runner::CASES {
+                    __attempts += 1;
+                    if __attempts > 64 * $crate::test_runner::CASES {
+                        panic!(
+                            "proptest '{}': too many cases discarded by prop_assume!",
+                            stringify!($name)
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    // The closure exists so `prop_assume!` can `return`
+                    // a discard out of the case body.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::ops::ControlFlow<()> = (|| {
+                        $body
+                        ::core::ops::ControlFlow::Continue(())
+                    })();
+                    if let ::core::ops::ControlFlow::Continue(()) = __outcome {
+                        __accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::ops::ControlFlow::Break(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// Asserts within a proptest body (panics with context; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn odd() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| 2 * x + 1)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_inclusive_and_exclusive(x in 0u64..10, y in -5i32..=5) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            n in odd(),
+            m in (0i64..100).prop_filter("even", |v| v % 2 == 0),
+        ) {
+            prop_assert_eq!(n % 2, 1);
+            prop_assert_eq!(m % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_vecs(
+            (a, b) in (0u64..5, 10u64..15),
+            xs in crate::collection::vec(0u64..3, 1..20),
+        ) {
+            prop_assert!(a < 5 && (10..15).contains(&b));
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn assume_discards(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+
+        #[test]
+        fn any_i128_covers_sign(x in any::<i128>()) {
+            // Smoke: arithmetic on the full domain must not overflow the
+            // harness itself.
+            let _ = x.wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("stable");
+        let mut b = crate::test_runner::TestRng::for_test("stable");
+        let s = (0u64..1000, any::<bool>());
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

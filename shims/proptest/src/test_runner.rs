@@ -1,0 +1,28 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::prelude::*;
+
+/// Cases run per property (accepted, i.e. not discarded by
+/// `prop_assume!`).
+pub const CASES: u32 = 192;
+
+/// Per-test RNG, seeded from the test's name so every run of the suite
+/// exercises the same cases (reproducible failures without a persistence
+/// file).
+pub struct TestRng {
+    /// The underlying generator; public to the crate's strategies.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, folded into the seed.
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(h ^ 0x005E_ED0F_0DD5) }
+    }
+}

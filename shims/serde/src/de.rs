@@ -1,0 +1,261 @@
+//! Deserialization half of the data model.
+
+use core::fmt::{self, Display};
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + core::fmt::Debug + Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+    /// A sequence had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
+        Self::custom(format_args!(
+            "invalid length {len}, expected {}",
+            ExpectedDisplay(expected)
+        ))
+    }
+    /// The input contained a value of the wrong type.
+    fn invalid_type(unexpected: &str, expected: &dyn Expected) -> Self {
+        Self::custom(format_args!(
+            "invalid type: {unexpected}, expected {}",
+            ExpectedDisplay(expected)
+        ))
+    }
+}
+
+/// Something that can describe what a [`Visitor`] expected (for error
+/// messages). Every visitor is `Expected` through its `expecting` method.
+pub trait Expected {
+    /// Writes the expectation, e.g. "a sequence of 3 u64 limbs".
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, V: Visitor<'de>> Expected for V {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+struct ExpectedDisplay<'a>(&'a dyn Expected);
+
+impl Display for ExpectedDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A type constructible from the serde data model.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` by driving `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Access to the elements of a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// Error type shared with the parent deserializer.
+    type Error: Error;
+    /// Returns the next element, or `None` at the end of the sequence.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map being deserialized.
+pub trait MapAccess<'de> {
+    /// Error type shared with the parent deserializer.
+    type Error: Error;
+    /// Returns the next key, or `None` at the end of the map.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>;
+    /// Returns the value paired with the key just read.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>;
+}
+
+/// Receives whichever shape the input actually contains.
+///
+/// Default methods reject each shape; implement the ones you accept.
+pub trait Visitor<'de>: Sized {
+    /// The value this visitor builds.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Input contained a bool.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("boolean", &self))
+    }
+    /// Input contained a signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("integer", &self))
+    }
+    /// Input contained an unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("integer", &self))
+    }
+    /// Input contained a float.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("floating point number", &self))
+    }
+    /// Input contained a string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("string", &self))
+    }
+    /// Input contained an owned string; forwards to [`Self::visit_str`].
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Input contained a unit / null.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("unit", &self))
+    }
+    /// Input contained `None` (null, for formats with optionals).
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("none", &self))
+    }
+    /// Input contained a present optional value.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::invalid_type("some", &self))
+    }
+    /// Input contained a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::invalid_type("sequence", &self))
+    }
+    /// Input contained a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::invalid_type("map", &self))
+    }
+}
+
+/// A data-format frontend: drives a [`Visitor`] with the decoded input.
+pub trait Deserializer<'de>: Sized {
+    /// Error type for this format.
+    type Error: Error;
+
+    /// Deserializes whatever shape the input contains (self-describing
+    /// formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Hints that a bool is expected.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that a signed integer is expected.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that an unsigned integer is expected.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that a float is expected.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that a string is expected.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that an owned string is expected.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that a unit is expected.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an optional value: `visit_none` on null, otherwise
+    /// `visit_some` with the remaining input.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints that a sequence is expected.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that a tuple of `len` elements is expected.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        let _ = len;
+        self.deserialize_any(visitor)
+    }
+    /// Hints that a map is expected.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Hints that a struct with the given fields is expected.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        let _ = (name, fields);
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes and discards whatever comes next.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+}
+
+/// Accepts and discards any value — used to skip unknown map entries.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IgnoredAny;
+
+impl<'de> Visitor<'de> for IgnoredAny {
+    type Value = IgnoredAny;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str("anything")
+    }
+    fn visit_bool<E: Error>(self, _: bool) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_i64<E: Error>(self, _: i64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_u64<E: Error>(self, _: u64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_f64<E: Error>(self, _: f64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_str<E: Error>(self, _: &str) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+        while seq.next_element::<IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        while map.next_key::<IgnoredAny>()?.is_some() {
+            map.next_value::<IgnoredAny>()?;
+        }
+        Ok(IgnoredAny)
+    }
+}
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+}

@@ -1,0 +1,365 @@
+//! `Serialize`/`Deserialize` implementations for the std types the
+//! workspace serializes.
+
+use crate::de::{self, Deserialize, Deserializer, SeqAccess, Visitor};
+use crate::ser::{Serialize, SerializeSeq, SerializeTuple, Serializer};
+use core::fmt;
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_primitive {
+    ($($ty:ty => $method:ident as $cast:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self as $cast)
+                }
+            }
+        )*
+    };
+}
+
+serialize_primitive! {
+    bool => serialize_bool as bool,
+    i8 => serialize_i8 as i8,
+    i16 => serialize_i16 as i16,
+    i32 => serialize_i32 as i32,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u8 as u8,
+    u16 => serialize_u16 as u16,
+    u32 => serialize_u32 as u32,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+    f32 => serialize_f32 as f32,
+    f64 => serialize_f64 as f64,
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+) of $len:expr),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    let mut tup = serializer.serialize_tuple($len)?;
+                    $(tup.serialize_element(&self.$idx)?;)+
+                    tup.end()
+                }
+            }
+        )*
+    };
+}
+
+serialize_tuple! {
+    (A.0) of 1,
+    (A.0, B.1) of 2,
+    (A.0, B.1, C.2) of 3,
+    (A.0, B.1, C.2, D.3) of 4,
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_unsigned {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, concat!("a ", stringify!($ty)))
+                        }
+                        fn visit_u64<E: de::Error>(self, v: u64) -> Result<Self::Value, E> {
+                            <$ty>::try_from(v)
+                                .map_err(|_| E::custom(format_args!(
+                                    "{v} out of range for {}", stringify!($ty)
+                                )))
+                        }
+                        fn visit_i64<E: de::Error>(self, v: i64) -> Result<Self::Value, E> {
+                            <$ty>::try_from(v)
+                                .map_err(|_| E::custom(format_args!(
+                                    "{v} out of range for {}", stringify!($ty)
+                                )))
+                        }
+                    }
+                    deserializer.deserialize_u64(V)
+                }
+            }
+        )*
+    };
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, concat!("an ", stringify!($ty)))
+                        }
+                        fn visit_i64<E: de::Error>(self, v: i64) -> Result<Self::Value, E> {
+                            <$ty>::try_from(v)
+                                .map_err(|_| E::custom(format_args!(
+                                    "{v} out of range for {}", stringify!($ty)
+                                )))
+                        }
+                        fn visit_u64<E: de::Error>(self, v: u64) -> Result<Self::Value, E> {
+                            <$ty>::try_from(v)
+                                .map_err(|_| E::custom(format_args!(
+                                    "{v} out of range for {}", stringify!($ty)
+                                )))
+                        }
+                    }
+                    deserializer.deserialize_i64(V)
+                }
+            }
+        )*
+    };
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, concat!("an ", stringify!($ty)))
+                        }
+                        fn visit_f64<E: de::Error>(self, v: f64) -> Result<Self::Value, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: de::Error>(self, v: u64) -> Result<Self::Value, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_i64<E: de::Error>(self, v: i64) -> Result<Self::Value, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                            // serde_json renders non-finite floats as null.
+                            Ok(<$ty>::NAN)
+                        }
+                    }
+                    deserializer.deserialize_f64(V)
+                }
+            }
+        )*
+    };
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a boolean")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<Self::Value, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<Self::Value, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<Self::Value, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a unit value")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(core::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(core::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(core::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(core::marker::PhantomData))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident),+) of $len:expr),* $(,)?) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                    struct V<$($name),+>(core::marker::PhantomData<($($name,)+)>);
+                    impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                        type Value = ($($name,)+);
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, "a tuple of {} elements", $len)
+                        }
+                        fn visit_seq<SA: SeqAccess<'de>>(
+                            self,
+                            mut seq: SA,
+                        ) -> Result<Self::Value, SA::Error> {
+                            let mut idx = 0usize;
+                            let out = ($(
+                                {
+                                    let item: $name = seq
+                                        .next_element()?
+                                        .ok_or_else(|| {
+                                            <SA::Error as de::Error>::invalid_length(idx, &self)
+                                        })?;
+                                    idx += 1;
+                                    item
+                                },
+                            )+);
+                            let _ = idx;
+                            if seq.next_element::<crate::de::IgnoredAny>()?.is_some() {
+                                return Err(<SA::Error as de::Error>::custom(format_args!(
+                                    "expected a tuple of exactly {} elements",
+                                    $len
+                                )));
+                            }
+                            Ok(out)
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, V(core::marker::PhantomData))
+                }
+            }
+        )*
+    };
+}
+
+deserialize_tuple! {
+    (A) of 1,
+    (A, B) of 2,
+    (A, B, C) of 3,
+    (A, B, C, D) of 4,
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements the subset of serde's data-model traits the
+//! workspace actually uses: manual `Serialize`/`Deserialize` impls over
+//! seq, tuple, map, and struct shapes, driven by a self-describing
+//! deserializer (the in-tree `serde_json` stand-in). There are no proc
+//! macros — every impl in the workspace is written by hand.
+//!
+//! The trait signatures mirror real serde closely enough that swapping the
+//! genuine crates back in (when a registry is available) requires no source
+//! changes outside the manifests.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};

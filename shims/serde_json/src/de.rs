@@ -1,0 +1,281 @@
+//! A strict recursive-descent JSON parser driving serde visitors.
+
+use crate::error::Error;
+use serde::de::{Deserializer, MapAccess, SeqAccess, Visitor};
+
+pub(crate) struct Parser<'de> {
+    input: &'de str,
+    pos: usize,
+}
+
+impl<'de> Parser<'de> {
+    pub(crate) fn new(input: &'de str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    /// Asserts the whole input was consumed (modulo trailing whitespace).
+    pub(crate) fn finish(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(())
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::new(msg, self.pos.max(1))
+    }
+
+    fn bytes(&self) -> &'de [u8] {
+        self.input.as_bytes()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes().get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes()
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.input[self.pos..].starts_with(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}'")))
+        }
+    }
+
+    /// True if the next non-whitespace token starts a null literal.
+    fn peek_null(&mut self) -> bool {
+        self.skip_ws();
+        self.input[self.pos..].starts_with("null")
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.input[self.pos..];
+            let mut chars = rest.char_indices();
+            let (idx, c) = chars
+                .next()
+                .ok_or_else(|| self.err("unterminated string"))?;
+            debug_assert_eq!(idx, 0);
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.bytes().get(self.pos).copied().ok_or_else(|| {
+                        self.err("unterminated escape sequence")
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require a low surrogate.
+                                self.expect_keyword("\\u")
+                                    .map_err(|_| self.err("unpaired surrogate"))?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err(self.err("control character in string"))
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Parses a number and feeds the narrowest matching visit method:
+    /// `visit_u64` for non-negative integers, `visit_i64` for negative
+    /// integers, `visit_f64` for everything else (fractions, exponents,
+    /// and integers that overflow 64 bits).
+    fn parse_number<V: Visitor<'de>>(&mut self, visitor: V) -> Result<V::Value, Error> {
+        let start = self.pos;
+        let bytes = self.bytes();
+        let mut i = self.pos;
+        let mut is_float = false;
+        if bytes.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        while let Some(&b) = bytes.get(i) {
+            match b {
+                b'0'..=b'9' => i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..i];
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        self.pos = i;
+        if !is_float {
+            if text.starts_with('-') {
+                // "-0" must stay a float: visit_i64(0) would drop the sign.
+                if text != "-0" {
+                    if let Ok(v) = text.parse::<i64>() {
+                        return visitor.visit_i64(v);
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return visitor.visit_u64(v);
+            }
+            // Integers wider than 64 bits fall through to f64.
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| Error::new(format!("invalid number '{text}'"), start.max(1)))?;
+        visitor.visit_f64(v)
+    }
+}
+
+struct SeqState<'p, 'de> {
+    parser: &'p mut Parser<'de>,
+    first: bool,
+}
+
+impl<'de> SeqAccess<'de> for SeqState<'_, 'de> {
+    type Error = Error;
+
+    fn next_element<T: serde::Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        if self.parser.peek()? == b']' {
+            self.parser.pos += 1;
+            return Ok(None);
+        }
+        if !self.first {
+            self.parser.expect(b',')?;
+        }
+        self.first = false;
+        T::deserialize(&mut *self.parser).map(Some)
+    }
+}
+
+struct MapState<'p, 'de> {
+    parser: &'p mut Parser<'de>,
+    first: bool,
+}
+
+impl<'de> MapAccess<'de> for MapState<'_, 'de> {
+    type Error = Error;
+
+    fn next_key<K: serde::Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        if self.parser.peek()? == b'}' {
+            self.parser.pos += 1;
+            return Ok(None);
+        }
+        if !self.first {
+            self.parser.expect(b',')?;
+        }
+        self.first = false;
+        if self.parser.peek()? != b'"' {
+            return Err(self.parser.err("object keys must be strings"));
+        }
+        K::deserialize(&mut *self.parser).map(Some)
+    }
+
+    fn next_value<V: serde::Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        self.parser.expect(b':')?;
+        V::deserialize(&mut *self.parser)
+    }
+}
+
+impl<'de> Deserializer<'de> for &mut Parser<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.peek()? {
+            b'{' => {
+                self.pos += 1;
+                visitor.visit_map(MapState { parser: self, first: true })
+            }
+            b'[' => {
+                self.pos += 1;
+                visitor.visit_seq(SeqState { parser: self, first: true })
+            }
+            b'"' => {
+                let s = self.parse_string()?;
+                visitor.visit_string(s)
+            }
+            b't' => {
+                self.expect_keyword("true")?;
+                visitor.visit_bool(true)
+            }
+            b'f' => {
+                self.expect_keyword("false")?;
+                visitor.visit_bool(false)
+            }
+            b'n' => {
+                self.expect_keyword("null")?;
+                visitor.visit_unit()
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(visitor),
+            c => Err(self.err(format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        if self.peek_null() {
+            self.expect_keyword("null")?;
+            visitor.visit_none()
+        } else {
+            visitor.visit_some(self)
+        }
+    }
+}

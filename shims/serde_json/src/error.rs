@@ -1,0 +1,44 @@
+//! The shared error type for JSON encode/decode.
+
+use core::fmt;
+
+/// A JSON serialization or parse error with a byte offset when parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset into the input where parsing failed (0 for encode errors).
+    pos: usize,
+}
+
+/// Convenience alias matching real serde_json.
+pub type Result<T> = core::result::Result<T, Error>;
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>, pos: usize) -> Self {
+        Error { msg: msg.into(), pos }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "{} at byte {}", self.msg, self.pos)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string(), 0)
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string(), 0)
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! A compact JSON serializer/deserializer over the in-tree `serde` trait
+//! shim, implementing the subset this workspace uses: `to_string`,
+//! `to_vec`, `from_str`, `from_slice`. Output mirrors real serde_json
+//! (no spaces, shortest-roundtrip floats, `null` for non-finite floats),
+//! and the parser is strict: one value per document, trailing garbage is
+//! an error, and numbers/strings follow RFC 8259.
+//!
+//! `f64` round-trips are exact for finite values: serialization uses
+//! Rust's shortest-roundtrip `Display` and parsing uses `str::parse`,
+//! both correctly rounded.
+
+#![forbid(unsafe_code)]
+
+mod de;
+mod error;
+mod ser;
+
+pub use error::{Error, Result};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` as a JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(ser::JsonSerializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Serializes `value` as JSON bytes.
+pub fn to_vec<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from a JSON string slice.
+pub fn from_str<'de, T: Deserialize<'de>>(input: &'de str) -> Result<T> {
+    let mut parser = de::Parser::new(input);
+    let value = T::deserialize(&mut parser)?;
+    parser.finish()?;
+    Ok(value)
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<'de, T: Deserialize<'de>>(input: &'de [u8]) -> Result<T> {
+    let text = core::str::from_utf8(input)
+        .map_err(|e| Error::new(format!("invalid UTF-8 in JSON input: {e}"), 0))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi\n\"there\"").unwrap(), r#""hi\n\"there\"""#);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>(r#""hi\n\"there\"""#).unwrap(), "hi\n\"there\"");
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![1u64, u64::MAX, 0];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, format!("[1,{},0]", u64::MAX));
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), v);
+        let t = (3usize, 9u32);
+        let json = to_string(&t).unwrap();
+        assert_eq!(json, "[3,9]");
+        assert_eq!(from_str::<(usize, u32)>(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn f64_bit_exact_roundtrip() {
+        for &x in &[
+            0.1,
+            -2.2e-30,
+            1e15,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -0.0,
+            2f64.powi(-1074),
+        ] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:e} via {json}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        // Surrogate pair: U+1F600.
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn strict_trailing_garbage_rejected() {
+        assert!(from_str::<u64>("42 junk").is_err());
+        assert!(from_str::<Vec<u64>>("[1,2],").is_err());
+        assert!(from_str::<u64>("").is_err());
+    }
+
+    #[test]
+    fn large_integers_fall_back_to_f64() {
+        // 2^64 does not fit u64; as an f64 target it must still parse.
+        let x: f64 = from_str("18446744073709551616").unwrap();
+        assert_eq!(x, 2f64.powi(64));
+        assert!(from_str::<u64>("18446744073709551616").is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(to_string(&Some(5u64)).unwrap(), "5");
+        assert_eq!(to_string(&None::<u64>).unwrap(), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("5").unwrap(), Some(5));
+    }
+}

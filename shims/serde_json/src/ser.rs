@@ -1,0 +1,199 @@
+//! JSON rendering of the serde data model.
+
+use crate::error::Error;
+use serde::ser::{
+    Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer,
+};
+
+/// Appends the JSON rendering of one value to a string.
+pub(crate) struct JsonSerializer<'a> {
+    pub(crate) out: &'a mut String,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Comma-separated aggregate writer shared by seq/tuple/map/struct sinks.
+pub(crate) struct Aggregate<'a> {
+    out: &'a mut String,
+    first: bool,
+    close: char,
+}
+
+impl<'a> Aggregate<'a> {
+    fn open(out: &'a mut String, open: char, close: char) -> Self {
+        out.push(open);
+        Aggregate { out, first: true, close }
+    }
+
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+
+    fn item<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.comma();
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl SerializeSeq for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.item(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTuple for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.item(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeMap for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        self.comma();
+        // JSON keys must be strings; serialize the key and require that it
+        // rendered as one.
+        let start = self.out.len();
+        key.serialize(JsonSerializer { out: self.out })?;
+        if !self.out[start..].starts_with('"') {
+            return Err(serde::ser::Error::custom("JSON map keys must be strings"));
+        }
+        Ok(())
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Aggregate<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.comma();
+        write_escaped(self.out, name);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Aggregate<'a>;
+    type SerializeTuple = Aggregate<'a>;
+    type SerializeMap = Aggregate<'a>;
+    type SerializeStruct = Aggregate<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            // Rust's Display for f64 is shortest-roundtrip, so parsing the
+            // text back yields bitwise the same value. Integral floats
+            // render without a fraction ("5"), which is still a valid JSON
+            // number and re-parses exactly.
+            self.out.push_str(&v.to_string());
+        } else {
+            // Real serde_json renders NaN/±inf as null.
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::open(self.out, '[', ']'))
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::open(self.out, '[', ']'))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::open(self.out, '{', '}'))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Aggregate<'a>, Error> {
+        Ok(Aggregate::open(self.out, '{', '}'))
+    }
+}
