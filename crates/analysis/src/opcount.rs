@@ -76,6 +76,28 @@ pub fn speedup_simple_bound(m: u32, cb_over_cp: f64) -> f64 {
     cb_over_cp * 32.0 / m as f64
 }
 
+/// Atomic RMWs issued by the per-value shared-accumulator path for a
+/// batch: `AtomicHp::add` performs one `fetch_add` per limb per value
+/// (the carry folds into the next limb's addend, so no retries), i.e.
+/// `N · batch` total.
+pub fn atomic_rmws_per_value(n_blocks: usize, batch: usize) -> usize {
+    n_blocks * batch
+}
+
+/// Atomic RMWs issued by the carry-deferred batch path
+/// (`AtomicHp::add_batch`): the whole batch folds into a thread-local
+/// `BatchAcc` and lands in exactly `N` `fetch_add`s, independent of
+/// batch size.
+pub fn atomic_rmws_batched(n_blocks: usize) -> usize {
+    n_blocks
+}
+
+/// Modeled RMW-count speedup of the batched deposit over the per-value
+/// path — simply the batch size, since `N·batch / N = batch`.
+pub fn rmw_reduction(batch: usize) -> usize {
+    batch.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +143,27 @@ mod tests {
         let s43 = speedup(511, 43, 1.0);
         let s37 = speedup(511, 37, 1.0);
         assert!(s52 < s43 && s43 < s37, "{s52} {s43} {s37}");
+    }
+
+    #[test]
+    fn rmw_model_matches_the_implementation() {
+        use oisum_core::{AtomicHp, Hp6x3};
+        // The batched deposit must issue exactly `atomic_rmws_batched(N)`
+        // RMWs regardless of batch size; `add_batch` returns its actual
+        // RMW count, so the model is checked against the real kernel.
+        let acc = AtomicHp::<6, 3>::zero();
+        for batch in [0usize, 1, 7, 500] {
+            let xs: Vec<f64> = (0..batch).map(|i| i as f64 * 0.125 - 3.0).collect();
+            assert_eq!(acc.add_batch(&xs), atomic_rmws_batched(6));
+        }
+        // Per-value model sanity: N RMWs per deposit.
+        assert_eq!(atomic_rmws_per_value(6, 500), 6 * 500);
+        assert_eq!(rmw_reduction(500), 500);
+        // And the batched path's result is still the exact HP sum.
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 0.125 - 3.0).collect();
+        let fresh = AtomicHp::<6, 3>::zero();
+        fresh.add_batch(&xs);
+        assert_eq!(fresh.load().as_limbs(), Hp6x3::sum_f64_slice(&xs).as_limbs());
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! The carry-deferred batch pipeline versus the per-value paths it
+//! replaces: scalar fold through `wrapping_add`, `BatchAcc` (deferred
+//! carries, flushed every 2^16 deposits), `par_sum_f64_slice`, and the
+//! shared-accumulator deposit per value vs per batch (`AtomicHp::add`
+//! vs `AtomicHp::add_batch`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_core::{AtomicHp, BatchAcc, Hp6x3};
+use std::hint::black_box;
+
+const N: usize = 1 << 16;
+
+fn bench_batch(c: &mut Criterion) {
+    let xs = uniform_symmetric(N, 23);
+    let mut g = c.benchmark_group("batch_64k");
+    g.throughput(Throughput::Elements(N as u64));
+
+    // Per-value reference: encode + full carry-rippling add per summand.
+    g.bench_function("per_value_fold", |b| {
+        b.iter(|| {
+            let mut acc = Hp6x3::ZERO;
+            for &x in black_box(&xs[..]) {
+                acc = acc.wrapping_add(&Hp6x3::from_f64_unchecked(x));
+            }
+            black_box(acc)
+        })
+    });
+
+    // The tentpole kernel: wrapping lanes + deferred carry counters.
+    g.bench_function("batch_acc", |b| {
+        b.iter(|| {
+            let mut acc = BatchAcc::<6, 3>::new();
+            acc.extend_f64(black_box(&xs[..]));
+            black_box(acc.finish())
+        })
+    });
+
+    // One BatchAcc per worker, merged at the join.
+    g.bench_function("par_sum", |b| {
+        b.iter(|| black_box(Hp6x3::par_sum_f64_slice(black_box(&xs[..]))))
+    });
+
+    // Shared accumulator, one deposit (6 RMWs) per value...
+    g.bench_function("atomic_per_value", |b| {
+        b.iter(|| {
+            let acc = AtomicHp::<6, 3>::zero();
+            for &x in black_box(&xs[..]) {
+                acc.add_f64(x);
+            }
+            black_box(acc.load())
+        })
+    });
+
+    // ...vs one deposit (6 RMWs) per 500-value batch.
+    g.bench_function("atomic_batched_500", |b| {
+        b.iter(|| {
+            let acc = AtomicHp::<6, 3>::zero();
+            for chunk in black_box(&xs[..]).chunks(500) {
+                acc.add_batch(chunk);
+            }
+            black_box(acc.load())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -222,6 +222,59 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
         self.add(&HpFixed::<N, K>::from_f64_unchecked(x));
     }
 
+    /// Deposits `v` with **exactly one `fetch_add` per limb** — no
+    /// zero-limb skipping, no extra carry deposits (the carry out of each
+    /// cell folds into the next limb's addend before that limb's single
+    /// RMW). Returns the number of atomic RMWs performed, which is always
+    /// `N`.
+    ///
+    /// This is the deposit primitive behind [`Self::add_batch`]; the
+    /// deterministic RMW count is what the batched pipeline's cost model
+    /// (and its regression test) relies on.
+    #[inline]
+    pub fn add_dense(&self, v: &HpFixed<N, K>) -> usize {
+        let limbs = v.as_limbs();
+        let mut carry = 0u64;
+        for i in (0..N).rev() {
+            let (addend, wrapped) = limbs[i].overflowing_add(carry);
+            let old = self.limbs[i].fetch_add(addend, Ordering::Relaxed);
+            if i == 0 {
+                self.check_top_limb(old, addend);
+            }
+            // See [`Self::add`]: at most one of the two wraps can be 1.
+            let deposited_wrap = old.wrapping_add(addend) < addend;
+            carry = (deposited_wrap as u64) + (wrapped as u64);
+        }
+        N
+    }
+
+    /// Folds a whole batch into a thread-local carry-deferred
+    /// [`BatchAcc`](crate::batch::BatchAcc), then lands the total with a
+    /// single dense deposit: **exactly `N` atomic RMWs per batch**
+    /// instead of up to `N` per value. Returns the RMW count (always
+    /// `N`).
+    ///
+    /// Top-limb overflow poisoning still fires on the deposit, with one
+    /// caveat inherent to batching: the check sees the batch's *net*
+    /// contribution, so an excursion outside the range that cancels
+    /// *within* the batch is not flagged (value-at-a-time deposits would
+    /// only have caught it under an unlucky interleaving anyway — the
+    /// unpoisoned-implies-exact guarantee is unchanged).
+    #[inline]
+    pub fn add_batch(&self, xs: &[f64]) -> usize {
+        self.add_batch_iter(xs.iter().copied())
+    }
+
+    /// [`Self::add_batch`] over any `f64` iterator (e.g. values decoded
+    /// straight off a wire buffer), without materializing a slice.
+    pub fn add_batch_iter<I: IntoIterator<Item = f64>>(&self, xs: I) -> usize {
+        let mut acc = crate::batch::BatchAcc::<N, K>::new();
+        for x in xs {
+            acc.encode_deposit(x);
+        }
+        self.add_dense(&acc.finish())
+    }
+
     /// Reads the current value limb by limb.
     ///
     /// Exact only at quiescence; see the module docs. Prefer
@@ -429,6 +482,87 @@ mod tests {
         acc.reset();
         assert!(!acc.poisoned());
         assert!(acc.load_exclusive().is_zero());
+    }
+
+    #[test]
+    fn add_batch_is_bitwise_the_sequential_sum() {
+        let acc = AtomicHp::<6, 3>::zero();
+        let xs: Vec<f64> = (0..2_000)
+            .map(|i| (i as f64 - 1000.0) * 1.9e-7 * if i % 5 == 0 { -1e12 } else { 1.0 })
+            .collect();
+        for chunk in xs.chunks(333) {
+            acc.add_batch(chunk);
+        }
+        assert_eq!(acc.load(), crate::fixed::Hp6x3::sum_f64_slice(&xs));
+    }
+
+    #[test]
+    fn add_batch_performs_exactly_n_rmws() {
+        // The whole point of the batched pipeline: the RMW count is N per
+        // batch, independent of batch length (including empty batches).
+        let acc = AtomicHp::<6, 3>::zero();
+        assert_eq!(acc.add_batch(&[]), 6);
+        assert_eq!(acc.add_batch(&[1.0]), 6);
+        let big: Vec<f64> = (0..10_000).map(|i| i as f64 * 1e-6).collect();
+        assert_eq!(acc.add_batch(&big), 6);
+        let acc2 = AtomicHp::<2, 1>::zero();
+        assert_eq!(acc2.add_batch(&big), 2);
+    }
+
+    #[test]
+    fn add_dense_matches_add() {
+        let a = AtomicHp::<3, 2>::zero();
+        let b = AtomicHp::<3, 2>::zero();
+        for i in 0..300 {
+            let v = Hp3x2::from_f64_trunc((i as f64) * -7.77 + 3.21).unwrap();
+            a.add(&v);
+            assert_eq!(b.add_dense(&v), 3);
+        }
+        assert_eq!(a.load(), b.load());
+    }
+
+    #[test]
+    fn concurrent_add_batch_matches_sequential_bitwise() {
+        const THREADS: usize = 4;
+        const PER: usize = 50;
+        const BATCH: usize = 64;
+        let acc = Arc::new(AtomicHp::<3, 2>::zero());
+        let value = |t: usize, b: usize, i: usize| {
+            ((t * PER * BATCH + b * BATCH + i) as f64 - 6000.0) * 1e-5
+        };
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let acc = Arc::clone(&acc);
+                s.spawn(move || {
+                    for b in 0..PER {
+                        let batch: Vec<f64> = (0..BATCH).map(|i| value(t, b, i)).collect();
+                        acc.add_batch(&batch);
+                    }
+                });
+            }
+        });
+        let mut seq = Hp3x2::ZERO;
+        for t in 0..THREADS {
+            for b in 0..PER {
+                for i in 0..BATCH {
+                    seq += Hp3x2::from_f64_trunc(value(t, b, i)).unwrap();
+                }
+            }
+        }
+        assert_eq!(acc.load(), seq);
+    }
+
+    #[test]
+    fn add_batch_poisons_when_deposit_crosses_the_range() {
+        // N = K = 1: signed range is ±0.5. Each batch is fine on its own;
+        // the second *deposit* pushes the shared total past the bound and
+        // must trip the sticky poison flag.
+        let acc = AtomicHp::<1, 1>::zero();
+        acc.add_batch(&[0.2, 0.25]);
+        assert!(!acc.poisoned());
+        acc.add_batch(&[0.3]);
+        assert!(acc.poisoned());
+        assert!(acc.overflow_count() >= 1);
     }
 
     #[test]

@@ -219,12 +219,41 @@ impl<const N: usize, const K: usize> HpFixed<N, K> {
     /// [`Self::from_f64_unchecked`] and folding with `+`; the result is
     /// independent of element order. The caller is responsible for the
     /// range precondition (see [`HpFormat::guaranteed_summands`]).
+    ///
+    /// Internally runs on the carry-deferred
+    /// [`BatchAcc`](crate::batch::BatchAcc) kernel, which skips the
+    /// per-addition carry ripple; the bits are identical to the naive
+    /// encode-and-`+=` fold.
     pub fn sum_f64_slice(xs: &[f64]) -> Self {
-        let mut acc = Self::ZERO;
-        for &x in xs {
-            acc.add_assign(&Self::from_f64_unchecked(x));
+        let mut acc = crate::batch::BatchAcc::<N, K>::new();
+        acc.extend_f64(xs);
+        acc.finish()
+    }
+
+    /// Sums a slice exactly across worker threads: one carry-deferred
+    /// [`BatchAcc`](crate::batch::BatchAcc) per worker over a contiguous
+    /// chunk, merged once at the join.
+    ///
+    /// Bitwise identical to [`Self::sum_f64_slice`] for every chunk
+    /// split and worker count — partial sums reassociate only integer
+    /// additions. Worker count follows `rayon::current_num_threads()`
+    /// (scoped by `ThreadPool::install`).
+    pub fn par_sum_f64_slice(xs: &[f64]) -> Self {
+        use rayon::prelude::*;
+        // One chunk per worker; a floor keeps thread spawn cost off tiny
+        // inputs.
+        let workers = rayon::current_num_threads().max(1);
+        let chunk = xs.len().div_ceil(workers).max(4096);
+        if xs.len() <= chunk {
+            return Self::sum_f64_slice(xs);
         }
-        acc
+        xs.par_chunks(chunk)
+            .map(|c| {
+                let mut acc = crate::batch::BatchAcc::<N, K>::new();
+                acc.extend_f64(c);
+                acc.finish()
+            })
+            .reduce(|| Self::ZERO, |a, b| a.wrapping_add(&b))
     }
 }
 
@@ -414,6 +443,20 @@ mod tests {
         xs.reverse();
         let rev = Hp3x2::sum_f64_slice(&xs);
         assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn par_sum_matches_sequential_bitwise() {
+        let xs: Vec<f64> = (0..50_000)
+            .map(|i| (i as f64 - 25_000.0) * 7.7e-8 * if i % 7 == 0 { -3.0 } else { 1.0 })
+            .collect();
+        assert_eq!(Hp6x3::par_sum_f64_slice(&xs), Hp6x3::sum_f64_slice(&xs));
+        // Different worker counts must not change a bit.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let three = pool.install(|| Hp6x3::par_sum_f64_slice(&xs));
+        assert_eq!(three, Hp6x3::sum_f64_slice(&xs));
+        // Tiny inputs take the sequential path.
+        assert_eq!(Hp6x3::par_sum_f64_slice(&xs[..10]), Hp6x3::sum_f64_slice(&xs[..10]));
     }
 
     #[test]

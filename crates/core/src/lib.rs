@@ -45,6 +45,7 @@
 //! |--------|--------------|----------|
 //! | [`fixed`] | §III.A, Listings 1–2 | [`HpFixed<N, K>`](fixed::HpFixed) value type and arithmetic |
 //! | [`convert`] | Listing 1 | the float-path conversion loop and its inverse |
+//! | [`batch`] | throughput extension | [`BatchAcc`](batch::BatchAcc), carry-deferred batch accumulation |
 //! | [`atomic`] | §III.B.2 | [`AtomicHp`](atomic::AtomicHp), CAS/fetch-add accumulators |
 //! | [`format`] | Table 1 | runtime format descriptors, range/resolution math |
 //! | [`dyn_hp`] | — | runtime-format values backing the adaptive extension |
@@ -59,6 +60,7 @@
 
 pub mod adaptive;
 pub mod atomic;
+pub mod batch;
 pub mod convert;
 pub mod dot;
 pub mod dyn_hp;
@@ -72,6 +74,7 @@ pub mod sum;
 pub mod trace;
 
 pub use adaptive::AdaptiveHp;
+pub use batch::BatchAcc;
 pub use dot::{hp_dot, hp_norm_sq, two_product};
 pub use atomic::AtomicHp;
 pub use dyn_hp::DynHp;

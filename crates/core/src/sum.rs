@@ -12,6 +12,7 @@
 //! println!("{}", exact.to_f64());
 //! ```
 
+use crate::batch::BatchAcc;
 use crate::error::HpError;
 use crate::fixed::HpFixed;
 
@@ -20,12 +21,15 @@ pub trait HpSumExt: Iterator<Item = f64> + Sized {
     /// Sums the iterator exactly with the fast truncating conversion
     /// (Listing 1). The caller owns the range precondition, as with
     /// [`HpFixed::sum_f64_slice`].
+    ///
+    /// Runs on the carry-deferred [`BatchAcc`] kernel; bitwise identical
+    /// to an encode-and-`+=` fold.
     fn hp_sum<const N: usize, const K: usize>(self) -> HpFixed<N, K> {
-        let mut acc = HpFixed::<N, K>::ZERO;
+        let mut acc = BatchAcc::<N, K>::new();
         for x in self {
-            acc.add_assign(&HpFixed::from_f64_unchecked(x));
+            acc.encode_deposit(x);
         }
-        acc
+        acc.finish()
     }
 
     /// Checked exact sum: fails fast on the first value that does not

@@ -1,0 +1,88 @@
+//! Cross-path equivalence property tests for the batched accumulation
+//! pipeline: every way of summing a batch — the carry-deferred
+//! [`BatchAcc`] kernel, `Hp6x3::sum_f64_slice`, the parallel
+//! `par_sum_f64_slice`, the atomic `AtomicHp::add_batch`, and the naive
+//! per-value encode-and-`+=` fold — must produce bitwise-identical
+//! limbs for arbitrary `f64` batches, including signed zeros,
+//! denormals, and sign-mixed cancellation.
+
+use oisum_core::{AtomicHp, BatchAcc, Hp6x3, HpFixed};
+use proptest::prelude::*;
+
+/// The pre-batching reference: encode each value, carry-propagating add.
+fn per_value_sum(xs: &[f64]) -> Hp6x3 {
+    let mut acc = Hp6x3::ZERO;
+    for &x in xs {
+        acc.add_assign(&HpFixed::from_f64_unchecked(x));
+    }
+    acc
+}
+
+/// An `f64` strategy biased toward the values that break summation
+/// schemes: wide dynamic range, signed zeros, denormals, and exact
+/// cancellation pairs are all reachable.
+fn summand() -> impl Strategy<Value = f64> {
+    (0u8..8, -1.0f64..1.0, -300i32..300).prop_map(|(kind, m, e)| match kind {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::MIN_POSITIVE * m,          // denormals
+        3 => 5e-324 * (1.0 + m.abs() * 4.0), // smallest denormals
+        4 => m * 1e15,
+        5 => m * 10f64.powi(e / 20),         // ~30 orders of magnitude
+        _ => m,
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_sum_paths_agree_bitwise(
+        xs in proptest::collection::vec(summand(), 0..500),
+        batch in 1usize..97,
+    ) {
+        let reference = per_value_sum(&xs);
+
+        // Slice sum (BatchAcc under the hood).
+        prop_assert_eq!(Hp6x3::sum_f64_slice(&xs), reference);
+
+        // Explicit BatchAcc, split into sub-batches then merged.
+        let mut merged = BatchAcc::<6, 3>::new();
+        for chunk in xs.chunks(batch) {
+            let mut part = BatchAcc::<6, 3>::new();
+            part.extend_f64(chunk);
+            merged.merge(&part);
+        }
+        prop_assert_eq!(merged.finish(), reference);
+
+        // Parallel sum.
+        prop_assert_eq!(Hp6x3::par_sum_f64_slice(&xs), reference);
+
+        // Atomic batched deposits, one batch at a time.
+        let atomic = AtomicHp::<6, 3>::zero();
+        for chunk in xs.chunks(batch) {
+            prop_assert_eq!(atomic.add_batch(chunk), 6);
+        }
+        prop_assert_eq!(atomic.load(), reference);
+    }
+
+    #[test]
+    fn cancellation_pairs_sum_to_exact_zero_on_every_path(
+        xs in proptest::collection::vec(summand(), 0..200),
+        seed in 0u64..1000,
+    ) {
+        // Each value paired with its negation, dealt in a shuffled
+        // order: the exact sum is zero no matter how the pairs
+        // interleave.
+        let mut both: Vec<f64> = xs.iter().flat_map(|&x| [x, -x]).collect();
+        // Deterministic shuffle without rand: Fisher–Yates on an LCG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..both.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            both.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        prop_assert!(Hp6x3::sum_f64_slice(&both).is_zero());
+        prop_assert!(Hp6x3::par_sum_f64_slice(&both).is_zero());
+        let atomic = AtomicHp::<6, 3>::zero();
+        atomic.add_batch(&both);
+        prop_assert!(atomic.load().is_zero());
+    }
+}

@@ -2,17 +2,25 @@
 //! and verifies bitwise reproducibility under fire.
 //!
 //! ```text
-//! loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] [--out PATH]
+//! loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N]
+//!         [--json | --binary] [--out PATH]
 //! ```
 //!
 //! Generates one dataset of `--values` summands with magnitudes spread
 //! over ~30 orders of magnitude, splits it into batches, deals the
 //! batches to `--threads` clients *in shuffled order*, and streams them
-//! at an in-process server. When every batch is ACKed it asserts the
-//! server's `Sum` limbs are bitwise identical to the sequential
+//! at an in-process server. By default it runs the workload twice —
+//! once over the JSON protocol (`OIS\x01`) and once over the binary Add
+//! fast path (`OIS\x02`) — against a fresh server each, so the two
+//! protocol costs are directly comparable; `--json` / `--binary`
+//! restrict to one pass. After every pass it asserts the server's `Sum`
+//! limbs are bitwise identical to the sequential
 //! `ServiceHp::sum_f64_slice` of the un-shuffled dataset, then reports
-//! throughput and per-request latency percentiles to stdout and (as
-//! JSON) to `--out` (default `BENCH_service.json`).
+//! throughput (`ops_per_sec` and `values_per_sec`) and per-request
+//! latency percentiles to stdout and (as JSON) to `--out` (default
+//! `BENCH_service.json`). The top-level numbers mirror the binary pass
+//! when it runs (the service's hot path), with both passes nested under
+//! `"json_mode"` / `"binary_mode"`.
 
 use oisum_service::{serve, Client, ServerConfig, ServiceHp};
 use rand::prelude::*;
@@ -20,12 +28,28 @@ use rand::rngs::StdRng;
 use std::io::Write;
 use std::time::Instant;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Json,
+    Binary,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Json => "json",
+            Mode::Binary => "binary",
+        }
+    }
+}
+
 struct Args {
     threads: usize,
     values: usize,
     batch: usize,
     shards: usize,
     seed: u64,
+    modes: Vec<Mode>,
     out: String,
 }
 
@@ -37,6 +61,7 @@ impl Default for Args {
             batch: 500,
             shards: 8,
             seed: 0x5EED,
+            modes: vec![Mode::Json, Mode::Binary],
             out: "BENCH_service.json".to_owned(),
         }
     }
@@ -44,7 +69,8 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] [--out PATH]"
+        "usage: loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] \
+         [--json | --binary] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -60,6 +86,8 @@ fn parse_args() -> Args {
             "--batch" => a.batch = value().parse().unwrap_or_else(|_| usage()),
             "--shards" => a.shards = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => a.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => a.modes = vec![Mode::Json],
+            "--binary" => a.modes = vec![Mode::Binary],
             "--out" => a.out = value(),
             _ => usage(),
         }
@@ -91,11 +119,29 @@ fn percentile_us(sorted: &[u128], p: f64) -> f64 {
     sorted[idx] as f64 / 1000.0
 }
 
-fn main() {
-    let args = parse_args();
-    let data = generate(args.values, args.seed);
-    let expected = ServiceHp::sum_f64_slice(&data);
+/// One protocol pass's results.
+struct PassReport {
+    mode: Mode,
+    ops_per_sec: f64,
+    values_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    wall: std::time::Duration,
+}
 
+impl PassReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"ops_per_sec\":{:.2},\"values_per_sec\":{:.0},\"p50_us\":{:.2},\"p99_us\":{:.2},\"bitwise_identical\":true}}",
+            self.ops_per_sec, self.values_per_sec, self.p50_us, self.p99_us
+        )
+    }
+}
+
+/// Runs the full workload against a fresh in-process server over one
+/// protocol, asserting the bitwise-identical-sum invariant before
+/// reporting.
+fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> PassReport {
     let server = serve(ServerConfig {
         shards: args.shards,
         workers: args.threads,
@@ -126,7 +172,12 @@ fn main() {
                     let mut lat = Vec::with_capacity(hand.len());
                     for &i in hand {
                         let t0 = Instant::now();
-                        let n = client.add("loadgen", batches[i]).expect("add");
+                        let n = match mode {
+                            Mode::Json => client.add("loadgen", batches[i]).expect("add"),
+                            Mode::Binary => {
+                                client.add_binary("loadgen", batches[i]).expect("add_binary")
+                            }
+                        };
                         lat.push(t0.elapsed().as_nanos());
                         assert_eq!(n as usize, batches[i].len());
                     }
@@ -145,36 +196,80 @@ fn main() {
     assert_eq!(
         reply.limbs,
         expected.as_limbs().to_vec(),
-        "server sum diverged from sequential HP sum"
+        "{} pass: server sum diverged from sequential HP sum",
+        mode.name()
     );
     assert!(!reply.poisoned, "accumulator poisoned under loadgen range");
     client.shutdown().expect("shutdown");
     server.join().expect("server join");
 
-    let mut sorted = latencies_ns.clone();
+    let mut sorted = latencies_ns;
     sorted.sort_unstable();
     let ops = sorted.len() as f64;
     let ops_per_sec = ops / elapsed.as_secs_f64();
-    let p50_us = percentile_us(&sorted, 0.50);
-    let p99_us = percentile_us(&sorted, 0.99);
+    PassReport {
+        mode,
+        ops_per_sec,
+        values_per_sec: args.values as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile_us(&sorted, 0.50),
+        p99_us: percentile_us(&sorted, 0.99),
+        wall: elapsed,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let data = generate(args.values, args.seed);
+    let expected = ServiceHp::sum_f64_slice(&data);
 
     println!(
         "loadgen: {} values in {} batches over {} threads ({} shards)",
         args.values,
-        batches.len(),
+        args.values.div_ceil(args.batch),
         args.threads,
         args.shards
     );
-    println!("  sum bitwise-identical to sequential HP sum: OK");
-    println!(
-        "  {ops_per_sec:.0} add-ops/s, p50 {p50_us:.1} us, p99 {p99_us:.1} us, wall {:?}",
-        elapsed
-    );
 
-    let json = format!(
-        "{{\"ops_per_sec\":{ops_per_sec:.2},\"p50_us\":{p50_us:.2},\"p99_us\":{p99_us:.2},\"threads\":{},\"values\":{},\"batch\":{},\"shards\":{},\"bitwise_identical\":true}}\n",
-        args.threads, args.values, args.batch, args.shards
+    let reports: Vec<PassReport> = args
+        .modes
+        .iter()
+        .map(|&mode| {
+            let r = run_pass(&args, &data, &expected, mode);
+            println!("  [{}] sum bitwise-identical to sequential HP sum: OK", mode.name());
+            println!(
+                "  [{}] {:.0} add-ops/s ({:.0} values/s), p50 {:.1} us, p99 {:.1} us, wall {:?}",
+                mode.name(),
+                r.ops_per_sec,
+                r.values_per_sec,
+                r.p50_us,
+                r.p99_us,
+                r.wall
+            );
+            r
+        })
+        .collect();
+
+    // Headline numbers follow the binary pass when present (the hot
+    // path); per-mode blocks carry the full comparison.
+    let headline = reports
+        .iter()
+        .find(|r| r.mode == Mode::Binary)
+        .unwrap_or(&reports[0]);
+    let mut json = format!(
+        "{{\"ops_per_sec\":{:.2},\"values_per_sec\":{:.0},\"p50_us\":{:.2},\"p99_us\":{:.2},\"threads\":{},\"values\":{},\"batch\":{},\"shards\":{},\"bitwise_identical\":true",
+        headline.ops_per_sec,
+        headline.values_per_sec,
+        headline.p50_us,
+        headline.p99_us,
+        args.threads,
+        args.values,
+        args.batch,
+        args.shards
     );
+    for r in &reports {
+        json.push_str(&format!(",\"{}_mode\":{}", r.mode.name(), r.to_json()));
+    }
+    json.push_str("}\n");
     let mut f = std::fs::File::create(&args.out).expect("create bench output");
     f.write_all(json.as_bytes()).expect("write bench output");
     println!("  wrote {}", args.out);

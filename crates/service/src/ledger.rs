@@ -4,12 +4,25 @@
 //! Sharding exists purely to spread atomic contention — because HP
 //! addition is exactly associative, the total over any shard assignment
 //! is bitwise identical to the sequential sum of the same multiset of
-//! values. A deposit picks its shard round-robin; a read folds the
-//! shards in index order with `wrapping_add`. Neither the shard count
-//! nor the interleaving of concurrent depositors can change a single
-//! bit of the result, which is what lets two service runs with
-//! different client counts, batch orders, and `--shards` settings agree
-//! exactly.
+//! values. A read folds the shards in index order with `wrapping_add`.
+//! Neither the shard count nor the interleaving of concurrent
+//! depositors can change a single bit of the result, which is what lets
+//! two service runs with different client counts, batch orders, and
+//! `--shards` settings agree exactly.
+//!
+//! Shard *selection* is deliberately not centralized: a shared
+//! round-robin cursor would put one contended cache line in front of
+//! every deposit from every connection. Instead each depositor walks
+//! its own cursor — the server passes a per-connection counter to
+//! [`ShardedLedger::add_batch_on`], and the in-process
+//! [`ShardedLedger::add`] keeps a thread-local one (seeded from a
+//! global counter once per thread, so distinct threads start on
+//! distinct shards). Any assignment is valid; only contention changes.
+//!
+//! A deposit folds its whole batch into a thread-local carry-deferred
+//! [`BatchAcc`](oisum_core::BatchAcc) and lands it with
+//! [`AtomicHp::add_batch_iter`]: exactly `N` atomic RMWs per batch
+//! instead of `N` per value.
 //!
 //! Locking is two-level: a `RwLock` guards only the stream *directory*
 //! (name → shard bank); the hot deposit path takes the read lock,
@@ -18,19 +31,38 @@
 use crate::ServiceHp;
 use crossbeam::utils::CachePadded;
 use oisum_core::AtomicHp;
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Number of integer/fractional limbs in the service accumulator format.
 pub const SERVICE_LIMBS: usize = 6;
 
+/// Seeds each thread's shard cursor; touched once per thread lifetime,
+/// not per deposit.
+static THREAD_CURSOR_SEED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's private shard cursor for [`ShardedLedger::add`].
+    static SHARD_CURSOR: Cell<usize> = Cell::new(
+        THREAD_CURSOR_SEED.fetch_add(1, Ordering::Relaxed)
+    );
+}
+
+/// Advances the calling thread's private shard cursor.
+fn next_thread_shard() -> usize {
+    SHARD_CURSOR.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v
+    })
+}
+
 /// One named stream: its shard bank plus deposit statistics.
 #[derive(Debug)]
 pub struct Stream {
     shards: Vec<CachePadded<AtomicHp<6, 3>>>,
-    /// Round-robin cursor for shard selection.
-    cursor: AtomicU64,
     batches: AtomicU64,
     values: AtomicU64,
 }
@@ -41,21 +73,21 @@ impl Stream {
             shards: (0..shard_count)
                 .map(|_| CachePadded::new(AtomicHp::zero()))
                 .collect(),
-            cursor: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             values: AtomicU64::new(0),
         }
     }
 
-    /// Deposits a batch into one shard (round-robin), lock-free.
-    fn add(&self, values: &[f64]) {
-        let shard =
-            &self.shards[self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.shards.len()];
-        for &x in values {
-            shard.add_f64(x);
-        }
+    /// Deposits a batch into the shard selected by `shard_hint` (any
+    /// value; reduced mod the bank size): one local batch fold, one
+    /// `N`-limb atomic deposit. Returns the number of values deposited.
+    fn add_batch_on<I: IntoIterator<Item = f64>>(&self, shard_hint: usize, values: I) -> u64 {
+        let shard = &self.shards[shard_hint % self.shards.len()];
+        let mut n = 0u64;
+        shard.add_batch_iter(values.into_iter().inspect(|_| n += 1));
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.values.fetch_add(values.len() as u64, Ordering::Relaxed);
+        self.values.fetch_add(n, Ordering::Relaxed);
+        n
     }
 
     /// Folds the shards in index order. Exact at quiescence (the service
@@ -131,8 +163,27 @@ impl ShardedLedger {
     }
 
     /// Deposits `values` into `name`, creating the stream on first use.
+    /// Shard selection uses the calling thread's private cursor.
     pub fn add(&self, name: &str, values: &[f64]) {
-        self.stream(name).add(values);
+        self.stream(name)
+            .add_batch_on(next_thread_shard(), values.iter().copied());
+    }
+
+    /// Deposits a batch into `name` on the shard selected by
+    /// `shard_hint` (reduced mod the shard count), creating the stream
+    /// on first use. Returns the number of values deposited.
+    ///
+    /// This is the server's hot path: the caller owns the cursor (one
+    /// per connection), so unrelated connections never contend on shard
+    /// selection, and the whole batch lands with a single `N`-limb
+    /// atomic deposit via [`AtomicHp::add_batch_iter`].
+    pub fn add_batch_on<I: IntoIterator<Item = f64>>(
+        &self,
+        name: &str,
+        shard_hint: usize,
+        values: I,
+    ) -> u64 {
+        self.stream(name).add_batch_on(shard_hint, values)
     }
 
     /// The exact HP sum of everything deposited into `name`, or `None`
@@ -241,6 +292,23 @@ mod tests {
         restored.restore(&snap);
         assert_eq!(restored.sum("s"), ledger.sum("s"));
         assert_eq!(restored.sum("t"), ledger.sum("t"));
+    }
+
+    #[test]
+    fn shard_hint_never_changes_the_sum() {
+        // Any shard assignment is valid by order-invariance: pathological
+        // hint patterns (all-one-shard, striped, "random") must agree
+        // bitwise with the thread-local-cursor path and the slice sum.
+        let xs: Vec<f64> = (0..2_000).map(|i| (i as f64 - 1000.0) * 2.3e-6).collect();
+        let expected = ServiceHp::sum_f64_slice(&xs);
+        for pattern in [0usize, 1, 7, 0x9E37] {
+            let ledger = ShardedLedger::new(5);
+            for (b, chunk) in xs.chunks(97).enumerate() {
+                let n = ledger.add_batch_on("s", b.wrapping_mul(pattern), chunk.iter().copied());
+                assert_eq!(n as usize, chunk.len());
+            }
+            assert_eq!(ledger.sum("s").unwrap(), expected);
+        }
     }
 
     #[test]

@@ -8,10 +8,17 @@
 //!
 //! * [`ledger`] — [`ShardedLedger`](ledger::ShardedLedger): named
 //!   streams of cache-padded atomic HP shards (two-level locking: an
-//!   `RwLock` directory over lock-free shard deposits).
+//!   `RwLock` directory over lock-free shard deposits). Batches land
+//!   through the carry-deferred batch pipeline: one local
+//!   [`BatchAcc`](oisum_core::BatchAcc) fold, then exactly `N` atomic
+//!   RMWs per batch (`AtomicHp::add_batch_iter`), with shard selection
+//!   on per-connection/per-thread cursors instead of one shared
+//!   round-robin cache line.
 //! * [`proto`] — the wire protocol: `b"OIS\x01"`-tagged,
-//!   length-prefixed JSON frames; sums travel as raw limbs, never
-//!   `f64`.
+//!   length-prefixed JSON frames, plus the `b"OIS\x02"` **binary Add
+//!   fast path** (length-prefixed stream name + raw little-endian
+//!   `f64`s) accepted on the same port; sums travel as raw limbs,
+//!   never `f64`.
 //! * [`server`] — acceptor + crossbeam worker pool, graceful shutdown,
 //!   snapshot on exit.
 //! * [`snapshot`] — atomic JSON persistence of exact per-stream sums.

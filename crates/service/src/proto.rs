@@ -1,11 +1,17 @@
-//! Wire protocol: length-prefixed JSON frames with a versioned header.
+//! Wire protocol: length-prefixed frames with a versioned header.
 //!
 //! Every frame is `b"OIS" <version byte> <u32 big-endian payload length>
-//! <payload>`, where the payload is one JSON-encoded [`Request`] or
-//! [`Response`]. The magic-plus-version prefix lets either side reject a
-//! non-protocol peer (or a future incompatible revision) before parsing
-//! anything, and the explicit length keeps framing independent of the
-//! payload encoding.
+//! <payload>`. Version `0x01` payloads are JSON-encoded [`Request`]s and
+//! [`Response`]s; version `0x02` is the **binary Add fast path** — a
+//! length-prefixed stream name followed by raw little-endian `f64`
+//! summands, no JSON anywhere (see [`write_add_binary`]). The
+//! magic-plus-version prefix lets either side reject a non-protocol peer
+//! (or an incompatible revision) before parsing anything, and the
+//! explicit length keeps framing independent of the payload encoding.
+//! Both versions are accepted on the same port; servers reply to a
+//! binary Add with the ordinary JSON `Added` frame (replies are tiny —
+//! the serialization cost worth eliminating is the 500-float request
+//! payload, not the acknowledgement).
 //!
 //! HP sums cross the wire as their raw limb sequences (most significant
 //! first) — exactly the `oisum-core` serde representation — so clients
@@ -16,8 +22,12 @@ use serde::ser::SerializeStruct;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::io::{self, Read, Write};
 
-/// Frame magic; the final byte is the protocol version.
+/// JSON frame magic; the final byte is the protocol version.
 pub const MAGIC: [u8; 4] = *b"OIS\x01";
+
+/// Binary Add frame magic (protocol version 2). Payload:
+/// `u16 BE name length, name bytes (UTF-8), raw little-endian f64 × n`.
+pub const MAGIC_ADD_BIN: [u8; 4] = *b"OIS\x02";
 
 /// Hard cap on payload size (16 MiB) so a corrupt or hostile length
 /// prefix cannot drive an unbounded allocation.
@@ -394,8 +404,9 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()>
     w.flush()
 }
 
-/// Reads one frame, returning `None` on a clean EOF at a frame boundary.
-pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> io::Result<Option<T>> {
+/// Reads one 8-byte frame header, returning the magic and payload
+/// length, or `None` on a clean EOF at a frame boundary.
+fn read_header<R: Read>(r: &mut R) -> io::Result<Option<([u8; 4], u32)>> {
     let mut header = [0u8; 8];
     // A clean close between frames yields 0 bytes; mid-header EOF is an
     // error.
@@ -410,21 +421,130 @@ pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> io::Resul
         }
         filled += n;
     }
-    if header[..4] != MAGIC {
-        return Err(bad_data(format!(
-            "bad frame magic {:02x?} (speaking a different protocol or version?)",
-            &header[..4]
-        )));
-    }
+    let magic = [header[0], header[1], header[2], header[3]];
     let len = u32::from_be_bytes(header[4..8].try_into().unwrap());
     if len > MAX_FRAME {
         return Err(bad_data(format!("frame length {len} exceeds cap {MAX_FRAME}")));
     }
+    Ok(Some((magic, len)))
+}
+
+fn read_payload<R: Read>(r: &mut R, len: u32) -> io::Result<Vec<u8>> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one JSON frame, returning `None` on a clean EOF at a frame
+/// boundary.
+pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> io::Result<Option<T>> {
+    let Some((magic, len)) = read_header(r)? else {
+        return Ok(None);
+    };
+    if magic != MAGIC {
+        return Err(bad_data(format!(
+            "bad frame magic {:02x?} (speaking a different protocol or version?)",
+            magic
+        )));
+    }
+    let payload = read_payload(r, len)?;
     serde_json::from_slice(&payload)
         .map(Some)
         .map_err(|e| bad_data(format!("bad frame payload: {e}")))
+}
+
+/// Writes one binary Add frame (`OIS\x02`): length-prefixed stream name
+/// followed by the summands as raw little-endian `f64` bytes. Carries
+/// exactly the same information as a JSON `Add` — every finite bit
+/// pattern (signed zeros, subnormals) crosses unchanged — at 8 bytes per
+/// value and zero number-formatting cost.
+pub fn write_add_binary<W: Write>(w: &mut W, stream: &str, values: &[f64]) -> io::Result<()> {
+    let name = stream.as_bytes();
+    let name_len = u16::try_from(name.len()).map_err(|_| bad_data("stream name too long"))?;
+    let payload_len = 2 + name.len() + 8 * values.len();
+    let len = u32::try_from(payload_len).map_err(|_| bad_data("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(bad_data("frame too large"));
+    }
+    w.write_all(&MAGIC_ADD_BIN)?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&name_len.to_be_bytes())?;
+    w.write_all(name)?;
+    // One contiguous buffer for the value bytes: a single write_all into
+    // the (buffered) writer instead of one 8-byte write per value.
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Parses the payload of a binary Add frame into `(stream, values)`.
+fn parse_add_binary(payload: &[u8]) -> io::Result<(String, Vec<f64>)> {
+    if payload.len() < 2 {
+        return Err(bad_data("binary add: truncated name length"));
+    }
+    let name_len = u16::from_be_bytes([payload[0], payload[1]]) as usize;
+    let rest = &payload[2..];
+    if rest.len() < name_len {
+        return Err(bad_data("binary add: truncated stream name"));
+    }
+    let (name, body) = rest.split_at(name_len);
+    let stream = core::str::from_utf8(name)
+        .map_err(|_| bad_data("binary add: stream name is not UTF-8"))?
+        .to_owned();
+    if body.len() % 8 != 0 {
+        return Err(bad_data(format!(
+            "binary add: value bytes not a multiple of 8 (got {})",
+            body.len()
+        )));
+    }
+    let values = body
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    Ok((stream, values))
+}
+
+/// A frame arriving at a server: either a JSON [`Request`] (`OIS\x01`)
+/// or a binary Add (`OIS\x02`). Both arrive on the same port; the magic
+/// byte dispatches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// A JSON-framed request.
+    Json(Request),
+    /// A binary Add: deposit `values` into `stream`.
+    BinaryAdd {
+        /// Target stream (created on first use).
+        stream: String,
+        /// Batch of summands, decoded bit-exactly from the wire.
+        values: Vec<f64>,
+    },
+}
+
+/// Reads one client frame of either protocol version, returning `None`
+/// on a clean EOF at a frame boundary.
+pub fn read_client_frame<R: Read>(r: &mut R) -> io::Result<Option<ClientFrame>> {
+    let Some((magic, len)) = read_header(r)? else {
+        return Ok(None);
+    };
+    match magic {
+        m if m == MAGIC => {
+            let payload = read_payload(r, len)?;
+            serde_json::from_slice(&payload)
+                .map(|req| Some(ClientFrame::Json(req)))
+                .map_err(|e| bad_data(format!("bad frame payload: {e}")))
+        }
+        m if m == MAGIC_ADD_BIN => {
+            let payload = read_payload(r, len)?;
+            let (stream, values) = parse_add_binary(&payload)?;
+            Ok(Some(ClientFrame::BinaryAdd { stream, values }))
+        }
+        m => Err(bad_data(format!(
+            "bad frame magic {m:02x?} (speaking a different protocol or version?)"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +625,74 @@ mod tests {
         let mut buf = MAGIC.to_vec();
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(read_frame::<_, Request>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_add_roundtrips_bit_exactly() {
+        let values = vec![
+            f64::MIN_POSITIVE,
+            2f64.powi(-1074),
+            1e308,
+            -0.0,
+            0.0,
+            0.1 + 0.2,
+            -1.5e-300,
+        ];
+        let mut buf = Vec::new();
+        write_add_binary(&mut buf, "stream/α", &values).unwrap();
+        let Some(ClientFrame::BinaryAdd { stream, values: back }) =
+            read_client_frame(&mut buf.as_slice()).unwrap()
+        else {
+            panic!("wrong frame kind")
+        };
+        assert_eq!(stream, "stream/α");
+        let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, back_bits);
+    }
+
+    #[test]
+    fn binary_add_empty_batch_roundtrips() {
+        let mut buf = Vec::new();
+        write_add_binary(&mut buf, "s", &[]).unwrap();
+        let frame = read_client_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(frame, ClientFrame::BinaryAdd { stream: "s".into(), values: vec![] });
+    }
+
+    #[test]
+    fn client_frame_reader_accepts_both_versions() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Sum { stream: "s".into() }).unwrap();
+        write_add_binary(&mut buf, "s", &[4.25]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_client_frame(&mut r).unwrap().unwrap(),
+            ClientFrame::Json(Request::Sum { stream: "s".into() })
+        );
+        assert_eq!(
+            read_client_frame(&mut r).unwrap().unwrap(),
+            ClientFrame::BinaryAdd { stream: "s".into(), values: vec![4.25] }
+        );
+        assert!(read_client_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_binary_add_is_rejected() {
+        // Truncated name.
+        let mut buf = MAGIC_ADD_BIN.to_vec();
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(&[0, 9, b'a', b'b', b'c']); // claims 9-byte name, has 3
+        assert!(read_client_frame(&mut buf.as_slice()).is_err());
+        // Value bytes not a multiple of 8.
+        let mut buf = MAGIC_ADD_BIN.to_vec();
+        buf.extend_from_slice(&6u32.to_be_bytes());
+        buf.extend_from_slice(&[0, 1, b's', 1, 2, 3]);
+        assert!(read_client_frame(&mut buf.as_slice()).is_err());
+        // Non-UTF-8 stream name.
+        let mut buf = MAGIC_ADD_BIN.to_vec();
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&[0, 2, 0xFF, 0xFE]);
+        assert!(read_client_frame(&mut buf.as_slice()).is_err());
     }
 
     #[test]

@@ -12,14 +12,21 @@
 //! the final snapshot" holds without any extra bookkeeping.
 
 use crate::ledger::ShardedLedger;
-use crate::proto::{read_frame, write_frame, ErrorCode, Request, Response, StreamStatsRepr};
+use crate::proto::{
+    read_client_frame, write_frame, ClientFrame, ErrorCode, Request, Response, StreamStatsRepr,
+};
 use crate::snapshot;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Seeds each connection's private shard cursor so concurrent
+/// connections start on different shards; touched once per connection,
+/// not per batch.
+static CONN_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -163,6 +170,12 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 /// Serves one connection until EOF, protocol error, or shutdown ACK.
+///
+/// Each connection owns a private shard cursor (seeded from a global
+/// counter once at accept time, advanced locally per `Add`), so deposit
+/// traffic from unrelated connections never contends on shard
+/// selection. Both protocol versions — JSON `OIS\x01` and the binary
+/// Add `OIS\x02` — are accepted interleaved on the same connection.
 fn serve_connection(
     conn: TcpStream,
     ledger: &ShardedLedger,
@@ -174,9 +187,10 @@ fn serve_connection(
     let local = conn.local_addr()?;
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = BufWriter::new(conn);
+    let mut shard_cursor = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
     loop {
-        let req = match read_frame::<_, Request>(&mut reader) {
-            Ok(Some(req)) => req,
+        let frame = match read_client_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Malformed frame or request: send the typed error
@@ -190,7 +204,11 @@ fn serve_connection(
             }
             Err(e) => return Err(e),
         };
-        let (reply, stop_after) = handle(req, ledger, snapshot_path);
+        let req = match frame {
+            ClientFrame::BinaryAdd { stream, values } => Request::Add { stream, values },
+            ClientFrame::Json(req) => req,
+        };
+        let (reply, stop_after) = handle(req, ledger, snapshot_path, &mut shard_cursor);
         write_frame(&mut writer, &reply)?;
         if stop_after {
             signal_shutdown(stopping, local);
@@ -200,16 +218,19 @@ fn serve_connection(
 }
 
 /// Executes one request against the ledger. Returns the reply and
-/// whether the server should stop after sending it.
+/// whether the server should stop after sending it. `shard_cursor` is
+/// the connection's private cursor, advanced once per `Add`.
 fn handle(
     req: Request,
     ledger: &ShardedLedger,
     snapshot_path: &Option<PathBuf>,
+    shard_cursor: &mut usize,
 ) -> (Response, bool) {
     match req {
         Request::Add { stream, values } => {
-            let count = values.len() as u64;
-            ledger.add(&stream, &values);
+            let hint = *shard_cursor;
+            *shard_cursor = shard_cursor.wrapping_add(1);
+            let count = ledger.add_batch_on(&stream, hint, values.iter().copied());
             (Response::Added { count }, false)
         }
         Request::Sum { stream } => match ledger.sum(&stream) {

@@ -23,9 +23,23 @@ fn dataset(n: usize, seed: u64) -> Vec<f64> {
 }
 
 /// Runs one full server lifecycle: `clients` threads deposit shuffled
-/// batch hands of `data` into stream `s`, then the sum limbs are read
-/// and the server is shut down.
+/// batch hands of `data` into stream `s` over the JSON protocol, then
+/// the sum limbs are read and the server is shut down.
 fn run_service(data: &[f64], clients: usize, batch: usize, shards: usize, seed: u64) -> Vec<u64> {
+    run_service_proto(data, clients, batch, shards, seed, false)
+}
+
+/// As [`run_service`], but with a protocol selector: `binary` makes
+/// every client deposit over the `OIS\x02` raw-f64 Add frame instead of
+/// JSON.
+fn run_service_proto(
+    data: &[f64],
+    clients: usize,
+    batch: usize,
+    shards: usize,
+    seed: u64,
+    binary: bool,
+) -> Vec<u64> {
     let server = serve(ServerConfig {
         shards,
         workers: clients.max(1),
@@ -49,7 +63,12 @@ fn run_service(data: &[f64], clients: usize, batch: usize, shards: usize, seed: 
             s.spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
                 for &i in hand {
-                    assert_eq!(client.add("s", batches[i]).unwrap() as usize, batches[i].len());
+                    let n = if binary {
+                        client.add_binary("s", batches[i]).unwrap()
+                    } else {
+                        client.add("s", batches[i]).unwrap()
+                    };
+                    assert_eq!(n as usize, batches[i].len());
                 }
             });
         }
@@ -78,6 +97,55 @@ fn bitwise_identical_across_configurations() {
     assert_eq!(run_a, expected);
     assert_eq!(run_b, expected);
     assert_eq!(run_a, run_b);
+}
+
+/// The binary `OIS\x02` Add path must be a pure transport optimization:
+/// the same shuffled partitions of one dataset deposited as raw
+/// little-endian `f64`s and as JSON text must land bitwise-identical
+/// `Sum` limbs, equal to the sequential HP sum — including for values
+/// (denormals, -0.0, huge magnitudes) where a decimal round-trip is the
+/// classic way to lose bits.
+#[test]
+fn binary_and_json_adds_are_bitwise_identical() {
+    let mut data = dataset(20_000, 99);
+    // Bit-pattern hazards a lossy text round-trip would mangle.
+    data.extend_from_slice(&[
+        -0.0,
+        f64::MIN_POSITIVE,
+        5e-324,
+        -5e-324,
+        1.0e15,
+        -(1.0 + f64::EPSILON),
+    ]);
+    let expected = ServiceHp::sum_f64_slice(&data).as_limbs().to_vec();
+
+    let json_run = run_service_proto(&data, 3, 250, 8, 11, false);
+    let binary_run = run_service_proto(&data, 3, 250, 8, 11, true);
+    assert_eq!(json_run, expected);
+    assert_eq!(binary_run, expected, "binary Add path diverged from the HP sum");
+    assert_eq!(json_run, binary_run);
+}
+
+/// Both frame versions interleave freely on a single connection.
+#[test]
+fn mixed_protocols_on_one_connection() {
+    let data = dataset(4_000, 5);
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (i, chunk) in data.chunks(137).enumerate() {
+        let n = if i % 2 == 0 {
+            client.add_binary("mixed", chunk).unwrap()
+        } else {
+            client.add("mixed", chunk).unwrap()
+        };
+        assert_eq!(n as usize, chunk.len());
+    }
+    assert_eq!(
+        client.sum("mixed").unwrap().limbs,
+        ServiceHp::sum_f64_slice(&data).as_limbs().to_vec()
+    );
+    client.shutdown().unwrap();
+    server.join().unwrap();
 }
 
 #[test]

@@ -23,8 +23,19 @@ cargo test --offline -q -p oisum-hallberg --features serde
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> criterion smoke: batch pipeline (per-value vs batched vs parallel)"
+cargo bench --offline -q -p oisum-bench --bench batch
+
+echo "==> loadgen smoke: binary protocol, bitwise check"
+smoke_out=$(mktemp)
+cargo run --offline --release -q -p oisum-service --bin loadgen -- \
+    --binary --values 20000 --out "$smoke_out"
+grep -q '"bitwise_identical":true' "$smoke_out" \
+    || { echo "verify: loadgen smoke lost bitwise identity" >&2; rm -f "$smoke_out"; exit 1; }
+rm -f "$smoke_out"
+
 if [[ "${1:-}" == "--with-loadgen" ]]; then
-    echo "==> loadgen (service benchmark + bitwise check)"
+    echo "==> loadgen (service benchmark + bitwise check, JSON + binary)"
     cargo run --offline --release -q -p oisum-service --bin loadgen -- \
         --out BENCH_service.json
 fi
