@@ -45,5 +45,6 @@
 pub mod codec;
 pub mod fmt;
 pub mod limbs;
+pub mod testvec;
 
 pub use codec::{decode_f64, encode_f64, encode_f64_nearest, encode_f64_trunc, EncodeError};

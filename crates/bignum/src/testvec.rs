@@ -1,0 +1,341 @@
+//! Loader for the shared golden-vector files under `tests/vectors/` at
+//! the workspace root.
+//!
+//! The vector files pin the exact `f64` ↔ limb codec behavior — signed
+//! zeros, denormals, range edges, round-to-nearest-even ties — across
+//! every crate that implements or wraps a codec (`oisum-bignum`,
+//! `oisum-core`, `oisum-hallberg`). Each crate's `golden_vectors` test
+//! loads the same file through this module, so a codec change that
+//! shifts a single limb bit fails in every consumer at once, with the
+//! offending case named.
+//!
+//! The files are JSON restricted to a small subset — `null`, booleans,
+//! strings, arrays, objects — with **all numbers carried as strings**
+//! (`"0x…"` hex for `u64` bit patterns and limbs, plain decimal for
+//! signed values). That keeps this loader a ~hundred-line
+//! recursive-descent parser with zero dependencies (the workspace's
+//! `serde_json` shim lives higher in the dependency graph than this
+//! crate), and sidesteps every question about number precision in
+//! transit: a bit pattern printed as hex either matches or it does not.
+//!
+//! Regenerate the vectors with the ignored `regenerate` test in the
+//! workspace root crate (see the `generator` field inside the file) —
+//! but treat a regeneration that changes existing entries as a breaking
+//! change to review, not noise to commit.
+
+use std::fmt;
+use std::path::Path;
+
+/// A parsed vector-file value (the JSON subset described in the module
+/// docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` — used for "this operation errors on this input".
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON string (including the stringified numbers).
+    Str(String),
+    /// A JSON array.
+    Arr(Vec<Value>),
+    /// A JSON object, in file order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup that panics with the path on a miss — vector
+    /// files are under our control, so a missing field is a test bug.
+    pub fn req(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("vector file is missing required field `{key}`"))
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Parses a `"0x…"` string payload as a `u64` bit pattern.
+    pub fn hex_u64(&self) -> u64 {
+        let s = self.as_str().unwrap_or_else(|| panic!("expected hex string, got {self:?}"));
+        let hex = s.strip_prefix("0x").unwrap_or_else(|| panic!("missing 0x prefix: {s:?}"));
+        u64::from_str_radix(hex, 16).unwrap_or_else(|e| panic!("bad hex {s:?}: {e}"))
+    }
+
+    /// Parses a decimal string payload as an `i64`.
+    pub fn dec_i64(&self) -> i64 {
+        let s = self.as_str().unwrap_or_else(|| panic!("expected decimal string, got {self:?}"));
+        s.parse().unwrap_or_else(|e| panic!("bad decimal {s:?}: {e}"))
+    }
+
+    /// An array of `"0x…"` strings as `u64` limbs, or `None` for `null`.
+    pub fn hex_u64_arr(&self) -> Option<Vec<u64>> {
+        if self.is_null() {
+            return None;
+        }
+        Some(
+            self.as_arr()
+                .unwrap_or_else(|| panic!("expected array or null, got {self:?}"))
+                .iter()
+                .map(Value::hex_u64)
+                .collect(),
+        )
+    }
+
+    /// An array of decimal strings as `i64` limbs, or `None` for `null`.
+    pub fn dec_i64_arr(&self) -> Option<Vec<i64>> {
+        if self.is_null() {
+            return None;
+        }
+        Some(
+            self.as_arr()
+                .unwrap_or_else(|| panic!("expected array or null, got {self:?}"))
+                .iter()
+                .map(Value::dec_i64)
+                .collect(),
+        )
+    }
+}
+
+/// A parse failure with byte offset context.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Byte offset the parser stopped at.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vector parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.pos, msg: msg.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", expected as char))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let value = self.value()?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                self.err("bare numbers are not allowed in vector files; quote them as strings")
+            }
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return self.err("unsupported escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole code point.
+                    let s = core::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError { at: self.pos, msg: "bad utf8".into() })?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+}
+
+/// Parses a vector file's text.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing bytes after the top-level value");
+    }
+    Ok(v)
+}
+
+/// Reads and parses a vector file, panicking with the path on failure —
+/// the callers are tests, where a missing or malformed vector file is a
+/// hard failure, not a condition to handle.
+pub fn load(path: &Path) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read vector file {}: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("cannot parse vector file {}: {e}", path.display()))
+}
+
+/// The cases array of the shared `hp_codec.json` vector file, loaded
+/// relative to a crate's manifest dir (pass
+/// `env!("CARGO_MANIFEST_DIR")`).
+pub fn hp_codec_cases(manifest_dir: &str) -> Vec<Value> {
+    let mut path = std::path::PathBuf::from(manifest_dir);
+    // Both `crates/<name>` members and the workspace root resolve to the
+    // same file.
+    if !path.join("tests/vectors/hp_codec.json").exists() {
+        path = path.join("../..");
+    }
+    let file = load(&path.join("tests/vectors/hp_codec.json"));
+    file.req("cases")
+        .as_arr()
+        .expect("`cases` must be an array")
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let v = parse(r#"{"a": ["0xff", null, true], "b": {"c": "-42"}}"#).unwrap();
+        assert_eq!(v.req("a").as_arr().unwrap()[0].hex_u64(), 0xff);
+        assert!(v.req("a").as_arr().unwrap()[1].is_null());
+        assert_eq!(v.req("a").as_arr().unwrap()[2], Value::Bool(true));
+        assert_eq!(v.req("b").req("c").dec_i64(), -42);
+    }
+
+    #[test]
+    fn rejects_bare_numbers() {
+        assert!(parse(r#"{"a": 17}"#).is_err());
+        assert!(parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_strings() {
+        assert!(parse(r#""ok" junk"#).is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+        assert!(parse(r#"{"a" "b"}"#).is_err());
+    }
+}

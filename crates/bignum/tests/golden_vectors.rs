@@ -1,0 +1,75 @@
+//! Pins the raw codec (`encode_f64*` / `decode_f64` at n=6, k=3) to the
+//! shared golden vectors in `tests/vectors/hp_codec.json`. The same file
+//! is enforced against `oisum-core`'s `Hp6x3` wrappers and
+//! `oisum-hallberg`'s codec, so a drift in any layer is caught by name.
+
+use oisum_bignum::codec::{decode_f64, encode_f64, encode_f64_nearest, encode_f64_trunc};
+use oisum_bignum::testvec;
+
+const N: usize = 6;
+const K: usize = 3;
+
+#[test]
+fn raw_codec_matches_golden_vectors() {
+    let cases = testvec::hp_codec_cases(env!("CARGO_MANIFEST_DIR"));
+    assert!(!cases.is_empty());
+    for case in &cases {
+        let name = case.req("name").as_str().unwrap();
+        let x = f64::from_bits(case.req("bits").hex_u64());
+        let hp = case.req("hp6x3");
+
+        let mut out = [0u64; N];
+        let trunc = encode_f64_trunc(x, K, &mut out).ok().map(|_| out.to_vec());
+        assert_eq!(trunc, hp.req("trunc").hex_u64_arr(), "case `{name}`: trunc mismatch");
+
+        let mut out = [0u64; N];
+        let nearest = encode_f64_nearest(x, K, &mut out).ok().map(|_| out.to_vec());
+        assert_eq!(nearest, hp.req("nearest").hex_u64_arr(), "case `{name}`: nearest mismatch");
+
+        let mut out = [0u64; N];
+        let exact = encode_f64(x, K, &mut out).ok().map(|_| out.to_vec());
+        assert_eq!(exact, hp.req("exact").hex_u64_arr(), "case `{name}`: exact mismatch");
+
+        if let Some(limbs) = hp.req("nearest").hex_u64_arr() {
+            let expected_bits = hp.req("decode").hex_u64();
+            let got = decode_f64(&limbs, K);
+            assert_eq!(
+                got.to_bits(),
+                expected_bits,
+                "case `{name}`: decode mismatch ({got} vs {})",
+                f64::from_bits(expected_bits)
+            );
+        } else {
+            assert!(hp.req("decode").is_null(), "case `{name}`: decode without nearest");
+        }
+    }
+}
+
+/// The vectors themselves must cover the hazard classes they exist for —
+/// a guard against someone trimming the file down to easy cases.
+#[test]
+fn vector_file_covers_the_hazard_classes() {
+    let cases = testvec::hp_codec_cases(env!("CARGO_MANIFEST_DIR"));
+    let names: Vec<&str> = cases.iter().map(|c| c.req("name").as_str().unwrap()).collect();
+    for required in [
+        "plus_zero",
+        "minus_zero",
+        "min_denormal",
+        "f64_max",
+        "hp_half_ulp_tie_down",
+        "hp_three_half_ulp_tie_up",
+    ] {
+        assert!(names.contains(&required), "vector file lost required case `{required}`");
+    }
+    // At least one case must exercise each rejection path.
+    assert!(
+        cases.iter().any(|c| c.req("hp6x3").req("trunc").is_null()),
+        "no overflow-rejection case left"
+    );
+    assert!(
+        cases
+            .iter()
+            .any(|c| c.req("hp6x3").req("exact").is_null() && !c.req("hp6x3").req("trunc").is_null()),
+        "no inexact-rejection case left"
+    );
+}

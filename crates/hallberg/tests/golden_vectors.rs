@@ -1,0 +1,36 @@
+//! Pins the Hallberg (N=4, M=40) codec to the shared golden vectors in
+//! `tests/vectors/hp_codec.json` — same file, same cases as the
+//! `oisum-bignum` and `oisum-core` golden tests, so the two codec
+//! families are pinned against each other's hazard inputs (signed zeros,
+//! denormals, range edges, sub-resolution ties).
+
+use oisum_bignum::testvec;
+use oisum_hallberg::HallbergCodec;
+
+#[test]
+fn hallberg_codec_matches_golden_vectors() {
+    let codec = HallbergCodec::<4>::with_m(40);
+    let cases = testvec::hp_codec_cases(env!("CARGO_MANIFEST_DIR"));
+    assert!(!cases.is_empty());
+    for case in &cases {
+        let name = case.req("name").as_str().unwrap();
+        let x = f64::from_bits(case.req("bits").hex_u64());
+        let hal = case.req("hallberg");
+
+        let encoded = codec.encode(x);
+        let limbs = encoded.as_ref().map(|v| v.as_limbs().to_vec());
+        assert_eq!(limbs, hal.req("limbs").dec_i64_arr(), "case `{name}`: encode mismatch");
+
+        match encoded {
+            Some(v) => {
+                let got = codec.decode(&v);
+                assert_eq!(
+                    got.to_bits(),
+                    hal.req("decode").hex_u64(),
+                    "case `{name}`: decode mismatch (got {got})"
+                );
+            }
+            None => assert!(hal.req("decode").is_null(), "case `{name}`: decode without encode"),
+        }
+    }
+}

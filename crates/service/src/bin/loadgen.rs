@@ -3,8 +3,16 @@
 //!
 //! ```text
 //! loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N]
-//!         [--json | --binary] [--out PATH]
+//!         [--json | --binary] [--chaos] [--out PATH]
 //! ```
+//!
+//! `--chaos` (requires a build with `--features failpoints`) arms
+//! probabilistic fault injection for the whole run — dropped
+//! connections before and after the deposit lands, mid-frame reply cuts
+//! — and switches every client to its retrying configuration. The
+//! bitwise-identity assertion and an exactly-once check (the stream's
+//! `values` statistic must equal the dataset length) still hold: that
+//! is the point.
 //!
 //! Generates one dataset of `--values` summands with magnitudes spread
 //! over ~30 orders of magnitude, splits it into batches, deals the
@@ -22,11 +30,12 @@
 //! when it runs (the service's hot path), with both passes nested under
 //! `"json_mode"` / `"binary_mode"`.
 
-use oisum_service::{serve, Client, ServerConfig, ServiceHp};
+use oisum_faults::{registry, FaultAction, FireRule};
+use oisum_service::{serve, Client, ClientConfig, ServerConfig, ServiceHp};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -50,6 +59,7 @@ struct Args {
     shards: usize,
     seed: u64,
     modes: Vec<Mode>,
+    chaos: bool,
     out: String,
 }
 
@@ -62,6 +72,7 @@ impl Default for Args {
             shards: 8,
             seed: 0x5EED,
             modes: vec![Mode::Json, Mode::Binary],
+            chaos: false,
             out: "BENCH_service.json".to_owned(),
         }
     }
@@ -70,7 +81,7 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] \
-         [--json | --binary] [--out PATH]"
+         [--json | --binary] [--chaos] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -88,6 +99,7 @@ fn parse_args() -> Args {
             "--seed" => a.seed = value().parse().unwrap_or_else(|_| usage()),
             "--json" => a.modes = vec![Mode::Json],
             "--binary" => a.modes = vec![Mode::Binary],
+            "--chaos" => a.chaos = true,
             "--out" => a.out = value(),
             _ => usage(),
         }
@@ -95,7 +107,35 @@ fn parse_args() -> Args {
     if a.threads == 0 || a.values == 0 || a.batch == 0 {
         usage();
     }
+    if a.chaos && !cfg!(feature = "failpoints") {
+        eprintln!(
+            "loadgen: --chaos needs the fault seams compiled in; rebuild with \
+             `cargo run --release --features failpoints --bin loadgen -- --chaos`"
+        );
+        std::process::exit(2);
+    }
     a
+}
+
+/// The failpoints the chaos pass arms, with their firing probabilities.
+const CHAOS_POINTS: &[(&str, f64, FaultAction)] = &[
+    ("server.add.drop_before_apply", 0.02, FaultAction::Disconnect),
+    ("server.add.drop_after_apply", 0.02, FaultAction::Disconnect),
+    ("server.reply.partial", 0.01, FaultAction::PartialWrite { keep: 3 }),
+];
+
+/// A retrying client for chaos passes: tight backoff, plenty of
+/// attempts, jitter seeded per thread so runs are reproducible.
+fn chaos_client(seed: u64, thread: usize) -> ClientConfig {
+    ClientConfig {
+        read_timeout: Some(Duration::from_millis(500)),
+        write_timeout: Some(Duration::from_millis(500)),
+        retries: 64,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(10),
+        client_id: None,
+        jitter_seed: seed ^ ((thread as u64) << 16),
+    }
 }
 
 /// Summands spanning ~30 orders of magnitude with mixed signs — the
@@ -127,13 +167,14 @@ struct PassReport {
     p50_us: f64,
     p99_us: f64,
     wall: std::time::Duration,
+    faults_fired: u64,
 }
 
 impl PassReport {
     fn to_json(&self) -> String {
         format!(
-            "{{\"ops_per_sec\":{:.2},\"values_per_sec\":{:.0},\"p50_us\":{:.2},\"p99_us\":{:.2},\"bitwise_identical\":true}}",
-            self.ops_per_sec, self.values_per_sec, self.p50_us, self.p99_us
+            "{{\"ops_per_sec\":{:.2},\"values_per_sec\":{:.0},\"p50_us\":{:.2},\"p99_us\":{:.2},\"faults_fired\":{},\"bitwise_identical\":true}}",
+            self.ops_per_sec, self.values_per_sec, self.p50_us, self.p99_us, self.faults_fired
         )
     }
 }
@@ -150,6 +191,13 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
     .expect("bind in-process server");
     let addr = server.addr();
 
+    if args.chaos {
+        registry().reset(args.seed);
+        for &(name, p, action) in CHAOS_POINTS {
+            registry().arm(name, FireRule::Probability(p), action);
+        }
+    }
+
     // Deal batch indices round-robin, then shuffle each thread's hand so
     // arrival order shares nothing with dataset order.
     let batches: Vec<&[f64]> = data.chunks(args.batch).collect();
@@ -165,10 +213,15 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
     let latencies_ns: Vec<u128> = std::thread::scope(|s| {
         let handles: Vec<_> = hands
             .iter()
-            .map(|hand| {
+            .enumerate()
+            .map(|(t, hand)| {
                 let batches = &batches;
                 s.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    let mut client = if args.chaos {
+                        Client::connect_with(addr, chaos_client(args.seed, t)).expect("connect")
+                    } else {
+                        Client::connect(addr).expect("connect")
+                    };
                     let mut lat = Vec::with_capacity(hand.len());
                     for &i in hand {
                         let t0 = Instant::now();
@@ -189,6 +242,16 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
     });
     let elapsed = started.elapsed();
 
+    // Quiet the weather (if any) before reading back, and record how
+    // much of it actually fired.
+    let faults_fired: u64 = if args.chaos {
+        let fired = CHAOS_POINTS.iter().map(|&(name, _, _)| registry().fired(name)).sum();
+        registry().clear();
+        fired
+    } else {
+        0
+    };
+
     // Every batch is ACKed, so the ledger is quiescent: the sum must be
     // bitwise the sequential HP sum of the original ordering.
     let mut client = Client::connect(addr).expect("connect");
@@ -200,6 +263,17 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
         mode.name()
     );
     assert!(!reply.poisoned, "accumulator poisoned under loadgen range");
+    if args.chaos {
+        // Exactly-once: despite dropped connections and retried batches,
+        // every value must have been counted exactly once.
+        let (_, streams) = client.stats().expect("stats");
+        let stream = streams.iter().find(|s| s.name == "loadgen").expect("stream stats");
+        assert_eq!(
+            stream.values as usize, args.values,
+            "{} chaos pass: retries were not applied exactly once",
+            mode.name()
+        );
+    }
     client.shutdown().expect("shutdown");
     server.join().expect("server join");
 
@@ -214,6 +288,7 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
         p50_us: percentile_us(&sorted, 0.50),
         p99_us: percentile_us(&sorted, 0.99),
         wall: elapsed,
+        faults_fired,
     }
 }
 
@@ -235,7 +310,15 @@ fn main() {
         .iter()
         .map(|&mode| {
             let r = run_pass(&args, &data, &expected, mode);
-            println!("  [{}] sum bitwise-identical to sequential HP sum: OK", mode.name());
+            if args.chaos {
+                println!(
+                    "  [{}] chaos: {} faults fired; sum bitwise-identical and values applied exactly once: OK",
+                    mode.name(),
+                    r.faults_fired
+                );
+            } else {
+                println!("  [{}] sum bitwise-identical to sequential HP sum: OK", mode.name());
+            }
             println!(
                 "  [{}] {:.0} add-ops/s ({:.0} values/s), p50 {:.1} us, p99 {:.1} us, wall {:?}",
                 mode.name(),
@@ -256,7 +339,7 @@ fn main() {
         .find(|r| r.mode == Mode::Binary)
         .unwrap_or(&reports[0]);
     let mut json = format!(
-        "{{\"ops_per_sec\":{:.2},\"values_per_sec\":{:.0},\"p50_us\":{:.2},\"p99_us\":{:.2},\"threads\":{},\"values\":{},\"batch\":{},\"shards\":{},\"bitwise_identical\":true",
+        "{{\"ops_per_sec\":{:.2},\"values_per_sec\":{:.0},\"p50_us\":{:.2},\"p99_us\":{:.2},\"threads\":{},\"values\":{},\"batch\":{},\"shards\":{},\"chaos\":{},\"bitwise_identical\":true",
         headline.ops_per_sec,
         headline.values_per_sec,
         headline.p50_us,
@@ -264,7 +347,8 @@ fn main() {
         args.threads,
         args.values,
         args.batch,
-        args.shards
+        args.shards,
+        args.chaos
     );
     for r in &reports {
         json.push_str(&format!(",\"{}_mode\":{}", r.mode.name(), r.to_json()));

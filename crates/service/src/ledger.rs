@@ -28,13 +28,14 @@
 //! (name → shard bank); the hot deposit path takes the read lock,
 //! clones an `Arc`, and proceeds lock-free on the shard atomics.
 
+use crate::proto::UNTRACKED_CLIENT;
 use crate::ServiceHp;
 use crossbeam::utils::CachePadded;
 use oisum_core::AtomicHp;
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Number of integer/fractional limbs in the service accumulator format.
 pub const SERVICE_LIMBS: usize = 6;
@@ -59,12 +60,21 @@ fn next_thread_shard() -> usize {
     })
 }
 
-/// One named stream: its shard bank plus deposit statistics.
+/// One named stream: its shard bank, deposit statistics, and the
+/// per-client dedup window for exactly-once retries.
 #[derive(Debug)]
 pub struct Stream {
     shards: Vec<CachePadded<AtomicHp<6, 3>>>,
     batches: AtomicU64,
     values: AtomicU64,
+    /// `client_id → highest applied seq`, one slot per client. The outer
+    /// `RwLock` guards only the directory (read-locked on the hot path);
+    /// the per-client `Mutex` serializes check-then-deposit so a replay
+    /// racing its original (a timed-out request still in flight while
+    /// the retry arrives on a new connection) cannot double-apply.
+    /// Contention on that inner lock is same-client only — a client's
+    /// requests are serialized on its end anyway.
+    dedup: RwLock<HashMap<u64, Arc<Mutex<u64>>>>,
 }
 
 impl Stream {
@@ -75,7 +85,39 @@ impl Stream {
                 .collect(),
             batches: AtomicU64::new(0),
             values: AtomicU64::new(0),
+            dedup: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The dedup slot for `client_id`, created on first use (seq 0: no
+    /// batch applied yet; client seqs start at 1).
+    fn dedup_slot(&self, client_id: u64) -> Arc<Mutex<u64>> {
+        if let Some(slot) = self.dedup.read().unwrap().get(&client_id) {
+            return Arc::clone(slot);
+        }
+        let mut map = self.dedup.write().unwrap();
+        Arc::clone(map.entry(client_id).or_default())
+    }
+
+    /// Deposits a tracked batch exactly once. Returns
+    /// `(values accounted for, false)` when `(client_id, seq)` was
+    /// already applied — the deposit is skipped and the stats counters
+    /// untouched, so `values` stays an exact count of applied summands.
+    fn add_batch_dedup(
+        &self,
+        shard_hint: usize,
+        client_id: u64,
+        seq: u64,
+        values: &[f64],
+    ) -> (u64, bool) {
+        let slot = self.dedup_slot(client_id);
+        let mut last = slot.lock().unwrap();
+        if seq <= *last {
+            return (values.len() as u64, false);
+        }
+        let n = self.add_batch_on(shard_hint, values.iter().copied());
+        *last = seq;
+        (n, true)
     }
 
     /// Deposits a batch into the shard selected by `shard_hint` (any
@@ -105,6 +147,36 @@ impl Stream {
             .iter()
             .fold(0u64, |n, s| n.saturating_add(s.overflow_count()))
     }
+
+    /// The dedup window as `(client_id, last applied seq)`, sorted by
+    /// client id (clients that never applied a batch are omitted).
+    fn dedup_entries(&self) -> Vec<(u64, u64)> {
+        let mut entries: Vec<(u64, u64)> = self
+            .dedup
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&id, slot)| (id, *slot.lock().unwrap()))
+            .filter(|&(_, seq)| seq > 0)
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+}
+
+/// A stream's complete persistent state, as captured by
+/// [`ShardedLedger::snapshot`] and re-installed by
+/// [`ShardedLedger::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamState {
+    /// Stream name.
+    pub name: String,
+    /// Exact accumulated sum.
+    pub sum: ServiceHp,
+    /// Detected top-limb overflows.
+    pub overflows: u64,
+    /// Dedup window: `(client_id, last applied seq)`, sorted by id.
+    pub dedup: Vec<(u64, u64)>,
 }
 
 /// Point-in-time statistics for one stream.
@@ -186,6 +258,31 @@ impl ShardedLedger {
         self.stream(name).add_batch_on(shard_hint, values)
     }
 
+    /// Deposits a batch carrying a `(client_id, seq)` retry identity
+    /// **exactly once**: a replay of an already-applied identity is
+    /// acknowledged without depositing, so however many times a retry
+    /// loop resends a frame, the stream's sum — and its `values`
+    /// statistic — reflect one application. Returns
+    /// `(values accounted for, applied)`; `applied` is `false` for a
+    /// recognized replay. A `client_id` of
+    /// [`UNTRACKED_CLIENT`](crate::proto::UNTRACKED_CLIENT) bypasses the
+    /// window entirely.
+    pub fn add_batch_dedup(
+        &self,
+        name: &str,
+        shard_hint: usize,
+        client_id: u64,
+        seq: u64,
+        values: &[f64],
+    ) -> (u64, bool) {
+        let stream = self.stream(name);
+        if client_id == UNTRACKED_CLIENT {
+            (stream.add_batch_on(shard_hint, values.iter().copied()), true)
+        } else {
+            stream.add_batch_dedup(shard_hint, client_id, seq, values)
+        }
+    }
+
     /// The exact HP sum of everything deposited into `name`, or `None`
     /// for a stream that has never been written.
     pub fn sum(&self, name: &str) -> Option<ServiceHp> {
@@ -206,28 +303,40 @@ impl ShardedLedger {
         self.streams.write().unwrap().clear();
     }
 
-    /// Snapshots every stream as `(name, exact sum, overflows)`, sorted
-    /// by name. Shard structure is deliberately not preserved: the split
-    /// is a contention artifact, not part of the value.
-    pub fn snapshot(&self) -> Vec<(String, ServiceHp, u64)> {
+    /// Snapshots every stream, sorted by name. Shard structure is
+    /// deliberately not preserved — the split is a contention artifact,
+    /// not part of the value — but the dedup window *is*: a server
+    /// restored from a snapshot taken after a deposit was applied must
+    /// still recognize that deposit's retry as a replay.
+    pub fn snapshot(&self) -> Vec<StreamState> {
         self.streams
             .read()
             .unwrap()
             .iter()
-            .map(|(name, s)| (name.clone(), s.sum(), s.overflows()))
+            .map(|(name, s)| StreamState {
+                name: name.clone(),
+                sum: s.sum(),
+                overflows: s.overflows(),
+                dedup: s.dedup_entries(),
+            })
             .collect()
     }
 
     /// Restores a snapshot produced by [`Self::snapshot`], replacing any
     /// existing contents. Each restored sum lands in shard 0; subsequent
     /// deposits spread over the bank as usual.
-    pub fn restore(&self, entries: &[(String, ServiceHp, u64)]) {
+    pub fn restore(&self, entries: &[StreamState]) {
         let mut map = self.streams.write().unwrap();
         map.clear();
-        for (name, value, _overflows) in entries {
+        for entry in entries {
             let stream = Stream::new(self.shard_count);
-            stream.shards[0].add(value);
-            map.insert(name.clone(), Arc::new(stream));
+            stream.shards[0].add(&entry.sum);
+            let mut dedup = stream.dedup.write().unwrap();
+            for &(client_id, seq) in &entry.dedup {
+                dedup.insert(client_id, Arc::new(Mutex::new(seq)));
+            }
+            drop(dedup);
+            map.insert(entry.name.clone(), Arc::new(stream));
         }
     }
 
@@ -309,6 +418,56 @@ mod tests {
             }
             assert_eq!(ledger.sum("s").unwrap(), expected);
         }
+    }
+
+    #[test]
+    fn replayed_identity_applies_exactly_once() {
+        let ledger = ShardedLedger::new(4);
+        let xs = [0.1, -2.5, 1e9];
+        let (n, applied) = ledger.add_batch_dedup("s", 0, 7, 1, &xs);
+        assert_eq!((n, applied), (3, true));
+        // Replays of seq 1 — any number, any shard hint — deposit nothing.
+        for hint in 0..5 {
+            let (n, applied) = ledger.add_batch_dedup("s", hint, 7, 1, &xs);
+            assert_eq!((n, applied), (3, false));
+        }
+        assert_eq!(ledger.sum("s").unwrap(), ServiceHp::sum_f64_slice(&xs));
+        assert_eq!(ledger.stats().streams[0].values, 3);
+        // The next seq applies; an older (out-of-window) seq does not.
+        assert!(ledger.add_batch_dedup("s", 0, 7, 2, &[1.0]).1);
+        assert!(!ledger.add_batch_dedup("s", 0, 7, 1, &xs).1);
+        // A different client with the same seq is unrelated.
+        assert!(ledger.add_batch_dedup("s", 0, 8, 1, &[2.0]).1);
+    }
+
+    #[test]
+    fn untracked_client_bypasses_dedup() {
+        let ledger = ShardedLedger::new(2);
+        for _ in 0..3 {
+            let (n, applied) =
+                ledger.add_batch_dedup("s", 0, crate::proto::UNTRACKED_CLIENT, 1, &[1.0]);
+            assert_eq!((n, applied), (1, true));
+        }
+        assert_eq!(ledger.sum("s").unwrap().to_f64(), 3.0);
+    }
+
+    #[test]
+    fn snapshot_carries_the_dedup_window() {
+        let ledger = ShardedLedger::new(3);
+        ledger.add_batch_dedup("s", 0, 7, 4, &[1.5]);
+        ledger.add_batch_dedup("s", 0, 9, 2, &[2.5]);
+        let snap = ledger.snapshot();
+        assert_eq!(snap[0].dedup, vec![(7, 4), (9, 2)]);
+
+        let restored = ShardedLedger::new(5);
+        restored.restore(&snap);
+        // A replay of an identity applied before the snapshot must still
+        // be recognized after restore.
+        assert!(!restored.add_batch_dedup("s", 0, 7, 4, &[1.5]).1);
+        assert!(!restored.add_batch_dedup("s", 0, 9, 1, &[2.5]).1);
+        assert_eq!(restored.sum("s").unwrap(), ledger.sum("s").unwrap());
+        // Fresh work continues from the window.
+        assert!(restored.add_batch_dedup("s", 0, 7, 5, &[3.0]).1);
     }
 
     #[test]

@@ -21,8 +21,33 @@
 //!   never `f64`.
 //! * [`server`] — acceptor + crossbeam worker pool, graceful shutdown,
 //!   snapshot on exit.
-//! * [`snapshot`] — atomic JSON persistence of exact per-stream sums.
-//! * [`client`] — a blocking client with typed calls.
+//! * [`snapshot`] — atomic JSON persistence of exact per-stream sums,
+//!   sealed by a checksummed footer so truncated or bit-flipped files
+//!   are refused with a typed [`snapshot::SnapshotError`] instead of
+//!   reviving a wrong ledger.
+//! * [`client`] — a blocking client with typed calls, configurable
+//!   socket timeouts, and reconnect-and-retry with exponential backoff.
+//!
+//! # Exactly-once deposits
+//!
+//! Retrying a deposit whose ACK was lost is only safe if replays cannot
+//! double-count. Every tracked `Add` — JSON or binary — carries a
+//! `(client_id, seq)` retry identity; each stream keeps a per-client
+//! window of the highest applied `seq` (persisted across snapshots), so
+//! a replayed frame is acknowledged without depositing. The sum's limbs
+//! are bitwise identical no matter how many times any frame is retried.
+//! `client_id` [`proto::UNTRACKED_CLIENT`] (0) opts out.
+//!
+//! # Fault injection
+//!
+//! With the `failpoints` feature, the server's I/O seams and the
+//! snapshot writer consult named failpoints on the global
+//! `oisum_faults` registry (`server.add.drop_before_apply`,
+//! `server.add.drop_after_apply`, `server.reply.delay`,
+//! `server.reply.partial`, `snapshot.save.corrupt`), letting the chaos
+//! suite inject disconnects, stalls, mid-frame cuts, and snapshot
+//! corruption deterministically. Without the feature every seam
+//! compiles to nothing.
 //!
 //! The `loadgen` binary hammers a server from many threads with
 //! shuffled partitions of one dataset and asserts the ledger total is
@@ -43,6 +68,6 @@ pub mod snapshot;
 /// `f64` exponent range seen in practice with ~64 bits of carry margin.
 pub type ServiceHp = oisum_core::Hp6x3;
 
-pub use client::{Client, ClientError, SumReply};
+pub use client::{Client, ClientConfig, ClientError, SumReply};
 pub use ledger::{LedgerStats, ShardedLedger, StreamStats};
 pub use server::{serve, ServerConfig, ServerHandle};

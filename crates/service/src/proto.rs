@@ -26,7 +26,9 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"OIS\x01";
 
 /// Binary Add frame magic (protocol version 2). Payload:
-/// `u16 BE name length, name bytes (UTF-8), raw little-endian f64 × n`.
+/// `u16 BE name length, name bytes (UTF-8), u64 BE client id, u64 BE
+/// sequence number, raw little-endian f64 × n`. A client id of
+/// [`UNTRACKED_CLIENT`] opts out of deduplication.
 pub const MAGIC_ADD_BIN: [u8; 4] = *b"OIS\x02";
 
 /// Hard cap on payload size (16 MiB) so a corrupt or hostile length
@@ -63,6 +65,10 @@ impl ErrorCode {
     }
 }
 
+/// Sentinel `client_id` meaning "untracked": the deposit bypasses the
+/// ledger's dedup window and is applied unconditionally.
+pub const UNTRACKED_CLIENT: u64 = 0;
+
 /// A client-to-server command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -72,6 +78,13 @@ pub enum Request {
         stream: String,
         /// Batch of summands.
         values: Vec<f64>,
+        /// Retry identity: a client-chosen id, stable across reconnects.
+        /// `None` (or [`UNTRACKED_CLIENT`]) opts out of deduplication.
+        client_id: Option<u64>,
+        /// Retry identity: strictly increasing per `client_id`. A replay
+        /// of an already-applied `(client_id, seq)` is ACKed without
+        /// depositing again, so retried batches land exactly once.
+        seq: Option<u64>,
     },
     /// Read the exact HP sum of the named stream.
     Sum {
@@ -107,9 +120,17 @@ impl Serialize for Request {
         let mut s = serializer.serialize_struct("Request", 3)?;
         s.serialize_field("op", &self.op())?;
         match self {
-            Request::Add { stream, values } => {
+            Request::Add { stream, values, client_id, seq } => {
                 s.serialize_field("stream", stream)?;
                 s.serialize_field("values", values)?;
+                // Identity fields are omitted (not null) when absent so
+                // untracked frames keep the pre-dedup shape.
+                if let Some(id) = client_id {
+                    s.serialize_field("client_id", id)?;
+                }
+                if let Some(seq) = seq {
+                    s.serialize_field("seq", seq)?;
+                }
             }
             Request::Sum { stream } => s.serialize_field("stream", stream)?,
             Request::Snapshot | Request::Reset | Request::Stats | Request::Shutdown => {}
@@ -129,11 +150,14 @@ impl<'de> Visitor<'de> for RequestVisitor {
 
     fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Request, A::Error> {
         let (mut op, mut stream, mut values) = (None::<String>, None::<String>, None::<Vec<f64>>);
+        let (mut client_id, mut seq) = (None::<u64>, None::<u64>);
         while let Some(key) = map.next_key::<String>()? {
             match key.as_str() {
                 "op" => op = Some(map.next_value()?),
                 "stream" => stream = Some(map.next_value()?),
                 "values" => values = Some(map.next_value()?),
+                "client_id" => client_id = Some(map.next_value()?),
+                "seq" => seq = Some(map.next_value()?),
                 other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
             }
         }
@@ -145,6 +169,8 @@ impl<'de> Visitor<'de> for RequestVisitor {
             "add" => Request::Add {
                 stream: need_stream(stream)?,
                 values: values.ok_or_else(|| A::Error::custom("`add` requires `values`"))?,
+                client_id,
+                seq,
             },
             "sum" => Request::Sum { stream: need_stream(stream)? },
             "snapshot" => Request::Snapshot,
@@ -158,7 +184,11 @@ impl<'de> Visitor<'de> for RequestVisitor {
 
 impl<'de> Deserialize<'de> for Request {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        deserializer.deserialize_struct("Request", &["op", "stream", "values"], RequestVisitor)
+        deserializer.deserialize_struct(
+            "Request",
+            &["op", "stream", "values", "client_id", "seq"],
+            RequestVisitor,
+        )
     }
 }
 
@@ -228,10 +258,15 @@ impl<'de> Deserialize<'de> for StreamStatsRepr {
 /// A server-to-client reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// The batch was deposited; `count` values landed.
+    /// The batch was deposited (or recognized as a replay); `count`
+    /// values are accounted for.
     Added {
-        /// Values deposited by this request.
+        /// Values covered by this request.
         count: u64,
+        /// True when the ledger's dedup window recognized the
+        /// `(client_id, seq)` as already applied and deposited nothing —
+        /// the ACK a retried batch receives.
+        deduped: bool,
     },
     /// The exact sum, as raw HP limbs (most significant first).
     Sum {
@@ -284,7 +319,10 @@ impl Serialize for Response {
         let mut s = serializer.serialize_struct("Response", 3)?;
         s.serialize_field("kind", &self.kind())?;
         match self {
-            Response::Added { count } => s.serialize_field("count", count)?,
+            Response::Added { count, deduped } => {
+                s.serialize_field("count", count)?;
+                s.serialize_field("deduped", deduped)?;
+            }
             Response::Sum { limbs, poisoned } => {
                 s.serialize_field("limbs", limbs)?;
                 s.serialize_field("poisoned", poisoned)?;
@@ -316,6 +354,7 @@ impl<'de> Visitor<'de> for ResponseVisitor {
     fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Response, A::Error> {
         let mut kind = None::<String>;
         let mut count = None::<u64>;
+        let mut deduped = None::<bool>;
         let mut limbs = None::<Vec<u64>>;
         let mut poisoned = None::<bool>;
         let mut streams = None::<u64>;
@@ -327,6 +366,7 @@ impl<'de> Visitor<'de> for ResponseVisitor {
             match key.as_str() {
                 "kind" => kind = Some(map.next_value()?),
                 "count" => count = Some(map.next_value()?),
+                "deduped" => deduped = Some(map.next_value()?),
                 "limbs" => limbs = Some(map.next_value()?),
                 "poisoned" => poisoned = Some(map.next_value()?),
                 "streams" => streams = Some(map.next_value()?),
@@ -340,7 +380,11 @@ impl<'de> Visitor<'de> for ResponseVisitor {
         let kind = kind.ok_or_else(|| A::Error::custom("missing field `kind`"))?;
         let missing = |f: &str| A::Error::custom(format!("`{kind}` reply missing `{f}`"));
         Ok(match kind.as_str() {
-            "added" => Response::Added { count: count.ok_or_else(|| missing("count"))? },
+            "added" => Response::Added {
+                count: count.ok_or_else(|| missing("count"))?,
+                // Absent in pre-dedup frames: nothing was deduplicated.
+                deduped: deduped.unwrap_or(false),
+            },
             "sum" => Response::Sum {
                 limbs: limbs.ok_or_else(|| missing("limbs"))?,
                 poisoned: poisoned.ok_or_else(|| missing("poisoned"))?,
@@ -374,6 +418,7 @@ impl<'de> Deserialize<'de> for Response {
             &[
                 "kind",
                 "count",
+                "deduped",
                 "limbs",
                 "poisoned",
                 "streams",
@@ -391,16 +436,25 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Writes one frame: header, length, JSON payload.
-pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+/// Serializes one JSON frame — header, length, payload — into a byte
+/// buffer. The byte form exists so retry loops can resend a frame
+/// verbatim and so fault injection can cut one mid-frame.
+pub fn frame_bytes<T: Serialize>(msg: &T) -> io::Result<Vec<u8>> {
     let payload = serde_json::to_vec(msg).map_err(|e| bad_data(e.to_string()))?;
     let len = u32::try_from(payload.len()).map_err(|_| bad_data("frame too large"))?;
     if len > MAX_FRAME {
         return Err(bad_data("frame too large"));
     }
-    w.write_all(&MAGIC)?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(&payload)?;
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&payload);
+    Ok(buf)
+}
+
+/// Writes one frame: header, length, JSON payload.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    w.write_all(&frame_bytes(msg)?)?;
     w.flush()
 }
 
@@ -453,35 +507,53 @@ pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> io::Resul
         .map_err(|e| bad_data(format!("bad frame payload: {e}")))
 }
 
-/// Writes one binary Add frame (`OIS\x02`): length-prefixed stream name
-/// followed by the summands as raw little-endian `f64` bytes. Carries
-/// exactly the same information as a JSON `Add` — every finite bit
+/// Serializes one binary Add frame (`OIS\x02`) into a byte buffer:
+/// length-prefixed stream name, the `(client_id, seq)` retry identity,
+/// then the summands as raw little-endian `f64` bytes. Carries exactly
+/// the same information as a tracked JSON `Add` — every finite bit
 /// pattern (signed zeros, subnormals) crosses unchanged — at 8 bytes per
 /// value and zero number-formatting cost.
-pub fn write_add_binary<W: Write>(w: &mut W, stream: &str, values: &[f64]) -> io::Result<()> {
+pub fn add_binary_bytes(
+    stream: &str,
+    client_id: u64,
+    seq: u64,
+    values: &[f64],
+) -> io::Result<Vec<u8>> {
     let name = stream.as_bytes();
     let name_len = u16::try_from(name.len()).map_err(|_| bad_data("stream name too long"))?;
-    let payload_len = 2 + name.len() + 8 * values.len();
+    let payload_len = 2 + name.len() + 16 + 8 * values.len();
     let len = u32::try_from(payload_len).map_err(|_| bad_data("frame too large"))?;
     if len > MAX_FRAME {
         return Err(bad_data("frame too large"));
     }
-    w.write_all(&MAGIC_ADD_BIN)?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(&name_len.to_be_bytes())?;
-    w.write_all(name)?;
-    // One contiguous buffer for the value bytes: a single write_all into
-    // the (buffered) writer instead of one 8-byte write per value.
-    let mut bytes = Vec::with_capacity(values.len() * 8);
+    let mut buf = Vec::with_capacity(8 + payload_len);
+    buf.extend_from_slice(&MAGIC_ADD_BIN);
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&name_len.to_be_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&client_id.to_be_bytes());
+    buf.extend_from_slice(&seq.to_be_bytes());
     for v in values {
-        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
-    w.write_all(&bytes)?;
+    Ok(buf)
+}
+
+/// Writes one binary Add frame; see [`add_binary_bytes`] for the layout.
+pub fn write_add_binary<W: Write>(
+    w: &mut W,
+    stream: &str,
+    client_id: u64,
+    seq: u64,
+    values: &[f64],
+) -> io::Result<()> {
+    w.write_all(&add_binary_bytes(stream, client_id, seq, values)?)?;
     w.flush()
 }
 
-/// Parses the payload of a binary Add frame into `(stream, values)`.
-fn parse_add_binary(payload: &[u8]) -> io::Result<(String, Vec<f64>)> {
+/// Parses the payload of a binary Add frame into
+/// `(stream, client_id, seq, values)`.
+fn parse_add_binary(payload: &[u8]) -> io::Result<(String, u64, u64, Vec<f64>)> {
     if payload.len() < 2 {
         return Err(bad_data("binary add: truncated name length"));
     }
@@ -490,10 +562,16 @@ fn parse_add_binary(payload: &[u8]) -> io::Result<(String, Vec<f64>)> {
     if rest.len() < name_len {
         return Err(bad_data("binary add: truncated stream name"));
     }
-    let (name, body) = rest.split_at(name_len);
+    let (name, rest) = rest.split_at(name_len);
     let stream = core::str::from_utf8(name)
         .map_err(|_| bad_data("binary add: stream name is not UTF-8"))?
         .to_owned();
+    if rest.len() < 16 {
+        return Err(bad_data("binary add: truncated retry identity"));
+    }
+    let (ident, body) = rest.split_at(16);
+    let client_id = u64::from_be_bytes(ident[..8].try_into().unwrap());
+    let seq = u64::from_be_bytes(ident[8..].try_into().unwrap());
     if body.len() % 8 != 0 {
         return Err(bad_data(format!(
             "binary add: value bytes not a multiple of 8 (got {})",
@@ -504,7 +582,7 @@ fn parse_add_binary(payload: &[u8]) -> io::Result<(String, Vec<f64>)> {
         .chunks_exact(8)
         .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
         .collect();
-    Ok((stream, values))
+    Ok((stream, client_id, seq, values))
 }
 
 /// A frame arriving at a server: either a JSON [`Request`] (`OIS\x01`)
@@ -518,6 +596,10 @@ pub enum ClientFrame {
     BinaryAdd {
         /// Target stream (created on first use).
         stream: String,
+        /// Retry identity; [`UNTRACKED_CLIENT`] opts out of dedup.
+        client_id: u64,
+        /// Per-client sequence number of this batch.
+        seq: u64,
         /// Batch of summands, decoded bit-exactly from the wire.
         values: Vec<f64>,
     },
@@ -538,8 +620,8 @@ pub fn read_client_frame<R: Read>(r: &mut R) -> io::Result<Option<ClientFrame>> 
         }
         m if m == MAGIC_ADD_BIN => {
             let payload = read_payload(r, len)?;
-            let (stream, values) = parse_add_binary(&payload)?;
-            Ok(Some(ClientFrame::BinaryAdd { stream, values }))
+            let (stream, client_id, seq, values) = parse_add_binary(&payload)?;
+            Ok(Some(ClientFrame::BinaryAdd { stream, client_id, seq, values }))
         }
         m => Err(bad_data(format!(
             "bad frame magic {m:02x?} (speaking a different protocol or version?)"
@@ -563,6 +645,14 @@ mod tests {
         roundtrip_request(Request::Add {
             stream: "s".into(),
             values: vec![0.1, -2.5e-30, 1e15, -0.0],
+            client_id: None,
+            seq: None,
+        });
+        roundtrip_request(Request::Add {
+            stream: "s".into(),
+            values: vec![4.5],
+            client_id: Some(u64::MAX),
+            seq: Some(3),
         });
         roundtrip_request(Request::Sum { stream: "s".into() });
         roundtrip_request(Request::Snapshot);
@@ -574,7 +664,8 @@ mod tests {
     #[test]
     fn response_frames_roundtrip() {
         for resp in [
-            Response::Added { count: 17 },
+            Response::Added { count: 17, deduped: false },
+            Response::Added { count: 9, deduped: true },
             Response::Sum { limbs: vec![1, 2, 3, u64::MAX, 0, 9], poisoned: false },
             Response::Snapshot { streams: 2 },
             Response::ResetDone,
@@ -639,13 +730,15 @@ mod tests {
             -1.5e-300,
         ];
         let mut buf = Vec::new();
-        write_add_binary(&mut buf, "stream/α", &values).unwrap();
-        let Some(ClientFrame::BinaryAdd { stream, values: back }) =
+        write_add_binary(&mut buf, "stream/α", 0xDEAD_BEEF_0BAD_F00D, 41, &values).unwrap();
+        let Some(ClientFrame::BinaryAdd { stream, client_id, seq, values: back }) =
             read_client_frame(&mut buf.as_slice()).unwrap()
         else {
             panic!("wrong frame kind")
         };
         assert_eq!(stream, "stream/α");
+        assert_eq!(client_id, 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(seq, 41);
         let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
         let back_bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
         assert_eq!(bits, back_bits);
@@ -654,16 +747,24 @@ mod tests {
     #[test]
     fn binary_add_empty_batch_roundtrips() {
         let mut buf = Vec::new();
-        write_add_binary(&mut buf, "s", &[]).unwrap();
+        write_add_binary(&mut buf, "s", UNTRACKED_CLIENT, 0, &[]).unwrap();
         let frame = read_client_frame(&mut buf.as_slice()).unwrap().unwrap();
-        assert_eq!(frame, ClientFrame::BinaryAdd { stream: "s".into(), values: vec![] });
+        assert_eq!(
+            frame,
+            ClientFrame::BinaryAdd {
+                stream: "s".into(),
+                client_id: UNTRACKED_CLIENT,
+                seq: 0,
+                values: vec![],
+            }
+        );
     }
 
     #[test]
     fn client_frame_reader_accepts_both_versions() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Request::Sum { stream: "s".into() }).unwrap();
-        write_add_binary(&mut buf, "s", &[4.25]).unwrap();
+        write_add_binary(&mut buf, "s", 7, 1, &[4.25]).unwrap();
         let mut r = buf.as_slice();
         assert_eq!(
             read_client_frame(&mut r).unwrap().unwrap(),
@@ -671,7 +772,7 @@ mod tests {
         );
         assert_eq!(
             read_client_frame(&mut r).unwrap().unwrap(),
-            ClientFrame::BinaryAdd { stream: "s".into(), values: vec![4.25] }
+            ClientFrame::BinaryAdd { stream: "s".into(), client_id: 7, seq: 1, values: vec![4.25] }
         );
         assert!(read_client_frame(&mut r).unwrap().is_none());
     }
@@ -683,10 +784,17 @@ mod tests {
         buf.extend_from_slice(&5u32.to_be_bytes());
         buf.extend_from_slice(&[0, 9, b'a', b'b', b'c']); // claims 9-byte name, has 3
         assert!(read_client_frame(&mut buf.as_slice()).is_err());
-        // Value bytes not a multiple of 8.
+        // Truncated retry identity (fewer than 16 bytes after the name).
         let mut buf = MAGIC_ADD_BIN.to_vec();
         buf.extend_from_slice(&6u32.to_be_bytes());
         buf.extend_from_slice(&[0, 1, b's', 1, 2, 3]);
+        assert!(read_client_frame(&mut buf.as_slice()).is_err());
+        // Value bytes not a multiple of 8.
+        let mut buf = MAGIC_ADD_BIN.to_vec();
+        buf.extend_from_slice(&22u32.to_be_bytes());
+        buf.extend_from_slice(&[0, 1, b's']);
+        buf.extend_from_slice(&[0u8; 16]); // identity
+        buf.extend_from_slice(&[1, 2, 3]); // 3 stray value bytes
         assert!(read_client_frame(&mut buf.as_slice()).is_err());
         // Non-UTF-8 stream name.
         let mut buf = MAGIC_ADD_BIN.to_vec();
@@ -701,8 +809,16 @@ mod tests {
         // low-order bits vanish under naive f64 round-tripping schemes.
         let values = vec![f64::MIN_POSITIVE, 2f64.powi(-1074), 1e308, -0.0, 0.1 + 0.2];
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Request::Add { stream: "s".into(), values: values.clone() })
-            .unwrap();
+        write_frame(
+            &mut buf,
+            &Request::Add {
+                stream: "s".into(),
+                values: values.clone(),
+                client_id: Some(1),
+                seq: Some(1),
+            },
+        )
+        .unwrap();
         let Some(Request::Add { values: back, .. }) = read_frame(&mut buf.as_slice()).unwrap()
         else {
             panic!("wrong frame")

@@ -13,10 +13,12 @@
 
 use crate::ledger::ShardedLedger;
 use crate::proto::{
-    read_client_frame, write_frame, ClientFrame, ErrorCode, Request, Response, StreamStatsRepr,
+    frame_bytes, read_client_frame, write_frame, ClientFrame, ErrorCode, Request, Response,
+    StreamStatsRepr, UNTRACKED_CLIENT,
 };
 use crate::snapshot;
-use std::io::{self, BufReader, BufWriter};
+use oisum_faults::FaultAction;
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -205,10 +207,37 @@ fn serve_connection(
             Err(e) => return Err(e),
         };
         let req = match frame {
-            ClientFrame::BinaryAdd { stream, values } => Request::Add { stream, values },
+            ClientFrame::BinaryAdd { stream, client_id, seq, values } => Request::Add {
+                stream,
+                values,
+                client_id: Some(client_id),
+                seq: Some(seq),
+            },
             ClientFrame::Json(req) => req,
         };
+        // Fault seams (no-ops unless the `failpoints` feature is on).
+        // Dropping *before* apply models a crash that loses the batch;
+        // the client's retry must deposit it. Dropping *after* apply
+        // models a crash that loses only the ACK; the retry must be
+        // recognized as a replay and deposit nothing.
+        let is_add = matches!(req, Request::Add { .. });
+        if is_add && matches!(oisum_faults::check("server.add.drop_before_apply"), Some(FaultAction::Disconnect)) {
+            return Ok(());
+        }
         let (reply, stop_after) = handle(req, ledger, snapshot_path, &mut shard_cursor);
+        if is_add && matches!(oisum_faults::check("server.add.drop_after_apply"), Some(FaultAction::Disconnect)) {
+            return Ok(());
+        }
+        if let Some(FaultAction::Delay { ms }) = oisum_faults::check("server.reply.delay") {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if let Some(FaultAction::PartialWrite { keep }) = oisum_faults::check("server.reply.partial") {
+            // Send a prefix of the reply frame, then hang up mid-frame.
+            let bytes = frame_bytes(&reply)?;
+            writer.write_all(&bytes[..keep.min(bytes.len())])?;
+            writer.flush()?;
+            return Ok(());
+        }
         write_frame(&mut writer, &reply)?;
         if stop_after {
             signal_shutdown(stopping, local);
@@ -227,11 +256,20 @@ fn handle(
     shard_cursor: &mut usize,
 ) -> (Response, bool) {
     match req {
-        Request::Add { stream, values } => {
+        Request::Add { stream, values, client_id, seq } => {
             let hint = *shard_cursor;
             *shard_cursor = shard_cursor.wrapping_add(1);
-            let count = ledger.add_batch_on(&stream, hint, values.iter().copied());
-            (Response::Added { count }, false)
+            // A tracked identity goes through the exactly-once window; an
+            // untracked one (no id, or the explicit sentinel) deposits
+            // unconditionally, preserving the PR-2 wire behavior.
+            let (count, deduped) = match (client_id, seq) {
+                (Some(id), Some(seq)) if id != UNTRACKED_CLIENT => {
+                    let (count, applied) = ledger.add_batch_dedup(&stream, hint, id, seq, &values);
+                    (count, !applied)
+                }
+                _ => (ledger.add_batch_on(&stream, hint, values.iter().copied()), false),
+            };
+            (Response::Added { count, deduped }, false)
         }
         Request::Sum { stream } => match ledger.sum(&stream) {
             Some(sum) => (

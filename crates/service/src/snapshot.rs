@@ -1,24 +1,43 @@
-//! Ledger persistence: a JSON snapshot file of exact per-stream sums.
+//! Ledger persistence: a JSON snapshot file of exact per-stream sums,
+//! sealed by a checksummed footer.
 //!
-//! The on-disk format is
+//! The on-disk format is a JSON body
 //!
 //! ```json
-//! {"version":1,"entries":[{"stream":"s","overflows":0,"sum":[l0,l1,l2,l3,l4,l5]}]}
+//! {"version":2,"entries":[{"stream":"s","overflows":0,"dedup":[[7,4]],"sum":[l0,l1,l2,l3,l4,l5]}]}
 //! ```
 //!
-//! where `sum` is the `oisum-core` serde representation of the service
-//! accumulator — its raw limbs, most significant first — so a restore
-//! is bitwise, never routed through `f64`. Shard structure is not
-//! persisted: the shard split is a contention artifact with no effect
-//! on the value (HP addition is exactly associative), so a snapshot
-//! taken under `--shards 16` restores identically into a server running
-//! `--shards 2`.
+//! followed by one newline and a footer line
 //!
-//! Writes go through a sibling temp file + rename so a crash mid-write
-//! cannot leave a truncated snapshot where a good one stood.
+//! ```text
+//! OISUM-SNAPSHOT v2 fnv1a64=<16 hex digits> len=<body bytes>
+//! ```
+//!
+//! `sum` is the `oisum-core` serde representation of the service
+//! accumulator — its raw limbs, most significant first — so a restore is
+//! bitwise, never routed through `f64`. `dedup` is the stream's
+//! exactly-once window (`[client_id, last applied seq]` pairs): a server
+//! restored from a snapshot still recognizes a pre-snapshot batch's
+//! retry as a replay. Shard structure is not persisted: the shard split
+//! is a contention artifact with no effect on the value (HP addition is
+//! exactly associative), so a snapshot taken under `--shards 16`
+//! restores identically into a server running `--shards 2`.
+//!
+//! The footer turns silent corruption into a *typed* refusal: [`load`]
+//! verifies the body length and FNV-1a 64 checksum before parsing a
+//! single byte of JSON, so a truncated, bit-flipped, or
+//! concatenated-over file yields [`SnapshotError::Truncated`] /
+//! [`SnapshotError::ChecksumMismatch`] / [`SnapshotError::MissingFooter`]
+//! instead of reviving a wrong ledger — and the server refuses to start
+//! on it. Writes additionally go through a sibling temp file + rename so
+//! a crash mid-write cannot leave a torn snapshot where a good one
+//! stood; the footer catches the corruption modes rename cannot (media
+//! errors, manual edits, a crash that beat the rename on a filesystem
+//! without atomic semantics).
 
-use crate::ledger::ShardedLedger;
+use crate::ledger::{ShardedLedger, StreamState};
 use crate::ServiceHp;
+use oisum_faults::fnv1a64;
 use serde::de::{Error as DeError, MapAccess, Visitor};
 use serde::ser::SerializeStruct;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
@@ -26,7 +45,89 @@ use std::io::{self, Write};
 use std::path::Path;
 
 /// Snapshot format version written by [`save`].
-pub const SNAPSHOT_VERSION: u64 = 1;
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// Footer line prefix; the version is part of the literal so a footer
+/// from a future incompatible layout never validates.
+const FOOTER_PREFIX: &str = "OISUM-SNAPSHOT v2 fnv1a64=";
+
+/// Why a snapshot failed to load. Every variant is a refusal to restore:
+/// the ledger is left untouched.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// No (or malformed) checksum footer — not a sealed snapshot, or one
+    /// truncated into the footer itself.
+    MissingFooter,
+    /// The body is shorter or longer than the footer promises (classic
+    /// crash-truncation).
+    Truncated {
+        /// Body length recorded in the footer.
+        expected: usize,
+        /// Body length actually present.
+        actual: usize,
+    },
+    /// The body checksum does not match the footer (bit rot, manual
+    /// edits, torn writes).
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// The body is not valid snapshot JSON.
+    Parse(String),
+    /// The body parsed, but its format version is not supported.
+    UnsupportedVersion(u64),
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::MissingFooter => {
+                write!(f, "snapshot has no valid checksum footer (truncated or not a snapshot)")
+            }
+            SnapshotError::Truncated { expected, actual } => write!(
+                f,
+                "snapshot truncated: footer promises {expected} body bytes, found {actual}"
+            ),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot corrupt: body checksum {actual:016x} != recorded {expected:016x}"
+            ),
+            SnapshotError::Parse(msg) => write!(f, "snapshot body is not valid JSON: {msg}"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for io::Error {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// One stream's persisted state.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,13 +138,16 @@ pub struct SnapshotEntry {
     pub sum: ServiceHp,
     /// Detected top-limb overflows at snapshot time.
     pub overflows: u64,
+    /// Exactly-once window: `[client_id, last applied seq]` pairs.
+    pub dedup: Vec<(u64, u64)>,
 }
 
 impl Serialize for SnapshotEntry {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("SnapshotEntry", 3)?;
+        let mut s = serializer.serialize_struct("SnapshotEntry", 4)?;
         s.serialize_field("stream", &self.stream)?;
         s.serialize_field("overflows", &self.overflows)?;
+        s.serialize_field("dedup", &self.dedup)?;
         s.serialize_field("sum", &self.sum)?;
         s.end()
     }
@@ -59,12 +163,13 @@ impl<'de> Visitor<'de> for EntryVisitor {
     }
 
     fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
-        let (mut stream, mut sum, mut overflows) = (None, None, None);
+        let (mut stream, mut sum, mut overflows, mut dedup) = (None, None, None, None);
         while let Some(key) = map.next_key::<String>()? {
             match key.as_str() {
                 "stream" => stream = Some(map.next_value()?),
                 "sum" => sum = Some(map.next_value()?),
                 "overflows" => overflows = Some(map.next_value()?),
+                "dedup" => dedup = Some(map.next_value()?),
                 other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
             }
         }
@@ -72,6 +177,7 @@ impl<'de> Visitor<'de> for EntryVisitor {
             stream: stream.ok_or_else(|| A::Error::custom("missing `stream`"))?,
             sum: sum.ok_or_else(|| A::Error::custom("missing `sum`"))?,
             overflows: overflows.ok_or_else(|| A::Error::custom("missing `overflows`"))?,
+            dedup: dedup.ok_or_else(|| A::Error::custom("missing `dedup`"))?,
         })
     }
 }
@@ -80,13 +186,13 @@ impl<'de> Deserialize<'de> for SnapshotEntry {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         deserializer.deserialize_struct(
             "SnapshotEntry",
-            &["stream", "sum", "overflows"],
+            &["stream", "sum", "overflows", "dedup"],
             EntryVisitor,
         )
     }
 }
 
-/// The whole snapshot file.
+/// The whole snapshot body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotFile {
     /// Format version; [`load`] rejects versions it does not know.
@@ -135,23 +241,89 @@ impl<'de> Deserialize<'de> for SnapshotFile {
     }
 }
 
-/// Persists the ledger to `path` atomically. Returns the number of
-/// streams written.
+/// Seals a JSON body with the checksummed footer: `body \n footer`.
+pub fn seal(body: &str) -> String {
+    format!(
+        "{body}\n{FOOTER_PREFIX}{:016x} len={}",
+        fnv1a64(body.as_bytes()),
+        body.len()
+    )
+}
+
+/// Splits a sealed file back into its body, verifying the footer.
+fn unseal(contents: &str) -> Result<&str, SnapshotError> {
+    let Some(cut) = contents.rfind('\n') else {
+        return Err(SnapshotError::MissingFooter);
+    };
+    let (body, footer) = (&contents[..cut], &contents[cut + 1..]);
+    let Some(rest) = footer.strip_prefix(FOOTER_PREFIX) else {
+        return Err(SnapshotError::MissingFooter);
+    };
+    let Some((hex, len)) = rest.split_once(" len=") else {
+        return Err(SnapshotError::MissingFooter);
+    };
+    // Strictly canonical encodings — exactly 16 lowercase hex digits,
+    // plain ASCII decimal — so no bit flip inside the footer can survive
+    // as an alternate spelling of the same values.
+    if hex.len() != 16
+        || !hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+        || len.is_empty()
+        || !len.bytes().all(|b| b.is_ascii_digit())
+    {
+        return Err(SnapshotError::MissingFooter);
+    }
+    let (Ok(expected_sum), Ok(expected_len)) =
+        (u64::from_str_radix(hex, 16), len.parse::<usize>())
+    else {
+        return Err(SnapshotError::MissingFooter);
+    };
+    if body.len() != expected_len {
+        return Err(SnapshotError::Truncated { expected: expected_len, actual: body.len() });
+    }
+    let actual = fnv1a64(body.as_bytes());
+    if actual != expected_sum {
+        return Err(SnapshotError::ChecksumMismatch { expected: expected_sum, actual });
+    }
+    Ok(body)
+}
+
+/// Persists the ledger to `path` atomically (temp file + rename), sealed
+/// with the checksum footer. Returns the number of streams written.
+///
+/// Failpoint `snapshot.save.corrupt` (feature `failpoints`) mangles the
+/// sealed bytes *before* they reach disk — `Truncate` cuts the tail as a
+/// crash would, `BitFlip` flips one bit as silent media corruption would
+/// — so the corruption-handling path can be driven through the real
+/// writer.
 pub fn save(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
     let file = SnapshotFile {
         version: SNAPSHOT_VERSION,
         entries: ledger
             .snapshot()
             .into_iter()
-            .map(|(stream, sum, overflows)| SnapshotEntry { stream, sum, overflows })
+            .map(|s| SnapshotEntry {
+                stream: s.name,
+                sum: s.sum,
+                overflows: s.overflows,
+                dedup: s.dedup,
+            })
             .collect(),
     };
-    let json = serde_json::to_string(&file)
+    let body = serde_json::to_string(&file)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut bytes = seal(&body).into_bytes();
+    match oisum_faults::check("snapshot.save.corrupt") {
+        Some(oisum_faults::FaultAction::Truncate { keep }) => bytes.truncate(keep),
+        Some(oisum_faults::FaultAction::BitFlip { offset, bit }) if !bytes.is_empty() => {
+            let i = offset % bytes.len();
+            bytes[i] ^= 1 << (bit % 8);
+        }
+        _ => {}
+    }
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
+        f.write_all(&bytes)?;
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
@@ -159,21 +331,29 @@ pub fn save(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
 }
 
 /// Replaces the ledger's contents with the snapshot at `path`.
-pub fn load(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
-    let json = std::fs::read_to_string(path)?;
-    let file: SnapshotFile = serde_json::from_str(&json)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+///
+/// Validation is strictly before mutation: the footer, checksum, JSON
+/// body, and version are all verified while the ledger is untouched, so
+/// a corrupt file can never leave a half-restored (or silently zero)
+/// ledger behind.
+pub fn load(path: &Path, ledger: &ShardedLedger) -> Result<usize, SnapshotError> {
+    let contents = std::fs::read_to_string(path)?;
+    let body = unseal(&contents)?;
+    let file: SnapshotFile =
+        serde_json::from_str(body).map_err(|e| SnapshotError::Parse(e.to_string()))?;
     if file.version != SNAPSHOT_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported snapshot version {}", file.version),
-        ));
+        return Err(SnapshotError::UnsupportedVersion(file.version));
     }
     let count = file.entries.len();
-    let entries: Vec<(String, ServiceHp, u64)> = file
+    let entries: Vec<StreamState> = file
         .entries
         .into_iter()
-        .map(|e| (e.stream, e.sum, e.overflows))
+        .map(|e| StreamState {
+            name: e.stream,
+            sum: e.sum,
+            overflows: e.overflows,
+            dedup: e.dedup,
+        })
         .collect();
     ledger.restore(&entries);
     Ok(count)
@@ -198,30 +378,57 @@ mod tests {
             ledger.add("a", chunk);
         }
         ledger.add("b", &[f64::MIN_POSITIVE, -0.0, 1e12]);
+        ledger.add_batch_dedup("b", 0, 42, 6, &[0.5]);
         assert_eq!(save(&path, &ledger).unwrap(), 2);
 
         let restored = ShardedLedger::new(2);
         assert_eq!(load(&path, &restored).unwrap(), 2);
         assert_eq!(restored.sum("a"), ledger.sum("a"));
         assert_eq!(restored.sum("b"), ledger.sum("b"));
+        // The dedup window crossed the snapshot too.
+        assert!(!restored.add_batch_dedup("b", 0, 42, 6, &[0.5]).1);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn unknown_version_rejected() {
         let path = temp_path("version");
-        std::fs::write(&path, r#"{"version":99,"entries":[]}"#).unwrap();
+        // A properly sealed body with a version from the future.
+        std::fs::write(&path, seal(r#"{"version":99,"entries":[]}"#)).unwrap();
         let ledger = ShardedLedger::new(1);
-        assert!(load(&path, &ledger).is_err());
+        match load(&path, &ledger) {
+            Err(SnapshotError::UnsupportedVersion(99)) => {}
+            other => panic!("expected UnsupportedVersion(99), got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn corrupt_snapshot_rejected() {
-        let path = temp_path("corrupt");
-        std::fs::write(&path, "not json").unwrap();
+    fn unsealed_file_rejected_as_missing_footer() {
+        let path = temp_path("unsealed");
+        // A valid v1-era body with no footer: refused, not restored.
+        std::fs::write(&path, r#"{"version":1,"entries":[]}"#).unwrap();
         let ledger = ShardedLedger::new(1);
-        assert!(load(&path, &ledger).is_err());
+        assert!(matches!(load(&path, &ledger), Err(SnapshotError::MissingFooter)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_body_rejected_by_checksum_before_parse() {
+        let path = temp_path("corrupt");
+        let ledger = ShardedLedger::new(1);
+        ledger.add("s", &[1.0]);
+        save(&path, &ledger).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x04; // one flipped bit in the body
+        std::fs::write(&path, &bytes).unwrap();
+        let fresh = ShardedLedger::new(1);
+        assert!(matches!(
+            load(&path, &fresh),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        // The refusal left the target ledger untouched.
+        assert!(fresh.sum("s").is_none());
         std::fs::remove_file(&path).ok();
     }
 }

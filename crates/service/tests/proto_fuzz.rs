@@ -1,0 +1,143 @@
+//! Fuzzing the frame parser: whatever bytes arrive on the socket —
+//! random garbage, mutated valid frames, truncated prefixes — the parser
+//! must return `Ok`/`Err`, never panic, never allocate unboundedly, and
+//! must still parse a clean frame that follows a cleanly-rejected one's
+//! connection teardown.
+//!
+//! The parser under test is [`oisum_service::proto::read_client_frame`],
+//! the exact function the server's connection loop feeds; both frame
+//! versions (`OIS\x01` JSON and `OIS\x02` binary Add) go through it.
+
+use oisum_service::proto::{
+    add_binary_bytes, frame_bytes, read_client_frame, ClientFrame, Request,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Drains frames from `bytes` until EOF or the first error, counting
+/// parsed frames. The only failure mode this harness cannot tolerate is
+/// a panic (or an infinite loop, bounded here by the frame count).
+fn drain(bytes: &[u8]) -> (usize, bool) {
+    let mut cursor = Cursor::new(bytes);
+    let mut parsed = 0usize;
+    loop {
+        match read_client_frame(&mut cursor) {
+            Ok(Some(_)) => parsed += 1,
+            Ok(None) => return (parsed, true),
+            Err(_) => return (parsed, false),
+        }
+        // A frame is at least 8 bytes (magic + length), so this bounds
+        // the loop even if the parser were to stop consuming input.
+        assert!(parsed <= bytes.len() / 8 + 1, "parser yielded frames without consuming bytes");
+    }
+}
+
+/// A valid JSON `Add` frame with a tracked retry identity.
+fn json_add_frame(stream: &str, client_id: u64, seq: u64, values: &[f64]) -> Vec<u8> {
+    frame_bytes(&Request::Add {
+        stream: stream.to_owned(),
+        values: values.to_vec(),
+        client_id: Some(client_id),
+        seq: Some(seq),
+    })
+    .unwrap()
+}
+
+proptest! {
+    /// Pure noise never panics the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..=96)) {
+        drain(&bytes);
+    }
+
+    /// Noise that starts with a valid magic (the adversarial prefix) still
+    /// never panics, whatever the length field and payload claim.
+    #[test]
+    fn magic_prefixed_noise_never_panics(
+        v2 in any::<bool>(),
+        len in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..=64),
+    ) {
+        let mut bytes: Vec<u8> = if v2 { b"OIS\x02".to_vec() } else { b"OIS\x01".to_vec() };
+        bytes.extend_from_slice(&len.to_be_bytes());
+        bytes.extend_from_slice(&body);
+        drain(&bytes);
+    }
+
+    /// A single mutated byte in a valid binary Add frame never panics:
+    /// the mutation either survives as a (different) well-formed frame or
+    /// is rejected with an error.
+    #[test]
+    fn mutated_binary_frame_never_panics(
+        client_id in any::<u64>(),
+        seq in any::<u64>(),
+        values in proptest::collection::vec(any::<f64>(), 0..=8),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut frame = add_binary_bytes("fuzz", client_id, seq, &values).unwrap();
+        let at = pos % frame.len();
+        frame[at] ^= flip;
+        drain(&frame);
+    }
+
+    /// Same for the JSON frame version.
+    #[test]
+    fn mutated_json_frame_never_panics(
+        client_id in any::<u64>(),
+        seq in any::<u64>(),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut frame = json_add_frame("fuzz", client_id, seq, &[1.5, -0.25]);
+        let at = pos % frame.len();
+        frame[at] ^= flip;
+        drain(&frame);
+    }
+
+    /// Every truncation of a valid frame is rejected cleanly (no panic,
+    /// no phantom frame) — this is exactly what a mid-frame disconnect
+    /// leaves in the receive buffer.
+    #[test]
+    fn truncated_frames_never_panic_or_phantom_parse(
+        binary in any::<bool>(),
+        cut in any::<usize>(),
+    ) {
+        let frame = if binary {
+            add_binary_bytes("s", 7, 3, &[1.0, 2.0, 3.0]).unwrap()
+        } else {
+            json_add_frame("s", 7, 3, &[1.0, 2.0, 3.0])
+        };
+        let keep = cut % frame.len(); // strictly shorter than the frame
+        let (parsed, clean_eof) = drain(&frame[..keep]);
+        prop_assert_eq!(parsed, 0, "a truncated frame must not parse");
+        // An empty prefix is clean EOF; anything else is an error.
+        prop_assert_eq!(clean_eof, keep == 0);
+    }
+
+    /// A clean frame parses back exactly, and a mutated frame ahead of it
+    /// on the same stream cannot corrupt it into parsing differently —
+    /// the server tears the connection down at the first error, so the
+    /// parser never resynchronizes into misparsed identity fields.
+    #[test]
+    fn identity_fields_roundtrip_exactly(
+        client_id in any::<u64>(),
+        seq in any::<u64>(),
+        values in proptest::collection::vec(any::<f64>(), 0..=6),
+    ) {
+        let frame = add_binary_bytes("ident", client_id, seq, &values).unwrap();
+        let mut cursor = Cursor::new(frame.as_slice());
+        match read_client_frame(&mut cursor) {
+            Ok(Some(ClientFrame::BinaryAdd { stream, client_id: cid, seq: sq, values: vals })) => {
+                prop_assert_eq!(stream.as_str(), "ident");
+                prop_assert_eq!(cid, client_id);
+                prop_assert_eq!(sq, seq);
+                prop_assert_eq!(vals.len(), values.len());
+                for (a, b) in vals.iter().zip(values.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "f64 bit pattern mangled in transit");
+                }
+            }
+            other => prop_assert!(false, "valid frame failed to parse: {:?}", other),
+        }
+    }
+}

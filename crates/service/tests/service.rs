@@ -256,6 +256,54 @@ fn stats_reflect_traffic_and_reset_clears() {
     server.join().unwrap();
 }
 
+/// The exactly-once guarantee, proven at the wire level: the *same*
+/// binary Add frame delivered three times — twice on one connection,
+/// once from a fresh connection standing in for a reconnecting client —
+/// deposits exactly once. The replays are ACKed (`deduped: true`), the
+/// sum's limbs equal a single application, and the stream's `values`
+/// statistic counts the batch once.
+#[test]
+fn replayed_binary_frame_applies_exactly_once() {
+    use oisum_service::proto::{add_binary_bytes, read_frame, Response};
+    use std::io::Write;
+
+    let server = serve(ServerConfig { shards: 4, ..ServerConfig::default() }).unwrap();
+    let values = [1.5, -0.25, 5e-324];
+    let frame = add_binary_bytes("r", 0x00C1_1E17, 1, &values).unwrap();
+
+    let deliver = |sock: &mut std::net::TcpStream| -> (u64, bool) {
+        sock.write_all(&frame).unwrap();
+        sock.flush().unwrap();
+        match read_frame::<_, Response>(sock).unwrap().expect("reply") {
+            Response::Added { count, deduped } => (count, deduped),
+            other => panic!("expected Added, got {other:?}"),
+        }
+    };
+
+    let mut sock = std::net::TcpStream::connect(server.addr()).unwrap();
+    assert_eq!(deliver(&mut sock), (3, false), "original must apply");
+    assert_eq!(deliver(&mut sock), (3, true), "same-connection replay must dedup");
+    drop(sock);
+
+    // A retry after reconnect is the realistic failure mode: identity
+    // lives in the frame, not the connection, so it still dedups.
+    let mut sock = std::net::TcpStream::connect(server.addr()).unwrap();
+    assert_eq!(deliver(&mut sock), (3, true), "cross-connection replay must dedup");
+    drop(sock);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(
+        client.sum("r").unwrap().limbs,
+        ServiceHp::sum_f64_slice(&values).as_limbs().to_vec(),
+        "sum must reflect exactly one application"
+    );
+    let (_, streams) = client.stats().unwrap();
+    let r = streams.iter().find(|s| s.name == "r").unwrap();
+    assert_eq!(r.values, 3, "values statistic must count the batch once");
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
 #[test]
 fn garbage_bytes_do_not_wedge_the_server() {
     use std::io::Write;

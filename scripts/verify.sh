@@ -16,12 +16,20 @@ cargo build --release --offline --workspace
 echo "==> cargo test (workspace)"
 cargo test --offline --workspace -q
 
+echo "==> cargo test (release)"
+cargo test --offline --workspace -q --release
+
 echo "==> cargo test (serde feature)"
 cargo test --offline -q -p oisum-core --features serde
 cargo test --offline -q -p oisum-hallberg --features serde
 
+echo "==> chaos suite (failpoints feature: fault injection + exactly-once retries)"
+cargo build --offline --release -p oisum-service --features failpoints
+cargo test --offline -q -p oisum-service --features failpoints
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo clippy --offline -q -p oisum-service --features failpoints --all-targets -- -D warnings
 
 echo "==> criterion smoke: batch pipeline (per-value vs batched vs parallel)"
 cargo bench --offline -q -p oisum-bench --bench batch

@@ -1,0 +1,171 @@
+//! Golden-vector maintenance for `tests/vectors/hp_codec.json`.
+//!
+//! The vector file pins the exact `f64` ↔ limb codec behavior across
+//! `oisum-bignum`, `oisum-core`, and `oisum-hallberg` (each has its own
+//! `golden_vectors` consumer test). This file owns the *producer* side:
+//!
+//! * [`vectors_match_current_codecs`] re-derives every entry from the
+//!   live codecs and fails on any drift — the root-crate view of the
+//!   same pin the per-crate tests enforce.
+//! * [`regenerate`] (ignored) rewrites the file from the live codecs:
+//!   `cargo test --test golden_vectors -- --ignored regenerate`.
+//!   A regeneration that *changes* existing entries is a codec behavior
+//!   change; review it as such, never commit it as noise.
+
+use oisum_core::Hp6x3;
+use oisum_hallberg::HallbergCodec;
+
+/// The Hallberg format pinned by the vectors: 4 limbs × 40 bits, range
+/// `±2^80`, resolution `2^-80`.
+fn hallberg() -> HallbergCodec<4> {
+    HallbergCodec::<4>::with_m(40)
+}
+
+/// The case list: every f64 bit pattern the vectors pin, with a stable
+/// name. Add cases at the end; renaming or removing entries invalidates
+/// the pin history.
+fn case_inputs() -> Vec<(&'static str, f64)> {
+    vec![
+        ("plus_zero", 0.0),
+        ("minus_zero", -0.0),
+        ("one", 1.0),
+        ("minus_one", -1.0),
+        ("min_denormal", 5e-324),
+        ("minus_min_denormal", -5e-324),
+        ("min_positive_normal", f64::MIN_POSITIVE),
+        ("f64_max", f64::MAX),
+        ("minus_f64_max", -f64::MAX),
+        ("big_in_hp_range", 1.5e57), // < 2^191, > 2^80: fits Hp6x3, not Hallberg(4,40)
+        ("one_plus_epsilon", 1.0 + f64::EPSILON),
+        ("minus_one_minus_epsilon", -1.0 - f64::EPSILON),
+        ("pi", std::f64::consts::PI),
+        ("exact_binary_fraction", 12345678.90625),
+        ("large_exact_integer", 9.007199254740992e15), // 2^53
+        // RNE ties at the Hp6x3 resolution (ulp = 2^-192):
+        ("hp_half_ulp_tie_down", 2.0f64.powi(-193)), // ties to even = 0
+        ("hp_three_half_ulp_tie_up", 2.0f64.powi(-192) + 2.0f64.powi(-193)), // ties to 2·ulp
+        ("hp_exact_ulp", 2.0f64.powi(-192)),
+        ("hp_just_below_half_ulp", 2.0f64.powi(-194)),
+        ("negative_tie", -(2.0f64.powi(-193))),
+        ("sub_resolution_tiny", 1e-300), // far below even the tie zone
+        ("ordinary_negative", -271.828_182_845_904_5),
+    ]
+}
+
+fn hex(v: u64) -> String {
+    format!("\"0x{v:016x}\"")
+}
+
+fn hex_arr(limbs: &[u64]) -> String {
+    let items: Vec<String> = limbs.iter().map(|&l| hex(l)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn dec_arr(limbs: &[i64]) -> String {
+    let items: Vec<String> = limbs.iter().map(|l| format!("\"{l}\"")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Renders the whole vector file from the live codecs.
+fn render() -> String {
+    let hal = hallberg();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"Golden vectors pinning the exact f64 <-> limb codec behavior. \
+         All numbers are strings: 0x-prefixed hex for u64 bit patterns and limbs (most \
+         significant limb first), plain decimal for Hallberg's signed limbs (least \
+         significant first). null means the operation rejects the input.\",\n",
+    );
+    out.push_str(
+        "  \"generator\": \"cargo test --test golden_vectors -- --ignored regenerate\",\n",
+    );
+    out.push_str("  \"formats\": {\n");
+    out.push_str("    \"hp6x3\": { \"limbs\": \"6\", \"integer_limbs\": \"3\" },\n");
+    out.push_str("    \"hallberg\": { \"n\": \"4\", \"m\": \"40\" }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"cases\": [\n");
+
+    let inputs = case_inputs();
+    for (i, (name, x)) in inputs.iter().enumerate() {
+        let x = *x;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{name}\",\n"));
+        out.push_str(&format!("      \"bits\": {},\n", hex(x.to_bits())));
+
+        // Hp6x3 through all three conversions plus the decode round-trip.
+        let trunc = Hp6x3::from_f64_trunc(x).map(|v| *v.as_limbs());
+        let nearest = Hp6x3::from_f64_nearest(x).map(|v| *v.as_limbs());
+        let exact = Hp6x3::from_f64(x).map(|v| *v.as_limbs());
+        out.push_str("      \"hp6x3\": {\n");
+        out.push_str(&format!(
+            "        \"trunc\": {},\n",
+            trunc.as_ref().map_or("null".to_owned(), |l| hex_arr(l))
+        ));
+        out.push_str(&format!(
+            "        \"nearest\": {},\n",
+            nearest.as_ref().map_or("null".to_owned(), |l| hex_arr(l))
+        ));
+        out.push_str(&format!(
+            "        \"exact\": {},\n",
+            exact.as_ref().map_or("null".to_owned(), |l| hex_arr(l))
+        ));
+        let decode = nearest
+            .as_ref()
+            .ok()
+            .map(|l| hex(Hp6x3::from_limbs(*l).to_f64().to_bits()));
+        out.push_str(&format!(
+            "        \"decode\": {}\n",
+            decode.unwrap_or_else(|| "null".to_owned())
+        ));
+        out.push_str("      },\n");
+
+        // Hallberg (4, 40): truncating encode + exact decode.
+        let h = hal.encode(x);
+        out.push_str("      \"hallberg\": {\n");
+        out.push_str(&format!(
+            "        \"limbs\": {},\n",
+            h.as_ref().map_or("null".to_owned(), |v| dec_arr(v.as_limbs()))
+        ));
+        let hdec = h.as_ref().map(|v| hex(hal.decode(v).to_bits()));
+        out.push_str(&format!(
+            "        \"decode\": {}\n",
+            hdec.unwrap_or_else(|| "null".to_owned())
+        ));
+        out.push_str("      }\n");
+        out.push_str(if i + 1 == inputs.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn vector_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/vectors/hp_codec.json")
+}
+
+/// The committed file must match what the live codecs produce, entry for
+/// entry. (The per-crate golden tests check the converse direction —
+/// that each crate reproduces the file — so between them any drift in
+/// either the file or a codec is caught.)
+#[test]
+fn vectors_match_current_codecs() {
+    let expected = render();
+    let on_disk = std::fs::read_to_string(vector_path())
+        .expect("tests/vectors/hp_codec.json is missing — run the ignored `regenerate` test");
+    assert!(
+        on_disk == expected,
+        "golden vectors drifted from the live codecs; if the codec change is intentional, \
+         regenerate with `cargo test --test golden_vectors -- --ignored regenerate` and \
+         review the diff"
+    );
+}
+
+/// Rewrites the vector file from the live codecs.
+#[test]
+#[ignore = "regenerates tests/vectors/hp_codec.json; run explicitly"]
+fn regenerate() {
+    let path = vector_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, render()).unwrap();
+    println!("wrote {}", path.display());
+}
