@@ -34,6 +34,69 @@
 use crate::fixed::HpFixed;
 use core::sync::atomic::{AtomicU64, Ordering};
 
+/// The atomic-cell operations [`AtomicHpImpl`] needs from a 64-bit word.
+///
+/// Production code uses the blanket implementation on
+/// [`core::sync::atomic::AtomicU64`]; the `oisum-loom-lite` model checker
+/// substitutes a virtual atomic whose every operation is a scheduling
+/// point, letting it exhaustively enumerate thread interleavings of the
+/// *real* accumulator code below. Nothing in this trait is
+/// model-checker-specific — it is exactly the subset of the `AtomicU64`
+/// API the accumulator uses.
+pub trait AtomicU64Like: Send + Sync {
+    /// A cell holding `v`.
+    fn new(v: u64) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store.
+    fn store(&self, v: u64, order: Ordering);
+    /// Atomic wrapping add; returns the previous value.
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64;
+    /// Atomic compare-exchange (weak: spurious failure permitted).
+    fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64>;
+    /// Plain access through exclusive borrow (no atomics needed).
+    fn get_mut(&mut self) -> &mut u64;
+}
+
+impl AtomicU64Like for AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        AtomicU64::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: u64, order: Ordering) {
+        AtomicU64::store(self, v, order)
+    }
+    #[inline]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_add(self, v, order)
+    }
+    #[inline]
+    fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        AtomicU64::compare_exchange_weak(self, current, new, success, failure)
+    }
+    #[inline]
+    fn get_mut(&mut self) -> &mut u64 {
+        AtomicU64::get_mut(self)
+    }
+}
+
 /// A shared HP accumulator updatable concurrently from many threads.
 ///
 /// ```
@@ -59,34 +122,38 @@ use core::sync::atomic::{AtomicU64, Ordering};
 /// assert_eq!(total, serial);
 /// ```
 #[derive(Debug)]
-pub struct AtomicHp<const N: usize, const K: usize> {
-    limbs: [AtomicU64; N],
+pub struct AtomicHpImpl<A, const N: usize, const K: usize> {
+    limbs: [A; N],
     /// Saturating count of detected top-limb signed overflows. Non-zero
     /// means the accumulated value left the representable range at some
     /// point and the current contents cannot be trusted ("poisoned").
-    overflows: AtomicU64,
+    overflows: A,
 }
 
-impl<const N: usize, const K: usize> Default for AtomicHp<N, K> {
+/// The production accumulator: [`AtomicHpImpl`] over the real
+/// [`AtomicU64`]. Monomorphizes to exactly the pre-abstraction code.
+pub type AtomicHp<const N: usize, const K: usize> = AtomicHpImpl<AtomicU64, N, K>;
+
+impl<A: AtomicU64Like, const N: usize, const K: usize> Default for AtomicHpImpl<A, N, K> {
     fn default() -> Self {
         Self::zero()
     }
 }
 
-impl<const N: usize, const K: usize> AtomicHp<N, K> {
+impl<A: AtomicU64Like, const N: usize, const K: usize> AtomicHpImpl<A, N, K> {
     /// A zeroed accumulator.
     pub fn zero() -> Self {
-        AtomicHp {
-            limbs: core::array::from_fn(|_| AtomicU64::new(0)),
-            overflows: AtomicU64::new(0),
+        AtomicHpImpl {
+            limbs: core::array::from_fn(|_| A::new(0)),
+            overflows: A::new(0),
         }
     }
 
     /// An accumulator initialized to `v`.
     pub fn new(v: HpFixed<N, K>) -> Self {
-        AtomicHp {
-            limbs: core::array::from_fn(|i| AtomicU64::new(v.as_limbs()[i])),
-            overflows: AtomicU64::new(0),
+        AtomicHpImpl {
+            limbs: core::array::from_fn(|i| A::new(v.as_limbs()[i])),
+            overflows: A::new(0),
         }
     }
 
@@ -95,6 +162,9 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
     /// "clean" under sustained overflow traffic.
     #[cold]
     fn note_overflow(&self) {
+        // ORDERING: Relaxed throughout — the counter is a monotonic event
+        // tally with no data published under it; the CAS loop only needs
+        // the per-cell modification order, which every ordering provides.
         let mut cur = self.overflows.load(Ordering::Relaxed);
         while cur != u64::MAX {
             match self.overflows.compare_exchange_weak(
@@ -133,11 +203,15 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
     /// is the converse: an unpoisoned accumulator never wrapped, so its
     /// value is unconditionally exact.
     pub fn poisoned(&self) -> bool {
+        // ORDERING: Relaxed — sticky flag; readers act on "ever non-zero",
+        // which no reordering can un-happen. Quiescent reads see the final
+        // value via the caller's join/synchronizes-with edge.
         self.overflows.load(Ordering::Relaxed) != 0
     }
 
     /// Number of detected top-limb overflows (saturating).
     pub fn overflow_count(&self) -> u64 {
+        // ORDERING: Relaxed — same monotonic-tally argument as `poisoned`.
         self.overflows.load(Ordering::Relaxed)
     }
 
@@ -165,6 +239,10 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
                 carry = wrapped as u64;
                 continue;
             }
+            // ORDERING: Relaxed — the sum depends only on each limb's
+            // modification order (integer adds commute); cross-limb
+            // visibility is established by the reader's join edge, not
+            // here. See the method docs.
             let old = self.limbs[i].fetch_add(addend, Ordering::Relaxed);
             if i == 0 {
                 self.check_top_limb(old, addend);
@@ -195,6 +273,10 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
                 carry = wrapped as u64;
                 continue;
             }
+            // ORDERING: Relaxed — the CAS loop re-reads on failure, so the
+            // deposit lands on *some* point of the limb's modification
+            // order; that is all order-invariance needs (same argument as
+            // the fetch_add path).
             let mut cur = self.limbs[i].load(Ordering::Relaxed);
             let old = loop {
                 match self.limbs[i].compare_exchange_weak(
@@ -237,6 +319,8 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
         let mut carry = 0u64;
         for i in (0..N).rev() {
             let (addend, wrapped) = limbs[i].overflowing_add(carry);
+            // ORDERING: Relaxed — identical argument to `add`: only the
+            // per-limb modification order matters.
             let old = self.limbs[i].fetch_add(addend, Ordering::Relaxed);
             if i == 0 {
                 self.check_top_limb(old, addend);
@@ -280,6 +364,11 @@ impl<const N: usize, const K: usize> AtomicHp<N, K> {
     /// Exact only at quiescence; see the module docs. Prefer
     /// [`Self::load_exclusive`] when you hold `&mut`.
     pub fn load(&self) -> HpFixed<N, K> {
+        // ORDERING: Acquire — pairs with any release edge the writers
+        // published their quiescence through (channel send, thread join,
+        // a release-stored "done" flag), so a reader that learned of
+        // quiescence that way reads the final limbs. Under contention the
+        // read can still tear across limbs; see the module docs.
         HpFixed::from_limbs(core::array::from_fn(|i| {
             self.limbs[i].load(Ordering::Acquire)
         }))

@@ -39,6 +39,7 @@ pub fn dot_format_ok<const N: usize, const K: usize>(
     min_abs: f64,
     count: usize,
 ) -> bool {
+    // lint:allow(lossy-cast) -- conservative range heuristic, not sum data
     let max_product = max_abs * max_abs * count as f64;
     // Error terms are below ulp(product) ≈ product·2^-53; the smallest
     // nonzero error magnitude is bounded below by the subnormal floor of

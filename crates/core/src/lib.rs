@@ -76,7 +76,7 @@ pub mod trace;
 pub use adaptive::AdaptiveHp;
 pub use batch::BatchAcc;
 pub use dot::{hp_dot, hp_norm_sq, two_product};
-pub use atomic::AtomicHp;
+pub use atomic::{AtomicHp, AtomicHpImpl, AtomicU64Like};
 pub use dyn_hp::DynHp;
 pub use error::HpError;
 pub use sum::HpSumExt;

@@ -70,6 +70,9 @@ impl GpuMethod for F64Gpu {
     #[inline]
     fn atomic_accumulate(&self, cell: &AtomicU64, x: f64) {
         // Kepler-style emulation: CAS on the bit pattern until our add wins.
+        // ORDERING: Relaxed load + Relaxed/Relaxed CAS — the retry loop
+        // re-reads on failure, and a lone f64 cell has no other data to
+        // order against; this mirrors CUDA atomicCAS device semantics.
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + x).to_bits();
@@ -81,12 +84,17 @@ impl GpuMethod for F64Gpu {
     }
 
     fn merge_cells(&self, dst: &AtomicU64, src: &AtomicU64) {
+        // ORDERING: Acquire — merge runs after the producing block's
+        // threads are joined; pairs with that release edge so the read
+        // sees the block's final partial.
         self.atomic_accumulate(dst, f64::from_bits(src.load(Ordering::Acquire)));
     }
 
     fn host_fold(&self, cells: &[AtomicU64]) -> f64 {
         cells
             .iter()
+            // ORDERING: Acquire — host-side fold at kernel quiescence;
+            // pairs with the simulated kernel's join/release edge.
             .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
             .sum()
     }

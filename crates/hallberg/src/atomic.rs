@@ -36,6 +36,10 @@ impl<const N: usize> AtomicHallberg<N> {
     pub fn add(&self, b: &HallbergNum<N>) {
         for (cell, &v) in self.limbs.iter().zip(b.as_limbs()) {
             if v != 0 {
+                // ORDERING: Relaxed — Hallberg addition is carry-free, so
+                // limb cells are fully independent counters; only each
+                // cell's own modification order (which fetch_add totally
+                // orders) matters, never cross-limb visibility.
                 cell.fetch_add(v, Ordering::Relaxed);
             }
         }
@@ -49,6 +53,10 @@ impl<const N: usize> AtomicHallberg<N> {
             if v == 0 {
                 continue;
             }
+            // ORDERING: Relaxed load + Relaxed/Relaxed CAS — the loop
+            // re-reads the cell on failure, so no stale-value hazard; the
+            // add carries no cross-limb ordering obligation (carry-free),
+            // and CAS success totally orders this cell's updates.
             let mut cur = cell.load(Ordering::Relaxed);
             loop {
                 match cell.compare_exchange_weak(
@@ -67,6 +75,9 @@ impl<const N: usize> AtomicHallberg<N> {
     /// Reads the current value limb by limb (exact at quiescence only).
     pub fn load(&self) -> HallbergNum<N> {
         HallbergNum::from_limbs(core::array::from_fn(|i| {
+            // ORDERING: Acquire — pairs with whatever release edge (e.g.
+            // thread join) established quiescence; per-limb snapshots are
+            // only exact once all writers have been observed finished.
             self.limbs[i].load(Ordering::Acquire)
         }))
     }

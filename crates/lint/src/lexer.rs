@@ -1,0 +1,359 @@
+//! A hand-rolled Rust surface lexer: good enough to separate code from
+//! comments, blank out string/char literal contents, and mark
+//! `#[cfg(test)]` module regions — the preprocessing every rule runs on.
+//!
+//! This is deliberately **not** a parser. It tracks exactly the lexical
+//! state that matters for false-positive-free pattern rules:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments;
+//! * string `"…"`, raw string `r#"…"#`, byte `b"…"`/`br#"…"#`, and char
+//!   `'…'` literals (contents blanked, delimiters kept);
+//! * lifetimes (`'a`) vs char literals, byte chars `b'x'`;
+//! * brace depth, used to delimit `#[cfg(test)] mod … { … }` regions.
+
+/// One source line after lexing.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// True inside a `#[cfg(test)]`-gated item's braces (attribute and
+    /// header lines included).
+    pub in_test: bool,
+}
+
+/// Split `src` into lexed [`Line`]s.
+pub fn lex(src: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        CharLit,
+    }
+
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Normal;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut prev_code_char = ' ';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                if c == '/' && next == '/' {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident(prev_code_char) {
+                    // Possible raw/byte string start: r", r#", b", br#"…
+                    let mut j = i;
+                    if chars.get(j) == Some(&'b') {
+                        j += 1;
+                    }
+                    let raw = chars.get(j) == Some(&'r');
+                    if raw {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while raw && chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (raw || j == i + 1) {
+                        for &d in &chars[i..=j] {
+                            cur.code.push(d);
+                        }
+                        state = if raw { State::RawStr(hashes) } else { State::Str };
+                        prev_code_char = '"';
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        prev_code_char = c;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime?
+                    let after = chars.get(i + 2).copied();
+                    if next == '\\' || after == Some('\'') {
+                        cur.code.push('\'');
+                        state = State::CharLit;
+                        i += 1;
+                    } else {
+                        // Lifetime / label: keep as code.
+                        cur.code.push('\'');
+                        prev_code_char = '\'';
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    prev_code_char = c;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                if c == '*' && next == '/' {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip escaped char (blanked)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    prev_code_char = '"';
+                    i += 1;
+                } else {
+                    i += 1; // blank content
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        state = State::Normal;
+                        prev_code_char = '"';
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Normal;
+                    prev_code_char = '\'';
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated braced items (the canonical
+/// `#[cfg(test)] mod tests { … }`). Line-granular: an attribute and its
+/// item header count as part of the region. Brace-less gated items
+/// (`#[cfg(test)] use …;`) end the region at the `;`.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending = false; // saw #[cfg(test)], waiting for the item body
+    let mut region_close_depth: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let squished: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if region_close_depth.is_some() {
+            line.in_test = true;
+        }
+        if squished.contains("#[cfg(test)]") && region_close_depth.is_none() {
+            pending = true;
+            line.in_test = true;
+        } else if pending {
+            line.in_test = true;
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        region_close_depth = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close_depth == Some(depth) {
+                        region_close_depth = None;
+                    }
+                }
+                ';' => {
+                    // A gated brace-less item (use/static declaration).
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Token stream over a lexed code line: identifiers/numbers plus
+/// punctuation, with the handful of two-char operators the rules need
+/// (`::`, `+=`, `->`, `=>`) kept whole.
+pub fn tokens(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(chars[start..i].iter().collect());
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            // Scientific notation with a signed exponent: 1e-3.
+            if i < chars.len()
+                && (chars[i] == '+' || chars[i] == '-')
+                && chars[i - 1].eq_ignore_ascii_case(&'e')
+                && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            out.push(chars[start..i].iter().collect());
+        } else {
+            let next = chars.get(i + 1).copied().unwrap_or(' ');
+            let two: String = [c, next].iter().collect();
+            if matches!(two.as_str(), "::" | "+=" | "->" | "=>") {
+                out.push(two);
+                i += 2;
+            } else {
+                out.push(c.to_string());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let lines = lex("let x = 1; // trailing\n/* block\nspanning */ let y = 2;");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert_eq!(lines[0].comment.trim(), "trailing");
+        assert_eq!(lines[1].code, "");
+        assert_eq!(lines[2].code.trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_delimiters() {
+        let lines = lex(r#"let s = "unsafe { Ordering::Relaxed }"; s.len();"#);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains(r#""""#));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let lines = lex("let a = r#\"has \"quotes\" and unsafe\"#; let b = b\"unsafe\"; fin();");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("fin()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = lex("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'y'; let n = '\\n'; g();");
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[1].code.contains('y'));
+        assert!(lines[1].code.contains("g()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("/* outer /* inner */ still comment */ code();");
+        assert_eq!(lines[0].code.trim(), "code();");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { bad(); }\n}\nfn prod2() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let lines = lex(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn token_stream_keeps_two_char_ops() {
+        let t = tokens("acc += x as f64; Ordering::Relaxed");
+        assert_eq!(
+            t,
+            vec!["acc", "+=", "x", "as", "f64", ";", "Ordering", "::", "Relaxed"]
+        );
+    }
+
+    #[test]
+    fn numeric_tokens_cover_float_shapes() {
+        let t = tokens("0.5 1e-3 2.0f64 10_000");
+        assert_eq!(t, vec!["0.5", "1e-3", "2.0f64", "10_000"]);
+    }
+}

@@ -1,0 +1,37 @@
+//! `oisum-lint` — the workspace invariant linter.
+//!
+//! The HP method's headline guarantee — bitwise order-invariant parallel
+//! sums — rests on a handful of source-level invariants that no type
+//! checker enforces: exact integer accumulation everywhere outside the
+//! designated baselines, justified atomic orderings, deterministic fault
+//! injection, codec-contained lossy casts, and panic-free request
+//! handling. This crate enforces them as named, individually
+//! suppressible rules over a hand-rolled lexical model of the source
+//! (comments stripped, literals blanked, `#[cfg(test)]` regions marked).
+//!
+//! Run it with `cargo run -p oisum-lint`; it exits non-zero on any
+//! finding and is a hard gate in `scripts/verify.sh`. Suppress a single
+//! deliberate violation with `// lint:allow(<rule>) -- why` on the line
+//! or the line above; module-level exemptions (with reasons) live in
+//! [`rules::ALLOW`].
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{check_file, FileKind, Finding, RuleId, ALLOW, ALL_RULES};
+
+use std::io;
+use std::path::Path;
+
+/// Lint every `.rs` file under `root`; findings sorted by (file, line).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (abs, rel, kind) in walk::workspace_files(root)? {
+        let src = std::fs::read_to_string(&abs)?;
+        findings.extend(check_file(&rel, kind, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}

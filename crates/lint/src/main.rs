@@ -1,0 +1,98 @@
+//! CLI: lint the workspace, print findings, exit non-zero on any.
+
+use oisum_lint::{lint_workspace, RuleId, ALLOW, ALL_RULES};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Print to stdout, ignoring broken pipes (`oisum-lint … | head` must
+/// not panic mid-listing).
+macro_rules! out {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+const USAGE: &str = "usage: oisum-lint [--root PATH] [--rules r1,r2,…] [--list-rules]
+
+Enforces the oisum order-invariance source invariants. Exits 1 on any
+finding. Suppress one deliberate site with `// lint:allow(<rule>) -- why`
+on the offending line or the line above.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut only: Option<Vec<RuleId>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("--rules needs a comma-separated list\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                let mut sel = Vec::new();
+                for name in spec.split(',') {
+                    match RuleId::from_name(name.trim()) {
+                        Some(r) => sel.push(r),
+                        None => {
+                            eprintln!("unknown rule `{name}`; see --list-rules");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                only = Some(sel);
+            }
+            "--list-rules" => {
+                out!("rules:");
+                for r in ALL_RULES {
+                    out!("  {:<26} {}", r.name(), r.summary());
+                }
+                out!("\npath-level exemptions (rules::ALLOW):");
+                for (r, prefix, reason) in ALLOW {
+                    out!("  {:<26} {:<34} {}", r.name(), prefix, reason);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                out!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("oisum-lint: cannot read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings: Vec<_> = match &only {
+        Some(sel) => findings
+            .into_iter()
+            .filter(|f| sel.contains(&f.rule))
+            .collect(),
+        None => findings,
+    };
+    for f in &findings {
+        out!("{f}");
+    }
+    if findings.is_empty() {
+        out!("oisum-lint: clean (0 findings)");
+        ExitCode::SUCCESS
+    } else {
+        out!("oisum-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

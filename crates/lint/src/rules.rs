@@ -1,0 +1,531 @@
+//! The invariant rules, their scopes, and the module allowlist.
+//!
+//! Every rule is named and individually suppressible at line level with
+//! `// lint:allow(<rule>) -- <justification>` on the offending line or
+//! the line directly above it. Path-level exemptions live in [`ALLOW`],
+//! each with a recorded reason — the linter has no silent escapes.
+
+use crate::lexer::{lex, tokens, Line};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The enforced invariants. See `DESIGN.md` §12 for the full table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No floating-point accumulation (`.sum::<f64>()`, float `+=`
+    /// folds, `.fold(0.0, …)`) outside the compensated/baseline
+    /// allowlist: a raw f64 fold in a hot path is exactly the
+    /// order-sensitivity bug this project exists to eliminate.
+    FloatAccum,
+    /// Every `unsafe` must be preceded by a `// SAFETY:` rationale.
+    UnsafeSafety,
+    /// Every explicit atomic `Ordering::…` use must be preceded by a
+    /// `// ORDERING:` rationale: too-weak orderings on ledger state are
+    /// how parallel sums silently go non-reproducible.
+    AtomicOrdering,
+    /// No wall-clock or entropy sources (`Instant::now`, `SystemTime`,
+    /// `thread_rng`, …) inside fault-injection firing logic or the
+    /// chaos suite — chaos runs must replay bit-for-bit from a seed.
+    NondetFaults,
+    /// No lossy numeric casts (`as f64`/`as f32`, float→int `as`)
+    /// outside the codec modules that own exactness proofs.
+    LossyCast,
+    /// No `unwrap()`/`expect()` on service request-handling paths: a
+    /// malformed frame must produce a typed error, never a worker
+    /// panic. (Lock-poisoning `.lock()/.read()/.write().unwrap()` is
+    /// exempt by policy: poisoning means a panic already happened and
+    /// crashing loudly is the correct containment.)
+    ServiceUnwrap,
+}
+
+pub const ALL_RULES: [RuleId; 6] = [
+    RuleId::FloatAccum,
+    RuleId::UnsafeSafety,
+    RuleId::AtomicOrdering,
+    RuleId::NondetFaults,
+    RuleId::LossyCast,
+    RuleId::ServiceUnwrap,
+];
+
+impl RuleId {
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::FloatAccum => "float-accum",
+            RuleId::UnsafeSafety => "unsafe-safety-comment",
+            RuleId::AtomicOrdering => "atomic-ordering-comment",
+            RuleId::NondetFaults => "nondet-in-faults",
+            RuleId::LossyCast => "lossy-cast",
+            RuleId::ServiceUnwrap => "service-unwrap",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.name() == s)
+    }
+
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::FloatAccum => {
+                "no floating-point accumulation outside compensated/baseline modules"
+            }
+            RuleId::UnsafeSafety => "every `unsafe` needs a preceding // SAFETY: comment",
+            RuleId::AtomicOrdering => {
+                "every atomic Ordering:: use needs a preceding // ORDERING: rationale"
+            }
+            RuleId::NondetFaults => {
+                "no clocks/entropy in fault firing logic or the chaos suite"
+            }
+            RuleId::LossyCast => "no lossy `as` casts outside codec modules",
+            RuleId::ServiceUnwrap => {
+                "no unwrap()/expect() on service request-handling paths"
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a file participates in the build, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library/production source (`src/**`, excluding `src/bin`).
+    Prod,
+    /// Integration tests, benches, examples.
+    Test,
+    /// Binaries (`src/bin/**`): operational tooling, not request paths.
+    Bin,
+}
+
+/// A rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Path-level exemptions: (rule, path prefix, reason). Kept small and
+/// reasoned — prefer a line-level `lint:allow` for one-off cases.
+pub const ALLOW: &[(RuleId, &str, &str)] = &[
+    (
+        RuleId::FloatAccum,
+        "crates/compensated/",
+        "this crate IS the float-summation baseline/compensated algorithms under study",
+    ),
+    (
+        RuleId::FloatAccum,
+        "crates/analysis/",
+        "error/condition analysis measures float drift; float statistics are its output",
+    ),
+    (
+        RuleId::FloatAccum,
+        "crates/bench/",
+        "benchmark figures reproduce the paper's float baselines on purpose",
+    ),
+    (
+        RuleId::FloatAccum,
+        "crates/gpu-sim/src/method.rs",
+        "F64Gpu emulates the paper's non-reproducible CUDA float-atomic baseline",
+    ),
+    (
+        RuleId::FloatAccum,
+        "shims/",
+        "offline stand-ins for crates.io libraries; not summation paths",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/bignum/src/",
+        "the bignum limb codec owns the f64<->limb exactness proofs",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/core/src/fixed.rs",
+        "HP codec module: Listing-1/2 conversions are the audited lossy boundary",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/core/src/convert.rs",
+        "codec module: exact-range conversion helpers",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/core/src/format.rs",
+        "decimal formatting of limbs is a codec",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/core/src/dyn_hp.rs",
+        "dynamic-width codec over the fixed codec",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/core/src/batch.rs",
+        "carry-deferred deposit encoding is part of the HP codec",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/hallberg/src/",
+        "Hallberg scaled-integer codec: the cast is the encoding",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/core/src/trace.rs",
+        "step-by-step trace of the Listing-1 codec conversion — the casts ARE the subject",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/analysis/",
+        "drift/condition measurement: float statistics are the crate's output, not sum state",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/gpu-sim/src/model.rs",
+        "GPU performance model (latency/bandwidth/contention): floats model time, not sums",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/gpu-sim/src/device.rs",
+        "simulated-device timing model: amortized cost arithmetic, not summation data",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/threads/src/model.rs",
+        "host calibration timing model (seconds per element), not summation data",
+    ),
+    (
+        RuleId::LossyCast,
+        "crates/phi-sim/src/model.rs",
+        "paper Eq. 4–6 offload speedup model: floats model time ratios, not sums",
+    ),
+];
+
+fn allowed(rule: RuleId, path: &str) -> bool {
+    ALLOW
+        .iter()
+        .any(|(r, prefix, _)| *r == rule && path.starts_with(prefix))
+}
+
+/// Is `rule` applicable to this file at all?
+fn in_scope(rule: RuleId, path: &str, kind: FileKind) -> bool {
+    if allowed(rule, path) {
+        return false;
+    }
+    match rule {
+        RuleId::FloatAccum => kind == FileKind::Prod,
+        RuleId::UnsafeSafety => true,
+        RuleId::AtomicOrdering => kind == FileKind::Prod,
+        RuleId::NondetFaults => {
+            path.starts_with("crates/faults/")
+                || (path.starts_with("crates/service/tests/") && path.contains("chaos"))
+        }
+        RuleId::LossyCast => kind == FileKind::Prod && path.starts_with("crates/"),
+        RuleId::ServiceUnwrap => kind == FileKind::Prod && path.starts_with("crates/service/src/"),
+    }
+}
+
+/// Does this rule also inspect `#[cfg(test)]` regions?
+fn applies_to_test_lines(rule: RuleId) -> bool {
+    matches!(rule, RuleId::UnsafeSafety | RuleId::NondetFaults)
+}
+
+/// `// lint:allow(<rule>)` on the line or the line directly above.
+fn suppressed(lines: &[Line], idx: usize, rule: RuleId) -> bool {
+    let needle = format!("lint:allow({})", rule.name());
+    lines[idx].comment.contains(&needle)
+        || (idx > 0 && lines[idx - 1].comment.contains(&needle))
+}
+
+/// Whitespace-stripped code, for substring patterns.
+fn squish(code: &str) -> String {
+    code.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+fn is_ident_tok(t: &str) -> bool {
+    t.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_float_literal(t: &str) -> bool {
+    t.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && (t.contains('.') || t.ends_with("f64") || t.ends_with("f32") || t.contains("e-"))
+}
+
+/// A bare `f64`/`f32` *type* token on the line (note: `from_f64` and
+/// friends lex as single identifiers, so HP codec calls don't hint).
+fn has_float_hint(toks: &[String]) -> bool {
+    toks.iter().any(|t| t == "f64" || t == "f32")
+}
+
+/// A comment matching `marker` on line `idx` or within `lookback` lines
+/// above it.
+fn comment_above(lines: &[Line], idx: usize, marker: &str, lookback: usize) -> bool {
+    let lo = idx.saturating_sub(lookback);
+    lines[lo..=idx].iter().any(|l| l.comment.contains(marker))
+}
+
+/// Lint one file's source. `path` is workspace-relative with forward
+/// slashes; `kind` is derived from it by the walker.
+pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
+    let lines = lex(src);
+    let toks: Vec<Vec<String>> = lines.iter().map(|l| tokens(&l.code)).collect();
+    let squished: Vec<String> = lines.iter().map(|l| squish(&l.code)).collect();
+    let mut findings = Vec::new();
+    let mut push = |idx: usize, rule: RuleId, msg: String, lines: &[Line]| {
+        if !suppressed(lines, idx, rule) {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: idx + 1,
+                rule,
+                message: msg,
+            });
+        }
+    };
+
+    // --- float-accum: per-file set of float-typed bindings ---
+    let float_accum = in_scope(RuleId::FloatAccum, path, kind);
+    let mut float_idents: HashSet<String> = HashSet::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        for rule in ALL_RULES {
+            if !in_scope(rule, path, kind) {
+                continue;
+            }
+            if line.in_test && !applies_to_test_lines(rule) {
+                continue;
+            }
+            match rule {
+                RuleId::FloatAccum => { /* handled below: needs binding state */ }
+                RuleId::UnsafeSafety => {
+                    if toks[idx].iter().any(|t| t == "unsafe")
+                        && !comment_above(&lines, idx, "SAFETY:", 3)
+                    {
+                        push(
+                            idx,
+                            rule,
+                            "`unsafe` without a preceding `// SAFETY:` justification".into(),
+                            &lines,
+                        );
+                    }
+                }
+                RuleId::AtomicOrdering => {
+                    const VARIANTS: [&str; 5] = [
+                        "Ordering::Relaxed",
+                        "Ordering::Acquire",
+                        "Ordering::Release",
+                        "Ordering::AcqRel",
+                        "Ordering::SeqCst",
+                    ];
+                    // Lookback 12: a rationale block above a multi-line
+                    // compare_exchange call still covers the failure
+                    // ordering on its last argument line.
+                    if VARIANTS.iter().any(|v| squished[idx].contains(v))
+                        && !comment_above(&lines, idx, "ORDERING:", 12)
+                    {
+                        push(
+                            idx,
+                            rule,
+                            "atomic `Ordering::` use without a `// ORDERING:` rationale \
+                             within the preceding 12 lines"
+                                .into(),
+                            &lines,
+                        );
+                    }
+                }
+                RuleId::NondetFaults => {
+                    const SOURCES: [&str; 5] = [
+                        "Instant::now",
+                        "SystemTime",
+                        "thread_rng",
+                        "from_entropy",
+                        "rand::random",
+                    ];
+                    for s in SOURCES {
+                        if squished[idx].contains(s) {
+                            push(
+                                idx,
+                                rule,
+                                format!(
+                                    "nondeterminism source `{s}` in fault/chaos logic; \
+                                     fault firing must be a pure function of the seed"
+                                ),
+                                &lines,
+                            );
+                        }
+                    }
+                }
+                RuleId::LossyCast => {
+                    let t = &toks[idx];
+                    for w in t.windows(2) {
+                        if w[0] == "as" && (w[1] == "f64" || w[1] == "f32") {
+                            push(
+                                idx,
+                                rule,
+                                format!(
+                                    "lossy `as {}` cast outside a codec module (f64 holds \
+                                     53 significant bits; route through the audited codecs)",
+                                    w[1]
+                                ),
+                                &lines,
+                            );
+                            break;
+                        }
+                        // Float hint may sit on the previous line (e.g. a
+                        // signature's `x: f64` above the cast expression).
+                        let hint_window = &toks[idx.saturating_sub(1)..=idx];
+                        if w[0] == "as"
+                            && matches!(
+                                w[1].as_str(),
+                                "u64" | "i64" | "u32" | "i32" | "u128" | "i128" | "usize"
+                            )
+                            && hint_window
+                                .iter()
+                                .any(|lt| has_float_hint(lt) || lt.iter().any(|x| x == "to_f64"))
+                        {
+                            push(
+                                idx,
+                                rule,
+                                format!(
+                                    "float-to-integer `as {}` truncation outside a codec module",
+                                    w[1]
+                                ),
+                                &lines,
+                            );
+                            break;
+                        }
+                    }
+                }
+                RuleId::ServiceUnwrap => {
+                    let sq = &squished[idx];
+                    let mut bad = sq.contains(".expect(");
+                    if sq.contains(".unwrap()") {
+                        let lock_same_line = sq.contains(".lock().unwrap()")
+                            || sq.contains(".read().unwrap()")
+                            || sq.contains(".write().unwrap()");
+                        let lock_prev_line = sq.starts_with(".unwrap()")
+                            && idx > 0
+                            && (squished[idx - 1].ends_with(".lock()")
+                                || squished[idx - 1].ends_with(".read()")
+                                || squished[idx - 1].ends_with(".write()"));
+                        if !lock_same_line && !lock_prev_line {
+                            bad = true;
+                        }
+                    }
+                    if bad {
+                        push(
+                            idx,
+                            rule,
+                            "unwrap()/expect() on a request-handling path: return a typed \
+                             protocol error instead (lock-poisoning unwraps are exempt)"
+                                .into(),
+                            &lines,
+                        );
+                    }
+                }
+            }
+        }
+
+        // float-accum (stateful over the file's bindings)
+        if float_accum && !line.in_test {
+            let t = &toks[idx];
+            // Track float-typed `let` bindings.
+            if let Some(li) = t.iter().position(|x| x == "let") {
+                let mut j = li + 1;
+                if t.get(j).map(String::as_str) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = t.get(j).filter(|n| is_ident_tok(n)) {
+                    let rest = &t[j + 1..];
+                    let is_float = has_float_hint(rest)
+                        || rest
+                            .iter()
+                            .skip_while(|x| *x != "=")
+                            .find(|x| x.chars().next().is_some_and(|c| c.is_ascii_digit()))
+                            .is_some_and(|x| is_float_literal(x));
+                    if is_float {
+                        float_idents.insert(name.clone());
+                    }
+                }
+            }
+            // .sum::<f64>() / .sum() with a float hint in the local window.
+            for (i, tok) in t.iter().enumerate() {
+                if tok == "sum" && i > 0 && t[i - 1] == "." {
+                    let after = t.get(i + 1).map(String::as_str);
+                    if after == Some("::") {
+                        let window = &t[i + 1..(i + 7).min(t.len())];
+                        if window.iter().any(|x| x == "f64" || x == "f32") {
+                            push(
+                                idx,
+                                RuleId::FloatAccum,
+                                ".sum::<f64>() is an order-sensitive rounded fold; use \
+                                 Hp::sum_f64_slice or a BatchAcc"
+                                    .into(),
+                                &lines,
+                            );
+                        }
+                    } else if after == Some("(") {
+                        let lo = idx.saturating_sub(2);
+                        if toks[lo..=idx].iter().any(|lt| has_float_hint(lt)) {
+                            push(
+                                idx,
+                                RuleId::FloatAccum,
+                                "float `.sum()` fold (f64 operands in the chain); use the \
+                                 exact HP summation paths"
+                                    .into(),
+                                &lines,
+                            );
+                        }
+                    }
+                }
+                if tok == "fold" && i > 0 && t[i - 1] == "." {
+                    let window = &t[i + 1..(i + 5).min(t.len())];
+                    if window
+                        .iter()
+                        .any(|x| is_float_literal(x) || x == "f64" || x == "f32")
+                    {
+                        push(
+                            idx,
+                            RuleId::FloatAccum,
+                            "float `.fold(…)` accumulation; use the exact HP summation paths"
+                                .into(),
+                            &lines,
+                        );
+                    }
+                }
+            }
+            // `+=` on a binding we know to be float.
+            for w in t.windows(2) {
+                if w[1] == "+=" && float_idents.contains(&w[0]) {
+                    push(
+                        idx,
+                        RuleId::FloatAccum,
+                        format!(
+                            "float `+=` accumulation into `{}`; each such fold rounds and \
+                             breaks order-invariance",
+                            w[0]
+                        ),
+                        &lines,
+                    );
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,78 @@
+//! Workspace file discovery: every `.rs` file under the workspace root,
+//! classified by build role.
+
+use crate::rules::FileKind;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".claude", "node_modules"];
+
+/// All `.rs` files under `root`, as (absolute path, workspace-relative
+/// forward-slash path, kind), sorted by relative path for deterministic
+/// output.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, String, FileKind)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(PathBuf, String, FileKind)>,
+) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let (kind, rel) = classify(&rel);
+            out.push((path, rel, kind));
+        }
+    }
+    Ok(())
+}
+
+/// Classify a workspace-relative path by build role.
+fn classify(rel: &str) -> (FileKind, String) {
+    let in_dir = |d: &str| rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"));
+    let kind = if in_dir("tests") || in_dir("benches") || in_dir("examples") {
+        FileKind::Test
+    } else if rel.contains("/src/bin/") {
+        FileKind::Bin
+    } else {
+        FileKind::Prod
+    };
+    (kind, rel.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/core/src/atomic.rs").0, FileKind::Prod);
+        assert_eq!(classify("crates/service/tests/chaos.rs").0, FileKind::Test);
+        assert_eq!(classify("crates/service/src/bin/loadgen.rs").0, FileKind::Bin);
+        assert_eq!(classify("crates/bench/benches/batch.rs").0, FileKind::Test);
+        assert_eq!(classify("crates/service/examples/roundtrip.rs").0, FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs").0, FileKind::Test);
+        assert_eq!(classify("tests/golden.rs").0, FileKind::Test);
+        assert_eq!(classify("src/lib.rs").0, FileKind::Prod);
+    }
+}

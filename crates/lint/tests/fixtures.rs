@@ -1,0 +1,328 @@
+//! Per-rule positive/negative fixtures for the invariant linter, plus
+//! suppression-syntax and scoping tests. Each fixture is an inline
+//! source run through [`check_file`] under a path that puts the rule in
+//! scope; positives must fire on the exact line, negatives must stay
+//! silent.
+
+use oisum_lint::{check_file, FileKind, RuleId};
+
+/// Findings for `src` at `path`/`kind`, filtered to `rule`, as 1-based
+/// line numbers.
+fn fire_lines(rule: RuleId, path: &str, kind: FileKind, src: &str) -> Vec<usize> {
+    check_file(path, kind, src)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- float-accum
+
+#[test]
+fn float_accum_flags_sum_turbofish() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>()\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::FloatAccum, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn float_accum_flags_plus_eq_on_float_binding() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    let mut acc = 0.0;\n    for x in xs {\n        acc += x;\n    }\n    acc\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::FloatAccum, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![4]
+    );
+}
+
+#[test]
+fn float_accum_flags_float_fold() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    xs.iter().fold(0.0, |a, b| a + b)\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::FloatAccum, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn float_accum_ignores_integer_accumulation() {
+    let src = "fn f(xs: &[u64]) -> u64 {\n    let mut acc = 0u64;\n    for x in xs {\n        acc += x;\n    }\n    acc + xs.iter().sum::<u64>()\n}\n";
+    assert!(fire_lines(RuleId::FloatAccum, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+}
+
+#[test]
+fn float_accum_skips_allowlisted_crates_and_tests() {
+    let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+    // Path-level ALLOW: the compensated crate IS the float baseline.
+    assert!(fire_lines(
+        RuleId::FloatAccum,
+        "crates/compensated/src/kahan.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+    // Kind scope: integration tests may compute float references.
+    assert!(fire_lines(RuleId::FloatAccum, "crates/core/tests/t.rs", FileKind::Test, src).is_empty());
+    // #[cfg(test)] regions inside prod files likewise.
+    let gated = format!("#[cfg(test)]\nmod tests {{\n    {src}}}\n");
+    assert!(
+        fire_lines(RuleId::FloatAccum, "crates/core/src/x.rs", FileKind::Prod, &gated).is_empty()
+    );
+}
+
+#[test]
+fn float_accum_ignores_patterns_inside_string_literals() {
+    let src = "fn f() -> &'static str {\n    \"xs.iter().sum::<f64>() acc += x\"\n}\n";
+    assert!(fire_lines(RuleId::FloatAccum, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+}
+
+// ------------------------------------------------------- unsafe-safety-comment
+
+#[test]
+fn unsafe_without_safety_comment_fires_everywhere_even_tests() {
+    let src = "fn f(p: *const u64) -> u64 {\n    unsafe { *p }\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::UnsafeSafety, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![2]
+    );
+    assert_eq!(
+        fire_lines(RuleId::UnsafeSafety, "crates/core/tests/t.rs", FileKind::Test, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    let src = "fn f(p: *const u64) -> u64 {\n    // SAFETY: caller guarantees p is valid and aligned.\n    unsafe { *p }\n}\n";
+    assert!(fire_lines(RuleId::UnsafeSafety, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+}
+
+#[test]
+fn unsafe_inside_comment_or_string_is_ignored() {
+    let src = "// this mentions unsafe in prose\nfn f() -> &'static str { \"unsafe\" }\n";
+    assert!(fire_lines(RuleId::UnsafeSafety, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+}
+
+// ---------------------------------------------------- atomic-ordering-comment
+
+#[test]
+fn ordering_without_rationale_fires() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Relaxed)\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::AtomicOrdering, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![3]
+    );
+}
+
+#[test]
+fn ordering_with_rationale_within_lookback_is_clean() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(a: &AtomicU64) -> u64 {\n    // ORDERING: Relaxed — monotonic counter, no paired edge needed.\n    a.load(Ordering::Relaxed)\n}\n";
+    assert!(
+        fire_lines(RuleId::AtomicOrdering, "crates/core/src/x.rs", FileKind::Prod, src).is_empty()
+    );
+}
+
+#[test]
+fn ordering_rationale_covers_multiline_compare_exchange() {
+    // The failure ordering sits several lines below the rationale; the
+    // 12-line lookback must still cover it.
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(a: &AtomicU64) {\n    // ORDERING: Relaxed CAS loop — re-reads on failure; only this\n    // cell's modification order matters.\n    let mut cur = a.load(Ordering::Relaxed);\n    loop {\n        match a.compare_exchange_weak(\n            cur,\n            cur + 1,\n            Ordering::Relaxed,\n            Ordering::Relaxed,\n        ) {\n            Ok(_) => break,\n            Err(now) => cur = now,\n        }\n    }\n}\n";
+    assert!(
+        fire_lines(RuleId::AtomicOrdering, "crates/core/src/x.rs", FileKind::Prod, src).is_empty()
+    );
+}
+
+#[test]
+fn use_declaration_of_ordering_does_not_fire() {
+    let src = "use std::sync::atomic::Ordering;\nuse core::sync::atomic::{AtomicU64, Ordering as O};\n";
+    assert!(
+        fire_lines(RuleId::AtomicOrdering, "crates/core/src/x.rs", FileKind::Prod, src).is_empty()
+    );
+}
+
+// ------------------------------------------------------------ nondet-in-faults
+
+#[test]
+fn clock_in_faults_crate_fires_even_in_test_regions() {
+    let src = "fn fire() -> bool {\n    std::time::Instant::now().elapsed().as_nanos() % 2 == 0\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::NondetFaults, "crates/faults/src/lib.rs", FileKind::Prod, src),
+        vec![2]
+    );
+    let gated = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::SystemTime::now(); }\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::NondetFaults, "crates/faults/src/lib.rs", FileKind::Prod, gated),
+        vec![3]
+    );
+}
+
+#[test]
+fn clock_outside_faults_scope_is_fine() {
+    // Wall-clock use is only banned where determinism is the contract.
+    let src = "fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert!(fire_lines(RuleId::NondetFaults, "crates/bench/src/lib.rs", FileKind::Prod, src).is_empty());
+}
+
+#[test]
+fn chaos_test_files_are_in_nondet_scope() {
+    let src = "fn jitter() { let _ = rand::random::<u64>(); }\n";
+    assert_eq!(
+        fire_lines(
+            RuleId::NondetFaults,
+            "crates/service/tests/chaos_retry.rs",
+            FileKind::Test,
+            src
+        ),
+        vec![1]
+    );
+    // A non-chaos service test may use clocks for timeouts.
+    assert!(fire_lines(
+        RuleId::NondetFaults,
+        "crates/service/tests/roundtrip.rs",
+        FileKind::Test,
+        "fn t() { let _ = std::time::Instant::now(); }\n"
+    )
+    .is_empty());
+}
+
+// ----------------------------------------------------------------- lossy-cast
+
+#[test]
+fn as_f64_outside_codec_fires() {
+    let src = "fn f(n: u64) -> f64 {\n    n as f64\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn float_to_int_truncation_fires() {
+    let src = "fn f(x: f64) -> u64 {\n    x as u64\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn integer_widening_is_not_lossy() {
+    let src = "fn f(n: u32, m: usize) -> u64 {\n    n as u64 + m as u64\n}\n";
+    assert!(fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+}
+
+#[test]
+fn codec_modules_are_exempt_from_lossy_cast() {
+    let src = "fn f(x: f64) -> u64 { x as u64 }\n";
+    assert!(fire_lines(
+        RuleId::LossyCast,
+        "crates/core/src/fixed.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+    assert!(fire_lines(
+        RuleId::LossyCast,
+        "crates/hallberg/src/num.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+}
+
+// -------------------------------------------------------------- service-unwrap
+
+#[test]
+fn unwrap_in_service_src_fires() {
+    let src = "fn handle(b: &[u8]) -> u64 {\n    u64::from_be_bytes(b[..8].try_into().unwrap())\n}\n";
+    assert_eq!(
+        fire_lines(
+            RuleId::ServiceUnwrap,
+            "crates/service/src/proto.rs",
+            FileKind::Prod,
+            src
+        ),
+        vec![2]
+    );
+}
+
+#[test]
+fn expect_in_service_src_fires() {
+    let src = "fn handle(v: Option<u64>) -> u64 {\n    v.expect(\"present\")\n}\n";
+    assert_eq!(
+        fire_lines(
+            RuleId::ServiceUnwrap,
+            "crates/service/src/server.rs",
+            FileKind::Prod,
+            src
+        ),
+        vec![2]
+    );
+}
+
+#[test]
+fn lock_poisoning_unwrap_is_exempt() {
+    let src = "fn f(m: &std::sync::Mutex<u64>, r: &std::sync::RwLock<u64>) -> u64 {\n    *m.lock().unwrap() + *r.read().unwrap()\n}\nfn g(m: &std::sync::Mutex<u64>) -> u64 {\n    *m.lock()\n        .unwrap()\n}\n";
+    assert!(fire_lines(
+        RuleId::ServiceUnwrap,
+        "crates/service/src/ledger.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+}
+
+#[test]
+fn unwrap_outside_service_or_in_bins_is_fine() {
+    let src = "fn f(v: Option<u64>) -> u64 { v.unwrap() }\n";
+    assert!(fire_lines(RuleId::ServiceUnwrap, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+    assert!(fire_lines(
+        RuleId::ServiceUnwrap,
+        "crates/service/src/bin/loadgen.rs",
+        FileKind::Bin,
+        src
+    )
+    .is_empty());
+}
+
+// ------------------------------------------------------------------ suppression
+
+#[test]
+fn lint_allow_on_same_line_suppresses_exactly_that_rule() {
+    let src = "fn f(n: u64) -> f64 {\n    n as f64 // lint:allow(lossy-cast) -- display only\n}\n";
+    assert!(fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+}
+
+#[test]
+fn lint_allow_on_line_above_suppresses() {
+    let src = "fn f(n: u64) -> f64 {\n    // lint:allow(lossy-cast) -- display only\n    n as f64\n}\n";
+    assert!(fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src).is_empty());
+}
+
+#[test]
+fn lint_allow_for_a_different_rule_does_not_suppress() {
+    let src = "fn f(n: u64) -> f64 {\n    // lint:allow(float-accum) -- wrong rule name\n    n as f64\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![3]
+    );
+}
+
+#[test]
+fn lint_allow_two_lines_above_does_not_suppress() {
+    let src = "fn f(n: u64) -> f64 {\n    // lint:allow(lossy-cast) -- too far away\n    let _pad = 0;\n    n as f64\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![4]
+    );
+}
+
+#[test]
+fn lint_allow_inside_a_string_is_not_a_suppression() {
+    let src = "fn f(n: u64) -> f64 {\n    let _s = \"lint:allow(lossy-cast)\"; n as f64\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::LossyCast, "crates/core/src/x.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}

@@ -1,0 +1,80 @@
+//! The virtual atomic cell: every operation is a scheduling point.
+
+use crate::sched::maybe_yield;
+use core::sync::atomic::Ordering;
+use oisum_core::AtomicU64Like;
+use std::sync::Mutex;
+
+/// A model-checked stand-in for `std::sync::atomic::AtomicU64`.
+///
+/// Each operation first parks at a scheduler yield point (when called
+/// from a model thread), then executes atomically under an internal
+/// mutex. Because the scheduler runs exactly one model thread at a
+/// time, the mutex never contends; it exists so the cell is `Sync`
+/// without `unsafe`, keeping this crate `#![forbid(unsafe_code)]`.
+///
+/// Memory-ordering arguments are accepted and ignored: the model is
+/// sequentially consistent. That over-approximates the visibility the
+/// production `Relaxed` code can rely on, but preserves the full set of
+/// per-cell modification-order interleavings — which is the axis the HP
+/// accumulator's correctness argument (and therefore this checker)
+/// quantifies over. `compare_exchange_weak` never fails spuriously:
+/// spurious failures only add retry schedules equivalent to a lost CAS
+/// race, which the explorer already covers via real races.
+#[derive(Debug, Default)]
+pub struct ModelAtomicU64 {
+    v: Mutex<u64>,
+}
+
+impl ModelAtomicU64 {
+    fn with<R>(&self, f: impl FnOnce(&mut u64) -> R) -> R {
+        f(&mut self.v.lock().unwrap())
+    }
+}
+
+impl AtomicU64Like for ModelAtomicU64 {
+    fn new(v: u64) -> Self {
+        ModelAtomicU64 { v: Mutex::new(v) }
+    }
+
+    fn load(&self, _order: Ordering) -> u64 {
+        maybe_yield();
+        self.with(|v| *v)
+    }
+
+    fn store(&self, val: u64, _order: Ordering) {
+        maybe_yield();
+        self.with(|v| *v = val)
+    }
+
+    fn fetch_add(&self, val: u64, _order: Ordering) -> u64 {
+        maybe_yield();
+        self.with(|v| {
+            let old = *v;
+            *v = old.wrapping_add(val);
+            old
+        })
+    }
+
+    fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u64, u64> {
+        maybe_yield();
+        self.with(|v| {
+            if *v == current {
+                *v = new;
+                Ok(current)
+            } else {
+                Err(*v)
+            }
+        })
+    }
+
+    fn get_mut(&mut self) -> &mut u64 {
+        self.v.get_mut().unwrap()
+    }
+}

@@ -1,0 +1,362 @@
+//! Depth-first enumeration of thread schedules.
+
+use crate::sched::{set_ctx, Scheduler};
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// One recorded scheduling decision: which thread, out of which
+/// runnable set, was granted the next step.
+struct Choice {
+    /// Sorted runnable set observed at this point (replays must agree —
+    /// checked, so any hidden nondeterminism in a scenario is caught
+    /// rather than silently shrinking coverage).
+    runnable: Vec<usize>,
+    /// Index into `runnable` of the thread granted.
+    pick: usize,
+    /// Preemptive switches accumulated strictly before this choice.
+    preemptions_before: usize,
+    /// Thread that took the previous step, if any.
+    running_before: Option<usize>,
+}
+
+/// Exploration parameters. `Default` explores exhaustively with a
+/// 1,000,000-execution safety valve.
+pub struct Model {
+    /// Maximum number of *preemptive* context switches per schedule
+    /// (switching away from a thread that is still runnable). `None`
+    /// explores every schedule. Bounding is sound for bug *finding*
+    /// (every explored schedule is real) but not exhaustive.
+    pub preemption_bound: Option<usize>,
+    /// Panic if exploration would exceed this many executions — a
+    /// scenario-sizing guard, never a silent truncation.
+    pub max_executions: usize,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model {
+            preemption_bound: None,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+/// What an exploration found.
+#[derive(Debug)]
+pub struct Report<O> {
+    /// Number of distinct schedules (interleavings) executed.
+    pub executions: usize,
+    /// Every distinct observed outcome, with how many schedules
+    /// produced it. A scenario whose result is schedule-independent —
+    /// the order-invariance property — yields exactly one entry.
+    pub outcomes: BTreeMap<O, usize>,
+}
+
+impl<O: Ord> Report<O> {
+    /// The single outcome every schedule agreed on; panics (with the
+    /// outcome multiplicity map's size) if the scenario was *not*
+    /// schedule-invariant.
+    pub fn sole_outcome(&self) -> &O {
+        assert_eq!(
+            self.outcomes.len(),
+            1,
+            "scenario is schedule-dependent: {} distinct outcomes over {} executions",
+            self.outcomes.len(),
+            self.executions
+        );
+        self.outcomes.keys().next().unwrap()
+    }
+}
+
+/// One model thread's body: runs against the shared state, interacting
+/// with other threads only through `ModelAtomicU64` cells.
+pub type ThreadBody<S> = Box<dyn Fn(&S) + Sync>;
+
+/// C(n, k) in u128 — handy for asserting that an exploration visited
+/// exactly the closed-form number of interleavings.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    let k = k.min(n - k.min(n));
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+impl Model {
+    /// Run `bodies` (one closure per model thread) against a fresh
+    /// `mk_state()` under every admissible schedule; fold each final
+    /// state through `observe` and return the outcome census.
+    ///
+    /// Threads must interact **only** through [`crate::ModelAtomicU64`]
+    /// cells reachable from the shared state — those are the scheduling
+    /// points the explorer controls.
+    pub fn check<S, O>(
+        &self,
+        mk_state: impl Fn() -> S,
+        bodies: Vec<ThreadBody<S>>,
+        observe: impl Fn(&S) -> O,
+    ) -> Report<O>
+    where
+        S: Sync,
+        O: Ord,
+    {
+        assert!(!bodies.is_empty(), "need at least one thread body");
+        let mut stack: Vec<Choice> = Vec::new();
+        let mut report = Report {
+            executions: 0,
+            outcomes: BTreeMap::new(),
+        };
+        loop {
+            report.executions += 1;
+            assert!(
+                report.executions <= self.max_executions,
+                "exploration exceeded max_executions = {} — shrink the scenario or raise the valve",
+                self.max_executions
+            );
+            let state = mk_state();
+            self.run_one(&state, &bodies, &mut stack);
+            *report.outcomes.entry(observe(&state)).or_insert(0) += 1;
+            if !advance(&mut stack, self.preemption_bound) {
+                break;
+            }
+        }
+        report
+    }
+
+    /// Execute one schedule: replay `stack`'s prefix, extend greedily
+    /// (continue the running thread when possible — zero preemptions),
+    /// recording each new choice point.
+    fn run_one<S: Sync>(
+        &self,
+        state: &S,
+        bodies: &[ThreadBody<S>],
+        stack: &mut Vec<Choice>,
+    ) {
+        let sched = Arc::new(Scheduler::new(bodies.len()));
+        std::thread::scope(|scope| {
+            for (tid, body) in bodies.iter().enumerate() {
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || {
+                    set_ctx(Some((Arc::clone(&sched), tid)));
+                    // Register: park until first granted, so even
+                    // pre-first-op code runs serialized.
+                    sched.yield_point(tid);
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(state)));
+                    set_ctx(None);
+                    // Mark finished even on panic so the controller can
+                    // drain the remaining threads; the panic resurfaces
+                    // at scope join.
+                    sched.finish(tid);
+                    if let Err(p) = result {
+                        std::panic::resume_unwind(p);
+                    }
+                });
+            }
+            let mut step = 0usize;
+            let mut running: Option<usize> = None;
+            let mut preemptions = 0usize;
+            loop {
+                let runnable = sched.stable_runnable();
+                if runnable.is_empty() {
+                    break;
+                }
+                let pick = if let Some(choice) = stack.get(step) {
+                    assert_eq!(
+                        choice.runnable, runnable,
+                        "nondeterministic replay at step {step}: a scenario body \
+                         must be a pure function of its scheduled atomic history"
+                    );
+                    choice.pick
+                } else {
+                    // Default extension: the smallest admissible index.
+                    // `advance` enumerates strictly increasing indices
+                    // from here, so starting at the minimum guarantees
+                    // the whole admissible fan-out is eventually tried.
+                    // (Admissibility depends only on the prefix, which
+                    // is fixed per node, so skipped indices stay
+                    // inadmissible forever.)
+                    let idx = first_admissible(
+                        &runnable,
+                        0,
+                        running,
+                        preemptions,
+                        self.preemption_bound,
+                    )
+                    .expect("a non-preemptive choice always exists");
+                    stack.push(Choice {
+                        runnable: runnable.clone(),
+                        pick: idx,
+                        preemptions_before: preemptions,
+                        running_before: running,
+                    });
+                    idx
+                };
+                let tid = runnable[pick];
+                if let Some(r) = running {
+                    if r != tid && runnable.contains(&r) {
+                        preemptions += 1;
+                    }
+                }
+                running = Some(tid);
+                sched.grant_and_wait(tid);
+                step += 1;
+            }
+            assert_eq!(step, stack.len(), "schedule replay fell short");
+        });
+    }
+}
+
+/// The smallest index `>= from` into `runnable` whose choice keeps the
+/// schedule within the preemption bound given the node's prefix.
+fn first_admissible(
+    runnable: &[usize],
+    from: usize,
+    running_before: Option<usize>,
+    preemptions_before: usize,
+    bound: Option<usize>,
+) -> Option<usize> {
+    (from..runnable.len()).find(|&i| {
+        let tid = runnable[i];
+        let preempts = match running_before {
+            Some(r) if r != tid && runnable.contains(&r) => 1,
+            _ => 0,
+        };
+        bound.is_none_or(|b| preemptions_before + preempts <= b)
+    })
+}
+
+/// Move `stack` to the next unexplored (and bound-admissible) schedule;
+/// false when the tree is exhausted.
+fn advance(stack: &mut Vec<Choice>, bound: Option<usize>) -> bool {
+    while let Some(top) = stack.last_mut() {
+        if let Some(next) = first_admissible(
+            &top.runnable,
+            top.pick + 1,
+            top.running_before,
+            top.preemptions_before,
+            bound,
+        ) {
+            top.pick = next;
+            return true;
+        }
+        stack.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelAtomicU64;
+    use core::sync::atomic::Ordering;
+    use oisum_core::AtomicU64Like;
+
+    fn incr_body(times: usize) -> ThreadBody<ModelAtomicU64> {
+        Box::new(move |a| {
+            for _ in 0..times {
+                a.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    }
+
+    #[test]
+    fn interleaving_count_matches_closed_form() {
+        // Two threads, one atomic op each → 2 grants each (register +
+        // op) → C(4, 2) = 6 schedules.
+        let report = Model::default().check(
+            || ModelAtomicU64::new(0),
+            vec![incr_body(1), incr_body(1)],
+            |a| a.load(Ordering::Relaxed),
+        );
+        assert_eq!(report.executions as u128, binomial(4, 2));
+        assert_eq!(*report.sole_outcome(), 2);
+    }
+
+    #[test]
+    fn three_threads_multinomial() {
+        // Three threads, one op each: 9!/(2!·2!·2!) schedules of the 6
+        // grants... computed as C(6,2)·C(4,2) = 90.
+        let report = Model::default().check(
+            || ModelAtomicU64::new(0),
+            vec![incr_body(1), incr_body(1), incr_body(1)],
+            |a| a.load(Ordering::Relaxed),
+        );
+        assert_eq!(report.executions as u128, binomial(6, 2) * binomial(4, 2));
+        assert_eq!(*report.sole_outcome(), 3);
+    }
+
+    #[test]
+    fn preemption_bound_zero_is_thread_orderings_only() {
+        // With zero preemptions each thread runs to completion once
+        // scheduled; only the 2 thread orders remain.
+        let model = Model {
+            preemption_bound: Some(0),
+            ..Model::default()
+        };
+        let report = model.check(
+            || ModelAtomicU64::new(0),
+            vec![incr_body(3), incr_body(3)],
+            |a| a.load(Ordering::Relaxed),
+        );
+        assert_eq!(report.executions, 2);
+        assert_eq!(*report.sole_outcome(), 6);
+    }
+
+    #[test]
+    fn bounded_is_a_subset_of_exhaustive() {
+        let full = Model::default().check(
+            || ModelAtomicU64::new(0),
+            vec![incr_body(2), incr_body(2)],
+            |a| a.load(Ordering::Relaxed),
+        );
+        let bounded = Model {
+            preemption_bound: Some(1),
+            ..Model::default()
+        }
+        .check(
+            || ModelAtomicU64::new(0),
+            vec![incr_body(2), incr_body(2)],
+            |a| a.load(Ordering::Relaxed),
+        );
+        assert!(bounded.executions < full.executions);
+        assert_eq!(full.executions as u128, binomial(6, 3));
+    }
+
+    #[test]
+    fn lost_update_is_caught() {
+        // The seeded-bug self-test: a load/store "increment" is not
+        // atomic; the checker must surface schedules where an update is
+        // lost (final value < 4) alongside the correct ones.
+        let racy: Vec<ThreadBody<ModelAtomicU64>> = (0..2)
+            .map(|_| {
+                Box::new(|a: &ModelAtomicU64| {
+                    for _ in 0..2 {
+                        let v = a.load(Ordering::Relaxed);
+                        a.store(v + 1, Ordering::Relaxed);
+                    }
+                }) as ThreadBody<ModelAtomicU64>
+            })
+            .collect();
+        let report = Model::default().check(|| ModelAtomicU64::new(0), racy, |a| {
+            a.load(Ordering::Relaxed)
+        });
+        assert!(
+            report.outcomes.len() > 1,
+            "model checker failed to catch the seeded lost-update bug"
+        );
+        assert!(report.outcomes.contains_key(&4), "correct schedules exist");
+        assert!(
+            report.outcomes.keys().any(|&v| v < 4),
+            "lost-update schedules exist"
+        );
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        assert_eq!(binomial(14, 7), 3432);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(4, 4), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! The cooperative scheduler: serializes model threads so that exactly
+//! one runs at a time, parking each at every atomic operation.
+//!
+//! Protocol (all under one mutex, one condvar):
+//!
+//! * A model thread calls [`Scheduler::yield_point`] before each atomic
+//!   op (and once at spawn, the "register" yield): it marks itself
+//!   `waiting`, then blocks until `granted == Some(tid)`; it consumes
+//!   the grant and runs until its next yield point or completion.
+//! * The controller calls [`Scheduler::grant_and_wait`]: it publishes
+//!   the grant, then blocks until the grantee has consumed it *and*
+//!   re-parked (or finished) — at which point the system is stable and
+//!   the next runnable set can be read deterministically.
+//!
+//! No model thread ever blocks on anything except the grant, so the
+//! runnable set is exactly "parked and not finished" and exploration
+//! cannot deadlock.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+struct SchedState {
+    /// Thread currently allowed to take one step (consumed by the
+    /// grantee, which resets it to `None`).
+    granted: Option<usize>,
+    /// Per-thread: parked at a yield point awaiting a grant.
+    waiting: Vec<bool>,
+    /// Per-thread: body returned (or panicked — still counts, so the
+    /// controller never waits on a corpse).
+    finished: Vec<bool>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(nthreads: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                granted: None,
+                waiting: vec![false; nthreads],
+                finished: vec![false; nthreads],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Called by model thread `tid`: park until granted one step.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.waiting[tid] = true;
+        self.cv.notify_all();
+        while st.granted != Some(tid) {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.granted = None;
+        st.waiting[tid] = false;
+        self.cv.notify_all();
+    }
+
+    /// Called by model thread `tid` when its body has returned (or
+    /// unwound).
+    pub(crate) fn finish(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.finished[tid] = true;
+        self.cv.notify_all();
+    }
+
+    /// Controller: block until every thread is parked or finished, then
+    /// return the sorted runnable set.
+    pub(crate) fn stable_runnable(&self) -> Vec<usize> {
+        let mut st = self.state.lock().unwrap();
+        while st.granted.is_some()
+            || st
+                .waiting
+                .iter()
+                .zip(&st.finished)
+                .any(|(&w, &f)| !w && !f)
+        {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.waiting
+            .iter()
+            .zip(&st.finished)
+            .enumerate()
+            .filter(|(_, (&w, &f))| w && !f)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Controller: let `tid` take one step and wait for the system to
+    /// stabilize again.
+    pub(crate) fn grant_and_wait(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(st.waiting[tid] && !st.finished[tid]);
+        st.granted = Some(tid);
+        self.cv.notify_all();
+        while st.granted.is_some() || (!st.waiting[tid] && !st.finished[tid]) {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+thread_local! {
+    /// The ambient execution context of a model thread: which scheduler
+    /// it belongs to and its thread id. `None` on the controller (and on
+    /// any thread outside an exploration), where model atomics execute
+    /// without yielding — construction before spawn and observation
+    /// after join are sequential anyway.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Install/clear the ambient context for the current thread.
+pub(crate) fn set_ctx(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Park at a scheduling point if the current thread is a model thread.
+pub(crate) fn maybe_yield() {
+    let ctx = CTX.with(|c| c.borrow().as_ref().map(|(s, t)| (Arc::clone(s), *t)));
+    if let Some((sched, tid)) = ctx {
+        sched.yield_point(tid);
+    }
+}

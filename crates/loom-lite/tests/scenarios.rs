@@ -1,0 +1,234 @@
+//! Exhaustive interleaving scenarios for the real HP accumulator.
+//!
+//! Each scenario runs the *production* `AtomicHpImpl` deposit code (the
+//! same monomorphic source as `AtomicHp`, instantiated over the
+//! model-checked virtual atomic) under **every** thread schedule and
+//! asserts the paper's core claim holds by construction: bitwise
+//! identical final limbs in every interleaving, no lost carry, and
+//! deterministic sticky-poison behaviour.
+
+use oisum_core::{AtomicHp, HpFixed};
+use oisum_loom_lite::{binomial, Model, ModelAtomicHp};
+
+/// The schedule-independent observation: final limbs + poison state.
+type Outcome = (Vec<u64>, bool, u64);
+
+fn observe<const N: usize, const K: usize>(acc: &ModelAtomicHp<N, K>) -> Outcome {
+    (
+        acc.load().as_limbs().to_vec(),
+        acc.poisoned(),
+        acc.overflow_count(),
+    )
+}
+
+/// Ground truth from the production accumulator, deposited serially
+/// (order-invariance means any serial order is *the* answer).
+fn expected<const N: usize, const K: usize>(deposits: &[HpFixed<N, K>]) -> Vec<u64> {
+    let acc = AtomicHp::<N, K>::zero();
+    for d in deposits {
+        acc.add_dense(d);
+    }
+    acc.load().as_limbs().to_vec()
+}
+
+#[test]
+fn two_thread_add_dense_carry_folding_is_order_invariant() {
+    // Low limbs at u64::MAX force maximal carry folding: every deposit
+    // ripples a carry into the next limb's addend. Two threads, two
+    // dense deposits each — 7 scheduler grants per thread (register +
+    // 3 limb RMWs × 2) — means exactly C(14, 7) = 3432 interleavings,
+    // comfortably past the ≥ 1000 bar, all explored.
+    let a1 = HpFixed::<3, 2>::from_limbs([0, 0, u64::MAX]);
+    let a2 = HpFixed::<3, 2>::from_limbs([0, u64::MAX, u64::MAX]);
+    let b1 = HpFixed::<3, 2>::from_limbs([0, 1, u64::MAX]);
+    let b2 = HpFixed::<3, 2>::from_limbs([0, 0, 1]);
+    let report = Model::default().check(
+        ModelAtomicHp::<3, 2>::zero,
+        vec![
+            Box::new(move |acc: &ModelAtomicHp<3, 2>| {
+                acc.add_dense(&a1);
+                acc.add_dense(&a2);
+            }),
+            Box::new(move |acc: &ModelAtomicHp<3, 2>| {
+                acc.add_dense(&b1);
+                acc.add_dense(&b2);
+            }),
+        ],
+        observe,
+    );
+    assert_eq!(report.executions as u128, binomial(14, 7));
+    assert!(report.executions >= 1000);
+    let (limbs, poisoned, overflows) = report.sole_outcome();
+    assert_eq!(*limbs, expected(&[a1, a2, b1, b2]));
+    assert!(!poisoned);
+    assert_eq!(*overflows, 0);
+}
+
+#[test]
+fn two_thread_add_batch_deposits_are_order_invariant() {
+    // The batched pipeline: each add_batch folds its values into a
+    // thread-local BatchAcc (no atomics), then lands one dense deposit
+    // of N RMWs. Cancellation across batches makes any float shortcut
+    // visible; the exact pipeline is bitwise identical in all C(14, 7)
+    // schedules.
+    let batches: [&[f64]; 4] = [
+        &[1.0e9, -3.5e-9, 0.125],
+        &[7.25, -1.0e9],
+        &[-1.0e9, 1.0e-9],
+        &[1.0e9, 0.5, -0.25],
+    ];
+    let report = Model::default().check(
+        ModelAtomicHp::<3, 2>::zero,
+        vec![
+            Box::new(move |acc: &ModelAtomicHp<3, 2>| {
+                acc.add_batch(batches[0]);
+                acc.add_batch(batches[1]);
+            }),
+            Box::new(move |acc: &ModelAtomicHp<3, 2>| {
+                acc.add_batch(batches[2]);
+                acc.add_batch(batches[3]);
+            }),
+        ],
+        observe,
+    );
+    assert_eq!(report.executions as u128, binomial(14, 7));
+    let (limbs, poisoned, _) = report.sole_outcome();
+    let serial = AtomicHp::<3, 2>::zero();
+    for b in batches {
+        serial.add_batch(b);
+    }
+    assert_eq!(*limbs, serial.load().as_limbs().to_vec());
+    assert!(!poisoned);
+}
+
+#[test]
+fn sticky_poison_overflow_is_deterministic_in_every_schedule() {
+    // Six i64::MAX-sized deposits on a one-limb accumulator wrap its
+    // signed range on the 2nd, 4th and 6th landing *regardless of
+    // interleaving* (the cell's modification order is total and every
+    // deposit is identical). Every schedule must observe: the same
+    // wrapped limb, poisoned == true, and overflow_count == 3. The
+    // note_overflow CAS loop adds schedule-dependent retry steps, so
+    // the interleaving count has no closed form — we assert the ≥ 1000
+    // exhaustiveness bar instead.
+    let big = HpFixed::<1, 1>::from_limbs([i64::MAX as u64]);
+    let body = move |acc: &ModelAtomicHp<1, 1>| {
+        for _ in 0..3 {
+            acc.add_dense(&big);
+        }
+    };
+    let report = Model::default().check(
+        ModelAtomicHp::<1, 1>::zero,
+        vec![Box::new(body), Box::new(body)],
+        observe,
+    );
+    assert!(
+        report.executions >= 1000,
+        "only {} interleavings explored",
+        report.executions
+    );
+    let (limbs, poisoned, overflows) = report.sole_outcome();
+    assert_eq!(*limbs, vec![(i64::MAX as u64).wrapping_mul(6)]);
+    assert!(*poisoned, "overflow must poison in every schedule");
+    assert_eq!(*overflows, 3, "exactly three signed wraps in any order");
+}
+
+#[test]
+fn three_thread_add_dense_multinomial() {
+    // Three threads, one dense deposit each on a 2-limb accumulator:
+    // 3 grants per thread, 9!/(3!·3!·3!) = 1680 schedules, one outcome.
+    let vs = [
+        HpFixed::<2, 1>::from_limbs([0, u64::MAX]),
+        HpFixed::<2, 1>::from_limbs([1, u64::MAX]),
+        HpFixed::<2, 1>::from_limbs([0, 2]),
+    ];
+    let report = Model::default().check(
+        ModelAtomicHp::<2, 1>::zero,
+        (0..3)
+            .map(|t| {
+                let v = vs[t];
+                Box::new(move |acc: &ModelAtomicHp<2, 1>| {
+                    acc.add_dense(&v);
+                }) as Box<dyn Fn(&ModelAtomicHp<2, 1>) + Sync>
+            })
+            .collect(),
+        observe,
+    );
+    assert_eq!(
+        report.executions as u128,
+        binomial(9, 3) * binomial(6, 3),
+        "9 grants split 3/3/3"
+    );
+    let (limbs, poisoned, _) = report.sole_outcome();
+    assert_eq!(*limbs, expected(&vs));
+    assert!(!poisoned);
+}
+
+#[test]
+fn cas_adder_races_are_order_invariant() {
+    // The paper's CAS-only adder: retry loops make op counts (and so
+    // the schedule tree) dynamic — a thread that loses a CAS race
+    // reloads and retries. All schedules, including every lost-race
+    // path, must still converge to the serial sum.
+    let va = HpFixed::<2, 1>::from_limbs([0, u64::MAX]);
+    let vb = HpFixed::<2, 1>::from_limbs([0, 3]);
+    let report = Model::default().check(
+        ModelAtomicHp::<2, 1>::zero,
+        vec![
+            Box::new(move |acc: &ModelAtomicHp<2, 1>| {
+                acc.add_cas(&va);
+            }),
+            Box::new(move |acc: &ModelAtomicHp<2, 1>| {
+                acc.add_cas(&vb);
+            }),
+        ],
+        observe,
+    );
+    // Baseline without any CAS failure would be C(10,5); lost-race
+    // retries add more.
+    assert!(report.executions as u128 >= binomial(10, 5));
+    let (limbs, poisoned, _) = report.sole_outcome();
+    let serial = AtomicHp::<2, 1>::zero();
+    serial.add_cas(&va);
+    serial.add_cas(&vb);
+    assert_eq!(*limbs, serial.load().as_limbs().to_vec());
+    assert!(!poisoned);
+}
+
+#[test]
+fn bounded_exploration_of_a_larger_mixed_scenario() {
+    // A scenario too big to enumerate fully in test time (3 threads ×
+    // 3-limb deposits) under a preemption bound of 2: still thousands
+    // of real schedules, still exactly one outcome.
+    let vs = [
+        HpFixed::<3, 2>::from_limbs([0, u64::MAX, u64::MAX]),
+        HpFixed::<3, 2>::from_limbs([0, 0, u64::MAX]),
+        HpFixed::<3, 2>::from_limbs([1, 1, 1]),
+    ];
+    let model = Model {
+        preemption_bound: Some(2),
+        ..Model::default()
+    };
+    let report = model.check(
+        ModelAtomicHp::<3, 2>::zero,
+        (0..3)
+            .map(|t| {
+                let v = vs[t];
+                Box::new(move |acc: &ModelAtomicHp<3, 2>| {
+                    acc.add_dense(&v);
+                    acc.add_dense(&v);
+                }) as Box<dyn Fn(&ModelAtomicHp<3, 2>) + Sync>
+            })
+            .collect(),
+        observe,
+    );
+    assert!(report.executions >= 1000);
+    let (limbs, poisoned, _) = report.sole_outcome();
+    let mut all = Vec::new();
+    for v in &vs {
+        all.push(*v);
+        all.push(*v);
+    }
+    assert_eq!(*limbs, expected(&all));
+    assert!(!poisoned);
+}

@@ -28,6 +28,8 @@ use std::time::Duration;
 static CLIENT_ID_SEQ: AtomicU64 = AtomicU64::new(1);
 
 fn next_client_id() -> u64 {
+    // ORDERING: Relaxed — fetch_add already guarantees uniqueness (one
+    // counter value per caller); no other memory is published with it.
     let n = CLIENT_ID_SEQ.fetch_add(1, Ordering::Relaxed);
     // Counter starts at 1, so the low half is nonzero even if the
     // process id is 0 — the result can never alias UNTRACKED_CLIENT.

@@ -46,6 +46,9 @@ static THREAD_CURSOR_SEED: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// This thread's private shard cursor for [`ShardedLedger::add`].
+    // ORDERING: Relaxed — the seed only spreads threads across shards;
+    // any interleaving of the counter is fine (shard choice never
+    // affects the sum, only contention).
     static SHARD_CURSOR: Cell<usize> = Cell::new(
         THREAD_CURSOR_SEED.fetch_add(1, Ordering::Relaxed)
     );
@@ -127,6 +130,8 @@ impl Stream {
         let shard = &self.shards[shard_hint % self.shards.len()];
         let mut n = 0u64;
         shard.add_batch_iter(values.into_iter().inspect(|_| n += 1));
+        // ORDERING: Relaxed — monotonic stats tallies; readers only need
+        // eventually-consistent counts, never an edge with the deposits.
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.values.fetch_add(n, Ordering::Relaxed);
         n
@@ -351,6 +356,9 @@ impl ShardedLedger {
                 .iter()
                 .map(|(name, s)| StreamStats {
                     name: name.clone(),
+                    // ORDERING: Relaxed — advisory stats snapshot; the
+                    // counters are monotonic and need no edge with the
+                    // limb deposits they describe.
                     batches: s.batches.load(Ordering::Relaxed),
                     values: s.values.load(Ordering::Relaxed),
                     overflows: s.overflows(),

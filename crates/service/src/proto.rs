@@ -476,6 +476,7 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<Option<([u8; 4], u32)>> {
         filled += n;
     }
     let magic = [header[0], header[1], header[2], header[3]];
+    // lint:allow(service-unwrap) -- infallible: header[4..8] is exactly 4 bytes
     let len = u32::from_be_bytes(header[4..8].try_into().unwrap());
     if len > MAX_FRAME {
         return Err(bad_data(format!("frame length {len} exceeds cap {MAX_FRAME}")));
@@ -570,7 +571,9 @@ fn parse_add_binary(payload: &[u8]) -> io::Result<(String, u64, u64, Vec<f64>)> 
         return Err(bad_data("binary add: truncated retry identity"));
     }
     let (ident, body) = rest.split_at(16);
+    // lint:allow(service-unwrap) -- infallible: ident is exactly 16 bytes (checked above)
     let client_id = u64::from_be_bytes(ident[..8].try_into().unwrap());
+    // lint:allow(service-unwrap) -- infallible: ident is exactly 16 bytes (checked above)
     let seq = u64::from_be_bytes(ident[8..].try_into().unwrap());
     if body.len() % 8 != 0 {
         return Err(bad_data(format!(
@@ -580,6 +583,7 @@ fn parse_add_binary(payload: &[u8]) -> io::Result<(String, u64, u64, Vec<f64>)> 
     }
     let values = body
         .chunks_exact(8)
+        // lint:allow(service-unwrap) -- infallible: chunks_exact(8) yields 8-byte slices
         .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
         .collect();
     Ok((stream, client_id, seq, values))

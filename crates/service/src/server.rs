@@ -98,6 +98,9 @@ impl ServerHandle {
 /// Marks the server stopping and wakes the blocking `accept` with a
 /// throwaway connection.
 fn signal_shutdown(stopping: &AtomicBool, addr: SocketAddr) {
+    // ORDERING: SeqCst — the store must be globally ordered before the
+    // poke connection below can be accepted, so the acceptor's next
+    // check sees it without relying on the socket as a release edge.
     stopping.store(true, Ordering::SeqCst);
     // The acceptor checks `stopping` after every accept; poke it so it
     // does not sit in `accept` forever waiting for a client that never
@@ -144,6 +147,9 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             drop(rx);
 
             for conn in listener.incoming() {
+                // ORDERING: SeqCst — pairs with signal_shutdown's SeqCst
+                // store; the total order guarantees the load after the
+                // poke connection's accept observes the flag.
                 if stopping.load(Ordering::SeqCst) {
                     break;
                 }
@@ -189,6 +195,9 @@ fn serve_connection(
     let local = conn.local_addr()?;
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = BufWriter::new(conn);
+    // ORDERING: Relaxed — the per-connection seed only spreads
+    // connections across ledger shards; uniqueness comes from fetch_add
+    // itself and shard choice never affects the sum.
     let mut shard_cursor = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
     loop {
         let frame = match read_client_frame(&mut reader) {

@@ -13,8 +13,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 
+echo "==> oisum-lint (invariant linter, hard gate)"
+cargo run --offline --release -q -p oisum-lint
+
 echo "==> cargo test (workspace)"
 cargo test --offline --workspace -q
+
+echo "==> loom-lite (exhaustive interleaving model checks)"
+cargo test --offline -q -p oisum-loom-lite --release
 
 echo "==> cargo test (release)"
 cargo test --offline --workspace -q --release
@@ -41,6 +47,25 @@ cargo run --offline --release -q -p oisum-service --bin loadgen -- \
 grep -q '"bitwise_identical":true' "$smoke_out" \
     || { echo "verify: loadgen smoke lost bitwise identity" >&2; rm -f "$smoke_out"; exit 1; }
 rm -f "$smoke_out"
+
+# Best-effort deeper checkers: run when the toolchain has them, skip
+# cleanly when it does not (this container typically lacks both).
+if cargo miri --version >/dev/null 2>&1; then
+    echo "==> cargo miri (core atomics, best-effort)"
+    cargo miri test --offline -q -p oisum-core atomic || {
+        echo "verify: miri reported errors" >&2
+        exit 1
+    }
+else
+    echo "==> cargo miri: not installed, skipping"
+fi
+
+if rustc -Z help >/dev/null 2>&1 && [[ "${OISUM_TSAN:-0}" == "1" ]]; then
+    echo "==> ThreadSanitizer (nightly, opt-in via OISUM_TSAN=1)"
+    RUSTFLAGS="-Z sanitizer=thread" cargo test --offline -q -p oisum-core atomic
+else
+    echo "==> ThreadSanitizer: nightly -Z unavailable or OISUM_TSAN!=1, skipping"
+fi
 
 if [[ "${1:-}" == "--with-loadgen" ]]; then
     echo "==> loadgen (service benchmark + bitwise check, JSON + binary)"
