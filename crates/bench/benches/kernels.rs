@@ -1,0 +1,81 @@
+//! The PR-5 encode/deposit kernels versus the scalar paths they
+//! replace.
+//!
+//! Two comparisons, each isolating one tentpole optimization:
+//!
+//! * `encode/*` — the branchless chunk encode kernel
+//!   ([`encode_f64_batch`]) against the per-value Listing-1
+//!   `encode_deposit` loop it short-circuits. Same input, same
+//!   `BatchAcc`, bitwise-identical output; only the conversion strategy
+//!   differs (XOR/mask sign handling + precomputed per-exponent
+//!   dispatch vs a branch per value).
+//! * `deposit/*` — the 4-wide unrolled [`BatchAcc::deposit_chunk`]
+//!   against one [`BatchAcc::deposit`] call per pre-encoded value.
+//!
+//! The loadgen's `--microbench` mode runs the same two pairs without
+//! criterion and writes the speedups to `BENCH_kernels.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oisum_analysis::workload::uniform_symmetric;
+use oisum_core::{encode_f64_batch, BatchAcc, Hp6x3};
+use std::hint::black_box;
+
+const N: usize = 1 << 16;
+
+fn bench_encode_kernel(c: &mut Criterion) {
+    let xs = uniform_symmetric(N, 23);
+    let mut g = c.benchmark_group("encode_64k");
+    g.throughput(Throughput::Elements(N as u64));
+
+    // The pre-PR-5 path: one branchy Listing-1 encode per value.
+    g.bench_function("scalar_encode_deposit", |b| {
+        b.iter(|| {
+            let mut acc = BatchAcc::<6, 3>::new();
+            for &x in black_box(&xs[..]) {
+                acc.encode_deposit(x);
+            }
+            black_box(acc.finish())
+        })
+    });
+
+    // The branchless chunk kernel.
+    g.bench_function("encode_f64_batch", |b| {
+        b.iter(|| {
+            let mut acc = BatchAcc::<6, 3>::new();
+            encode_f64_batch(&mut acc, black_box(&xs[..]));
+            black_box(acc.finish())
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_deposit_chunk(c: &mut Criterion) {
+    let xs = uniform_symmetric(N, 29);
+    let encoded: Vec<Hp6x3> = xs.iter().map(|&x| Hp6x3::from_f64_unchecked(x)).collect();
+    let mut g = c.benchmark_group("deposit_64k");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("deposit_per_value", |b| {
+        b.iter(|| {
+            let mut acc = BatchAcc::<6, 3>::new();
+            for v in black_box(&encoded[..]) {
+                acc.deposit(v);
+            }
+            black_box(acc.finish())
+        })
+    });
+
+    g.bench_function("deposit_chunk", |b| {
+        b.iter(|| {
+            let mut acc = BatchAcc::<6, 3>::new();
+            acc.deposit_chunk(black_box(&encoded[..]));
+            black_box(acc.finish())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode_kernel, bench_deposit_chunk);
+criterion_main!(benches);

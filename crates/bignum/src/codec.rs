@@ -36,20 +36,34 @@ impl core::fmt::Display for EncodeError {
 
 impl std::error::Error for EncodeError {}
 
+/// Branchlessly splits raw `f64` bits into `(sign_mask, mantissa,
+/// exponent)` with `|x| = mantissa · 2^exponent`.
+///
+/// `sign_mask` is all-ones for a negative sign bit and zero otherwise, so
+/// callers can apply the sign with XOR/mask arithmetic instead of a
+/// per-value branch — the primitive behind the batch encode kernel in
+/// `oisum-core`. The subnormal case folds in without branching: a raw
+/// exponent field of zero means the implicit mantissa bit is absent and
+/// the exponent is pinned to `1 − 1075 = −1074`, which `max(raw, 1)`
+/// expresses as straight-line integer ops. For finite inputs this agrees
+/// exactly with the branching decomposition used by [`encode_f64`]
+/// (± the `bool`→mask representation change); ±0.0 yields a zero
+/// mantissa, and NaN/∞ (raw exponent 2047) are the caller's to screen.
+#[inline]
+pub fn split_f64_bits(bits: u64) -> (u64, u64, i32) {
+    let sign_mask = ((bits as i64) >> 63) as u64;
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    let is_norm = (raw_exp != 0) as u64;
+    let mantissa = (bits & ((1u64 << 52) - 1)) | (is_norm << 52);
+    (sign_mask, mantissa, raw_exp.max(1) - 1075)
+}
+
 /// Splits a finite, nonzero `f64` into `(negative, mantissa, exponent)` with
 /// `|x| = mantissa · 2^exponent` and `mantissa` a 1..=53-bit integer.
 #[inline]
 fn decompose(x: f64) -> (bool, u64, i32) {
-    let bits = x.to_bits();
-    let neg = bits >> 63 != 0;
-    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
-    let frac = bits & ((1u64 << 52) - 1);
-    if raw_exp == 0 {
-        // Subnormal: value = frac · 2^-1074.
-        (neg, frac, -1074)
-    } else {
-        (neg, frac | (1u64 << 52), raw_exp - 1075)
-    }
+    let (sign_mask, mantissa, exp) = split_f64_bits(x.to_bits());
+    (sign_mask != 0, mantissa, exp)
 }
 
 /// Encodes `x` exactly into `out` as a two's-complement fixed-point value

@@ -346,16 +346,28 @@ impl<A: AtomicU64Like, const N: usize, const K: usize> AtomicHpImpl<A, N, K> {
     /// unpoisoned-implies-exact guarantee is unchanged).
     #[inline]
     pub fn add_batch(&self, xs: &[f64]) -> usize {
-        self.add_batch_iter(xs.iter().copied())
+        let mut acc = crate::batch::BatchAcc::<N, K>::new();
+        acc.extend_f64(xs);
+        self.add_dense(&acc.finish())
     }
 
     /// [`Self::add_batch`] over any `f64` iterator (e.g. values decoded
-    /// straight off a wire buffer), without materializing a slice.
+    /// straight off a wire buffer), without materializing a slice: the
+    /// iterator is drained through a stack chunk buffer so the branchless
+    /// encode kernel runs on every value, exactly as in the slice path.
     pub fn add_batch_iter<I: IntoIterator<Item = f64>>(&self, xs: I) -> usize {
         let mut acc = crate::batch::BatchAcc::<N, K>::new();
+        let mut buf = [0.0f64; crate::kernel::ENCODE_CHUNK];
+        let mut filled = 0;
         for x in xs {
-            acc.encode_deposit(x);
+            buf[filled] = x;
+            filled += 1;
+            if filled == buf.len() {
+                acc.extend_f64(&buf);
+                filled = 0;
+            }
         }
+        acc.extend_f64(&buf[..filled]);
         self.add_dense(&acc.finish())
     }
 

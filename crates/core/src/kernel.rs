@@ -1,0 +1,324 @@
+//! The branchless batch encode kernel: `f64` chunks → limb partials.
+//!
+//! [`encode_f64_batch`] is the hot path behind every slice/iterator sum
+//! in this workspace ([`BatchAcc::extend_f64`], `Hp::sum_f64_slice`,
+//! `Hp::par_sum_f64_slice`, `AtomicHp::add_batch`). It replaces the
+//! per-value Listing-1 float loop with integer bit manipulation over
+//! whole chunks, removing every data-dependent branch from the
+//! per-summand critical path:
+//!
+//! * **Sign handling is two's-complement via XOR/mask**, not
+//!   `if neg { negate }`. A negative value's limb-wise contribution
+//!   decomposes as `(2^64 − 1) − mag_j` per limb plus `+1` at the bottom
+//!   limb; the kernel deposits the *signed* magnitude words
+//!   (`(w ^ m) − m` with `m` the all-ones sign mask) and completes the
+//!   identity once per chunk by adding `neg_count · (2^64 − 1)` to every
+//!   partial and `neg_count` to the bottom one. Signed zeros cost
+//!   nothing special: `-0.0` contributes the full `2^(64·N)` ≡ 0.
+//! * **Per-exponent limb-index dispatch is precomputed** — not per
+//!   chunk, but once per `(N, K)` monomorphization at *compile time*: a
+//!   2048-entry table indexed by the raw `f64` exponent field packs the
+//!   sub-resolution truncation shift, the intra-limb shift, and the
+//!   target limb index into one `u32`. The masked index (`raw & 0x7ff`)
+//!   and masked scatter slots keep the whole loop free of bounds-check
+//!   branches in safe Rust (this crate is `#![forbid(unsafe_code)]`).
+//! * **Partials are u128 carry-save**: each chunk accumulates per-limb
+//!   `i128` partial sums (bounded by `2 · chunk · 2^64 < 2^73`, no
+//!   overflow) which [`BatchAcc`] absorbs with one wrapping add plus
+//!   deferred-carry update per limb — the per-*value* lane traffic of
+//!   the scalar path becomes per-*chunk*.
+//!
+//! # Bitwise equality with the scalar path
+//!
+//! Both paths maintain the exact value of the deposited multiset modulo
+//! `2^(64·N)` in the accumulator's `lanes + carries` representation, and
+//! [`BatchAcc::propagate`] maps any such representation of a value to
+//! the same canonical limbs. In-range finite values take the integer
+//! fast path above, which computes precisely the truncating encode of
+//! Listing 1 (`mantissa · 2^(exp + 64·K)` with sub-resolution bits
+//! shifted out toward zero). Everything else — non-finite values and
+//! magnitudes at or beyond the format range, recognized by a *single*
+//! compare of the raw exponent field against [`a threshold`](Tables) —
+//! falls back to the scalar [`encode_listing1`] for that value, so even
+//! the debug assertions and the release-mode saturation garbage are
+//! identical to the per-value path. The `encode_fast_path_matches_reference`
+//! proptest and the golden-vector suite pin this bit for bit.
+
+use crate::batch::BatchAcc;
+use crate::convert::encode_listing1;
+use oisum_bignum::codec::split_f64_bits;
+
+/// Values encoded per kernel invocation (and the flush granularity of
+/// the chunk partials).
+///
+/// Large enough to amortize the per-chunk partial fold (`N` lane
+/// updates per chunk instead of per value) and small enough that the
+/// scatter bank plus partials stay in L1 and the `i128` partials keep
+/// ~55 bits of headroom. Doubling it measures flat on the microbench;
+/// halving it costs ~3% (more folds per value).
+pub const ENCODE_CHUNK: usize = 256;
+
+/// Scatter bank size: slot `j + 1` holds limb `j`'s partial, slot 0
+/// swallows the (always-zero for in-range values) word above the top
+/// limb. 32 slots let every index be masked with `& 0x1f`, which the
+/// compiler proves in-bounds — no bounds-check branches, no `unsafe`.
+const SCATTER_SLOTS: usize = 32;
+
+/// Compile-time per-`(N, K)` dispatch tables.
+struct Tables<const N: usize, const K: usize>;
+
+impl<const N: usize, const K: usize> Tables<N, K> {
+    /// First raw exponent field value routed to the scalar fallback.
+    ///
+    /// A normal `f64` with raw exponent `e` has magnitude in
+    /// `[2^(e−1023), 2^(e−1022))`; every value below the threshold is
+    /// finite and strictly inside the format range
+    /// `|x| < 2^(64·(N−K)−1)`, and every value at or above it (including
+    /// `e = 2047`, NaN/∞) is not. One unsigned compare therefore
+    /// separates the branchless fast path from the exact scalar path.
+    const THRESH: u32 = slow_threshold(N, K);
+
+    /// `raw exponent → (drop, intra-limb shift, low scatter slot)`,
+    /// packed as `drop | intra << 7 | lo_slot << 13`. Entries at or
+    /// above [`Self::THRESH`] are never read.
+    const DISPATCH: [u32; 2048] = dispatch_table(N, K);
+}
+
+const fn slow_threshold(n: usize, k: usize) -> u32 {
+    // The scatter bank caps N at 31 (5-bit slot indices); the format
+    // itself (HpFixed::format) already requires N ≥ 1, K ≤ N, N−K ≤ 16.
+    assert!(n >= 1 && k <= n && n - k <= 16 && n <= 31);
+    let t = 64 * (n as i64 - k as i64) + 1022;
+    if t > 2047 {
+        2047
+    } else {
+        t as u32
+    }
+}
+
+const fn dispatch_table(n: usize, k: usize) -> [u32; 2048] {
+    let thresh = slow_threshold(n, k);
+    let mut table = [0u32; 2048];
+    let mut raw = 0usize;
+    while raw < 2048 {
+        if (raw as u32) < thresh {
+            // Value = mantissa · 2^exp; in units of the resolution
+            // (2^(−64·K)) the mantissa's bit 0 sits at `shift`.
+            let exp = (if raw == 0 { 1 } else { raw as i64 }) - 1075;
+            let shift = exp + 64 * k as i64;
+            let (drop, li, intra) = if shift < 0 {
+                // Sub-resolution bits truncate toward zero. The mantissa
+                // is ≤ 53 bits, so any drop ≥ 54 zeroes it; clamping to
+                // 127 keeps the u128 shift in range.
+                let d = -shift;
+                ((if d > 127 { 127 } else { d }) as u32, 0usize, 0u32)
+            } else {
+                (0u32, (shift / 64) as usize, (shift % 64) as u32)
+            };
+            // In-range values always land inside the limb bank (at the
+            // range boundary li = n − 1 exactly); const evaluation turns
+            // a violation into a compile error.
+            assert!(li < n);
+            let lo_slot = (n - li) as u32;
+            table[raw] = drop | (intra << 7) | (lo_slot << 13);
+        }
+        raw += 1;
+    }
+    table
+}
+
+/// Encodes `xs` with the branchless chunk kernel and deposits the
+/// contributions into `acc`, bitwise-identically to
+/// `for &x in xs { acc.encode_deposit(x) }` for **every** `f64` input
+/// (in-range, boundary, subnormal, signed-zero — and identical
+/// debug-assert/saturation behavior beyond the range).
+///
+/// The caller owns the same range precondition as
+/// [`HpFixed::sum_f64_slice`](crate::fixed::HpFixed::sum_f64_slice).
+#[inline]
+pub fn encode_f64_batch<const N: usize, const K: usize>(acc: &mut BatchAcc<N, K>, xs: &[f64]) {
+    for chunk in xs.chunks(ENCODE_CHUNK) {
+        encode_chunk(acc, chunk);
+    }
+}
+
+/// One chunk (≤ [`ENCODE_CHUNK`] values): scatter signed magnitude
+/// words, then fold the completed non-negative partials into `acc`.
+fn encode_chunk<const N: usize, const K: usize>(acc: &mut BatchAcc<N, K>, chunk: &[f64]) {
+    debug_assert!(chunk.len() <= ENCODE_CHUNK);
+    let mut scatter = [0i128; SCATTER_SLOTS];
+    let mut neg_count: u64 = 0;
+    for &x in chunk {
+        let bits = x.to_bits();
+        let raw = ((bits >> 52) & 0x7ff) as u32;
+        if raw >= Tables::<N, K>::THRESH {
+            slow_encode::<N, K>(&mut scatter, x);
+            continue;
+        }
+        let (sign_mask, mantissa, _) = split_f64_bits(bits);
+        let e = Tables::<N, K>::DISPATCH[(raw & 0x7ff) as usize];
+        // Truncate sub-resolution bits, then shift into limb position.
+        // mantissa ≤ 2^53 and intra ≤ 63, so the product is < 2^117.
+        let m = ((mantissa as u128) >> (e & 0x7f)) << ((e >> 7) & 0x3f);
+        let lo_slot = ((e >> 13) & 0x1f) as usize;
+        // Branchless conditional negation: (w ^ m) − m is w for m = 0
+        // and −w for m = −1. The sign mask broadcast and the +1 of the
+        // two's complement are hoisted out of the loop via `neg_count`.
+        let sm = (sign_mask as i64) as i128;
+        let lo = ((m as u64) as i128 ^ sm) - sm;
+        let hi = (((m >> 64) as u64 as i128) ^ sm) - sm;
+        scatter[lo_slot & 0x1f] += lo;
+        scatter[lo_slot.wrapping_sub(1) & 0x1f] += hi;
+        neg_count += sign_mask & 1;
+    }
+    // Complete each negative value's two's complement:
+    //   −mag_j + (2^64 − 1) = (2^64 − 1) − mag_j   (per limb)
+    // plus +1 at the bottom limb. Partials become non-negative and stay
+    // below 2 · ENCODE_CHUNK · 2^64 < 2^73.
+    let nc = neg_count as i128;
+    let all_ones = u64::MAX as i128;
+    let mut partials = [0i128; N];
+    for (j, p) in partials.iter_mut().enumerate() {
+        *p = scatter[(j + 1) & 0x1f] + nc * all_ones;
+    }
+    partials[N - 1] += nc;
+    acc.absorb_partials(&partials, chunk.len() as u32);
+}
+
+/// The rare path: non-finite or out-of-range magnitude. Reuses the
+/// scalar Listing-1 encode so behavior (including debug assertions and
+/// release saturation) is exactly the per-value path's, and deposits
+/// the already-two's-complement limbs unsigned.
+#[cold]
+#[inline(never)]
+fn slow_encode<const N: usize, const K: usize>(scatter: &mut [i128; SCATTER_SLOTS], x: f64) {
+    let limbs = encode_listing1::<N, K>(x);
+    for (j, &limb) in limbs.iter().enumerate() {
+        scatter[(j + 1) & 0x1f] += limb as i128;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::HpFixed;
+
+    /// Kernel encode of a single value, read back as canonical limbs.
+    fn kernel_one<const N: usize, const K: usize>(x: f64) -> [u64; N] {
+        let mut acc = BatchAcc::<N, K>::new();
+        encode_f64_batch(&mut acc, &[x]);
+        *acc.finish().as_limbs()
+    }
+
+    fn scalar_one<const N: usize, const K: usize>(x: f64) -> [u64; N] {
+        *HpFixed::<N, K>::from_f64_unchecked(x).as_limbs()
+    }
+
+    #[test]
+    fn thresholds_split_range_exactly() {
+        // Hp6x3: range 2^191 → threshold raw exponent 64·3 + 1022.
+        assert_eq!(Tables::<6, 3>::THRESH, 1214);
+        // Full-width integer part (N−K = 16): threshold stays below 2047.
+        assert_eq!(Tables::<16, 0>::THRESH, 2046);
+        // All-fraction format: |x| < 0.5.
+        assert_eq!(Tables::<1, 1>::THRESH, 1022);
+    }
+
+    #[test]
+    fn matches_scalar_on_special_values() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.5,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            5e-324,
+            -5e-324,
+            1.0 + 2f64.powi(-52),
+            12345.678,
+            -98765.4321,
+            1e-300,
+            -1e-300,
+            3.5e17,
+            -3.5e17,
+        ] {
+            assert_eq!(kernel_one::<6, 3>(x), scalar_one::<6, 3>(x), "6,3 x={x:e}");
+            assert_eq!(kernel_one::<3, 2>(x), scalar_one::<3, 2>(x), "3,2 x={x:e}");
+            assert_eq!(kernel_one::<2, 1>(x), scalar_one::<2, 1>(x), "2,1 x={x:e}");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_across_full_exponent_sweep() {
+        // Every in-range binade of the 6×3 format, both signs, mantissa
+        // patterns that exercise the truncation and the intra-limb shift.
+        for raw in 0u32..Tables::<6, 3>::THRESH {
+            for frac in [0u64, 1, 0x000F_0F0F_0F0F_0F05, (1 << 52) - 1] {
+                let bits = ((raw as u64) << 52) | frac;
+                for x in [f64::from_bits(bits), f64::from_bits(bits | (1 << 63))] {
+                    assert_eq!(
+                        kernel_one::<6, 3>(x),
+                        scalar_one::<6, 3>(x),
+                        "x = {x:e} (raw {raw}, frac {frac:#x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scalar_at_range_boundary() {
+        // The largest f64 below each format's range bound, and the
+        // smallest truncating-to-nonzero magnitudes around it.
+        let below_191 = f64::from_bits((2f64.powi(191)).to_bits() - 1);
+        for x in [below_191, -below_191, 2f64.powi(190), -2f64.powi(190)] {
+            assert_eq!(kernel_one::<6, 3>(x), scalar_one::<6, 3>(x), "x={x:e}");
+        }
+        let below_63 = f64::from_bits((2f64.powi(63)).to_bits() - 1);
+        for x in [below_63, -below_63] {
+            assert_eq!(kernel_one::<2, 1>(x), scalar_one::<2, 1>(x), "x={x:e}");
+        }
+    }
+
+    #[test]
+    fn mixed_chunks_match_per_value_deposits() {
+        // Straddles chunk boundaries (3 · 256 + 17 values) with signs,
+        // magnitudes across ~25 binades, and sub-resolution values.
+        let xs: Vec<f64> = (0..(3 * ENCODE_CHUNK + 17))
+            .map(|i| {
+                let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+                sign * (i as f64 + 0.3) * 10f64.powi((i % 25) as i32 - 12)
+            })
+            .collect();
+        let mut fast = BatchAcc::<6, 3>::new();
+        encode_f64_batch(&mut fast, &xs);
+        let mut slow = BatchAcc::<6, 3>::new();
+        for &x in &xs {
+            slow.encode_deposit(x);
+        }
+        assert_eq!(fast.finish(), slow.finish());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_mode_garbage_is_identical_beyond_the_range() {
+        // Out-of-range and non-finite inputs are unsupported (the scalar
+        // path saturates to *some* limbs in release builds); the kernel
+        // must produce the same garbage so the fast path is undetectable.
+        for x in [
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            2f64.powi(191),
+            -2f64.powi(191),
+            1e308,
+            -1e308,
+        ] {
+            assert_eq!(kernel_one::<6, 3>(x), scalar_one::<6, 3>(x), "x={x}");
+            assert_eq!(kernel_one::<2, 1>(x), scalar_one::<2, 1>(x), "x={x}");
+        }
+    }
+}

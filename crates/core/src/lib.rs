@@ -46,6 +46,7 @@
 //! | [`fixed`] | §III.A, Listings 1–2 | [`HpFixed<N, K>`](fixed::HpFixed) value type and arithmetic |
 //! | [`convert`] | Listing 1 | the float-path conversion loop and its inverse |
 //! | [`batch`] | throughput extension | [`BatchAcc`](batch::BatchAcc), carry-deferred batch accumulation |
+//! | [`kernel`] | throughput extension | [`encode_f64_batch`](kernel::encode_f64_batch), the branchless chunk encode kernel |
 //! | [`atomic`] | §III.B.2 | [`AtomicHp`](atomic::AtomicHp), CAS/fetch-add accumulators |
 //! | [`format`] | Table 1 | runtime format descriptors, range/resolution math |
 //! | [`dyn_hp`] | — | runtime-format values backing the adaptive extension |
@@ -67,6 +68,7 @@ pub mod dyn_hp;
 pub mod error;
 pub mod fixed;
 pub mod format;
+pub mod kernel;
 pub mod ops;
 #[cfg(feature = "serde")]
 mod serde_impls;
@@ -79,6 +81,7 @@ pub use dot::{hp_dot, hp_norm_sq, two_product};
 pub use atomic::{AtomicHp, AtomicHpImpl, AtomicU64Like};
 pub use dyn_hp::DynHp;
 pub use error::HpError;
+pub use kernel::{encode_f64_batch, ENCODE_CHUNK};
 pub use sum::HpSumExt;
 pub use fixed::{Hp2x1, Hp3x2, Hp6x3, Hp8x4, HpFixed};
 pub use format::HpFormat;

@@ -26,9 +26,17 @@ pub trait HpSumExt: Iterator<Item = f64> + Sized {
     /// to an encode-and-`+=` fold.
     fn hp_sum<const N: usize, const K: usize>(self) -> HpFixed<N, K> {
         let mut acc = BatchAcc::<N, K>::new();
+        let mut buf = [0.0f64; crate::kernel::ENCODE_CHUNK];
+        let mut filled = 0;
         for x in self {
-            acc.encode_deposit(x);
+            buf[filled] = x;
+            filled += 1;
+            if filled == buf.len() {
+                acc.extend_f64(&buf);
+                filled = 0;
+            }
         }
+        acc.extend_f64(&buf[..filled]);
         acc.finish()
     }
 

@@ -7,7 +7,7 @@
 //! stay bit-identical on every vector case.
 
 use oisum_bignum::testvec;
-use oisum_core::Hp6x3;
+use oisum_core::{BatchAcc, Hp6x3};
 
 #[test]
 fn hp6x3_matches_golden_vectors() {
@@ -20,6 +20,18 @@ fn hp6x3_matches_golden_vectors() {
 
         let trunc = Hp6x3::from_f64_trunc(x).ok().map(|v| v.as_limbs().to_vec());
         assert_eq!(trunc, hp.req("trunc").hex_u64_arr(), "case `{name}`: from_f64_trunc mismatch");
+
+        // The batch encode kernel must land every vector case on the
+        // same limbs as the truncating Listing-1 path.
+        if let Some(expected) = hp.req("trunc").hex_u64_arr() {
+            let mut acc = BatchAcc::<6, 3>::new();
+            acc.extend_f64(&[x]);
+            assert_eq!(
+                acc.finish().as_limbs().to_vec(),
+                expected,
+                "case `{name}`: batch kernel mismatch"
+            );
+        }
 
         let nearest = Hp6x3::from_f64_nearest(x).ok().map(|v| v.as_limbs().to_vec());
         assert_eq!(

@@ -30,12 +30,22 @@
 //! when it runs (the service's hot path), with both passes nested under
 //! `"json_mode"` / `"binary_mode"`.
 
+use oisum_core::{encode_f64_batch, BatchAcc};
 use oisum_faults::{registry, FaultAction, FireRule};
 use oisum_service::{serve, Client, ClientConfig, ServerConfig, ServiceHp};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::hint::black_box;
 use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// PR 2's recorded binary-mode baseline (its `BENCH_service.json`), kept
+/// in the reports so every run carries its own before/after comparison.
+/// Measured on PR 2's reference machine; cross-machine comparisons
+/// should use the ratios, not the absolute numbers.
+const PR2_BINARY_VALUES_PER_SEC: f64 = 17_812_875.0;
+const PR2_BINARY_P50_US: f64 = 104.11;
+const PR2_JSON_P99_US: f64 = 1563.04;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -52,6 +62,7 @@ impl Mode {
     }
 }
 
+#[derive(Clone)]
 struct Args {
     threads: usize,
     values: usize,
@@ -61,6 +72,13 @@ struct Args {
     modes: Vec<Mode>,
     chaos: bool,
     out: String,
+    /// Batch sizes for the `--values-per-batch` kernel sweep; empty
+    /// disables the sweep (and `BENCH_kernels.json`).
+    sweep: Vec<usize>,
+    kernels_out: String,
+    /// Enables the performance regression gates (p50 / values-per-sec
+    /// floors); off by default so exploratory runs never abort.
+    gate: bool,
 }
 
 impl Default for Args {
@@ -74,6 +92,9 @@ impl Default for Args {
             modes: vec![Mode::Json, Mode::Binary],
             chaos: false,
             out: "BENCH_service.json".to_owned(),
+            sweep: Vec::new(),
+            kernels_out: "BENCH_kernels.json".to_owned(),
+            gate: false,
         }
     }
 }
@@ -81,7 +102,8 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] \
-         [--json | --binary] [--chaos] [--out PATH]"
+         [--json | --binary] [--chaos] [--gate] [--out PATH] \
+         [--values-per-batch N,N,...] [--kernels-out PATH]"
     );
     std::process::exit(2);
 }
@@ -100,11 +122,19 @@ fn parse_args() -> Args {
             "--json" => a.modes = vec![Mode::Json],
             "--binary" => a.modes = vec![Mode::Binary],
             "--chaos" => a.chaos = true,
+            "--gate" => a.gate = true,
             "--out" => a.out = value(),
+            "--values-per-batch" => {
+                a.sweep = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--kernels-out" => a.kernels_out = value(),
             _ => usage(),
         }
     }
-    if a.threads == 0 || a.values == 0 || a.batch == 0 {
+    if a.threads == 0 || a.values == 0 || a.batch == 0 || a.sweep.contains(&0) {
         usage();
     }
     if a.chaos && !cfg!(feature = "failpoints") {
@@ -292,6 +322,134 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
     }
 }
 
+/// In-process timings of the PR-5 kernels against the scalar paths they
+/// replaced: the branchless chunk encode vs a per-value Listing-1
+/// `encode_deposit` loop, and the 4-wide `deposit_chunk` vs one
+/// `deposit` per pre-encoded value. Mirrors the criterion suite in
+/// `crates/bench/benches/kernels.rs`, condensed to best-of-R medians so
+/// the loadgen can emit machine-readable before/after numbers.
+struct KernelBench {
+    scalar_encode_vps: f64,
+    kernel_encode_vps: f64,
+    deposit_vps: f64,
+    deposit_chunk_vps: f64,
+}
+
+impl KernelBench {
+    fn encode_speedup(&self) -> f64 {
+        self.kernel_encode_vps / self.scalar_encode_vps
+    }
+
+    fn deposit_speedup(&self) -> f64 {
+        self.deposit_chunk_vps / self.deposit_vps
+    }
+}
+
+fn microbench(seed: u64) -> KernelBench {
+    const M: usize = 1 << 16;
+    const RUNS: usize = 9;
+    let xs = generate(M, seed ^ 0xBE7C);
+    let encoded: Vec<ServiceHp> = xs.iter().map(|&x| ServiceHp::from_f64_unchecked(x)).collect();
+    let best = |work: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            work();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        M as f64 / best
+    };
+
+    let scalar_encode_vps = best(&mut || {
+        let mut acc = BatchAcc::<6, 3>::new();
+        for &x in black_box(&xs[..]) {
+            acc.encode_deposit(x);
+        }
+        black_box(acc.finish());
+    });
+    let kernel_encode_vps = best(&mut || {
+        let mut acc = BatchAcc::<6, 3>::new();
+        encode_f64_batch(&mut acc, black_box(&xs[..]));
+        black_box(acc.finish());
+    });
+    let deposit_vps = best(&mut || {
+        let mut acc = BatchAcc::<6, 3>::new();
+        for v in black_box(&encoded[..]) {
+            acc.deposit(v);
+        }
+        black_box(acc.finish());
+    });
+    let deposit_chunk_vps = best(&mut || {
+        let mut acc = BatchAcc::<6, 3>::new();
+        acc.deposit_chunk(black_box(&encoded[..]));
+        black_box(acc.finish());
+    });
+    KernelBench { scalar_encode_vps, kernel_encode_vps, deposit_vps, deposit_chunk_vps }
+}
+
+/// Runs the kernel microbench plus a binary-mode end-to-end pass per
+/// requested batch size, and writes `BENCH_kernels.json`.
+fn run_sweep(args: &Args, data: &[f64], expected: &ServiceHp) {
+    let kb = microbench(args.seed);
+    println!(
+        "  [kernels] encode: {:.1}M values/s scalar -> {:.1}M values/s batch kernel ({:.2}x)",
+        kb.scalar_encode_vps / 1e6,
+        kb.kernel_encode_vps / 1e6,
+        kb.encode_speedup()
+    );
+    println!(
+        "  [kernels] deposit: {:.1}M values/s per-value -> {:.1}M values/s chunked ({:.2}x)",
+        kb.deposit_vps / 1e6,
+        kb.deposit_chunk_vps / 1e6,
+        kb.deposit_speedup()
+    );
+    // The acceptance floor for this PR: the branchless encode kernel
+    // must beat the scalar path by >= 1.5x. CPU-bound, so safe to assert
+    // unconditionally (no network or scheduler noise in the measurement).
+    assert!(
+        kb.encode_speedup() >= 1.5,
+        "encode kernel speedup {:.2}x fell below the 1.5x floor",
+        kb.encode_speedup()
+    );
+
+    let mut json = format!(
+        "{{\"microbench\":{{\"scalar_encode_values_per_sec\":{:.0},\"kernel_encode_values_per_sec\":{:.0},\"encode_speedup\":{:.3},\"deposit_values_per_sec\":{:.0},\"deposit_chunk_values_per_sec\":{:.0},\"deposit_speedup\":{:.3}}},\"pr2_baseline\":{{\"binary_values_per_sec\":{:.0},\"binary_p50_us\":{:.2}}},\"sweep\":[",
+        kb.scalar_encode_vps,
+        kb.kernel_encode_vps,
+        kb.encode_speedup(),
+        kb.deposit_vps,
+        kb.deposit_chunk_vps,
+        kb.deposit_speedup(),
+        PR2_BINARY_VALUES_PER_SEC,
+        PR2_BINARY_P50_US,
+    );
+    for (i, &batch) in args.sweep.iter().enumerate() {
+        let pass_args = Args { batch, chaos: false, ..args.clone() };
+        let r = run_pass(&pass_args, data, expected, Mode::Binary);
+        println!(
+            "  [sweep {batch:>5}/batch] {:.0} values/s, p50 {:.1} us, p99 {:.1} us",
+            r.values_per_sec, r.p50_us, r.p99_us
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"values_per_batch\":{},\"values_per_sec\":{:.0},\"ops_per_sec\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2},\"bitwise_identical\":true}}",
+            batch, r.values_per_sec, r.ops_per_sec, r.p50_us, r.p99_us
+        ));
+    }
+    json.push_str("]}\n");
+    let mut f = std::fs::File::create(&args.kernels_out).expect("create kernels output");
+    f.write_all(json.as_bytes()).expect("write kernels output");
+    println!("  wrote {}", args.kernels_out);
+}
+
+/// A gate floor, overridable through the environment so one config works
+/// across machines of different speeds.
+fn env_floor(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 fn main() {
     let args = parse_args();
     let data = generate(args.values, args.seed);
@@ -350,6 +508,12 @@ fn main() {
         args.shards,
         args.chaos
     );
+    // The previous release's numbers ride along in every report so a
+    // reader (or a gate script) has before/after in one file.
+    json.push_str(&format!(
+        ",\"pr2_baseline\":{{\"binary_values_per_sec\":{:.0},\"binary_p50_us\":{:.2},\"json_p99_us\":{:.2}}}",
+        PR2_BINARY_VALUES_PER_SEC, PR2_BINARY_P50_US, PR2_JSON_P99_US
+    ));
     for r in &reports {
         json.push_str(&format!(",\"{}_mode\":{}", r.mode.name(), r.to_json()));
     }
@@ -357,4 +521,38 @@ fn main() {
     let mut f = std::fs::File::create(&args.out).expect("create bench output");
     f.write_all(json.as_bytes()).expect("write bench output");
     println!("  wrote {}", args.out);
+
+    if !args.sweep.is_empty() {
+        run_sweep(&args, &data, &expected);
+    }
+
+    if args.gate {
+        // Regression gates over the binary pass (floors overridable per
+        // machine through the environment; see scripts/verify.sh).
+        let binary = reports
+            .iter()
+            .find(|r| r.mode == Mode::Binary)
+            .expect("--gate needs a binary pass");
+        let p50_floor = env_floor("OISUM_GATE_P50_US", 200.0);
+        assert!(
+            binary.p50_us <= p50_floor,
+            "gate: binary p50 {:.2} us regressed past the {:.2} us ceiling",
+            binary.p50_us,
+            p50_floor
+        );
+        let vps_floor = env_floor("OISUM_GATE_VALUES_PER_SEC", 10_000_000.0);
+        assert!(
+            binary.values_per_sec >= vps_floor,
+            "gate: binary throughput {:.0} values/s fell below the {:.0} floor",
+            binary.values_per_sec,
+            vps_floor
+        );
+        println!(
+            "  gate: p50 {:.1} us <= {:.1} us, {:.2}M values/s >= {:.2}M values/s floor: OK",
+            binary.p50_us,
+            p50_floor,
+            binary.values_per_sec / 1e6,
+            vps_floor / 1e6
+        );
+    }
 }

@@ -14,10 +14,10 @@
 //! and said no.
 
 use crate::proto::{
-    read_frame, write_add_binary, write_frame, ErrorCode, Request, Response, StreamStatsRepr,
+    add_binary_into, read_frame, write_frame, ErrorCode, Request, Response, StreamStatsRepr,
 };
 use rand::{Rng, SeedableRng, StdRng};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -127,6 +127,10 @@ pub struct Client {
     /// never per attempt — that is the whole exactly-once trick.
     next_seq: u64,
     jitter: StdRng,
+    /// Reusable binary Add frame buffer: formatted once per logical
+    /// batch, resent verbatim by every retry, capacity kept across
+    /// batches.
+    send_buf: Vec<u8>,
 }
 
 impl Client {
@@ -155,6 +159,7 @@ impl Client {
             client_id,
             next_seq: 1,
             jitter,
+            send_buf: Vec::new(),
         })
     }
 
@@ -259,15 +264,23 @@ impl Client {
     pub fn add_binary(&mut self, stream: &str, values: &[f64]) -> Result<u64, ClientError> {
         let seq = self.claim_seq();
         let client_id = self.client_id;
-        let stream = stream.to_owned();
-        let values = values.to_vec();
-        self.with_retries(move |c| {
-            write_add_binary(&mut c.writer, &stream, client_id, seq, &values)?;
-            match c.read_reply()? {
-                Response::Added { count, .. } => Ok(count),
-                _ => Err(ClientError::UnexpectedReply("added")),
-            }
-        })
+        // Format the frame once into the client's reusable buffer; every
+        // retry resends the identical bytes. Taken out of `self` so the
+        // retry closure can borrow the client mutably alongside it.
+        let mut buf = std::mem::take(&mut self.send_buf);
+        let result = match add_binary_into(&mut buf, stream, client_id, seq, values) {
+            Ok(()) => self.with_retries(|c| {
+                c.writer.write_all(&buf)?;
+                c.writer.flush()?;
+                match c.read_reply()? {
+                    Response::Added { count, .. } => Ok(count),
+                    _ => Err(ClientError::UnexpectedReply("added")),
+                }
+            }),
+            Err(e) => Err(e.into()),
+        };
+        self.send_buf = buf;
+        result
     }
 
     /// Reads the exact sum of a stream. Idempotent, so retried freely.

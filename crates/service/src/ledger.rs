@@ -106,19 +106,22 @@ impl Stream {
     /// `(values accounted for, false)` when `(client_id, seq)` was
     /// already applied — the deposit is skipped and the stats counters
     /// untouched, so `values` stays an exact count of applied summands.
-    fn add_batch_dedup(
+    fn add_batch_dedup<I: ExactSizeIterator<Item = f64>>(
         &self,
         shard_hint: usize,
         client_id: u64,
         seq: u64,
-        values: &[f64],
+        values: I,
     ) -> (u64, bool) {
         let slot = self.dedup_slot(client_id);
         let mut last = slot.lock().unwrap();
         if seq <= *last {
+            // A recognized replay is counted without decoding a single
+            // value — with the wire view this costs a length read, not
+            // an iteration over the batch.
             return (values.len() as u64, false);
         }
-        let n = self.add_batch_on(shard_hint, values.iter().copied());
+        let n = self.add_batch_on(shard_hint, values);
         *last = seq;
         (n, true)
     }
@@ -272,19 +275,27 @@ impl ShardedLedger {
     /// recognized replay. A `client_id` of
     /// [`UNTRACKED_CLIENT`](crate::proto::UNTRACKED_CLIENT) bypasses the
     /// window entirely.
-    pub fn add_batch_dedup(
+    ///
+    /// Generic over any exact-size `f64` iterator so the server's binary
+    /// fast path can feed values decoded lazily off its read buffer — a
+    /// replay is then counted from the frame length alone.
+    pub fn add_batch_dedup<I>(
         &self,
         name: &str,
         shard_hint: usize,
         client_id: u64,
         seq: u64,
-        values: &[f64],
-    ) -> (u64, bool) {
+        values: I,
+    ) -> (u64, bool)
+    where
+        I: IntoIterator<Item = f64>,
+        I::IntoIter: ExactSizeIterator,
+    {
         let stream = self.stream(name);
         if client_id == UNTRACKED_CLIENT {
-            (stream.add_batch_on(shard_hint, values.iter().copied()), true)
+            (stream.add_batch_on(shard_hint, values), true)
         } else {
-            stream.add_batch_dedup(shard_hint, client_id, seq, values)
+            stream.add_batch_dedup(shard_hint, client_id, seq, values.into_iter())
         }
     }
 
@@ -432,20 +443,20 @@ mod tests {
     fn replayed_identity_applies_exactly_once() {
         let ledger = ShardedLedger::new(4);
         let xs = [0.1, -2.5, 1e9];
-        let (n, applied) = ledger.add_batch_dedup("s", 0, 7, 1, &xs);
+        let (n, applied) = ledger.add_batch_dedup("s", 0, 7, 1, xs.iter().copied());
         assert_eq!((n, applied), (3, true));
         // Replays of seq 1 — any number, any shard hint — deposit nothing.
         for hint in 0..5 {
-            let (n, applied) = ledger.add_batch_dedup("s", hint, 7, 1, &xs);
+            let (n, applied) = ledger.add_batch_dedup("s", hint, 7, 1, xs.iter().copied());
             assert_eq!((n, applied), (3, false));
         }
         assert_eq!(ledger.sum("s").unwrap(), ServiceHp::sum_f64_slice(&xs));
         assert_eq!(ledger.stats().streams[0].values, 3);
         // The next seq applies; an older (out-of-window) seq does not.
-        assert!(ledger.add_batch_dedup("s", 0, 7, 2, &[1.0]).1);
-        assert!(!ledger.add_batch_dedup("s", 0, 7, 1, &xs).1);
+        assert!(ledger.add_batch_dedup("s", 0, 7, 2, [1.0]).1);
+        assert!(!ledger.add_batch_dedup("s", 0, 7, 1, xs.iter().copied()).1);
         // A different client with the same seq is unrelated.
-        assert!(ledger.add_batch_dedup("s", 0, 8, 1, &[2.0]).1);
+        assert!(ledger.add_batch_dedup("s", 0, 8, 1, [2.0]).1);
     }
 
     #[test]
@@ -453,7 +464,7 @@ mod tests {
         let ledger = ShardedLedger::new(2);
         for _ in 0..3 {
             let (n, applied) =
-                ledger.add_batch_dedup("s", 0, crate::proto::UNTRACKED_CLIENT, 1, &[1.0]);
+                ledger.add_batch_dedup("s", 0, crate::proto::UNTRACKED_CLIENT, 1, [1.0]);
             assert_eq!((n, applied), (1, true));
         }
         assert_eq!(ledger.sum("s").unwrap().to_f64(), 3.0);
@@ -462,8 +473,8 @@ mod tests {
     #[test]
     fn snapshot_carries_the_dedup_window() {
         let ledger = ShardedLedger::new(3);
-        ledger.add_batch_dedup("s", 0, 7, 4, &[1.5]);
-        ledger.add_batch_dedup("s", 0, 9, 2, &[2.5]);
+        ledger.add_batch_dedup("s", 0, 7, 4, [1.5]);
+        ledger.add_batch_dedup("s", 0, 9, 2, [2.5]);
         let snap = ledger.snapshot();
         assert_eq!(snap[0].dedup, vec![(7, 4), (9, 2)]);
 
@@ -471,11 +482,11 @@ mod tests {
         restored.restore(&snap);
         // A replay of an identity applied before the snapshot must still
         // be recognized after restore.
-        assert!(!restored.add_batch_dedup("s", 0, 7, 4, &[1.5]).1);
-        assert!(!restored.add_batch_dedup("s", 0, 9, 1, &[2.5]).1);
+        assert!(!restored.add_batch_dedup("s", 0, 7, 4, [1.5]).1);
+        assert!(!restored.add_batch_dedup("s", 0, 9, 1, [2.5]).1);
         assert_eq!(restored.sum("s").unwrap(), ledger.sum("s").unwrap());
         // Fresh work continues from the window.
-        assert!(restored.add_batch_dedup("s", 0, 7, 5, &[3.0]).1);
+        assert!(restored.add_batch_dedup("s", 0, 7, 5, [3.0]).1);
     }
 
     #[test]

@@ -452,6 +452,29 @@ pub fn frame_bytes<T: Serialize>(msg: &T) -> io::Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Serializes one JSON frame into `buf` (cleared first), reusing
+/// `scratch` for the JSON text. Neither buffer allocates once warm, so a
+/// connection loop can format every reply into the same two buffers and
+/// land it on the socket with a single `write_all` — no per-reply `Vec`,
+/// no `BufWriter` copy.
+pub fn frame_into<T: Serialize>(
+    msg: &T,
+    scratch: &mut String,
+    buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    scratch.clear();
+    serde_json::to_string_into(msg, scratch).map_err(|e| bad_data(e.to_string()))?;
+    let len = u32::try_from(scratch.len()).map_err(|_| bad_data("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(bad_data("frame too large"));
+    }
+    buf.clear();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(scratch.as_bytes());
+    Ok(())
+}
+
 /// Writes one frame: header, length, JSON payload.
 pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
     w.write_all(&frame_bytes(msg)?)?;
@@ -520,6 +543,20 @@ pub fn add_binary_bytes(
     seq: u64,
     values: &[f64],
 ) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    add_binary_into(&mut buf, stream, client_id, seq, values)?;
+    Ok(buf)
+}
+
+/// [`add_binary_bytes`] into a caller-owned buffer (cleared first), so a
+/// client's send loop reuses one allocation across batches.
+pub fn add_binary_into(
+    buf: &mut Vec<u8>,
+    stream: &str,
+    client_id: u64,
+    seq: u64,
+    values: &[f64],
+) -> io::Result<()> {
     let name = stream.as_bytes();
     let name_len = u16::try_from(name.len()).map_err(|_| bad_data("stream name too long"))?;
     let payload_len = 2 + name.len() + 16 + 8 * values.len();
@@ -527,7 +564,8 @@ pub fn add_binary_bytes(
     if len > MAX_FRAME {
         return Err(bad_data("frame too large"));
     }
-    let mut buf = Vec::with_capacity(8 + payload_len);
+    buf.clear();
+    buf.reserve(8 + payload_len);
     buf.extend_from_slice(&MAGIC_ADD_BIN);
     buf.extend_from_slice(&len.to_be_bytes());
     buf.extend_from_slice(&name_len.to_be_bytes());
@@ -537,7 +575,7 @@ pub fn add_binary_bytes(
     for v in values {
         buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
-    Ok(buf)
+    Ok(())
 }
 
 /// Writes one binary Add frame; see [`add_binary_bytes`] for the layout.
@@ -552,9 +590,66 @@ pub fn write_add_binary<W: Write>(
     w.flush()
 }
 
-/// Parses the payload of a binary Add frame into
-/// `(stream, client_id, seq, values)`.
-fn parse_add_binary(payload: &[u8]) -> io::Result<(String, u64, u64, Vec<f64>)> {
+/// A binary Add frame parsed *in place*: the stream name and value bytes
+/// borrow the frame payload, so the server's hot path hands the summands
+/// straight from its read buffer to the ledger without materializing a
+/// `Vec<f64>` (or a `String`) per frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryAddView<'a> {
+    /// Target stream (created on first use), borrowed from the payload.
+    pub stream: &'a str,
+    /// Retry identity; [`UNTRACKED_CLIENT`] opts out of dedup.
+    pub client_id: u64,
+    /// Per-client sequence number of this batch.
+    pub seq: u64,
+    /// Raw little-endian `f64` bytes, length a multiple of 8.
+    value_bytes: &'a [u8],
+}
+
+impl<'a> BinaryAddView<'a> {
+    /// Number of summands carried by the frame.
+    pub fn len(&self) -> usize {
+        self.value_bytes.len() / 8
+    }
+
+    /// True when the frame carries no summands.
+    pub fn is_empty(&self) -> bool {
+        self.value_bytes.is_empty()
+    }
+
+    /// The summands, decoded bit-exactly straight off the wire bytes.
+    pub fn values(&self) -> WireF64Iter<'a> {
+        WireF64Iter { chunks: self.value_bytes.chunks_exact(8) }
+    }
+}
+
+/// Iterator decoding raw little-endian `f64`s from a frame payload view;
+/// exact-size so batch consumers can count a replay without decoding it.
+#[derive(Debug, Clone)]
+pub struct WireF64Iter<'a> {
+    chunks: core::slice::ChunksExact<'a, u8>,
+}
+
+impl Iterator for WireF64Iter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.chunks
+            .next()
+            // lint:allow(service-unwrap) -- infallible: chunks_exact(8) yields 8-byte slices
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.chunks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for WireF64Iter<'_> {}
+
+/// Parses the payload of a binary Add frame without copying: the name
+/// and value bytes of the returned view borrow `payload`.
+fn parse_add_binary_view(payload: &[u8]) -> io::Result<BinaryAddView<'_>> {
     if payload.len() < 2 {
         return Err(bad_data("binary add: truncated name length"));
     }
@@ -565,8 +660,7 @@ fn parse_add_binary(payload: &[u8]) -> io::Result<(String, u64, u64, Vec<f64>)> 
     }
     let (name, rest) = rest.split_at(name_len);
     let stream = core::str::from_utf8(name)
-        .map_err(|_| bad_data("binary add: stream name is not UTF-8"))?
-        .to_owned();
+        .map_err(|_| bad_data("binary add: stream name is not UTF-8"))?;
     if rest.len() < 16 {
         return Err(bad_data("binary add: truncated retry identity"));
     }
@@ -581,12 +675,7 @@ fn parse_add_binary(payload: &[u8]) -> io::Result<(String, u64, u64, Vec<f64>)> 
             body.len()
         )));
     }
-    let values = body
-        .chunks_exact(8)
-        // lint:allow(service-unwrap) -- infallible: chunks_exact(8) yields 8-byte slices
-        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-        .collect();
-    Ok((stream, client_id, seq, values))
+    Ok(BinaryAddView { stream, client_id, seq, value_bytes: body })
 }
 
 /// A frame arriving at a server: either a JSON [`Request`] (`OIS\x01`)
@@ -609,28 +698,57 @@ pub enum ClientFrame {
     },
 }
 
-/// Reads one client frame of either protocol version, returning `None`
-/// on a clean EOF at a frame boundary.
-pub fn read_client_frame<R: Read>(r: &mut R) -> io::Result<Option<ClientFrame>> {
+/// A client frame parsed out of a caller-owned read buffer. The JSON
+/// arm is owned (requests are small and heterogeneous); the binary Add
+/// arm borrows the buffer — see [`BinaryAddView`].
+#[derive(Debug)]
+pub enum ClientFrameView<'a> {
+    /// A JSON-framed request.
+    Json(Request),
+    /// A binary Add, viewed in place over the read buffer.
+    BinaryAdd(BinaryAddView<'a>),
+}
+
+/// Reads one client frame of either protocol version into `buf`
+/// (cleared first, capacity reused across calls) and parses it in
+/// place. Returns `None` on a clean EOF at a frame boundary. This is
+/// the server's zero-copy ingest path: after warm-up a binary Add
+/// performs no allocation between the socket and the ledger.
+pub fn read_client_frame_into<'a, R: Read>(
+    r: &mut R,
+    buf: &'a mut Vec<u8>,
+) -> io::Result<Option<ClientFrameView<'a>>> {
     let Some((magic, len)) = read_header(r)? else {
         return Ok(None);
     };
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
     match magic {
-        m if m == MAGIC => {
-            let payload = read_payload(r, len)?;
-            serde_json::from_slice(&payload)
-                .map(|req| Some(ClientFrame::Json(req)))
-                .map_err(|e| bad_data(format!("bad frame payload: {e}")))
-        }
-        m if m == MAGIC_ADD_BIN => {
-            let payload = read_payload(r, len)?;
-            let (stream, client_id, seq, values) = parse_add_binary(&payload)?;
-            Ok(Some(ClientFrame::BinaryAdd { stream, client_id, seq, values }))
-        }
+        m if m == MAGIC => serde_json::from_slice(buf)
+            .map(|req| Some(ClientFrameView::Json(req)))
+            .map_err(|e| bad_data(format!("bad frame payload: {e}"))),
+        m if m == MAGIC_ADD_BIN => Ok(Some(ClientFrameView::BinaryAdd(parse_add_binary_view(buf)?))),
         m => Err(bad_data(format!(
             "bad frame magic {m:02x?} (speaking a different protocol or version?)"
         ))),
     }
+}
+
+/// Reads one client frame of either protocol version, returning `None`
+/// on a clean EOF at a frame boundary. Allocating convenience wrapper
+/// over [`read_client_frame_into`].
+pub fn read_client_frame<R: Read>(r: &mut R) -> io::Result<Option<ClientFrame>> {
+    let mut buf = Vec::new();
+    Ok(read_client_frame_into(r, &mut buf)?.map(|frame| match frame {
+        ClientFrameView::Json(req) => ClientFrame::Json(req),
+        ClientFrameView::BinaryAdd(view) => ClientFrame::BinaryAdd {
+            stream: view.stream.to_owned(),
+            client_id: view.client_id,
+            seq: view.seq,
+            values: view.values().collect(),
+        },
+    }))
 }
 
 #[cfg(test)]

@@ -13,12 +13,12 @@
 
 use crate::ledger::ShardedLedger;
 use crate::proto::{
-    frame_bytes, read_client_frame, write_frame, ClientFrame, ErrorCode, Request, Response,
+    frame_into, read_client_frame_into, ClientFrameView, ErrorCode, Request, Response,
     StreamStatsRepr, UNTRACKED_CLIENT,
 };
 use crate::snapshot;
 use oisum_faults::FaultAction;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -184,6 +184,14 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 /// traffic from unrelated connections never contends on shard
 /// selection. Both protocol versions — JSON `OIS\x01` and the binary
 /// Add `OIS\x02` — are accepted interleaved on the same connection.
+///
+/// All per-frame buffers live for the whole connection: frames are read
+/// into one reusable payload buffer and parsed in place (a binary Add
+/// feeds the ledger straight off that buffer — no `Vec<f64>`), and every
+/// reply is formatted into one reusable frame buffer and sent with a
+/// single `write_all`. With Nagle disabled below, each reply departs as
+/// exactly one immediate segment instead of waiting out a delayed-ACK
+/// window against the client's next request.
 fn serve_connection(
     conn: TcpStream,
     ledger: &ShardedLedger,
@@ -193,61 +201,81 @@ fn serve_connection(
     // An accepted socket's local address is the listener's address, so it
     // doubles as the shutdown-poke target.
     let local = conn.local_addr()?;
+    conn.set_nodelay(true)?;
     let mut reader = BufReader::new(conn.try_clone()?);
-    let mut writer = BufWriter::new(conn);
+    let mut writer = conn;
+    let mut read_buf: Vec<u8> = Vec::new();
+    let mut reply_json = String::new();
+    let mut reply_frame: Vec<u8> = Vec::new();
     // ORDERING: Relaxed — the per-connection seed only spreads
     // connections across ledger shards; uniqueness comes from fetch_add
     // itself and shard choice never affects the sum.
     let mut shard_cursor = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
     loop {
-        let frame = match read_client_frame(&mut reader) {
+        let frame = match read_client_frame_into(&mut reader, &mut read_buf) {
             Ok(Some(frame)) => frame,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Malformed frame or request: send the typed error
                 // best-effort (the peer may already be gone), then close —
                 // once framing is suspect the stream cannot be resynced.
-                let _ = write_frame(
-                    &mut writer,
-                    &Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
-                );
+                let reply =
+                    Response::Error { code: ErrorCode::BadRequest, message: e.to_string() };
+                if frame_into(&reply, &mut reply_json, &mut reply_frame).is_ok() {
+                    let _ = writer.write_all(&reply_frame);
+                }
                 return Ok(());
             }
             Err(e) => return Err(e),
-        };
-        let req = match frame {
-            ClientFrame::BinaryAdd { stream, client_id, seq, values } => Request::Add {
-                stream,
-                values,
-                client_id: Some(client_id),
-                seq: Some(seq),
-            },
-            ClientFrame::Json(req) => req,
         };
         // Fault seams (no-ops unless the `failpoints` feature is on).
         // Dropping *before* apply models a crash that loses the batch;
         // the client's retry must deposit it. Dropping *after* apply
         // models a crash that loses only the ACK; the retry must be
         // recognized as a replay and deposit nothing.
-        let is_add = matches!(req, Request::Add { .. });
+        let is_add = matches!(
+            &frame,
+            ClientFrameView::BinaryAdd(_) | ClientFrameView::Json(Request::Add { .. })
+        );
         if is_add && matches!(oisum_faults::check("server.add.drop_before_apply"), Some(FaultAction::Disconnect)) {
             return Ok(());
         }
-        let (reply, stop_after) = handle(req, ledger, snapshot_path, &mut shard_cursor);
+        let (reply, stop_after) = match frame {
+            ClientFrameView::BinaryAdd(view) => {
+                let hint = shard_cursor;
+                shard_cursor = shard_cursor.wrapping_add(1);
+                // The hot path: values stream from the read buffer into
+                // the ledger's batch accumulator, untouched in between.
+                let (count, deduped) = if view.client_id != UNTRACKED_CLIENT {
+                    let (count, applied) = ledger.add_batch_dedup(
+                        view.stream,
+                        hint,
+                        view.client_id,
+                        view.seq,
+                        view.values(),
+                    );
+                    (count, !applied)
+                } else {
+                    (ledger.add_batch_on(view.stream, hint, view.values()), false)
+                };
+                (Response::Added { count, deduped }, false)
+            }
+            ClientFrameView::Json(req) => handle(req, ledger, snapshot_path, &mut shard_cursor),
+        };
         if is_add && matches!(oisum_faults::check("server.add.drop_after_apply"), Some(FaultAction::Disconnect)) {
             return Ok(());
         }
         if let Some(FaultAction::Delay { ms }) = oisum_faults::check("server.reply.delay") {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
+        frame_into(&reply, &mut reply_json, &mut reply_frame)?;
         if let Some(FaultAction::PartialWrite { keep }) = oisum_faults::check("server.reply.partial") {
-            // Send a prefix of the reply frame, then hang up mid-frame.
-            let bytes = frame_bytes(&reply)?;
-            writer.write_all(&bytes[..keep.min(bytes.len())])?;
-            writer.flush()?;
+            // Send a prefix of the (already formatted) reply frame, then
+            // hang up mid-frame.
+            writer.write_all(&reply_frame[..keep.min(reply_frame.len())])?;
             return Ok(());
         }
-        write_frame(&mut writer, &reply)?;
+        writer.write_all(&reply_frame)?;
         if stop_after {
             signal_shutdown(stopping, local);
             return Ok(());
@@ -273,7 +301,8 @@ fn handle(
             // unconditionally, preserving the PR-2 wire behavior.
             let (count, deduped) = match (client_id, seq) {
                 (Some(id), Some(seq)) if id != UNTRACKED_CLIENT => {
-                    let (count, applied) = ledger.add_batch_dedup(&stream, hint, id, seq, &values);
+                    let (count, applied) =
+                        ledger.add_batch_dedup(&stream, hint, id, seq, values.iter().copied());
                     (count, !applied)
                 }
                 _ => (ledger.add_batch_on(&stream, hint, values.iter().copied()), false),

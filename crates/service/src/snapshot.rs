@@ -378,7 +378,7 @@ mod tests {
             ledger.add("a", chunk);
         }
         ledger.add("b", &[f64::MIN_POSITIVE, -0.0, 1e12]);
-        ledger.add_batch_dedup("b", 0, 42, 6, &[0.5]);
+        ledger.add_batch_dedup("b", 0, 42, 6, [0.5]);
         assert_eq!(save(&path, &ledger).unwrap(), 2);
 
         let restored = ShardedLedger::new(2);
@@ -386,7 +386,7 @@ mod tests {
         assert_eq!(restored.sum("a"), ledger.sum("a"));
         assert_eq!(restored.sum("b"), ledger.sum("b"));
         // The dedup window crossed the snapshot too.
-        assert!(!restored.add_batch_dedup("b", 0, 42, 6, &[0.5]).1);
+        assert!(!restored.add_batch_dedup("b", 0, 42, 6, [0.5]).1);
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,7 +24,7 @@ fn write_reference_snapshot(path: &Path) -> ShardedLedger {
     let ledger = ShardedLedger::new(4);
     ledger.add("alpha", &[1.5, -2.25, 5e-324, 1e12]);
     ledger.add("beta", &[-0.5]);
-    ledger.add_batch_dedup("alpha", 0, 9, 4, &[0.125]);
+    ledger.add_batch_dedup("alpha", 0, 9, 4, [0.125]);
     save(path, &ledger).unwrap();
     ledger
 }
@@ -207,7 +207,7 @@ fn pristine_snapshot_still_restores() {
     );
     // Dedup window survived: replaying (9, 4) deposits nothing.
     let before = fresh.sum("alpha").unwrap();
-    assert!(!fresh.add_batch_dedup("alpha", 0, 9, 4, &[0.125]).1);
+    assert!(!fresh.add_batch_dedup("alpha", 0, 9, 4, [0.125]).1);
     assert_eq!(fresh.sum("alpha").unwrap(), before);
     std::fs::remove_file(&path).ok();
 }

@@ -40,10 +40,16 @@ cargo clippy --offline -q -p oisum-service --features failpoints --all-targets -
 echo "==> criterion smoke: batch pipeline (per-value vs batched vs parallel)"
 cargo bench --offline -q -p oisum-bench --bench batch
 
-echo "==> loadgen smoke: binary protocol, bitwise check"
+echo "==> loadgen smoke: binary protocol, bitwise check + throughput gate"
+# Full-size binary pass on the reference 4-thread / 500-values-per-batch
+# config. The gate enforces the PR-5 floors: bitwise-identical sums,
+# p50 not regressing, and >= 17.8M values/s end to end (override the
+# floors via OISUM_GATE_VALUES_PER_SEC / OISUM_GATE_P50_US on slower
+# machines).
 smoke_out=$(mktemp)
-cargo run --offline --release -q -p oisum-service --bin loadgen -- \
-    --binary --values 20000 --out "$smoke_out"
+OISUM_GATE_VALUES_PER_SEC="${OISUM_GATE_VALUES_PER_SEC:-17800000}" \
+    cargo run --offline --release -q -p oisum-service --bin loadgen -- \
+    --binary --threads 4 --batch 500 --gate --out "$smoke_out"
 grep -q '"bitwise_identical":true' "$smoke_out" \
     || { echo "verify: loadgen smoke lost bitwise identity" >&2; rm -f "$smoke_out"; exit 1; }
 rm -f "$smoke_out"
@@ -68,9 +74,10 @@ else
 fi
 
 if [[ "${1:-}" == "--with-loadgen" ]]; then
-    echo "==> loadgen (service benchmark + bitwise check, JSON + binary)"
+    echo "==> loadgen (service benchmark + bitwise check, JSON + binary + kernel sweep)"
     cargo run --offline --release -q -p oisum-service --bin loadgen -- \
-        --out BENCH_service.json
+        --out BENCH_service.json \
+        --values-per-batch 100,250,500,1000,2000 --kernels-out BENCH_kernels.json
 fi
 
 echo "verify: OK"

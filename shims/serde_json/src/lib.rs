@@ -33,6 +33,13 @@ pub fn to_vec<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>> {
     to_string(value).map(String::into_bytes)
 }
 
+/// Serializes `value` as JSON appended to `out`, reusing its capacity.
+/// The allocation-free sibling of [`to_string`] for callers that format
+/// many values into one long-lived buffer.
+pub fn to_string_into<T: ?Sized + Serialize>(value: &T, out: &mut String) -> Result<()> {
+    value.serialize(ser::JsonSerializer { out })
+}
+
 /// Parses a value from a JSON string slice.
 pub fn from_str<'de, T: Deserialize<'de>>(input: &'de str) -> Result<T> {
     let mut parser = de::Parser::new(input);
