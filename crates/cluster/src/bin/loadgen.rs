@@ -1,9 +1,11 @@
-//! Load generator: hammers a summation server from many client threads
-//! and verifies bitwise reproducibility under fire.
+//! Load generator: hammers a summation server — or a whole cluster —
+//! from many client threads and verifies bitwise reproducibility under
+//! fire.
 //!
 //! ```text
 //! loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N]
 //!         [--json | --binary] [--chaos] [--out PATH]
+//! loadgen --cluster [--nodes 1,2,3] [--replication R] [--cluster-out PATH]
 //! ```
 //!
 //! `--chaos` (requires a build with `--features failpoints`) arms
@@ -13,6 +15,16 @@
 //! bitwise-identity assertion and an exactly-once check (the stream's
 //! `values` statistic must equal the dataset length) still hold: that
 //! is the point.
+//!
+//! `--cluster` boots an in-process N-node cluster per requested node
+//! count, sprays the same dataset across all nodes (thread `t` feeds
+//! node `t % N`), then asks **every** node for the cluster-wide `Sum`
+//! and asserts each reply is bitwise identical to the sequential
+//! single-machine HP sum — the distributed run, any coordinator, any
+//! node count, reproduces the exact same limbs. Results (aggregate and
+//! per-node values/s per node count) go to `--cluster-out` (default
+//! `BENCH_cluster.json`). Cluster chaos lives in the cluster crate's
+//! test suite, not here; `--cluster --chaos` is refused.
 //!
 //! Generates one dataset of `--values` summands with magnitudes spread
 //! over ~30 orders of magnitude, splits it into batches, deals the
@@ -30,6 +42,7 @@
 //! when it runs (the service's hot path), with both passes nested under
 //! `"json_mode"` / `"binary_mode"`.
 
+use oisum_cluster::start_local_cluster;
 use oisum_core::{encode_f64_batch, BatchAcc};
 use oisum_faults::{registry, FaultAction, FireRule};
 use oisum_service::{serve, Client, ClientConfig, ServerConfig, ServiceHp};
@@ -79,6 +92,12 @@ struct Args {
     /// Enables the performance regression gates (p50 / values-per-sec
     /// floors); off by default so exploratory runs never abort.
     gate: bool,
+    /// Cluster mode: boot an N-node cluster per entry of `cluster_nodes`
+    /// instead of the single-server protocol passes.
+    cluster: bool,
+    cluster_nodes: Vec<usize>,
+    replication: usize,
+    cluster_out: String,
 }
 
 impl Default for Args {
@@ -95,6 +114,10 @@ impl Default for Args {
             sweep: Vec::new(),
             kernels_out: "BENCH_kernels.json".to_owned(),
             gate: false,
+            cluster: false,
+            cluster_nodes: vec![1, 2, 3],
+            replication: 2,
+            cluster_out: "BENCH_cluster.json".to_owned(),
         }
     }
 }
@@ -103,7 +126,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] \
          [--json | --binary] [--chaos] [--gate] [--out PATH] \
-         [--values-per-batch N,N,...] [--kernels-out PATH]"
+         [--values-per-batch N,N,...] [--kernels-out PATH] \
+         [--cluster] [--nodes N,N,...] [--replication R] [--cluster-out PATH]"
     );
     std::process::exit(2);
 }
@@ -131,11 +155,31 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--kernels-out" => a.kernels_out = value(),
+            "--cluster" => a.cluster = true,
+            "--nodes" => {
+                a.cluster_nodes = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--replication" => a.replication = value().parse().unwrap_or_else(|_| usage()),
+            "--cluster-out" => a.cluster_out = value(),
             _ => usage(),
         }
     }
     if a.threads == 0 || a.values == 0 || a.batch == 0 || a.sweep.contains(&0) {
         usage();
+    }
+    if a.cluster && (a.cluster_nodes.is_empty() || a.cluster_nodes.contains(&0) || a.replication == 0)
+    {
+        usage();
+    }
+    if a.cluster && a.chaos {
+        eprintln!(
+            "loadgen: cluster chaos is covered by the cluster crate's chaos suite \
+             (`cargo test -p oisum-cluster --features failpoints`); --cluster --chaos is refused"
+        );
+        std::process::exit(2);
     }
     if a.chaos && !cfg!(feature = "failpoints") {
         eprintln!(
@@ -322,6 +366,150 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
     }
 }
 
+/// One cluster pass: the same spray over an N-node cluster.
+struct ClusterPass {
+    nodes: usize,
+    ops_per_sec: f64,
+    values_per_sec: f64,
+    per_node_values_per_sec: Vec<f64>,
+    p50_us: f64,
+    p99_us: f64,
+    wall: Duration,
+}
+
+/// Boots an N-node loopback cluster, sprays the dataset across all
+/// nodes, asserts the cluster sum from *every* coordinator is bitwise
+/// the sequential HP sum, and shuts the cluster down cleanly.
+fn run_cluster_pass(args: &Args, data: &[f64], expected: &ServiceHp, n: usize) -> ClusterPass {
+    let (_membership, nodes) = start_local_cluster(n, args.replication, |c| {
+        c.shards = args.shards;
+        c.workers = args.threads.max(2);
+    })
+    .expect("start cluster");
+    let addrs: Vec<_> = nodes.iter().map(|node| node.client_addr()).collect();
+
+    let batches: Vec<&[f64]> = data.chunks(args.batch).collect();
+    let mut hands: Vec<Vec<usize>> = vec![Vec::new(); args.threads];
+    for (i, _) in batches.iter().enumerate() {
+        hands[i % args.threads].push(i);
+    }
+    for (t, hand) in hands.iter_mut().enumerate() {
+        hand.shuffle(&mut StdRng::seed_from_u64(args.seed ^ (t as u64 + 1)));
+    }
+    // Thread t sprays node t % n; per-node ingest volume for the report.
+    let mut node_values = vec![0usize; n];
+    for (t, hand) in hands.iter().enumerate() {
+        node_values[t % n] += hand.iter().map(|&i| batches[i].len()).sum::<usize>();
+    }
+
+    let started = Instant::now();
+    let latencies_ns: Vec<u128> = std::thread::scope(|s| {
+        let handles: Vec<_> = hands
+            .iter()
+            .enumerate()
+            .map(|(t, hand)| {
+                let batches = &batches;
+                let addr = addrs[t % n];
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(hand.len());
+                    for &i in hand {
+                        let t0 = Instant::now();
+                        let count = client.add_binary("loadgen", batches[i]).expect("add_binary");
+                        lat.push(t0.elapsed().as_nanos());
+                        assert_eq!(count as usize, batches[i].len());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    // The reduce must be coordinator-invariant: every node, asked for
+    // the cluster sum, reports limbs bitwise identical to the
+    // sequential single-machine sum — and the cluster-wide applied-value
+    // count proves each batch was counted exactly once despite `R`
+    // copies existing.
+    let expected_holders = n.min(args.threads) as u64;
+    for &addr in &addrs {
+        let mut client = Client::connect(addr).expect("connect");
+        let reply = client.cluster_sum("loadgen").expect("cluster_sum");
+        assert_eq!(
+            reply.limbs,
+            expected.as_limbs().to_vec(),
+            "cluster of {n}: sum diverged from sequential HP sum"
+        );
+        assert!(!reply.poisoned, "accumulator poisoned under loadgen range");
+        assert_eq!(
+            reply.values as usize, args.values,
+            "cluster of {n}: values not applied exactly once"
+        );
+        assert_eq!(
+            reply.holders, expected_holders,
+            "cluster of {n}: unexpected holder count"
+        );
+    }
+
+    for node in &nodes {
+        node.shutdown();
+    }
+    for node in nodes {
+        node.join().expect("clean node shutdown");
+    }
+
+    let mut sorted = latencies_ns;
+    sorted.sort_unstable();
+    let secs = elapsed.as_secs_f64();
+    ClusterPass {
+        nodes: n,
+        ops_per_sec: sorted.len() as f64 / secs,
+        values_per_sec: args.values as f64 / secs,
+        per_node_values_per_sec: node_values.iter().map(|&v| v as f64 / secs).collect(),
+        p50_us: percentile_us(&sorted, 0.50),
+        p99_us: percentile_us(&sorted, 0.99),
+        wall: elapsed,
+    }
+}
+
+/// The `--cluster` workload: one pass per requested node count, one
+/// shared dataset, one shared expected bit pattern.
+fn run_cluster(args: &Args, data: &[f64], expected: &ServiceHp) {
+    let mut json = format!(
+        "{{\"values\":{},\"batch\":{},\"threads\":{},\"replication\":{},\"bitwise_identical\":true,\"passes\":[",
+        args.values, args.batch, args.threads, args.replication
+    );
+    for (i, &n) in args.cluster_nodes.iter().enumerate() {
+        let pass = run_cluster_pass(args, data, expected, n);
+        println!(
+            "  [cluster n={n}] sum bitwise-identical from every coordinator, clean shutdown: OK"
+        );
+        println!(
+            "  [cluster n={n}] {:.0} add-ops/s ({:.0} values/s aggregate), p50 {:.1} us, p99 {:.1} us, wall {:?}",
+            pass.ops_per_sec, pass.values_per_sec, pass.p50_us, pass.p99_us, pass.wall
+        );
+        let per_node = pass
+            .per_node_values_per_sec
+            .iter()
+            .map(|v| format!("{v:.0}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        println!("  [cluster n={n}] per-node ingest values/s: [{per_node}]");
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"nodes\":{},\"values_per_sec\":{:.0},\"ops_per_sec\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2},\"per_node_values_per_sec\":[{}],\"bitwise_identical\":true}}",
+            pass.nodes, pass.values_per_sec, pass.ops_per_sec, pass.p50_us, pass.p99_us, per_node
+        ));
+    }
+    json.push_str("]}\n");
+    let mut f = std::fs::File::create(&args.cluster_out).expect("create cluster bench output");
+    f.write_all(json.as_bytes()).expect("write cluster bench output");
+    println!("  wrote {}", args.cluster_out);
+}
+
 /// In-process timings of the PR-5 kernels against the scalar paths they
 /// replaced: the branchless chunk encode vs a per-value Listing-1
 /// `encode_deposit` loop, and the 4-wide `deposit_chunk` vs one
@@ -462,6 +650,11 @@ fn main() {
         args.threads,
         args.shards
     );
+
+    if args.cluster {
+        run_cluster(&args, &data, &expected);
+        return;
+    }
 
     let reports: Vec<PassReport> = args
         .modes

@@ -1,0 +1,135 @@
+//! Consistent-hash stream placement.
+//!
+//! Each node owns 32 virtual points on a 64-bit ring (FNV-1a of
+//! `"node/<id>/vnode/<k>"`); a stream hashes to a point and its replica
+//! set is the first `replication` *distinct* nodes walking clockwise.
+//! The ring depends only on the node count, so every node computes the
+//! same mirror set for a stream without any coordination — which is what
+//! lets a restarted node know, offline, exactly which peers hold copies
+//! of its primaries and which peers' primaries it must re-mirror.
+//!
+//! Placement governs only *where mirror copies go*. Any node accepts
+//! ingest for any stream (its primary ledger holds whatever it was
+//! handed), and the cluster sum reduces all primaries, so placement
+//! never affects the reduced bit pattern — only durability.
+
+use oisum_faults::fnv1a64;
+
+const VNODES_PER_NODE: u32 = 32;
+
+/// FNV-1a alone has weak high-bit avalanche on short, similar keys —
+/// `node/0/vnode/1` and `node/0/vnode/2` hash to nearly adjacent
+/// values, which collapses the ring into one arc. A 64-bit finalizer
+/// (the murmur3 fmix) spreads the points uniformly while staying a pure
+/// deterministic function of the key.
+fn point(key: &[u8]) -> u64 {
+    let mut h = fnv1a64(key);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+    h ^ (h >> 33)
+}
+
+/// Precomputed ring: sorted `(point, node)` pairs.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    points: Vec<(u64, u32)>,
+    nodes: u32,
+}
+
+impl Ring {
+    pub fn new(nodes: u32) -> Ring {
+        assert!(nodes > 0, "ring needs at least one node");
+        let mut points = Vec::with_capacity((nodes * VNODES_PER_NODE) as usize);
+        for id in 0..nodes {
+            for k in 0..VNODES_PER_NODE {
+                let key = format!("node/{id}/vnode/{k}");
+                points.push((point(key.as_bytes()), id));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, nodes }
+    }
+
+    /// The first `count` distinct nodes clockwise from the stream's
+    /// point. Deterministic in (stream, node count) alone.
+    pub fn replicas(&self, stream: &str, count: usize) -> Vec<u32> {
+        let count = count.min(self.nodes as usize);
+        let h = point(stream.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::with_capacity(count);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == count {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The peers (excluding `me`) that should hold mirror copies of a
+    /// tracked stream ingested at `me`, for a total of `copies` copies
+    /// including the ingesting node's primary.
+    pub fn mirror_targets(&self, stream: &str, me: u32, copies: usize) -> Vec<u32> {
+        if copies <= 1 || self.nodes == 1 {
+            return Vec::new();
+        }
+        let want = (copies - 1).min(self.nodes as usize - 1);
+        // Walk the full replica order and take the first `want` nodes
+        // that are not the ingesting node itself.
+        self.replicas(stream, self.nodes as usize)
+            .into_iter()
+            .filter(|&n| n != me)
+            .take(want)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_walk_is_deterministic_and_distinct() {
+        let ring = Ring::new(5);
+        let a = ring.replicas("sensors/alpha", 3);
+        let b = Ring::new(5).replicas("sensors/alpha", 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "replicas must be distinct nodes");
+        // Asking for more replicas than nodes caps at the node count.
+        assert_eq!(ring.replicas("sensors/alpha", 99).len(), 5);
+    }
+
+    #[test]
+    fn mirror_targets_exclude_self_and_honor_copy_count() {
+        let ring = Ring::new(4);
+        for me in 0..4 {
+            for copies in 1..=5 {
+                let t = ring.mirror_targets("stream/x", me, copies);
+                assert!(!t.contains(&me));
+                assert_eq!(t.len(), (copies.saturating_sub(1)).min(3));
+            }
+        }
+        // Single-node cluster never mirrors.
+        assert!(Ring::new(1).mirror_targets("stream/x", 0, 3).is_empty());
+    }
+
+    #[test]
+    fn streams_spread_across_nodes() {
+        let ring = Ring::new(3);
+        let mut seen = [false; 3];
+        for i in 0..64 {
+            let owner = ring.replicas(&format!("stream/{i}"), 1)[0];
+            seen[owner as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 streams should hit all 3 nodes");
+    }
+}

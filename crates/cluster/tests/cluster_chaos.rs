@@ -1,0 +1,280 @@
+#![cfg(feature = "failpoints")]
+//! Cluster chaos: deterministic fault injection on the inter-node
+//! seams, asserting the two invariants that make the cluster exact —
+//! the reduced bit pattern never changes, and every tracked batch is
+//! counted exactly once — across ≥3 seeds per scenario.
+//!
+//! Scenarios:
+//! * mirror connection dropped *before* the replica applies (retry
+//!   must apply exactly once),
+//! * mirror connection dropped *after* the replica applies, before the
+//!   ACK (the replay must deduplicate),
+//! * partition during a tree reduce (the reduce fails typed, then heals
+//!   to the exact bit pattern),
+//! * replica killed mid-snapshot-transfer during rejoin (the torn copy
+//!   must be rejected and re-pulled).
+//!
+//! The failpoint registry is process-global, so every test holds
+//! `CHAOS_LOCK` and resets the registry on entry and exit — same idiom
+//! as the service chaos suite.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use oisum_cluster::{
+    mirror_stream_name, start_local_cluster, ClusterNode, ClusterNodeConfig, Ring,
+};
+use oisum_faults::{registry, FaultAction, FireRule};
+use oisum_service::{Client, ServiceHp};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+struct ChaosGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        registry().reset(0);
+    }
+}
+
+fn chaos_guard() -> ChaosGuard {
+    let guard = CHAOS_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+    registry().reset(0);
+    ChaosGuard(guard)
+}
+
+const SEEDS: [u64; 3] = [0xA11CE, 0xB0B, 0xCAFE];
+
+fn dataset(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mantissa = rng.random_range(-1.0f64..1.0);
+            let exponent = rng.random_range(-12i32..=12);
+            mantissa * 10f64.powi(exponent)
+        })
+        .collect()
+}
+
+fn shutdown_all(nodes: Vec<ClusterNode>) {
+    for node in &nodes {
+        node.shutdown();
+    }
+    for node in nodes {
+        node.join().expect("clean shutdown");
+    }
+}
+
+/// Ingests `data` at node 0 in tracked batches; the peer pool's bounded
+/// retries absorb transient mirror faults, so every add must ACK.
+fn ingest(addr: std::net::SocketAddr, data: &[f64], batch: usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    for chunk in data.chunks(batch) {
+        let n = client.add_binary("s", chunk).expect("add under chaos");
+        assert_eq!(n as usize, chunk.len());
+    }
+}
+
+/// Asserts the cluster sum seen from `addr` is bitwise `expected` with
+/// every value counted exactly once.
+fn assert_exact(addr: std::net::SocketAddr, expected: &ServiceHp, values: usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    let reply = client.cluster_sum("s").expect("cluster_sum");
+    assert_eq!(
+        reply.limbs,
+        expected.as_limbs().to_vec(),
+        "cluster sum diverged under chaos"
+    );
+    assert_eq!(
+        reply.values as usize, values,
+        "values not applied exactly once under chaos"
+    );
+    assert!(!reply.poisoned);
+}
+
+#[test]
+fn mirror_connection_drops_before_apply_are_retried_exactly_once() {
+    for &seed in &SEEDS {
+        let _guard = chaos_guard();
+        let data = dataset(2_000, seed);
+        let expected = ServiceHp::sum_f64_slice(&data);
+        let (_m, nodes) = start_local_cluster(3, 2, |_| {}).expect("start cluster");
+
+        registry().reset(seed);
+        // Every 5th mirror add loses its connection before the replica
+        // applies; the pool redials and the retry must land exactly once.
+        registry().arm(
+            "cluster.mirror.drop_before_apply",
+            FireRule::EveryNth(5),
+            FaultAction::Disconnect,
+        );
+        ingest(nodes[0].client_addr(), &data, 100);
+        let fired = registry().fired("cluster.mirror.drop_before_apply");
+        assert!(fired > 0, "seed {seed:#x}: the before-apply seam never fired");
+        registry().reset(seed);
+
+        for node in &nodes {
+            assert_exact(node.client_addr(), &expected, data.len());
+        }
+        // The mirror copy itself is also exact — the drops did not leak
+        // half-applied batches into the replica.
+        let target = Ring::new(3).mirror_targets("s", 0, 2)[0];
+        let mirror = nodes[target as usize]
+            .mirrors()
+            .sum(&mirror_stream_name(0, "s"))
+            .expect("mirror exists");
+        assert_eq!(mirror.as_limbs(), expected.as_limbs());
+
+        shutdown_all(nodes);
+    }
+}
+
+#[test]
+fn mirror_connection_drops_after_apply_deduplicate_the_replay() {
+    for &seed in &SEEDS {
+        let _guard = chaos_guard();
+        let data = dataset(2_000, seed ^ 0x11);
+        let expected = ServiceHp::sum_f64_slice(&data);
+        let (_m, nodes) = start_local_cluster(3, 2, |_| {}).expect("start cluster");
+
+        registry().reset(seed);
+        // The nastier cut: the replica applies, then the connection dies
+        // before the ACK. The pool's retry replays the same
+        // `(client_id, seq)`; the mirror's dedup window must swallow it.
+        registry().arm(
+            "cluster.mirror.drop_after_apply",
+            FireRule::EveryNth(5),
+            FaultAction::Disconnect,
+        );
+        ingest(nodes[0].client_addr(), &data, 100);
+        let fired = registry().fired("cluster.mirror.drop_after_apply");
+        assert!(fired > 0, "seed {seed:#x}: the after-apply seam never fired");
+        registry().reset(seed);
+
+        for node in &nodes {
+            assert_exact(node.client_addr(), &expected, data.len());
+        }
+        let target = Ring::new(3).mirror_targets("s", 0, 2)[0];
+        let mirror_state = nodes[target as usize]
+            .mirrors()
+            .stream_state(&mirror_stream_name(0, "s"))
+            .expect("mirror exists");
+        assert_eq!(
+            mirror_state.values as usize,
+            data.len(),
+            "seed {seed:#x}: replayed batches were double-applied on the mirror"
+        );
+        assert_eq!(mirror_state.sum.as_limbs(), expected.as_limbs());
+
+        shutdown_all(nodes);
+    }
+}
+
+#[test]
+fn partition_during_tree_reduce_fails_typed_then_heals_exactly() {
+    for &seed in &SEEDS {
+        let _guard = chaos_guard();
+        let data = dataset(3_000, seed ^ 0x22);
+        let expected = ServiceHp::sum_f64_slice(&data);
+        let (_m, nodes) = start_local_cluster(3, 2, |_| {}).expect("start cluster");
+        let addrs: Vec<_> = nodes.iter().map(|n| n.client_addr()).collect();
+
+        // Spray across all nodes first, cleanly.
+        let fanout = addrs.len();
+        std::thread::scope(|s| {
+            for (t, &addr) in addrs.iter().enumerate() {
+                let data = &data;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for (i, chunk) in data.chunks(100).enumerate() {
+                        if i % fanout == t {
+                            client.add_binary("s", chunk).expect("add");
+                        }
+                    }
+                });
+            }
+        });
+
+        registry().reset(seed);
+        // Phase 1 — a transient cut: the first subtree RPC's connection
+        // dies mid-reduce. The coordinator's bounded retry re-asks the
+        // same (idempotent, read-only) subtree and the reduce completes
+        // to the exact bit pattern on the same request.
+        registry().arm("cluster.reduce.drop", FireRule::Nth(1), FaultAction::Disconnect);
+        assert_exact(addrs[0], &expected, data.len());
+        assert!(
+            registry().fired("cluster.reduce.drop") > 0,
+            "seed {seed:#x}: the reduce-drop seam never fired"
+        );
+
+        // Phase 2 — a real partition: every redial refused. The
+        // coordinator must give up with a typed error, never a hang or
+        // a wrong bit pattern.
+        registry().reset(seed);
+        registry().arm("cluster.peer.connect", FireRule::Always, FaultAction::Disconnect);
+        let mut client = Client::connect(addrs[0]).expect("connect");
+        let err = client.cluster_sum("s").expect_err("partitioned reduce must fail");
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("cluster sum failed"),
+            "seed {seed:#x}: expected a typed internal error, got: {msg}"
+        );
+        drop(client);
+
+        // Phase 3 — heal: the same request now reduces to the exact bit
+        // pattern, from every coordinator.
+        registry().reset(seed);
+        for &addr in &addrs {
+            assert_exact(addr, &expected, data.len());
+        }
+
+        shutdown_all(nodes);
+    }
+}
+
+#[test]
+fn replica_killed_mid_snapshot_transfer_cannot_corrupt_a_rejoin() {
+    for &seed in &SEEDS {
+        let _guard = chaos_guard();
+        let data = dataset(2_500, seed ^ 0x33);
+        let expected = ServiceHp::sum_f64_slice(&data);
+        let (membership, mut nodes) = start_local_cluster(3, 2, |_| {}).expect("start cluster");
+
+        ingest(nodes[0].client_addr(), &data, 125);
+
+        // Node 0 dies and its disk with it.
+        let node0 = nodes.remove(0);
+        node0.shutdown();
+        node0.join().expect("node 0 stops cleanly");
+        membership.set_client_addr(0, "127.0.0.1:0".into());
+        membership.set_peer_addr(0, "127.0.0.1:0".into());
+
+        registry().reset(seed);
+        // The first snapshot transfer of the rejoin is cut after 64
+        // bytes — a replica dying mid-send. The framing/seal validation
+        // must reject the torn copy and the retry must deliver a whole
+        // one; the rejoined primary is bitwise exact either way.
+        registry().arm(
+            "cluster.snapshot.partial",
+            FireRule::Nth(1),
+            FaultAction::PartialWrite { keep: 64 },
+        );
+        let reborn = ClusterNode::start(Arc::clone(&membership), ClusterNodeConfig::new(0))
+            .expect("node 0 rejoins through the cut transfer");
+        let fired = registry().fired("cluster.snapshot.partial");
+        assert!(fired > 0, "seed {seed:#x}: the snapshot seam never fired");
+        registry().reset(seed);
+
+        let recovered = reborn.primary().sum("s").expect("rejoin recovered the stream");
+        assert_eq!(
+            recovered.as_limbs(),
+            expected.as_limbs(),
+            "seed {seed:#x}: a torn snapshot transfer leaked into the rejoined primary"
+        );
+        assert_exact(reborn.client_addr(), &expected, data.len());
+
+        nodes.push(reborn);
+        shutdown_all(nodes);
+    }
+}

@@ -36,15 +36,21 @@ pub enum RuleId {
     /// exempt by policy: poisoning means a panic already happened and
     /// crashing loudly is the correct containment.)
     ServiceUnwrap,
+    /// No wall-clock or entropy sources on the cluster peer request
+    /// path (`crates/cluster/src/`, bins exempt): a retried reduce or
+    /// mirror add that observes a clock or RNG can take a different
+    /// path on replay, and cluster exactness is argued by determinism.
+    ClusterNondet,
 }
 
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 7] = [
     RuleId::FloatAccum,
     RuleId::UnsafeSafety,
     RuleId::AtomicOrdering,
     RuleId::NondetFaults,
     RuleId::LossyCast,
     RuleId::ServiceUnwrap,
+    RuleId::ClusterNondet,
 ];
 
 impl RuleId {
@@ -56,6 +62,7 @@ impl RuleId {
             RuleId::NondetFaults => "nondet-in-faults",
             RuleId::LossyCast => "lossy-cast",
             RuleId::ServiceUnwrap => "service-unwrap",
+            RuleId::ClusterNondet => "cluster-nondet",
         }
     }
 
@@ -78,6 +85,9 @@ impl RuleId {
             RuleId::LossyCast => "no lossy `as` casts outside codec modules",
             RuleId::ServiceUnwrap => {
                 "no unwrap()/expect() on service request-handling paths"
+            }
+            RuleId::ClusterNondet => {
+                "no clocks/entropy on the cluster peer request path"
             }
         }
     }
@@ -237,6 +247,9 @@ fn in_scope(rule: RuleId, path: &str, kind: FileKind) -> bool {
         }
         RuleId::LossyCast => kind == FileKind::Prod && path.starts_with("crates/"),
         RuleId::ServiceUnwrap => kind == FileKind::Prod && path.starts_with("crates/service/src/"),
+        // Bins (`loadgen`, the node launcher) legitimately read clocks
+        // for reporting; the library peer path may not.
+        RuleId::ClusterNondet => kind == FileKind::Prod && path.starts_with("crates/cluster/src/"),
     }
 }
 
@@ -349,7 +362,7 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
                         );
                     }
                 }
-                RuleId::NondetFaults => {
+                RuleId::NondetFaults | RuleId::ClusterNondet => {
                     const SOURCES: [&str; 5] = [
                         "Instant::now",
                         "SystemTime",
@@ -359,15 +372,18 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
                     ];
                     for s in SOURCES {
                         if squished[idx].contains(s) {
-                            push(
-                                idx,
-                                rule,
+                            let msg = if rule == RuleId::NondetFaults {
                                 format!(
                                     "nondeterminism source `{s}` in fault/chaos logic; \
                                      fault firing must be a pure function of the seed"
-                                ),
-                                &lines,
-                            );
+                                )
+                            } else {
+                                format!(
+                                    "nondeterminism source `{s}` on the cluster peer request \
+                                     path; retries and reduces must replay deterministically"
+                                )
+                            };
+                            push(idx, rule, msg, &lines);
                         }
                     }
                 }

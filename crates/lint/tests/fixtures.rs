@@ -186,6 +186,56 @@ fn chaos_test_files_are_in_nondet_scope() {
     .is_empty());
 }
 
+// -------------------------------------------------------------- cluster-nondet
+
+#[test]
+fn clock_on_cluster_peer_path_fires() {
+    let src = "fn backoff_for(attempt: u32) -> u64 {\n    std::time::Instant::now().elapsed().as_millis() as u64 + u64::from(attempt)\n}\n";
+    assert_eq!(
+        fire_lines(
+            RuleId::ClusterNondet,
+            "crates/cluster/src/peer.rs",
+            FileKind::Prod,
+            src
+        ),
+        vec![2]
+    );
+}
+
+#[test]
+fn entropy_on_cluster_peer_path_fires() {
+    let src = "fn jitter() -> u64 {\n    rand::random::<u64>() % 10\n}\n";
+    assert_eq!(
+        fire_lines(
+            RuleId::ClusterNondet,
+            "crates/cluster/src/node.rs",
+            FileKind::Prod,
+            src
+        ),
+        vec![2]
+    );
+}
+
+#[test]
+fn cluster_bins_and_other_crates_are_out_of_nondet_scope() {
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    // loadgen times passes on the wall clock on purpose.
+    assert!(fire_lines(
+        RuleId::ClusterNondet,
+        "crates/cluster/src/bin/loadgen.rs",
+        FileKind::Bin,
+        src
+    )
+    .is_empty());
+    assert!(fire_lines(
+        RuleId::ClusterNondet,
+        "crates/service/src/server.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+}
+
 // ----------------------------------------------------------------- lossy-cast
 
 #[test]

@@ -292,6 +292,22 @@ impl Client {
         })
     }
 
+    /// Reads the exact *cluster-wide* sum of a stream: the connected
+    /// node coordinates a binomial-tree reduce over every node's primary
+    /// partial (on a server with no cluster attached this is the local
+    /// sum). A read, hence idempotent and retried freely; a partitioned
+    /// cluster surfaces as a typed `internal` server error, which is
+    /// not retried.
+    pub fn cluster_sum(&mut self, stream: &str) -> Result<ClusterSumReply, ClientError> {
+        let req = Request::ClusterSum { stream: stream.to_owned() };
+        self.with_retries(move |c| match c.call_once(&req)? {
+            Response::ClusterSum { limbs, poisoned, values, holders } => {
+                Ok(ClusterSumReply { limbs, poisoned, values, holders })
+            }
+            _ => Err(ClientError::UnexpectedReply("cluster_sum")),
+        })
+    }
+
     /// Reads ledger statistics. Idempotent, so retried freely.
     pub fn stats(&mut self) -> Result<(u64, Vec<StreamStatsRepr>), ClientError> {
         self.with_retries(move |c| match c.call_once(&Request::Stats)? {
@@ -354,6 +370,22 @@ pub struct SumReply {
     pub limbs: Vec<u64>,
     /// True if the stream's range guarantee was violated at some point.
     pub poisoned: bool,
+}
+
+/// The exact cluster-wide sum of a stream, merged across every node's
+/// primary partial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSumReply {
+    /// Raw merged accumulator limbs, most significant first — bitwise
+    /// identical no matter which node coordinates, how many nodes hold
+    /// partials, or how the tree reduced them.
+    pub limbs: Vec<u64>,
+    /// True if any contributing node detected a range overflow.
+    pub poisoned: bool,
+    /// Total values applied across contributing primaries.
+    pub values: u64,
+    /// Number of nodes on which the stream exists.
+    pub holders: u64,
 }
 
 // UNTRACKED_CLIENT is re-exported for callers that want PR-2 semantics:

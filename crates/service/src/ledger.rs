@@ -185,6 +185,26 @@ pub struct StreamState {
     pub overflows: u64,
     /// Dedup window: `(client_id, last applied seq)`, sorted by id.
     pub dedup: Vec<(u64, u64)>,
+    /// Batches applied. Carried through snapshots so a restored (or
+    /// cluster-rejoined) stream keeps its exactly-once accounting, not
+    /// just its sum.
+    pub batches: u64,
+    /// Values applied.
+    pub values: u64,
+}
+
+/// Captures one stream's persistent state under its directory entry.
+fn state_of(name: &str, s: &Stream) -> StreamState {
+    StreamState {
+        name: name.to_owned(),
+        sum: s.sum(),
+        overflows: s.overflows(),
+        dedup: s.dedup_entries(),
+        // ORDERING: Relaxed — monotonic counters; a state captured at
+        // quiescence (the only time it is compared bitwise) is exact.
+        batches: s.batches.load(Ordering::Relaxed),
+        values: s.values.load(Ordering::Relaxed),
+    }
 }
 
 /// Point-in-time statistics for one stream.
@@ -329,13 +349,25 @@ impl ShardedLedger {
             .read()
             .unwrap()
             .iter()
-            .map(|(name, s)| StreamState {
-                name: name.clone(),
-                sum: s.sum(),
-                overflows: s.overflows(),
-                dedup: s.dedup_entries(),
-            })
+            .map(|(name, s)| state_of(name, s))
             .collect()
+    }
+
+    /// The persistent state of one stream, or `None` if it has never
+    /// been written. This is what a cluster node ships to a peer pulling
+    /// a per-stream copy, and what the tree reduce folds as this node's
+    /// contribution.
+    pub fn stream_state(&self, name: &str) -> Option<StreamState> {
+        self.streams
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|s| state_of(name, s))
+    }
+
+    /// Names of every stream, sorted.
+    pub fn stream_names(&self) -> Vec<String> {
+        self.streams.read().unwrap().keys().cloned().collect()
     }
 
     /// Restores a snapshot produced by [`Self::snapshot`], replacing any
@@ -345,15 +377,36 @@ impl ShardedLedger {
         let mut map = self.streams.write().unwrap();
         map.clear();
         for entry in entries {
-            let stream = Stream::new(self.shard_count);
-            stream.shards[0].add(&entry.sum);
-            let mut dedup = stream.dedup.write().unwrap();
-            for &(client_id, seq) in &entry.dedup {
-                dedup.insert(client_id, Arc::new(Mutex::new(seq)));
-            }
-            drop(dedup);
-            map.insert(entry.name.clone(), Arc::new(stream));
+            map.insert(entry.name.clone(), Arc::new(self.revive(entry)));
         }
+    }
+
+    /// Installs (or replaces) a *single* stream from its persistent
+    /// state, leaving every other stream untouched — the unit of a
+    /// cluster rejoin, where a restarted node adopts per-stream copies
+    /// pulled from replicas one at a time.
+    pub fn install(&self, entry: &StreamState) {
+        let stream = Arc::new(self.revive(entry));
+        self.streams
+            .write()
+            .unwrap()
+            .insert(entry.name.clone(), stream);
+    }
+
+    /// Builds a live stream out of persisted state.
+    fn revive(&self, entry: &StreamState) -> Stream {
+        let stream = Stream::new(self.shard_count);
+        stream.shards[0].add(&entry.sum);
+        let mut dedup = stream.dedup.write().unwrap();
+        for &(client_id, seq) in &entry.dedup {
+            dedup.insert(client_id, Arc::new(Mutex::new(seq)));
+        }
+        drop(dedup);
+        // ORDERING: Relaxed — the stream is not yet shared; these stores
+        // publish through the directory lock that installs it.
+        stream.batches.store(entry.batches, Ordering::Relaxed);
+        stream.values.store(entry.values, Ordering::Relaxed);
+        stream
     }
 
     /// Aggregate statistics, streams sorted by name.
@@ -487,6 +540,39 @@ mod tests {
         assert_eq!(restored.sum("s").unwrap(), ledger.sum("s").unwrap());
         // Fresh work continues from the window.
         assert!(restored.add_batch_dedup("s", 0, 7, 5, [3.0]).1);
+    }
+
+    #[test]
+    fn restore_preserves_counters_and_install_is_per_stream() {
+        let ledger = ShardedLedger::new(4);
+        ledger.add("a", &[1.0, 2.0]);
+        ledger.add("a", &[3.0]);
+        ledger.add_batch_dedup("b", 0, 7, 1, [4.0]);
+        let snap = ledger.snapshot();
+        assert_eq!(snap[0].batches, 2);
+        assert_eq!(snap[0].values, 3);
+
+        // restore() carries the counters, not just the sums.
+        let restored = ShardedLedger::new(2);
+        restored.restore(&snap);
+        let stats = restored.stats();
+        assert_eq!((stats.streams[0].batches, stats.streams[0].values), (2, 3));
+        assert_eq!((stats.streams[1].batches, stats.streams[1].values), (1, 1));
+
+        // install() replaces exactly one stream, leaving the rest alone.
+        let target = ShardedLedger::new(3);
+        target.add("a", &[9.0]); // stale copy, about to be replaced
+        target.add("c", &[5.0]);
+        let b_state = ledger.stream_state("b").unwrap();
+        let a_state = ledger.stream_state("a").unwrap();
+        target.install(&a_state);
+        target.install(&b_state);
+        assert_eq!(target.sum("a"), ledger.sum("a"));
+        assert_eq!(target.sum("b"), ledger.sum("b"));
+        assert_eq!(target.sum("c").unwrap().to_f64(), 5.0);
+        assert_eq!(target.stream_names(), vec!["a", "b", "c"]);
+        // The installed dedup window is live.
+        assert!(!target.add_batch_dedup("b", 0, 7, 1, [4.0]).1);
     }
 
     #[test]

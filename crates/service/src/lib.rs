@@ -19,6 +19,12 @@
 //!   fast path** (length-prefixed stream name + raw little-endian
 //!   `f64`s) accepted on the same port; sums travel as raw limbs,
 //!   never `f64`.
+//! * [`dispatch`] — the transport-agnostic request core
+//!   ([`RequestCore`](dispatch::RequestCore)): frame in → ledger op →
+//!   reply out, shared by the client-facing server and the cluster's
+//!   peer protocol, with a [`ClusterOps`](dispatch::ClusterOps) hook
+//!   through which `oisum-cluster` attaches replication and the
+//!   tree-reduced `ClusterSum`.
 //! * [`server`] — acceptor + crossbeam worker pool, graceful shutdown,
 //!   snapshot on exit.
 //! * [`snapshot`] — atomic JSON persistence of exact per-stream sums,
@@ -58,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod dispatch;
 pub mod ledger;
 pub mod proto;
 pub mod server;
@@ -68,6 +75,7 @@ pub mod snapshot;
 /// `f64` exponent range seen in practice with ~64 bits of carry margin.
 pub type ServiceHp = oisum_core::Hp6x3;
 
-pub use client::{Client, ClientConfig, ClientError, SumReply};
+pub use client::{Client, ClientConfig, ClientError, ClusterSumReply, SumReply};
+pub use dispatch::{ClusterOps, ClusterSumOut, RequestCore};
 pub use ledger::{LedgerStats, ShardedLedger, StreamStats};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_with_core, ServerConfig, ServerHandle};

@@ -31,6 +31,16 @@ pub const MAGIC: [u8; 4] = *b"OIS\x01";
 /// [`UNTRACKED_CLIENT`] opts out of deduplication.
 pub const MAGIC_ADD_BIN: [u8; 4] = *b"OIS\x02";
 
+/// Inter-node peer frame magic (protocol version 3). Payload is one
+/// opcode byte followed by an op-specific binary body; see
+/// [`PeerRequestView`] for the request ops and [`PeerReplyView`] for the
+/// one binary reply (`SnapshotData`). Peer frames only travel between
+/// cluster nodes on the dedicated peer port — the client-facing port
+/// rejects them by magic. Replies to peer requests reuse the ordinary
+/// JSON [`Response`] frames (preformatted through [`frame_into`]),
+/// except the snapshot transfer, whose sealed body crosses as raw bytes.
+pub const MAGIC_PEER: [u8; 4] = *b"OIS\x03";
+
 /// Hard cap on payload size (16 MiB) so a corrupt or hostile length
 /// prefix cannot drive an unbounded allocation.
 pub const MAX_FRAME: u32 = 16 << 20;
@@ -91,6 +101,14 @@ pub enum Request {
         /// Stream to read.
         stream: String,
     },
+    /// Read the exact cluster-wide HP sum of the named stream: the
+    /// receiving node coordinates a binomial-tree reduce over every
+    /// node's primary partial. On a server with no cluster attached this
+    /// degenerates to the local sum (a one-node cluster).
+    ClusterSum {
+        /// Stream to read.
+        stream: String,
+    },
     /// Persist all streams to the server's snapshot path.
     Snapshot,
     /// Drop every stream.
@@ -107,6 +125,7 @@ impl Request {
         match self {
             Request::Add { .. } => "add",
             Request::Sum { .. } => "sum",
+            Request::ClusterSum { .. } => "cluster_sum",
             Request::Snapshot => "snapshot",
             Request::Reset => "reset",
             Request::Stats => "stats",
@@ -132,7 +151,9 @@ impl Serialize for Request {
                     s.serialize_field("seq", seq)?;
                 }
             }
-            Request::Sum { stream } => s.serialize_field("stream", stream)?,
+            Request::Sum { stream } | Request::ClusterSum { stream } => {
+                s.serialize_field("stream", stream)?
+            }
             Request::Snapshot | Request::Reset | Request::Stats | Request::Shutdown => {}
         }
         s.end()
@@ -173,6 +194,7 @@ impl<'de> Visitor<'de> for RequestVisitor {
                 seq,
             },
             "sum" => Request::Sum { stream: need_stream(stream)? },
+            "cluster_sum" => Request::ClusterSum { stream: need_stream(stream)? },
             "snapshot" => Request::Snapshot,
             "reset" => Request::Reset,
             "stats" => Request::Stats,
@@ -275,6 +297,28 @@ pub enum Response {
         /// True if any shard of the stream detected a range overflow.
         poisoned: bool,
     },
+    /// The exact cluster-wide sum (or a subtree partial, when replying
+    /// to a peer `TreeSum`): every field merges exactly under the tree
+    /// reduce — limbs by per-limb `wrapping_add`, counters by integer
+    /// addition, `poisoned` by OR.
+    ClusterSum {
+        /// The 6 limbs of the merged accumulator.
+        limbs: Vec<u64>,
+        /// True if any contributing node detected a range overflow.
+        poisoned: bool,
+        /// Total values applied across the contributing primaries —
+        /// the cluster-wide exactly-once count.
+        values: u64,
+        /// Number of contributing nodes on which the stream exists; 0
+        /// means no node has ever seen it.
+        holders: u64,
+    },
+    /// A peer connection's `Hello` was accepted; the replying node
+    /// identifies itself.
+    PeerHello {
+        /// The replying node's cluster id.
+        node_id: u64,
+    },
     /// Snapshot written; `streams` entries persisted.
     Snapshot {
         /// Number of streams in the snapshot.
@@ -305,6 +349,8 @@ impl Response {
         match self {
             Response::Added { .. } => "added",
             Response::Sum { .. } => "sum",
+            Response::ClusterSum { .. } => "cluster_sum",
+            Response::PeerHello { .. } => "peer_hello",
             Response::Snapshot { .. } => "snapshot",
             Response::ResetDone => "reset",
             Response::Stats { .. } => "stats",
@@ -327,6 +373,13 @@ impl Serialize for Response {
                 s.serialize_field("limbs", limbs)?;
                 s.serialize_field("poisoned", poisoned)?;
             }
+            Response::ClusterSum { limbs, poisoned, values, holders } => {
+                s.serialize_field("limbs", limbs)?;
+                s.serialize_field("poisoned", poisoned)?;
+                s.serialize_field("values", values)?;
+                s.serialize_field("holders", holders)?;
+            }
+            Response::PeerHello { node_id } => s.serialize_field("node_id", node_id)?,
             Response::Snapshot { streams } => s.serialize_field("streams", streams)?,
             Response::ResetDone | Response::ShuttingDown => {}
             Response::Stats { shard_count, streams } => {
@@ -357,6 +410,9 @@ impl<'de> Visitor<'de> for ResponseVisitor {
         let mut deduped = None::<bool>;
         let mut limbs = None::<Vec<u64>>;
         let mut poisoned = None::<bool>;
+        let mut values = None::<u64>;
+        let mut holders = None::<u64>;
+        let mut node_id = None::<u64>;
         let mut streams = None::<u64>;
         let mut shard_count = None::<u64>;
         let mut stream_stats = None::<Vec<StreamStatsRepr>>;
@@ -369,6 +425,9 @@ impl<'de> Visitor<'de> for ResponseVisitor {
                 "deduped" => deduped = Some(map.next_value()?),
                 "limbs" => limbs = Some(map.next_value()?),
                 "poisoned" => poisoned = Some(map.next_value()?),
+                "values" => values = Some(map.next_value()?),
+                "holders" => holders = Some(map.next_value()?),
+                "node_id" => node_id = Some(map.next_value()?),
                 "streams" => streams = Some(map.next_value()?),
                 "shard_count" => shard_count = Some(map.next_value()?),
                 "stream_stats" => stream_stats = Some(map.next_value()?),
@@ -388,6 +447,15 @@ impl<'de> Visitor<'de> for ResponseVisitor {
             "sum" => Response::Sum {
                 limbs: limbs.ok_or_else(|| missing("limbs"))?,
                 poisoned: poisoned.ok_or_else(|| missing("poisoned"))?,
+            },
+            "cluster_sum" => Response::ClusterSum {
+                limbs: limbs.ok_or_else(|| missing("limbs"))?,
+                poisoned: poisoned.ok_or_else(|| missing("poisoned"))?,
+                values: values.ok_or_else(|| missing("values"))?,
+                holders: holders.ok_or_else(|| missing("holders"))?,
+            },
+            "peer_hello" => Response::PeerHello {
+                node_id: node_id.ok_or_else(|| missing("node_id"))?,
             },
             "snapshot" => Response::Snapshot {
                 streams: streams.ok_or_else(|| missing("streams"))?,
@@ -421,6 +489,9 @@ impl<'de> Deserialize<'de> for Response {
                 "deduped",
                 "limbs",
                 "poisoned",
+                "values",
+                "holders",
+                "node_id",
                 "streams",
                 "shard_count",
                 "stream_stats",
@@ -621,6 +692,15 @@ impl<'a> BinaryAddView<'a> {
     pub fn values(&self) -> WireF64Iter<'a> {
         WireF64Iter { chunks: self.value_bytes.chunks_exact(8) }
     }
+
+    /// The raw little-endian `f64` payload bytes. This is what a cluster
+    /// node forwards to replicas: the ingested frame's value bytes are
+    /// copied verbatim into the peer `MirrorAdd` frame, so a mirrored
+    /// batch crosses node boundaries without a decode/re-encode cycle
+    /// (and therefore cannot lose a bit in transit).
+    pub fn value_bytes(&self) -> &'a [u8] {
+        self.value_bytes
+    }
 }
 
 /// Iterator decoding raw little-endian `f64`s from a frame payload view;
@@ -676,6 +756,324 @@ fn parse_add_binary_view(payload: &[u8]) -> io::Result<BinaryAddView<'_>> {
         )));
     }
     Ok(BinaryAddView { stream, client_id, seq, value_bytes: body })
+}
+
+// ---------------------------------------------------------------------
+// Peer protocol (`OIS\x03`): the inter-node wire format.
+//
+// Every peer payload is one opcode byte followed by a fixed binary body
+// (big-endian integers, like the binary Add identity fields). Requests
+// flow node→node on the dedicated peer port; replies reuse the JSON
+// `Response` frames — preformatted through `frame_into`, exactly like
+// client replies — except `SnapshotPull`, whose sealed snapshot body
+// crosses as a raw `SnapshotData` peer frame (the v2 footer makes the
+// transfer self-validating: a connection cut mid-body is detected by the
+// receiver's unseal, never silently restored).
+// ---------------------------------------------------------------------
+
+/// Peer opcode: connection handshake (`node_id`, config fingerprint).
+const PEER_OP_HELLO: u8 = 0x01;
+/// Peer opcode: replicate one tracked batch to a mirror node.
+const PEER_OP_MIRROR_ADD: u8 = 0x02;
+/// Peer opcode: compute a binomial subtree partial of a cluster sum.
+const PEER_OP_TREE_SUM: u8 = 0x03;
+/// Peer opcode: pull a sealed snapshot of a peer's relevant streams.
+const PEER_OP_SNAPSHOT_PULL: u8 = 0x04;
+/// Peer opcode (reply): the sealed snapshot bytes for a `SnapshotPull`.
+const PEER_OP_SNAPSHOT_DATA: u8 = 0x84;
+
+/// Which streams a `SnapshotPull` asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotScope {
+    /// Streams the callee *mirrors on behalf of* the pulling node — what
+    /// a restarted node pulls to recover its own primary partial.
+    MirrorOfOrigin,
+    /// The callee's own *primary* streams — what a restarted node pulls
+    /// to rebuild the mirror copies it is supposed to hold for peers.
+    PrimaryOfPeer,
+}
+
+impl SnapshotScope {
+    fn as_byte(self) -> u8 {
+        match self {
+            SnapshotScope::MirrorOfOrigin => 0,
+            SnapshotScope::PrimaryOfPeer => 1,
+        }
+    }
+
+    fn parse(b: u8) -> io::Result<Self> {
+        Ok(match b {
+            0 => SnapshotScope::MirrorOfOrigin,
+            1 => SnapshotScope::PrimaryOfPeer,
+            other => return Err(bad_data(format!("peer frame: unknown snapshot scope {other}"))),
+        })
+    }
+}
+
+/// A peer request parsed *in place* over the read buffer, mirroring
+/// [`ClientFrameView`]: the `MirrorAdd` arm wraps the same zero-copy
+/// [`BinaryAddView`] the client ingest path uses, so a mirrored batch
+/// flows read-buffer → ledger on the mirror node exactly as it did on
+/// the ingest node.
+#[derive(Debug)]
+pub enum PeerRequestView<'a> {
+    /// Handshake: first frame on every peer connection. The callee
+    /// refuses the connection unless `fingerprint` matches its own
+    /// cluster config fingerprint (static membership: both sides must
+    /// agree on the node set and replication factor).
+    Hello {
+        /// The dialing node's cluster id.
+        node_id: u32,
+        /// FNV-1a 64 fingerprint of the shared cluster config.
+        fingerprint: u64,
+    },
+    /// Replicate one tracked batch: apply into the callee's mirror store
+    /// for `origin`, deduplicated by the batch's `(client_id, seq)`.
+    MirrorAdd {
+        /// Node id that ingested the batch from the client.
+        origin: u32,
+        /// The batch itself, viewed in place over the read buffer.
+        add: BinaryAddView<'a>,
+    },
+    /// Compute this node's binomial-subtree partial for a cluster sum;
+    /// see the cluster crate's tree schedule for the `root`/`limit`
+    /// contract.
+    TreeSum {
+        /// Node id coordinating the reduce (virtual rank 0).
+        root: u32,
+        /// Exclusive upper bound on this subtree's child masks — the
+        /// mask at which this node was recruited.
+        limit: u32,
+        /// Stream being summed, borrowed from the payload.
+        stream: &'a str,
+    },
+    /// Ask the callee for a sealed snapshot of the streams in `scope`.
+    SnapshotPull {
+        /// Node id on whose behalf the pull is made (the rejoining
+        /// node for `MirrorOfOrigin`; the puller itself for
+        /// `PrimaryOfPeer`).
+        origin: u32,
+        /// Which streams to include.
+        scope: SnapshotScope,
+    },
+}
+
+/// A reply to a peer request: either an ordinary JSON [`Response`]
+/// (`OIS\x01` — hello acks, mirror ACKs, subtree partials, typed errors)
+/// or the raw sealed snapshot bytes answering a `SnapshotPull`.
+#[derive(Debug)]
+pub enum PeerReplyView<'a> {
+    /// A JSON response frame.
+    Json(Response),
+    /// Sealed snapshot contents (body + checksummed v2 footer), borrowed
+    /// from the read buffer. Validation is the receiver's job: `unseal`
+    /// refuses truncated or corrupted transfers.
+    SnapshotData(&'a str),
+}
+
+/// Starts a peer frame in `buf` (cleared first): magic, a length
+/// placeholder, and the opcode. [`peer_frame_finish`] patches the length.
+fn peer_frame_start(buf: &mut Vec<u8>, op: u8) {
+    buf.clear();
+    buf.extend_from_slice(&MAGIC_PEER);
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.push(op);
+}
+
+/// Patches the payload length of a frame started by
+/// [`peer_frame_start`].
+fn peer_frame_finish(buf: &mut [u8]) -> io::Result<()> {
+    let payload_len = buf.len() - 8;
+    let len = u32::try_from(payload_len).map_err(|_| bad_data("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(bad_data("frame too large"));
+    }
+    buf[4..8].copy_from_slice(&len.to_be_bytes());
+    Ok(())
+}
+
+/// Serializes a peer `Hello` frame into `buf` (cleared first).
+pub fn peer_hello_into(buf: &mut Vec<u8>, node_id: u32, fingerprint: u64) -> io::Result<()> {
+    peer_frame_start(buf, PEER_OP_HELLO);
+    buf.extend_from_slice(&node_id.to_be_bytes());
+    buf.extend_from_slice(&fingerprint.to_be_bytes());
+    peer_frame_finish(buf)
+}
+
+/// Serializes a peer `MirrorAdd` frame into `buf` (cleared first). The
+/// body after `origin` is laid out exactly like a binary Add payload, so
+/// `value_bytes` can come verbatim from an ingested frame's
+/// [`BinaryAddView::value_bytes`].
+pub fn peer_mirror_add_into(
+    buf: &mut Vec<u8>,
+    origin: u32,
+    stream: &str,
+    client_id: u64,
+    seq: u64,
+    value_bytes: &[u8],
+) -> io::Result<()> {
+    if !value_bytes.len().is_multiple_of(8) {
+        return Err(bad_data("mirror add: value bytes not a multiple of 8"));
+    }
+    let name = stream.as_bytes();
+    let name_len = u16::try_from(name.len()).map_err(|_| bad_data("stream name too long"))?;
+    peer_frame_start(buf, PEER_OP_MIRROR_ADD);
+    buf.extend_from_slice(&origin.to_be_bytes());
+    buf.extend_from_slice(&name_len.to_be_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&client_id.to_be_bytes());
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(value_bytes);
+    peer_frame_finish(buf)
+}
+
+/// Serializes a peer `TreeSum` frame into `buf` (cleared first).
+pub fn peer_tree_sum_into(
+    buf: &mut Vec<u8>,
+    root: u32,
+    limit: u32,
+    stream: &str,
+) -> io::Result<()> {
+    let name = stream.as_bytes();
+    let name_len = u16::try_from(name.len()).map_err(|_| bad_data("stream name too long"))?;
+    peer_frame_start(buf, PEER_OP_TREE_SUM);
+    buf.extend_from_slice(&root.to_be_bytes());
+    buf.extend_from_slice(&limit.to_be_bytes());
+    buf.extend_from_slice(&name_len.to_be_bytes());
+    buf.extend_from_slice(name);
+    peer_frame_finish(buf)
+}
+
+/// Serializes a peer `SnapshotPull` frame into `buf` (cleared first).
+pub fn peer_snapshot_pull_into(
+    buf: &mut Vec<u8>,
+    origin: u32,
+    scope: SnapshotScope,
+) -> io::Result<()> {
+    peer_frame_start(buf, PEER_OP_SNAPSHOT_PULL);
+    buf.extend_from_slice(&origin.to_be_bytes());
+    buf.push(scope.as_byte());
+    peer_frame_finish(buf)
+}
+
+/// Serializes a peer `SnapshotData` reply into `buf` (cleared first);
+/// `sealed` is a complete sealed snapshot (body + footer) as produced by
+/// the snapshot module's seal.
+pub fn peer_snapshot_data_into(buf: &mut Vec<u8>, sealed: &str) -> io::Result<()> {
+    peer_frame_start(buf, PEER_OP_SNAPSHOT_DATA);
+    buf.extend_from_slice(sealed.as_bytes());
+    peer_frame_finish(buf)
+}
+
+fn read_u32(body: &[u8], at: usize, what: &str) -> io::Result<u32> {
+    let bytes: [u8; 4] = body
+        .get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| bad_data(format!("peer frame: truncated {what}")))?;
+    Ok(u32::from_be_bytes(bytes))
+}
+
+fn read_u64(body: &[u8], at: usize, what: &str) -> io::Result<u64> {
+    let bytes: [u8; 8] = body
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| bad_data(format!("peer frame: truncated {what}")))?;
+    Ok(u64::from_be_bytes(bytes))
+}
+
+/// Reads one peer request frame into `buf` (cleared first, capacity
+/// reused) and parses it in place. Returns `None` on a clean EOF at a
+/// frame boundary. Rejects non-peer magics: the peer port speaks only
+/// `OIS\x03`.
+pub fn read_peer_request_into<'a, R: Read>(
+    r: &mut R,
+    buf: &'a mut Vec<u8>,
+) -> io::Result<Option<PeerRequestView<'a>>> {
+    let Some((magic, len)) = read_header(r)? else {
+        return Ok(None);
+    };
+    if magic != MAGIC_PEER {
+        return Err(bad_data(format!(
+            "bad peer frame magic {magic:02x?} (client protocol on the peer port?)"
+        )));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    let (&op, body) = buf
+        .split_first()
+        .ok_or_else(|| bad_data("peer frame: empty payload"))?;
+    Ok(Some(match op {
+        PEER_OP_HELLO => PeerRequestView::Hello {
+            node_id: read_u32(body, 0, "hello node id")?,
+            fingerprint: read_u64(body, 4, "hello fingerprint")?,
+        },
+        PEER_OP_MIRROR_ADD => {
+            let origin = read_u32(body, 0, "mirror origin")?;
+            let add = parse_add_binary_view(&body[4..])?;
+            PeerRequestView::MirrorAdd { origin, add }
+        }
+        PEER_OP_TREE_SUM => {
+            let root = read_u32(body, 0, "tree root")?;
+            let limit = read_u32(body, 4, "tree limit")?;
+            let name_len = body
+                .get(8..10)
+                .map(|s| u16::from_be_bytes([s[0], s[1]]) as usize)
+                .ok_or_else(|| bad_data("peer frame: truncated stream name length"))?;
+            let name = body
+                .get(10..10 + name_len)
+                .ok_or_else(|| bad_data("peer frame: truncated stream name"))?;
+            let stream = core::str::from_utf8(name)
+                .map_err(|_| bad_data("peer frame: stream name is not UTF-8"))?;
+            PeerRequestView::TreeSum { root, limit, stream }
+        }
+        PEER_OP_SNAPSHOT_PULL => {
+            let origin = read_u32(body, 0, "pull origin")?;
+            let scope = SnapshotScope::parse(
+                *body
+                    .get(4)
+                    .ok_or_else(|| bad_data("peer frame: truncated snapshot scope"))?,
+            )?;
+            PeerRequestView::SnapshotPull { origin, scope }
+        }
+        other => return Err(bad_data(format!("peer frame: unknown opcode {other:#04x}"))),
+    }))
+}
+
+/// Reads one peer *reply* into `buf` (cleared first): a JSON `Response`
+/// frame or a `SnapshotData` peer frame. Returns `None` on a clean EOF
+/// at a frame boundary.
+pub fn read_peer_reply_into<'a, R: Read>(
+    r: &mut R,
+    buf: &'a mut Vec<u8>,
+) -> io::Result<Option<PeerReplyView<'a>>> {
+    let Some((magic, len)) = read_header(r)? else {
+        return Ok(None);
+    };
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    match magic {
+        m if m == MAGIC => serde_json::from_slice(buf)
+            .map(|resp| Some(PeerReplyView::Json(resp)))
+            .map_err(|e| bad_data(format!("bad frame payload: {e}"))),
+        m if m == MAGIC_PEER => {
+            let (&op, body) = buf
+                .split_first()
+                .ok_or_else(|| bad_data("peer frame: empty payload"))?;
+            if op != PEER_OP_SNAPSHOT_DATA {
+                return Err(bad_data(format!(
+                    "peer reply: unexpected opcode {op:#04x} (request op on the reply path?)"
+                )));
+            }
+            let sealed = core::str::from_utf8(body)
+                .map_err(|_| bad_data("peer reply: snapshot bytes are not UTF-8"))?;
+            Ok(Some(PeerReplyView::SnapshotData(sealed)))
+        }
+        m => Err(bad_data(format!(
+            "bad frame magic {m:02x?} (speaking a different protocol or version?)"
+        ))),
+    }
 }
 
 /// A frame arriving at a server: either a JSON [`Request`] (`OIS\x01`)
@@ -777,6 +1175,7 @@ mod tests {
             seq: Some(3),
         });
         roundtrip_request(Request::Sum { stream: "s".into() });
+        roundtrip_request(Request::ClusterSum { stream: "s".into() });
         roundtrip_request(Request::Snapshot);
         roundtrip_request(Request::Reset);
         roundtrip_request(Request::Stats);
@@ -789,6 +1188,13 @@ mod tests {
             Response::Added { count: 17, deduped: false },
             Response::Added { count: 9, deduped: true },
             Response::Sum { limbs: vec![1, 2, 3, u64::MAX, 0, 9], poisoned: false },
+            Response::ClusterSum {
+                limbs: vec![9, 8, 7, 6, 5, u64::MAX],
+                poisoned: true,
+                values: 1_000_000,
+                holders: 3,
+            },
+            Response::PeerHello { node_id: 2 },
             Response::Snapshot { streams: 2 },
             Response::ResetDone,
             Response::Stats {
@@ -923,6 +1329,124 @@ mod tests {
         buf.extend_from_slice(&4u32.to_be_bytes());
         buf.extend_from_slice(&[0, 2, 0xFF, 0xFE]);
         assert!(read_client_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn peer_request_frames_roundtrip() {
+        let mut wire = Vec::new();
+        let mut frame = Vec::new();
+        peer_hello_into(&mut frame, 2, 0xFEED_FACE_CAFE_F00D).unwrap();
+        wire.extend_from_slice(&frame);
+        let values: [f64; 4] = [0.1, -2.5e-30, 1e15, -0.0];
+        let value_bytes: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
+        peer_mirror_add_into(&mut frame, 1, "stream/α", 77, 41, &value_bytes).unwrap();
+        wire.extend_from_slice(&frame);
+        peer_tree_sum_into(&mut frame, 2, 4, "s").unwrap();
+        wire.extend_from_slice(&frame);
+        peer_snapshot_pull_into(&mut frame, 0, SnapshotScope::MirrorOfOrigin).unwrap();
+        wire.extend_from_slice(&frame);
+        peer_snapshot_pull_into(&mut frame, 3, SnapshotScope::PrimaryOfPeer).unwrap();
+        wire.extend_from_slice(&frame);
+
+        let mut r = wire.as_slice();
+        let mut buf = Vec::new();
+        let Some(PeerRequestView::Hello { node_id, fingerprint }) =
+            read_peer_request_into(&mut r, &mut buf).unwrap()
+        else {
+            panic!("expected hello")
+        };
+        assert_eq!((node_id, fingerprint), (2, 0xFEED_FACE_CAFE_F00D));
+        let Some(PeerRequestView::MirrorAdd { origin, add }) =
+            read_peer_request_into(&mut r, &mut buf).unwrap()
+        else {
+            panic!("expected mirror add")
+        };
+        assert_eq!(origin, 1);
+        assert_eq!(add.stream, "stream/α");
+        assert_eq!((add.client_id, add.seq), (77, 41));
+        let back_bits: Vec<u64> = add.values().map(|v| v.to_bits()).collect();
+        let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(back_bits, bits);
+        assert_eq!(add.value_bytes(), &value_bytes[..]);
+        let Some(PeerRequestView::TreeSum { root, limit, stream }) =
+            read_peer_request_into(&mut r, &mut buf).unwrap()
+        else {
+            panic!("expected tree sum")
+        };
+        assert_eq!((root, limit, stream), (2, 4, "s"));
+        let Some(PeerRequestView::SnapshotPull { origin, scope }) =
+            read_peer_request_into(&mut r, &mut buf).unwrap()
+        else {
+            panic!("expected snapshot pull")
+        };
+        assert_eq!((origin, scope), (0, SnapshotScope::MirrorOfOrigin));
+        let Some(PeerRequestView::SnapshotPull { origin, scope }) =
+            read_peer_request_into(&mut r, &mut buf).unwrap()
+        else {
+            panic!("expected snapshot pull")
+        };
+        assert_eq!((origin, scope), (3, SnapshotScope::PrimaryOfPeer));
+        assert!(read_peer_request_into(&mut r, &mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn peer_reply_reader_accepts_json_and_snapshot_data() {
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Response::ClusterSum { limbs: vec![1; 6], poisoned: false, values: 5, holders: 2 },
+        )
+        .unwrap();
+        let mut frame = Vec::new();
+        peer_snapshot_data_into(&mut frame, "sealed-body\nfooter").unwrap();
+        wire.extend_from_slice(&frame);
+
+        let mut r = wire.as_slice();
+        let mut buf = Vec::new();
+        let Some(PeerReplyView::Json(Response::ClusterSum { values, holders, .. })) =
+            read_peer_reply_into(&mut r, &mut buf).unwrap()
+        else {
+            panic!("expected json cluster_sum reply")
+        };
+        assert_eq!((values, holders), (5, 2));
+        let Some(PeerReplyView::SnapshotData(sealed)) =
+            read_peer_reply_into(&mut r, &mut buf).unwrap()
+        else {
+            panic!("expected snapshot data")
+        };
+        assert_eq!(sealed, "sealed-body\nfooter");
+        assert!(read_peer_reply_into(&mut r, &mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn peer_port_rejects_client_magics_and_malformed_frames() {
+        // A client JSON frame on the peer port is refused by magic.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Reset).unwrap();
+        let mut buf = Vec::new();
+        assert!(read_peer_request_into(&mut wire.as_slice(), &mut buf).is_err());
+        // Unknown opcode.
+        let mut wire = MAGIC_PEER.to_vec();
+        wire.extend_from_slice(&1u32.to_be_bytes());
+        wire.push(0x7F);
+        assert!(read_peer_request_into(&mut wire.as_slice(), &mut buf).is_err());
+        // Empty payload.
+        let mut wire = MAGIC_PEER.to_vec();
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        assert!(read_peer_request_into(&mut wire.as_slice(), &mut buf).is_err());
+        // Truncated hello body.
+        let mut wire = MAGIC_PEER.to_vec();
+        wire.extend_from_slice(&5u32.to_be_bytes());
+        wire.push(0x01);
+        wire.extend_from_slice(&2u32.to_be_bytes());
+        assert!(read_peer_request_into(&mut wire.as_slice(), &mut buf).is_err());
+        // A request opcode arriving where a reply is expected.
+        let mut frame = Vec::new();
+        peer_tree_sum_into(&mut frame, 0, 1, "s").unwrap();
+        assert!(read_peer_reply_into(&mut frame.as_slice(), &mut buf).is_err());
     }
 
     #[test]

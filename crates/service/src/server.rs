@@ -11,11 +11,9 @@
 //! *after* its deposits land in the ledger, "every ACKed batch is in
 //! the final snapshot" holds without any extra bookkeeping.
 
+use crate::dispatch::RequestCore;
 use crate::ledger::ShardedLedger;
-use crate::proto::{
-    frame_into, read_client_frame_into, ClientFrameView, ErrorCode, Request, Response,
-    StreamStatsRepr, UNTRACKED_CLIENT,
-};
+use crate::proto::{frame_into, read_client_frame_into, ClientFrameView, ErrorCode, Request, Response};
 use crate::snapshot;
 use oisum_faults::FaultAction;
 use std::io::{self, BufReader, Write};
@@ -111,35 +109,46 @@ fn signal_shutdown(stopping: &AtomicBool, addr: SocketAddr) {
 /// Binds, restores any existing snapshot, and starts serving in
 /// background threads.
 pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
-    let addr = listener.local_addr()?;
     let ledger = Arc::new(ShardedLedger::new(config.shards));
     if let Some(path) = &config.snapshot_path {
         if path.exists() {
             snapshot::load(path, &ledger)?;
         }
     }
+    let core = Arc::new(
+        RequestCore::new(ledger).with_snapshot_path(config.snapshot_path.clone()),
+    );
+    serve_with_core(&config, core)
+}
+
+/// Binds and serves over a caller-built [`RequestCore`] — the entry
+/// point for embedders (a cluster node) that need to share the ledger
+/// with other components or attach
+/// [`ClusterOps`](crate::dispatch::ClusterOps). `config.snapshot_path`
+/// is ignored here: persistence (including any restore-at-start) belongs
+/// to the core's owner.
+pub fn serve_with_core(config: &ServerConfig, core: Arc<RequestCore>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let ledger = Arc::clone(core.ledger());
     let stopping = Arc::new(AtomicBool::new(false));
 
     let acceptor = {
-        let ledger = Arc::clone(&ledger);
         let stopping = Arc::clone(&stopping);
-        let snapshot_path = config.snapshot_path.clone();
         let workers = config.workers.max(1);
         std::thread::spawn(move || -> io::Result<()> {
             let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
             let pool: Vec<_> = (0..workers)
                 .map(|_| {
                     let rx = rx.clone();
-                    let ledger = Arc::clone(&ledger);
+                    let core = Arc::clone(&core);
                     let stopping = Arc::clone(&stopping);
-                    let snapshot_path = snapshot_path.clone();
                     std::thread::spawn(move || {
                         while let Ok(conn) = rx.recv() {
                             // Connection-level errors (peer vanished,
                             // malformed frame) only poison that one
                             // connection.
-                            let _ = serve_connection(conn, &ledger, &stopping, &snapshot_path);
+                            let _ = serve_connection(conn, &core, &stopping);
                         }
                     })
                 })
@@ -167,8 +176,8 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             for w in pool {
                 w.join().map_err(|_| io::Error::other("worker panicked"))?;
             }
-            if let Some(path) = &snapshot_path {
-                snapshot::save(path, &ledger)?;
+            if let Some(path) = core.snapshot_path() {
+                snapshot::save(path, core.ledger())?;
             }
             Ok(())
         })
@@ -192,12 +201,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 /// single `write_all`. With Nagle disabled below, each reply departs as
 /// exactly one immediate segment instead of waiting out a delayed-ACK
 /// window against the client's next request.
-fn serve_connection(
-    conn: TcpStream,
-    ledger: &ShardedLedger,
-    stopping: &AtomicBool,
-    snapshot_path: &Option<PathBuf>,
-) -> io::Result<()> {
+fn serve_connection(conn: TcpStream, core: &RequestCore, stopping: &AtomicBool) -> io::Result<()> {
     // An accepted socket's local address is the listener's address, so it
     // doubles as the shutdown-poke target.
     let local = conn.local_addr()?;
@@ -240,28 +244,7 @@ fn serve_connection(
         if is_add && matches!(oisum_faults::check("server.add.drop_before_apply"), Some(FaultAction::Disconnect)) {
             return Ok(());
         }
-        let (reply, stop_after) = match frame {
-            ClientFrameView::BinaryAdd(view) => {
-                let hint = shard_cursor;
-                shard_cursor = shard_cursor.wrapping_add(1);
-                // The hot path: values stream from the read buffer into
-                // the ledger's batch accumulator, untouched in between.
-                let (count, deduped) = if view.client_id != UNTRACKED_CLIENT {
-                    let (count, applied) = ledger.add_batch_dedup(
-                        view.stream,
-                        hint,
-                        view.client_id,
-                        view.seq,
-                        view.values(),
-                    );
-                    (count, !applied)
-                } else {
-                    (ledger.add_batch_on(view.stream, hint, view.values()), false)
-                };
-                (Response::Added { count, deduped }, false)
-            }
-            ClientFrameView::Json(req) => handle(req, ledger, snapshot_path, &mut shard_cursor),
-        };
+        let (reply, stop_after) = core.handle_frame(frame, &mut shard_cursor);
         if is_add && matches!(oisum_faults::check("server.add.drop_after_apply"), Some(FaultAction::Disconnect)) {
             return Ok(());
         }
@@ -283,90 +266,3 @@ fn serve_connection(
     }
 }
 
-/// Executes one request against the ledger. Returns the reply and
-/// whether the server should stop after sending it. `shard_cursor` is
-/// the connection's private cursor, advanced once per `Add`.
-fn handle(
-    req: Request,
-    ledger: &ShardedLedger,
-    snapshot_path: &Option<PathBuf>,
-    shard_cursor: &mut usize,
-) -> (Response, bool) {
-    match req {
-        Request::Add { stream, values, client_id, seq } => {
-            let hint = *shard_cursor;
-            *shard_cursor = shard_cursor.wrapping_add(1);
-            // A tracked identity goes through the exactly-once window; an
-            // untracked one (no id, or the explicit sentinel) deposits
-            // unconditionally, preserving the PR-2 wire behavior.
-            let (count, deduped) = match (client_id, seq) {
-                (Some(id), Some(seq)) if id != UNTRACKED_CLIENT => {
-                    let (count, applied) =
-                        ledger.add_batch_dedup(&stream, hint, id, seq, values.iter().copied());
-                    (count, !applied)
-                }
-                _ => (ledger.add_batch_on(&stream, hint, values.iter().copied()), false),
-            };
-            (Response::Added { count, deduped }, false)
-        }
-        Request::Sum { stream } => match ledger.sum(&stream) {
-            Some(sum) => (
-                Response::Sum {
-                    limbs: sum.as_limbs().to_vec(),
-                    poisoned: ledger.overflows(&stream) != 0,
-                },
-                false,
-            ),
-            None => (
-                Response::Error {
-                    code: ErrorCode::UnknownStream,
-                    message: format!("stream `{stream}` has never been written"),
-                },
-                false,
-            ),
-        },
-        Request::Snapshot => match snapshot_path {
-            Some(path) => match snapshot::save(path, ledger) {
-                Ok(streams) => (Response::Snapshot { streams: streams as u64 }, false),
-                Err(e) => (
-                    Response::Error {
-                        code: ErrorCode::Internal,
-                        message: format!("snapshot failed: {e}"),
-                    },
-                    false,
-                ),
-            },
-            None => (
-                Response::Error {
-                    code: ErrorCode::Internal,
-                    message: "server started without a snapshot path".to_owned(),
-                },
-                false,
-            ),
-        },
-        Request::Reset => {
-            ledger.reset();
-            (Response::ResetDone, false)
-        }
-        Request::Stats => {
-            let stats = ledger.stats();
-            (
-                Response::Stats {
-                    shard_count: stats.shard_count,
-                    streams: stats
-                        .streams
-                        .into_iter()
-                        .map(|s| StreamStatsRepr {
-                            name: s.name,
-                            batches: s.batches,
-                            values: s.values,
-                            overflows: s.overflows,
-                        })
-                        .collect(),
-                },
-                false,
-            )
-        }
-        Request::Shutdown => (Response::ShuttingDown, true),
-    }
-}

@@ -4,7 +4,7 @@
 //! The on-disk format is a JSON body
 //!
 //! ```json
-//! {"version":2,"entries":[{"stream":"s","overflows":0,"dedup":[[7,4]],"sum":[l0,l1,l2,l3,l4,l5]}]}
+//! {"version":2,"entries":[{"stream":"s","overflows":0,"dedup":[[7,4]],"batches":3,"values":90,"sum":[l0,l1,l2,l3,l4,l5]}]}
 //! ```
 //!
 //! followed by one newline and a footer line
@@ -140,14 +140,22 @@ pub struct SnapshotEntry {
     pub overflows: u64,
     /// Exactly-once window: `[client_id, last applied seq]` pairs.
     pub dedup: Vec<(u64, u64)>,
+    /// Batches applied at snapshot time. Optional on read (absent in
+    /// pre-cluster snapshots, which default to 0) so existing v2 files
+    /// keep loading.
+    pub batches: u64,
+    /// Values applied at snapshot time; optional on read like `batches`.
+    pub values: u64,
 }
 
 impl Serialize for SnapshotEntry {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("SnapshotEntry", 4)?;
+        let mut s = serializer.serialize_struct("SnapshotEntry", 6)?;
         s.serialize_field("stream", &self.stream)?;
         s.serialize_field("overflows", &self.overflows)?;
         s.serialize_field("dedup", &self.dedup)?;
+        s.serialize_field("batches", &self.batches)?;
+        s.serialize_field("values", &self.values)?;
         s.serialize_field("sum", &self.sum)?;
         s.end()
     }
@@ -164,12 +172,15 @@ impl<'de> Visitor<'de> for EntryVisitor {
 
     fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
         let (mut stream, mut sum, mut overflows, mut dedup) = (None, None, None, None);
+        let (mut batches, mut values) = (None, None);
         while let Some(key) = map.next_key::<String>()? {
             match key.as_str() {
                 "stream" => stream = Some(map.next_value()?),
                 "sum" => sum = Some(map.next_value()?),
                 "overflows" => overflows = Some(map.next_value()?),
                 "dedup" => dedup = Some(map.next_value()?),
+                "batches" => batches = Some(map.next_value()?),
+                "values" => values = Some(map.next_value()?),
                 other => return Err(A::Error::custom(format!("unknown field `{other}`"))),
             }
         }
@@ -178,6 +189,9 @@ impl<'de> Visitor<'de> for EntryVisitor {
             sum: sum.ok_or_else(|| A::Error::custom("missing `sum`"))?,
             overflows: overflows.ok_or_else(|| A::Error::custom("missing `overflows`"))?,
             dedup: dedup.ok_or_else(|| A::Error::custom("missing `dedup`"))?,
+            // Absent in pre-cluster v2 snapshots: no counters recorded.
+            batches: batches.unwrap_or(0),
+            values: values.unwrap_or(0),
         })
     }
 }
@@ -186,7 +200,7 @@ impl<'de> Deserialize<'de> for SnapshotEntry {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         deserializer.deserialize_struct(
             "SnapshotEntry",
-            &["stream", "sum", "overflows", "dedup"],
+            &["stream", "sum", "overflows", "dedup", "batches", "values"],
             EntryVisitor,
         )
     }
@@ -296,22 +310,9 @@ fn unseal(contents: &str) -> Result<&str, SnapshotError> {
 /// — so the corruption-handling path can be driven through the real
 /// writer.
 pub fn save(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
-    let file = SnapshotFile {
-        version: SNAPSHOT_VERSION,
-        entries: ledger
-            .snapshot()
-            .into_iter()
-            .map(|s| SnapshotEntry {
-                stream: s.name,
-                sum: s.sum,
-                overflows: s.overflows,
-                dedup: s.dedup,
-            })
-            .collect(),
-    };
-    let body = serde_json::to_string(&file)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let mut bytes = seal(&body).into_bytes();
+    let states = ledger.snapshot();
+    let count = states.len();
+    let mut bytes = states_to_sealed(states)?.into_bytes();
     match oisum_faults::check("snapshot.save.corrupt") {
         Some(oisum_faults::FaultAction::Truncate { keep }) => bytes.truncate(keep),
         Some(oisum_faults::FaultAction::BitFlip { offset, bit }) if !bytes.is_empty() => {
@@ -327,7 +328,57 @@ pub fn save(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    Ok(file.entries.len())
+    Ok(count)
+}
+
+/// Serializes stream states into a complete sealed snapshot — JSON body
+/// plus checksummed footer — ready to land on disk *or* cross the wire
+/// as a peer `SnapshotData` reply. The cluster rejoin path transfers
+/// exactly these bytes, so a mid-transfer connection cut is caught by
+/// [`parse_sealed`] on the receiving side the same way a crash-truncated
+/// file is caught by [`load`].
+pub fn states_to_sealed(states: Vec<StreamState>) -> io::Result<String> {
+    let file = SnapshotFile {
+        version: SNAPSHOT_VERSION,
+        entries: states
+            .into_iter()
+            .map(|s| SnapshotEntry {
+                stream: s.name,
+                sum: s.sum,
+                overflows: s.overflows,
+                dedup: s.dedup,
+                batches: s.batches,
+                values: s.values,
+            })
+            .collect(),
+    };
+    let body = serde_json::to_string(&file)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(seal(&body))
+}
+
+/// Validates a complete sealed snapshot (footer, checksum, JSON,
+/// version — in that order, before anything is trusted) and returns the
+/// stream states it carries.
+pub fn parse_sealed(contents: &str) -> Result<Vec<StreamState>, SnapshotError> {
+    let body = unseal(contents)?;
+    let file: SnapshotFile =
+        serde_json::from_str(body).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+    if file.version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(file.version));
+    }
+    Ok(file
+        .entries
+        .into_iter()
+        .map(|e| StreamState {
+            name: e.stream,
+            sum: e.sum,
+            overflows: e.overflows,
+            dedup: e.dedup,
+            batches: e.batches,
+            values: e.values,
+        })
+        .collect())
 }
 
 /// Replaces the ledger's contents with the snapshot at `path`.
@@ -338,23 +389,8 @@ pub fn save(path: &Path, ledger: &ShardedLedger) -> io::Result<usize> {
 /// ledger behind.
 pub fn load(path: &Path, ledger: &ShardedLedger) -> Result<usize, SnapshotError> {
     let contents = std::fs::read_to_string(path)?;
-    let body = unseal(&contents)?;
-    let file: SnapshotFile =
-        serde_json::from_str(body).map_err(|e| SnapshotError::Parse(e.to_string()))?;
-    if file.version != SNAPSHOT_VERSION {
-        return Err(SnapshotError::UnsupportedVersion(file.version));
-    }
-    let count = file.entries.len();
-    let entries: Vec<StreamState> = file
-        .entries
-        .into_iter()
-        .map(|e| StreamState {
-            name: e.stream,
-            sum: e.sum,
-            overflows: e.overflows,
-            dedup: e.dedup,
-        })
-        .collect();
+    let entries = parse_sealed(&contents)?;
+    let count = entries.len();
     ledger.restore(&entries);
     Ok(count)
 }
@@ -388,6 +424,34 @@ mod tests {
         // The dedup window crossed the snapshot too.
         assert!(!restored.add_batch_dedup("b", 0, 42, 6, [0.5]).1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sealed_roundtrip_preserves_counters_and_rejects_truncation() {
+        let ledger = ShardedLedger::new(4);
+        ledger.add("s", &[1.5, -0.25, 1e9]);
+        ledger.add_batch_dedup("s", 0, 7, 3, [2.0]);
+        let sealed = states_to_sealed(ledger.snapshot()).unwrap();
+        // The full transfer parses back bitwise, counters included.
+        let states = parse_sealed(&sealed).unwrap();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].sum, ledger.sum("s").unwrap());
+        assert_eq!((states[0].batches, states[0].values), (2, 4));
+        assert_eq!(states[0].dedup, vec![(7, 3)]);
+        // A transfer cut mid-body (what a dropped peer connection
+        // produces) is refused, never partially adopted.
+        for cut in [sealed.len() / 2, sealed.len() - 1] {
+            assert!(parse_sealed(&sealed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn pre_counter_snapshots_still_load() {
+        // A v2 body written before the batches/values fields existed.
+        let body = r#"{"version":2,"entries":[{"stream":"s","overflows":0,"dedup":[[7,4]],"sum":[0,0,0,0,0,0]}]}"#;
+        let states = parse_sealed(&seal(body)).unwrap();
+        assert_eq!((states[0].batches, states[0].values), (0, 0));
+        assert_eq!(states[0].dedup, vec![(7, 4)]);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 #
 # Usage: scripts/verify.sh [--with-loadgen]
 #
-# --with-loadgen additionally runs the service load generator end-to-end
+# --with-loadgen additionally runs the load generator end-to-end
 # (spawns an in-process server, asserts bitwise-identical sums under
-# concurrent load) and refreshes BENCH_service.json at the repo root.
+# concurrent load) and refreshes BENCH_service.json and
+# BENCH_cluster.json at the repo root.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,9 +34,13 @@ echo "==> chaos suite (failpoints feature: fault injection + exactly-once retrie
 cargo build --offline --release -p oisum-service --features failpoints
 cargo test --offline -q -p oisum-service --features failpoints
 
+echo "==> cluster chaos suite (failpoints: mirror drops, partitions, torn rejoins)"
+cargo test --offline -q -p oisum-cluster --features failpoints
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo clippy --offline -q -p oisum-service --features failpoints --all-targets -- -D warnings
+cargo clippy --offline -q -p oisum-cluster --features failpoints --all-targets -- -D warnings
 
 echo "==> criterion smoke: batch pipeline (per-value vs batched vs parallel)"
 cargo bench --offline -q -p oisum-bench --bench batch
@@ -48,11 +53,25 @@ echo "==> loadgen smoke: binary protocol, bitwise check + throughput gate"
 # machines).
 smoke_out=$(mktemp)
 OISUM_GATE_VALUES_PER_SEC="${OISUM_GATE_VALUES_PER_SEC:-17800000}" \
-    cargo run --offline --release -q -p oisum-service --bin loadgen -- \
+    cargo run --offline --release -q -p oisum-cluster --bin loadgen -- \
     --binary --threads 4 --batch 500 --gate --out "$smoke_out"
 grep -q '"bitwise_identical":true' "$smoke_out" \
     || { echo "verify: loadgen smoke lost bitwise identity" >&2; rm -f "$smoke_out"; exit 1; }
 rm -f "$smoke_out"
+
+echo "==> cluster gate: 3-node bitwise identity + clean shutdown"
+# Boots in-process clusters of 1, 2 and 3 nodes, sprays one dataset
+# across every node, and asserts the reduce from every coordinator is
+# bitwise the sequential HP sum (the loadgen process itself aborts on
+# any divergence or unclean node shutdown, so reaching the JSON at all
+# means the cluster invariants held).
+cluster_out=$(mktemp)
+cargo run --offline --release -q -p oisum-cluster --bin loadgen -- \
+    --cluster --nodes 1,2,3 --replication 2 --threads 4 --batch 500 \
+    --cluster-out "$cluster_out"
+grep -q '"bitwise_identical":true' "$cluster_out" \
+    || { echo "verify: cluster gate lost bitwise identity" >&2; rm -f "$cluster_out"; exit 1; }
+rm -f "$cluster_out"
 
 # Best-effort deeper checkers: run when the toolchain has them, skip
 # cleanly when it does not (this container typically lacks both).
@@ -75,9 +94,13 @@ fi
 
 if [[ "${1:-}" == "--with-loadgen" ]]; then
     echo "==> loadgen (service benchmark + bitwise check, JSON + binary + kernel sweep)"
-    cargo run --offline --release -q -p oisum-service --bin loadgen -- \
+    cargo run --offline --release -q -p oisum-cluster --bin loadgen -- \
         --out BENCH_service.json \
         --values-per-batch 100,250,500,1000,2000 --kernels-out BENCH_kernels.json
+    echo "==> loadgen --cluster (refresh BENCH_cluster.json)"
+    cargo run --offline --release -q -p oisum-cluster --bin loadgen -- \
+        --cluster --nodes 1,2,3 --replication 2 --threads 4 --batch 500 \
+        --cluster-out BENCH_cluster.json
 fi
 
 echo "verify: OK"
