@@ -1,23 +1,26 @@
-//! The PR-5 encode/deposit kernels versus the scalar paths they
-//! replace.
+//! The encode/deposit kernels versus the scalar paths they replace.
 //!
-//! Two comparisons, each isolating one tentpole optimization:
+//! Three comparisons, each isolating one tentpole optimization:
 //!
-//! * `encode/*` — the branchless chunk encode kernel
-//!   ([`encode_f64_batch`]) against the per-value Listing-1
+//! * `encode/*` — the multi-lane chunk encode kernel
+//!   ([`encode_f64_batch`], PR 7's lane-struct + sharded-bank rework of
+//!   the PR-5 branchless kernel) against the per-value Listing-1
 //!   `encode_deposit` loop it short-circuits. Same input, same
 //!   `BatchAcc`, bitwise-identical output; only the conversion strategy
-//!   differs (XOR/mask sign handling + precomputed per-exponent
-//!   dispatch vs a branch per value).
-//! * `deposit/*` — the 4-wide unrolled [`BatchAcc::deposit_chunk`]
+//!   differs (4-lane extraction, table-driven widening multiply, and
+//!   lane-sharded scatter banks vs a branch per value).
+//! * `encode_le_bytes` — the zero-copy wire entry
+//!   ([`encode_f64_le_batch`]): the same kernel fed straight from LE
+//!   payload bytes, as the service's binary-Add path does.
+//! * `deposit/*` — the 8-wide unrolled [`BatchAcc::deposit_chunk`]
 //!   against one [`BatchAcc::deposit`] call per pre-encoded value.
 //!
-//! The loadgen's `--microbench` mode runs the same two pairs without
+//! The loadgen's `--values-per-batch` mode runs the same pairs without
 //! criterion and writes the speedups to `BENCH_kernels.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use oisum_analysis::workload::uniform_symmetric;
-use oisum_core::{encode_f64_batch, BatchAcc, Hp6x3};
+use oisum_core::{encode_f64_batch, encode_f64_le_batch, BatchAcc, Hp6x3};
 use std::hint::black_box;
 
 const N: usize = 1 << 16;
@@ -38,11 +41,22 @@ fn bench_encode_kernel(c: &mut Criterion) {
         })
     });
 
-    // The branchless chunk kernel.
+    // The multi-lane chunk kernel.
     g.bench_function("encode_f64_batch", |b| {
         b.iter(|| {
             let mut acc = BatchAcc::<6, 3>::new();
             encode_f64_batch(&mut acc, black_box(&xs[..]));
+            black_box(acc.finish())
+        })
+    });
+
+    // The same kernel fed from wire bytes (the service's binary-Add
+    // ingest: LE payload straight into the lanes, no `Vec<f64>`).
+    let wire: Vec<u8> = xs.iter().flat_map(|x| x.to_le_bytes()).collect();
+    g.bench_function("encode_f64_le_batch", |b| {
+        b.iter(|| {
+            let mut acc = BatchAcc::<6, 3>::new();
+            encode_f64_le_batch(&mut acc, black_box(&wire[..]));
             black_box(acc.finish())
         })
     });

@@ -43,7 +43,7 @@
 //! `"json_mode"` / `"binary_mode"`.
 
 use oisum_cluster::start_local_cluster;
-use oisum_core::{encode_f64_batch, BatchAcc};
+use oisum_core::{encode_f64_batch, encode_f64_le_batch, lane_evidence, BatchAcc};
 use oisum_faults::{registry, FaultAction, FireRule};
 use oisum_service::{serve, Client, ClientConfig, ServerConfig, ServiceHp};
 use rand::prelude::*;
@@ -59,6 +59,11 @@ use std::time::{Duration, Instant};
 const PR2_BINARY_VALUES_PER_SEC: f64 = 17_812_875.0;
 const PR2_BINARY_P50_US: f64 = 104.11;
 const PR2_JSON_P99_US: f64 = 1563.04;
+
+/// PR 5's recorded kernel microbench (its `BENCH_kernels.json`), the
+/// before side of this PR's multi-lane rework. Same caveat: reference
+/// machine numbers, compare ratios across machines.
+const PR5_KERNEL_ENCODE_VALUES_PER_SEC: f64 = 137_342_222.0;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -519,6 +524,8 @@ fn run_cluster(args: &Args, data: &[f64], expected: &ServiceHp) {
 struct KernelBench {
     scalar_encode_vps: f64,
     kernel_encode_vps: f64,
+    /// The zero-copy wire entry: LE bytes straight into the lane kernel.
+    bytes_encode_vps: f64,
     deposit_vps: f64,
     deposit_chunk_vps: f64,
 }
@@ -560,6 +567,12 @@ fn microbench(seed: u64) -> KernelBench {
         encode_f64_batch(&mut acc, black_box(&xs[..]));
         black_box(acc.finish());
     });
+    let wire: Vec<u8> = xs.iter().flat_map(|x| x.to_le_bytes()).collect();
+    let bytes_encode_vps = best(&mut || {
+        let mut acc = BatchAcc::<6, 3>::new();
+        encode_f64_le_batch(&mut acc, black_box(&wire[..]));
+        black_box(acc.finish());
+    });
     let deposit_vps = best(&mut || {
         let mut acc = BatchAcc::<6, 3>::new();
         for v in black_box(&encoded[..]) {
@@ -572,18 +585,21 @@ fn microbench(seed: u64) -> KernelBench {
         acc.deposit_chunk(black_box(&encoded[..]));
         black_box(acc.finish());
     });
-    KernelBench { scalar_encode_vps, kernel_encode_vps, deposit_vps, deposit_chunk_vps }
+    KernelBench { scalar_encode_vps, kernel_encode_vps, bytes_encode_vps, deposit_vps, deposit_chunk_vps }
 }
 
 /// Runs the kernel microbench plus a binary-mode end-to-end pass per
 /// requested batch size, and writes `BENCH_kernels.json`.
 fn run_sweep(args: &Args, data: &[f64], expected: &ServiceHp) {
     let kb = microbench(args.seed);
+    let evidence = lane_evidence();
+    println!("  [kernels] lane shape: {evidence}");
     println!(
-        "  [kernels] encode: {:.1}M values/s scalar -> {:.1}M values/s batch kernel ({:.2}x)",
+        "  [kernels] encode: {:.1}M values/s scalar -> {:.1}M values/s lane kernel ({:.2}x), {:.1}M values/s from wire bytes",
         kb.scalar_encode_vps / 1e6,
         kb.kernel_encode_vps / 1e6,
-        kb.encode_speedup()
+        kb.encode_speedup(),
+        kb.bytes_encode_vps / 1e6,
     );
     println!(
         "  [kernels] deposit: {:.1}M values/s per-value -> {:.1}M values/s chunked ({:.2}x)",
@@ -591,26 +607,51 @@ fn run_sweep(args: &Args, data: &[f64], expected: &ServiceHp) {
         kb.deposit_chunk_vps / 1e6,
         kb.deposit_speedup()
     );
-    // The acceptance floor for this PR: the branchless encode kernel
-    // must beat the scalar path by >= 1.5x. CPU-bound, so safe to assert
+    // The PR-5 acceptance floor: the chunked encode kernel must beat the
+    // scalar path by >= 1.5x. CPU-bound, so safe to assert
     // unconditionally (no network or scheduler noise in the measurement).
     assert!(
         kb.encode_speedup() >= 1.5,
         "encode kernel speedup {:.2}x fell below the 1.5x floor",
         kb.encode_speedup()
     );
+    if args.gate {
+        // This PR's acceptance floor: the multi-lane kernel must hold
+        // an absolute throughput of ~2x the PR-5 recording. Absolute
+        // values/s is machine-dependent, so the floor only applies under
+        // --gate and bends through the environment (see scripts/verify.sh).
+        let kernel_floor = env_floor("OISUM_GATE_KERNEL_VALUES_PER_SEC", 275_000_000.0);
+        assert!(
+            kb.kernel_encode_vps >= kernel_floor,
+            "gate: lane kernel {:.0} values/s fell below the {:.0} floor",
+            kb.kernel_encode_vps,
+            kernel_floor
+        );
+        println!(
+            "  gate: lane kernel {:.1}M values/s >= {:.1}M floor: OK",
+            kb.kernel_encode_vps / 1e6,
+            kernel_floor / 1e6
+        );
+    }
 
     let mut json = format!(
-        "{{\"microbench\":{{\"scalar_encode_values_per_sec\":{:.0},\"kernel_encode_values_per_sec\":{:.0},\"encode_speedup\":{:.3},\"deposit_values_per_sec\":{:.0},\"deposit_chunk_values_per_sec\":{:.0},\"deposit_speedup\":{:.3}}},\"pr2_baseline\":{{\"binary_values_per_sec\":{:.0},\"binary_p50_us\":{:.2}}},\"sweep\":[",
+        "{{\"microbench\":{{\"scalar_encode_values_per_sec\":{:.0},\"kernel_encode_values_per_sec\":{:.0},\"bytes_encode_values_per_sec\":{:.0},\"encode_speedup\":{:.3},\"deposit_values_per_sec\":{:.0},\"deposit_chunk_values_per_sec\":{:.0},\"deposit_speedup\":{:.3},\"lane_evidence\":\"{}\"}},\"pr2_baseline\":{{\"binary_values_per_sec\":{:.0},\"binary_p50_us\":{:.2}}},\"pr5_baseline\":{{\"kernel_encode_values_per_sec\":{:.0}}},\"sweep\":[",
         kb.scalar_encode_vps,
         kb.kernel_encode_vps,
+        kb.bytes_encode_vps,
         kb.encode_speedup(),
         kb.deposit_vps,
         kb.deposit_chunk_vps,
         kb.deposit_speedup(),
+        evidence,
         PR2_BINARY_VALUES_PER_SEC,
         PR2_BINARY_P50_US,
+        PR5_KERNEL_ENCODE_VALUES_PER_SEC,
     );
+    // Per-point p99 ceiling: large batches must not pay a latency cliff
+    // (the PR-5 recording had 336 us at 2000/batch vs 145 us at 100 —
+    // first-frame buffer growth landing on exactly one request).
+    let sweep_p99_ceiling = env_floor("OISUM_GATE_SWEEP_P99_US", 250.0);
     for (i, &batch) in args.sweep.iter().enumerate() {
         let pass_args = Args { batch, chaos: false, ..args.clone() };
         let r = run_pass(&pass_args, data, expected, Mode::Binary);
@@ -618,6 +659,14 @@ fn run_sweep(args: &Args, data: &[f64], expected: &ServiceHp) {
             "  [sweep {batch:>5}/batch] {:.0} values/s, p50 {:.1} us, p99 {:.1} us",
             r.values_per_sec, r.p50_us, r.p99_us
         );
+        if args.gate {
+            assert!(
+                r.p99_us <= sweep_p99_ceiling,
+                "gate: sweep {batch}/batch p99 {:.2} us breached the {:.2} us ceiling",
+                r.p99_us,
+                sweep_p99_ceiling
+            );
+        }
         if i > 0 {
             json.push(',');
         }
@@ -625,6 +674,9 @@ fn run_sweep(args: &Args, data: &[f64], expected: &ServiceHp) {
             "{{\"values_per_batch\":{},\"values_per_sec\":{:.0},\"ops_per_sec\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2},\"bitwise_identical\":true}}",
             batch, r.values_per_sec, r.ops_per_sec, r.p50_us, r.p99_us
         ));
+    }
+    if args.gate && !args.sweep.is_empty() {
+        println!("  gate: every sweep point p99 <= {sweep_p99_ceiling:.1} us ceiling: OK");
     }
     json.push_str("]}\n");
     let mut f = std::fs::File::create(&args.kernels_out).expect("create kernels output");

@@ -351,6 +351,19 @@ impl<A: AtomicU64Like, const N: usize, const K: usize> AtomicHpImpl<A, N, K> {
         self.add_dense(&acc.finish())
     }
 
+    /// [`Self::add_batch`] over raw little-endian `f64` bytes — the
+    /// service's binary Add payload — fed straight into the lane kernel
+    /// ([`crate::kernel::encode_f64_le_batch`]) with no per-value
+    /// iterator in between. Bitwise identical to decoding the values and
+    /// calling [`Self::add_batch`]; still exactly `N` RMWs per batch.
+    /// `bytes.len()` must be a multiple of 8.
+    #[inline]
+    pub fn add_batch_le_bytes(&self, bytes: &[u8]) -> usize {
+        let mut acc = crate::batch::BatchAcc::<N, K>::new();
+        acc.extend_f64_le_bytes(bytes);
+        self.add_dense(&acc.finish())
+    }
+
     /// [`Self::add_batch`] over any `f64` iterator (e.g. values decoded
     /// straight off a wire buffer), without materializing a slice: the
     /// iterator is drained through a stack chunk buffer so the branchless

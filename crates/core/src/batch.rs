@@ -100,26 +100,33 @@ impl<const N: usize, const K: usize> BatchAcc<N, K> {
         }
     }
 
-    /// Deposits a slice of pre-encoded values, four per iteration: each
-    /// limb's four addends are summed in `u128` (carrying the lane's own
-    /// wrap in the same add) before one lane store and one carry-counter
-    /// update — a quarter of the scalar path's lane traffic. Bitwise
-    /// identical to calling [`Self::deposit`] per value.
+    /// Deposits a slice of pre-encoded values, eight per iteration: each
+    /// limb's eight addends are summed in `u128` (carrying the lane's own
+    /// wrap in the same adds) before one lane store and one carry-counter
+    /// update — an eighth of the scalar path's lane traffic, and eight
+    /// independent addends per limb for the scheduler to overlap. Bitwise
+    /// identical to calling [`Self::deposit`] per value: `u128` limb sums
+    /// are exact (8 · (2^64 − 1) ≪ 2^128), so regrouping the additions
+    /// changes nothing.
     pub fn deposit_chunk(&mut self, vs: &[HpFixed<N, K>]) {
-        let mut groups = vs.chunks_exact(4);
+        const WIDE: usize = 8;
+        let mut groups = vs.chunks_exact(WIDE);
         for g in groups.by_ref() {
+            // chunks_exact guarantees the group length; the array view
+            // keeps the inner loop free of bounds checks.
+            // lint:allow(service-unwrap) -- infallible: chunks_exact(WIDE) yields WIDE-length slices
+            let g: &[HpFixed<N, K>; WIDE] = g.try_into().unwrap();
             for i in 0..N {
-                let s = self.lanes[i] as u128
-                    + g[0].as_limbs()[i] as u128
-                    + g[1].as_limbs()[i] as u128
-                    + g[2].as_limbs()[i] as u128
-                    + g[3].as_limbs()[i] as u128;
+                let mut s = self.lanes[i] as u128;
+                for v in g {
+                    s += v.as_limbs()[i] as u128;
+                }
                 self.lanes[i] = s as u64;
-                // The high word is the group's carry out of lane i (≤ 4),
+                // The high word is the group's carry out of lane i (≤ 8),
                 // the same units a per-value wrap would have counted.
                 self.carries[i] += (s >> 64) as u64;
             }
-            self.pending += 4;
+            self.pending += WIDE as u32;
             if self.pending >= FLUSH_INTERVAL {
                 self.propagate();
             }
@@ -165,6 +172,17 @@ impl<const N: usize, const K: usize> BatchAcc<N, K> {
     #[inline]
     pub fn extend_f64(&mut self, xs: &[f64]) {
         crate::kernel::encode_f64_batch(self, xs);
+    }
+
+    /// [`Self::extend_f64`] over raw little-endian `f64` bytes (the
+    /// service's binary wire layout), via
+    /// [`crate::kernel::encode_f64_le_batch`]: bitwise identical to
+    /// decoding the values first, without a per-value iterator between
+    /// the wire buffer and the lane kernel. `bytes.len()` must be a
+    /// multiple of 8.
+    #[inline]
+    pub fn extend_f64_le_bytes(&mut self, bytes: &[u8]) {
+        crate::kernel::encode_f64_le_batch(self, bytes);
     }
 
     /// Folds the deferred-carry counters into the lanes, restoring the

@@ -1,32 +1,68 @@
-//! The branchless batch encode kernel: `f64` chunks → limb partials.
+//! The multi-lane batch encode kernel: `f64` chunks → limb partials.
 //!
 //! [`encode_f64_batch`] is the hot path behind every slice/iterator sum
 //! in this workspace ([`BatchAcc::extend_f64`], `Hp::sum_f64_slice`,
-//! `Hp::par_sum_f64_slice`, `AtomicHp::add_batch`). It replaces the
+//! `Hp::par_sum_f64_slice`, `AtomicHp::add_batch`), and
+//! [`encode_f64_le_batch`] is the same kernel fed raw little-endian
+//! wire bytes (the service's zero-copy binary ingest). Both replace the
 //! per-value Listing-1 float loop with integer bit manipulation over
-//! whole chunks, removing every data-dependent branch from the
-//! per-summand critical path:
+//! whole chunks, and — since PR 7 — retire [`LANES`] values per step
+//! instead of one:
 //!
-//! * **Sign handling is two's-complement via XOR/mask**, not
-//!   `if neg { negate }`. A negative value's limb-wise contribution
-//!   decomposes as `(2^64 − 1) − mag_j` per limb plus `+1` at the bottom
-//!   limb; the kernel deposits the *signed* magnitude words
-//!   (`(w ^ m) − m` with `m` the all-ones sign mask) and completes the
-//!   identity once per chunk by adding `neg_count · (2^64 − 1)` to every
-//!   partial and `neg_count` to the bottom one. Signed zeros cost
-//!   nothing special: `-0.0` contributes the full `2^(64·N)` ≡ 0.
-//! * **Per-exponent limb-index dispatch is precomputed** — not per
-//!   chunk, but once per `(N, K)` monomorphization at *compile time*: a
-//!   2048-entry table indexed by the raw `f64` exponent field packs the
-//!   sub-resolution truncation shift, the intra-limb shift, and the
-//!   target limb index into one `u32`. The masked index (`raw & 0x7ff`)
-//!   and masked scatter slots keep the whole loop free of bounds-check
-//!   branches in safe Rust (this crate is `#![forbid(unsafe_code)]`).
-//! * **Partials are u128 carry-save**: each chunk accumulates per-limb
-//!   `i128` partial sums (bounded by `2 · chunk · 2^64 < 2^73`, no
-//!   overflow) which [`BatchAcc`] absorbs with one wrapping add plus
-//!   deferred-carry update per limb — the per-*value* lane traffic of
-//!   the scalar path becomes per-*chunk*.
+//! * **Lane-struct extraction.** Each group of [`LANES`] summands is
+//!   split into fixed-size lane arrays (`[u64; LANES]` bit patterns,
+//!   `[u32; LANES]` raw exponents, `[u32; LANES]` dispatch words) with
+//!   no data dependencies between lanes, so the compiler is free to
+//!   schedule the lanes as parallel register chains (and, where the
+//!   target has them, vector registers — the arrays are exactly the
+//!   u64x4 shape the autovectorizer recognizes).
+//! * **One fast/slow branch per group, not per value.** The group's
+//!   lane-wise maximum raw exponent is compared against the format
+//!   threshold once; only a group containing a non-finite or
+//!   out-of-range member takes the [`#[cold]` mixed path](mixed_group),
+//!   which re-screens per value and routes offenders through the scalar
+//!   Listing-1 reference encode.
+//! * **Sharded scatter banks.** Each lane deposits into its own
+//!   32-slot `i128` carry-save bank. Two values in *different* lanes
+//!   can therefore never collide on a slot, which removes the
+//!   store-to-load forwarding chain that serializes a single shared
+//!   bank when consecutive summands land on the same limb (the common
+//!   case: real datasets cluster in a few binades). The banks are
+//!   folded lane-wise into per-limb partials once per chunk — integer
+//!   reassociation only, so exactness is untouched (see below).
+//! * **Sign handling is branchless XOR/mask on the truncated
+//!   mantissa**, not `if neg { negate }`: `(mt ^ m) − m` with `m` the
+//!   all-ones sign mask negates in two u64 ops, *before* the word
+//!   split. The split then deposits the value's true two's-complement
+//!   word pair — the low word unsigned (`v mod 2^64`), the high word an
+//!   arithmetic shift (`⌊v / 2^64⌋`, negative for negative values) — so
+//!   `hi · 2^64 + lo = v` exactly and no per-chunk sign completion is
+//!   needed at all; the fold normalizes the (possibly negative) slot
+//!   sums into canonical non-negative partials with one borrow pass.
+//!   Signed zeros cost nothing special: `-0.0` deposits two zero words.
+//! * **Per-exponent limb-index dispatch is precomputed** — once per
+//!   `(N, K)` monomorphization at *compile time*: 2048-entry tables
+//!   indexed by the raw `f64` exponent field hold the sub-resolution
+//!   truncation shift and target limb index (one `u32`) and the
+//!   intra-limb position as a power-of-two *multiplier* (one `u64`), so
+//!   the only variable shift left on the fast path is the truncation —
+//!   the limb positioning is a widening multiply, which does not
+//!   serialize on the shift-count register the way baseline x86-64
+//!   variable shifts do. The masked index (`raw & 0x7ff`) and masked
+//!   scatter slots keep the whole loop free of bounds-check branches in
+//!   safe Rust (this crate is `#![forbid(unsafe_code)]`).
+//!
+//! # Why exactness is lane-order-invariant
+//!
+//! Every deposit into a scatter bank is an exact `i128` integer
+//! addition, and the chunk fold sums the lanes' banks slot-wise before
+//! handing the per-limb partials to [`BatchAcc::absorb_partials`].
+//! Re-distributing values across lanes (or changing [`LANES`] itself)
+//! only reassociates those integer additions — no rounding, no
+//! truncation, no wrap below the `2^73` partial bound — so the folded
+//! partials, and therefore the final limbs, are bit-identical for every
+//! lane assignment. This is the same argument that makes the HP method
+//! order-invariant, applied one level down.
 //!
 //! # Bitwise equality with the scalar path
 //!
@@ -42,7 +78,8 @@
 //! falls back to the scalar [`encode_listing1`] for that value, so even
 //! the debug assertions and the release-mode saturation garbage are
 //! identical to the per-value path. The `encode_fast_path_matches_reference`
-//! proptest and the golden-vector suite pin this bit for bit.
+//! proptest, the every-length tail suite, and the golden-vector suite
+//! pin this bit for bit.
 
 use crate::batch::BatchAcc;
 use crate::convert::encode_listing1;
@@ -53,16 +90,44 @@ use oisum_bignum::codec::split_f64_bits;
 ///
 /// Large enough to amortize the per-chunk partial fold (`N` lane
 /// updates per chunk instead of per value) and small enough that the
-/// scatter bank plus partials stay in L1 and the `i128` partials keep
+/// scatter banks plus partials stay in L1 and the `i128` partials keep
 /// ~55 bits of headroom. Doubling it measures flat on the microbench;
 /// halving it costs ~3% (more folds per value).
 pub const ENCODE_CHUNK: usize = 256;
+
+/// Values retired per kernel step: the width of the lane structs and
+/// the number of scatter-bank shards.
+///
+/// Four lanes give each scatter slot four independent dependency
+/// chains (one per shard) while keeping the banks at 2 KiB total —
+/// comfortably L1-resident next to the chunk being read. Eight lanes
+/// measured within noise of four on the reference machine (the fold
+/// cost grows linearly with the shard count); two measurably slower.
+pub const LANES: usize = 4;
 
 /// Scatter bank size: slot `j + 1` holds limb `j`'s partial, slot 0
 /// swallows the (always-zero for in-range values) word above the top
 /// limb. 32 slots let every index be masked with `& 0x1f`, which the
 /// compiler proves in-bounds — no bounds-check branches, no `unsafe`.
 const SCATTER_SLOTS: usize = 32;
+
+/// Per-lane sharded scatter state: `bank[l]` receives only lane `l`'s
+/// deposits, so no two lanes ever contend on a slot (the
+/// "carry-conflict" a single shared bank would serialize on).
+///
+/// Allocated once per batch, not per chunk: [`fold_banks`] drains and
+/// re-zeroes exactly the slots a chunk can touch (`0..=N`, a few
+/// hundred bytes) instead of a full-array clear per 256 values.
+struct LaneBanks {
+    bank: [[i128; SCATTER_SLOTS]; LANES],
+}
+
+impl LaneBanks {
+    #[inline]
+    fn new() -> Self {
+        LaneBanks { bank: [[0; SCATTER_SLOTS]; LANES] }
+    }
+}
 
 /// Compile-time per-`(N, K)` dispatch tables.
 struct Tables<const N: usize, const K: usize>;
@@ -78,10 +143,17 @@ impl<const N: usize, const K: usize> Tables<N, K> {
     /// separates the branchless fast path from the exact scalar path.
     const THRESH: u32 = slow_threshold(N, K);
 
-    /// `raw exponent → (drop, intra-limb shift, low scatter slot)`,
-    /// packed as `drop | intra << 7 | lo_slot << 13`. Entries at or
-    /// above [`Self::THRESH`] are never read.
+    /// `raw exponent → (drop, low scatter slot)`, packed as
+    /// `drop | lo_slot << 8`. Entries at or above [`Self::THRESH`] are
+    /// never read.
     const DISPATCH: [u32; 2048] = dispatch_table(N, K);
+
+    /// `raw exponent → 2^intra`, the intra-limb positioning as a
+    /// multiplier: one widening multiply replaces a variable left shift
+    /// *and* the two-shift high-word extraction (variable shifts
+    /// serialize on the shift-count register on baseline x86-64; a
+    /// multiply does not). Fallback and `drop > 0` entries hold 1.
+    const MULT: [u64; 2048] = mult_table(N, K);
 }
 
 const fn slow_threshold(n: usize, k: usize) -> u32 {
@@ -96,38 +168,80 @@ const fn slow_threshold(n: usize, k: usize) -> u32 {
     }
 }
 
+/// `raw exponent → (drop, intra-limb shift, target limb index)` for
+/// in-range entries, shared by the two table builders.
+const fn dispatch_entry(raw: usize, k: usize) -> (u32, usize, u32) {
+    // Value = mantissa · 2^exp; in units of the resolution
+    // (2^(−64·K)) the mantissa's bit 0 sits at `shift`.
+    let exp = (if raw == 0 { 1 } else { raw as i64 }) - 1075;
+    let shift = exp + 64 * k as i64;
+    if shift < 0 {
+        // Sub-resolution bits truncate toward zero. The mantissa
+        // is ≤ 53 bits, so any drop ≥ 54 zeroes it; clamping to
+        // 63 keeps the u64 shift in range.
+        let d = -shift;
+        ((if d > 63 { 63 } else { d }) as u32, 0usize, 0u32)
+    } else {
+        (0u32, (shift / 64) as usize, (shift % 64) as u32)
+    }
+}
+
 const fn dispatch_table(n: usize, k: usize) -> [u32; 2048] {
     let thresh = slow_threshold(n, k);
     let mut table = [0u32; 2048];
     let mut raw = 0usize;
     while raw < 2048 {
         if (raw as u32) < thresh {
-            // Value = mantissa · 2^exp; in units of the resolution
-            // (2^(−64·K)) the mantissa's bit 0 sits at `shift`.
-            let exp = (if raw == 0 { 1 } else { raw as i64 }) - 1075;
-            let shift = exp + 64 * k as i64;
-            let (drop, li, intra) = if shift < 0 {
-                // Sub-resolution bits truncate toward zero. The mantissa
-                // is ≤ 53 bits, so any drop ≥ 54 zeroes it; clamping to
-                // 127 keeps the u128 shift in range.
-                let d = -shift;
-                ((if d > 127 { 127 } else { d }) as u32, 0usize, 0u32)
-            } else {
-                (0u32, (shift / 64) as usize, (shift % 64) as u32)
-            };
+            let (drop, li, _) = dispatch_entry(raw, k);
             // In-range values always land inside the limb bank (at the
             // range boundary li = n − 1 exactly); const evaluation turns
             // a violation into a compile error.
             assert!(li < n);
             let lo_slot = (n - li) as u32;
-            table[raw] = drop | (intra << 7) | (lo_slot << 13);
+            table[raw] = drop | (lo_slot << 8);
         }
         raw += 1;
     }
     table
 }
 
-/// Encodes `xs` with the branchless chunk kernel and deposits the
+const fn mult_table(n: usize, k: usize) -> [u64; 2048] {
+    let thresh = slow_threshold(n, k);
+    let mut table = [1u64; 2048];
+    let mut raw = 0usize;
+    while raw < 2048 {
+        if (raw as u32) < thresh {
+            let (_, _, intra) = dispatch_entry(raw, k);
+            table[raw] = 1u64 << intra;
+        }
+        raw += 1;
+    }
+    let _ = n;
+    table
+}
+
+/// A one-line summary of the lane shape this build compiled to, for
+/// benchmark reports: chunk/lane constants plus the `target_feature`
+/// set the kernel's autovectorization evidence depends on. Recorded in
+/// `BENCH_kernels.json` so perf-trajectory entries are comparable
+/// across machines.
+pub fn lane_evidence() -> String {
+    let features: &[(&str, bool)] = &[
+        ("sse2", cfg!(target_feature = "sse2")),
+        ("sse4.2", cfg!(target_feature = "sse4.2")),
+        ("avx", cfg!(target_feature = "avx")),
+        ("avx2", cfg!(target_feature = "avx2")),
+        ("avx512f", cfg!(target_feature = "avx512f")),
+        ("neon", cfg!(target_feature = "neon")),
+    ];
+    let on: Vec<&str> = features.iter().filter(|(_, e)| *e).map(|(n, _)| *n).collect();
+    format!(
+        "lanes={LANES} chunk={ENCODE_CHUNK} slots={SCATTER_SLOTS} target_features=[{}]",
+        on.join(",")
+    )
+}
+
+/// Encodes `xs` with the multi-lane chunk kernel and deposits the
 /// contributions into `acc`, bitwise-identically to
 /// `for &x in xs { acc.encode_deposit(x) }` for **every** `f64` input
 /// (in-range, boundary, subnormal, signed-zero — and identical
@@ -137,65 +251,209 @@ const fn dispatch_table(n: usize, k: usize) -> [u32; 2048] {
 /// [`HpFixed::sum_f64_slice`](crate::fixed::HpFixed::sum_f64_slice).
 #[inline]
 pub fn encode_f64_batch<const N: usize, const K: usize>(acc: &mut BatchAcc<N, K>, xs: &[f64]) {
+    let mut banks = LaneBanks::new();
     for chunk in xs.chunks(ENCODE_CHUNK) {
-        encode_chunk(acc, chunk);
+        encode_chunk(acc, &mut banks, chunk);
     }
 }
 
-/// One chunk (≤ [`ENCODE_CHUNK`] values): scatter signed magnitude
-/// words, then fold the completed non-negative partials into `acc`.
-fn encode_chunk<const N: usize, const K: usize>(acc: &mut BatchAcc<N, K>, chunk: &[f64]) {
+/// [`encode_f64_batch`] fed raw little-endian `f64` bytes — the exact
+/// layout of the service's binary Add payload — so wire ingest reaches
+/// the lane kernel without an intermediate per-value iterator. The
+/// byte→`f64` chunk copy below compiles to a straight `memcpy` on
+/// little-endian targets (and a byte-swapping vector loop elsewhere);
+/// everything after it is [`encode_chunk`], so the result is bitwise
+/// identical to decoding the values first and calling
+/// [`encode_f64_batch`].
+///
+/// `bytes.len()` must be a multiple of 8 (the wire protocol validates
+/// this before the payload reaches the ledger); trailing bytes beyond
+/// the last whole `f64` are debug-asserted against and ignored.
+pub fn encode_f64_le_batch<const N: usize, const K: usize>(acc: &mut BatchAcc<N, K>, bytes: &[u8]) {
+    debug_assert!(bytes.len().is_multiple_of(8), "wire f64 payload must be whole values");
+    let mut banks = LaneBanks::new();
+    let mut buf = [0.0f64; ENCODE_CHUNK];
+    for chunk in bytes.chunks(ENCODE_CHUNK * 8) {
+        let mut n = 0;
+        for (slot, le) in buf.iter_mut().zip(chunk.chunks_exact(8)) {
+            // lint:allow(service-unwrap) -- infallible: chunks_exact(8) yields 8-byte slices
+            *slot = f64::from_le_bytes(le.try_into().unwrap());
+            n += 1;
+        }
+        encode_chunk(acc, &mut banks, &buf[..n]);
+    }
+}
+
+/// One chunk (≤ [`ENCODE_CHUNK`] values): scatter two's-complement
+/// word pairs into the per-lane banks [`LANES`] values per step, then
+/// fold the normalized non-negative partials into `acc`. `banks` must
+/// arrive all-zero; [`fold_banks`] restores that invariant on exit.
+fn encode_chunk<const N: usize, const K: usize>(
+    acc: &mut BatchAcc<N, K>,
+    banks: &mut LaneBanks,
+    chunk: &[f64],
+) {
     debug_assert!(chunk.len() <= ENCODE_CHUNK);
-    let mut scatter = [0i128; SCATTER_SLOTS];
-    let mut neg_count: u64 = 0;
-    for &x in chunk {
-        let bits = x.to_bits();
-        let raw = ((bits >> 52) & 0x7ff) as u32;
-        if raw >= Tables::<N, K>::THRESH {
-            slow_encode::<N, K>(&mut scatter, x);
+    let mut groups = chunk.chunks_exact(LANES);
+    for g in groups.by_ref() {
+        // chunks_exact guarantees the group length; the array view makes
+        // that visible to the compiler so no bounds checks survive.
+        // lint:allow(service-unwrap) -- infallible: chunks_exact(LANES) yields LANES-length slices
+        let g: &[f64; LANES] = g.try_into().unwrap();
+        // Lane-struct extraction: fixed-width arrays with no cross-lane
+        // dependencies. The const-LANES loops fully unroll.
+        let mut bits = [0u64; LANES];
+        let mut raw = [0u32; LANES];
+        for l in 0..LANES {
+            bits[l] = g[l].to_bits();
+            raw[l] = ((bits[l] >> 52) & 0x7ff) as u32;
+        }
+        // One screen per group: the lane-wise max raw exponent is below
+        // the threshold iff every lane takes the fast path.
+        let mut max_raw = 0u32;
+        for &r in &raw {
+            max_raw = if r > max_raw { r } else { max_raw };
+        }
+        if max_raw >= Tables::<N, K>::THRESH {
+            mixed_group::<N, K>(banks, g);
             continue;
         }
-        let (sign_mask, mantissa, _) = split_f64_bits(bits);
-        let e = Tables::<N, K>::DISPATCH[(raw & 0x7ff) as usize];
-        // Truncate sub-resolution bits, then shift into limb position.
-        // mantissa ≤ 2^53 and intra ≤ 63, so the product is < 2^117.
-        let m = ((mantissa as u128) >> (e & 0x7f)) << ((e >> 7) & 0x3f);
-        let lo_slot = ((e >> 13) & 0x1f) as usize;
-        // Branchless conditional negation: (w ^ m) − m is w for m = 0
-        // and −w for m = −1. The sign mask broadcast and the +1 of the
-        // two's complement are hoisted out of the loop via `neg_count`.
-        let sm = (sign_mask as i64) as i128;
-        let lo = ((m as u64) as i128 ^ sm) - sm;
-        let hi = (((m >> 64) as u64 as i128) ^ sm) - sm;
-        scatter[lo_slot & 0x1f] += lo;
-        scatter[lo_slot.wrapping_sub(1) & 0x1f] += hi;
-        neg_count += sign_mask & 1;
+        // Per-lane DISPATCH/MULT lookups hoisted into gathers, then the
+        // arithmetic runs as LANES independent register chains.
+        let mut disp = [0u32; LANES];
+        let mut mult = [0u64; LANES];
+        for l in 0..LANES {
+            disp[l] = Tables::<N, K>::DISPATCH[(raw[l] & 0x7ff) as usize];
+            mult[l] = Tables::<N, K>::MULT[(raw[l] & 0x7ff) as usize];
+        }
+        for l in 0..LANES {
+            let b = bits[l];
+            let e = disp[l];
+            let m = mult[l];
+            // Same decomposition as split_f64_bits, but the implicit
+            // bit comes from the already-extracted raw exponent with
+            // pure arithmetic (bit 11 of raw + 0x7ff is set iff
+            // raw ≥ 1) instead of a compare-and-select.
+            let sign_mask = ((b as i64) >> 63) as u64;
+            let mantissa = (b & ((1u64 << 52) - 1)) | ((((raw[l] + 0x7ff) & 0x800) as u64) << 41);
+            // Truncate sub-resolution bits (drop ≤ 63), then negate
+            // branchlessly: (mt ^ s) − s is mt for s = 0 and −mt for
+            // s = −1. mt ≤ 2^53, so mts is exactly ±mt as an i64.
+            let mt = mantissa >> (e & 0x3f);
+            let mts = (mt ^ sign_mask).wrapping_sub(sign_mask);
+            // Position within the limb pair by a widening multiply with
+            // the table-stored 2^intra: v = mts · 2^intra exactly
+            // (|v| < 2^117), and the product's word split *is* the
+            // two's-complement word pair — lo = v mod 2^64 unsigned,
+            // hi = ⌊v / 2^64⌋ signed. One unsigned multiply (plus the
+            // sign-extended 64×64 form the compiler lowers to one
+            // widening multiply plus a high-word fixup) instead of
+            // three count-register-serialized variable shifts.
+            let p = (mts as i64 as i128) * (m as i128);
+            let lo = p as u64;
+            let hi = (p >> 64) as i64;
+            let lo_slot = ((e >> 8) & 0x1f) as usize;
+            // Lane l owns bank l: consecutive values on the same limb
+            // land in different shards, so the slot update chains are
+            // LANES-way parallel. lo zero-extends (an unsigned word),
+            // hi sign-extends; hi · 2^64 + lo = v exactly.
+            banks.bank[l][lo_slot & 0x1f] += lo as i128;
+            banks.bank[l][lo_slot.wrapping_sub(1) & 0x1f] += hi as i128;
+        }
     }
-    // Complete each negative value's two's complement:
-    //   −mag_j + (2^64 − 1) = (2^64 − 1) − mag_j   (per limb)
-    // plus +1 at the bottom limb. Partials become non-negative and stay
-    // below 2 · ENCODE_CHUNK · 2^64 < 2^73.
-    let nc = neg_count as i128;
-    let all_ones = u64::MAX as i128;
-    let mut partials = [0i128; N];
-    for (j, p) in partials.iter_mut().enumerate() {
-        *p = scatter[(j + 1) & 0x1f] + nc * all_ones;
+    for &x in groups.remainder() {
+        encode_one::<N, K>(banks, 0, x);
     }
-    partials[N - 1] += nc;
-    acc.absorb_partials(&partials, chunk.len() as u32);
+    fold_banks(acc, banks, chunk.len() as u32);
+}
+
+/// Encodes a single value into lane `lane` of the banks — the tail path
+/// for chunk lengths that are not a multiple of [`LANES`], and the
+/// re-screened per-value path inside [`mixed_group`]. Identical
+/// arithmetic to the lane fast path.
+#[inline]
+fn encode_one<const N: usize, const K: usize>(banks: &mut LaneBanks, lane: usize, x: f64) {
+    let bits = x.to_bits();
+    let raw = ((bits >> 52) & 0x7ff) as u32;
+    if raw >= Tables::<N, K>::THRESH {
+        slow_encode::<N, K>(banks, lane, x);
+        return;
+    }
+    let (sign_mask, mantissa, _) = split_f64_bits(bits);
+    let e = Tables::<N, K>::DISPATCH[(raw & 0x7ff) as usize];
+    let m = Tables::<N, K>::MULT[(raw & 0x7ff) as usize];
+    let mt = mantissa >> (e & 0x3f);
+    let mts = (mt ^ sign_mask).wrapping_sub(sign_mask);
+    let p = (mts as i64 as i128) * (m as i128);
+    let lo = p as u64;
+    let hi = (p >> 64) as i64;
+    let lo_slot = ((e >> 8) & 0x1f) as usize;
+    let bank = &mut banks.bank[lane % LANES];
+    bank[lo_slot & 0x1f] += lo as i128;
+    bank[lo_slot.wrapping_sub(1) & 0x1f] += hi as i128;
+}
+
+/// The rare group: at least one lane holds a non-finite or out-of-range
+/// value. Re-screens per value so the in-range lanes still take the
+/// fast arithmetic and only the offenders pay for the scalar reference
+/// encode.
+#[cold]
+#[inline(never)]
+fn mixed_group<const N: usize, const K: usize>(banks: &mut LaneBanks, g: &[f64]) {
+    for (l, &x) in g.iter().enumerate() {
+        encode_one::<N, K>(banks, l, x);
+    }
 }
 
 /// The rare path: non-finite or out-of-range magnitude. Reuses the
-/// scalar Listing-1 encode so behavior (including debug assertions and
-/// release saturation) is exactly the per-value path's, and deposits
-/// the already-two's-complement limbs unsigned.
+/// scalar Listing-1 [`encode_listing1`] reference so behavior (including
+/// debug assertions and release saturation) is exactly the per-value
+/// path's, and deposits the already-two's-complement limbs unsigned.
 #[cold]
 #[inline(never)]
-fn slow_encode<const N: usize, const K: usize>(scatter: &mut [i128; SCATTER_SLOTS], x: f64) {
+fn slow_encode<const N: usize, const K: usize>(banks: &mut LaneBanks, lane: usize, x: f64) {
     let limbs = encode_listing1::<N, K>(x);
+    let bank = &mut banks.bank[lane % LANES];
     for (j, &limb) in limbs.iter().enumerate() {
-        scatter[(j + 1) & 0x1f] += limb as i128;
+        bank[(j + 1) & 0x1f] += limb as i128;
     }
+}
+
+/// Folds the lane banks into per-limb partials and hands them to the
+/// accumulator. The slot sums are signed (negative values deposit
+/// negative high words), so one borrow pass from the bottom limb up
+/// rewrites them as canonical digits in `[0, 2^64)`: each limb keeps
+/// `s mod 2^64` and pushes `⌊s / 2^64⌋` one limb up. The carry out of
+/// the top limb is a multiple of `2^(64·N)` and is discarded — exactly
+/// the accumulator's two's-complement wrap. Slot sums stay below
+/// `2 · ENCODE_CHUNK · 2^64 < 2^73`, far inside `i128`. Summing the
+/// shards slot-wise is pure integer reassociation — the same partials a
+/// single shared bank would have produced (the lane-order-invariance
+/// argument in the module docs).
+fn fold_banks<const N: usize, const K: usize>(
+    acc: &mut BatchAcc<N, K>,
+    banks: &mut LaneBanks,
+    count: u32,
+) {
+    let mut partials = [0i128; N];
+    let mut carry = 0i128;
+    for j in (0..N).rev() {
+        let mut s = carry;
+        for bank in &mut banks.bank {
+            // Drain-and-zero: a chunk only ever touches slots 0..=N, so
+            // taking them here (plus slot 0 below) restores the all-zero
+            // invariant without a full bank clear per chunk.
+            s += core::mem::take(&mut bank[(j + 1) & 0x1f]);
+        }
+        partials[j] = (s as u64) as i128;
+        carry = s >> 64;
+    }
+    for bank in &mut banks.bank {
+        // Slot 0 swallowed the discarded above-top-limb words (a
+        // multiple of 2^(64·N) — the two's-complement wrap).
+        bank[0] = 0;
+    }
+    acc.absorb_partials(&partials, count);
 }
 
 #[cfg(test)]
@@ -302,6 +560,48 @@ mod tests {
         assert_eq!(fast.finish(), slow.finish());
     }
 
+    #[test]
+    fn every_tail_length_matches_per_value_deposits() {
+        // Chunks of every length 0..=2·ENCODE_CHUNK: covers empty input,
+        // single-value chunks, every non-multiple of LANES, exactly one
+        // full chunk, and a chunk boundary straddle with a tail group.
+        let pool: Vec<f64> = (0..(2 * ENCODE_CHUNK))
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                sign * ((i * 37 + 1) as f64) * 10f64.powi((i % 31) as i32 - 15)
+            })
+            .collect();
+        for len in 0..=(2 * ENCODE_CHUNK) {
+            let xs = &pool[..len];
+            let mut fast = BatchAcc::<6, 3>::new();
+            encode_f64_batch(&mut fast, xs);
+            let mut slow = BatchAcc::<6, 3>::new();
+            for &x in xs {
+                slow.encode_deposit(x);
+            }
+            assert_eq!(fast.finish(), slow.finish(), "length {len}");
+        }
+    }
+
+    #[test]
+    fn le_byte_entry_matches_slice_entry() {
+        let xs: Vec<f64> = (0..(ENCODE_CHUNK + LANES + 1))
+            .map(|i| (i as f64 - 100.0) * 1.37e-7 * if i % 5 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let bytes: Vec<u8> = xs.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let mut from_bytes = BatchAcc::<6, 3>::new();
+        encode_f64_le_batch(&mut from_bytes, &bytes);
+        let mut from_slice = BatchAcc::<6, 3>::new();
+        encode_f64_batch(&mut from_slice, &xs);
+        assert_eq!(from_bytes.finish(), from_slice.finish());
+    }
+
+    #[test]
+    fn lane_evidence_reports_shape() {
+        let ev = lane_evidence();
+        assert!(ev.contains("lanes=4") && ev.contains("chunk=256"), "{ev}");
+    }
+
     #[cfg(not(debug_assertions))]
     #[test]
     fn release_mode_garbage_is_identical_beyond_the_range() {
@@ -320,5 +620,28 @@ mod tests {
             assert_eq!(kernel_one::<6, 3>(x), scalar_one::<6, 3>(x), "x={x}");
             assert_eq!(kernel_one::<2, 1>(x), scalar_one::<2, 1>(x), "x={x}");
         }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn all_fallback_chunks_match_the_reference() {
+        // A chunk in which *every* group routes through the mixed/slow
+        // path, interleaved with a few fast values so both arms of the
+        // per-value re-screen run inside mixed groups.
+        let xs: Vec<f64> = (0..(ENCODE_CHUNK + 3))
+            .map(|i| match i % 4 {
+                0 => f64::INFINITY,
+                1 => -1e308,
+                2 => 1.5 * (i as f64),
+                _ => f64::NEG_INFINITY,
+            })
+            .collect();
+        let mut fast = BatchAcc::<6, 3>::new();
+        encode_f64_batch(&mut fast, &xs);
+        let mut slow = BatchAcc::<6, 3>::new();
+        for &x in &xs {
+            slow.encode_deposit(x);
+        }
+        assert_eq!(fast.finish(), slow.finish());
     }
 }

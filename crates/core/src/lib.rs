@@ -81,7 +81,7 @@ pub use dot::{hp_dot, hp_norm_sq, two_product};
 pub use atomic::{AtomicHp, AtomicHpImpl, AtomicU64Like};
 pub use dyn_hp::DynHp;
 pub use error::HpError;
-pub use kernel::{encode_f64_batch, ENCODE_CHUNK};
+pub use kernel::{encode_f64_batch, encode_f64_le_batch, lane_evidence, ENCODE_CHUNK, LANES};
 pub use sum::HpSumExt;
 pub use fixed::{Hp2x1, Hp3x2, Hp6x3, Hp8x4, HpFixed};
 pub use format::HpFormat;

@@ -6,7 +6,10 @@
 //! limbs for arbitrary `f64` batches, including signed zeros,
 //! denormals, and sign-mixed cancellation.
 
-use oisum_core::{encode_f64_batch, AtomicHp, BatchAcc, Hp6x3, HpFixed};
+use oisum_core::{
+    encode_f64_batch, encode_f64_le_batch, AtomicHp, BatchAcc, Hp6x3, HpFixed, ENCODE_CHUNK,
+    LANES,
+};
 use proptest::prelude::*;
 
 /// The pre-batching reference: encode each value, carry-propagating add.
@@ -135,5 +138,92 @@ proptest! {
         let atomic = AtomicHp::<6, 3>::zero();
         atomic.add_batch(&both);
         prop_assert!(atomic.load().is_zero());
+    }
+
+    /// Pins the multi-lane kernel across every length class the lane
+    /// loop can see: tails shorter than one chunk, non-multiples of the
+    /// lane width, multi-chunk runs, degenerate single-value batches,
+    /// and the zero-copy LE-byte wire entry — all bitwise equal to the
+    /// per-value Listing-1 reference.
+    #[test]
+    fn chunk_tails_and_lane_remainders_are_bitwise_exact(
+        pool in proptest::collection::vec(
+            (any::<bool>(), summand(), full_exponent_range_summand())
+                .prop_map(|(pick, a, b)| if pick { a } else { b }),
+            2 * ENCODE_CHUNK + LANES,
+        ),
+        len in 0usize..=2 * ENCODE_CHUNK,
+    ) {
+        let xs = &pool[..len];
+        let reference = per_value_sum(xs);
+
+        // The lane kernel on the exact length.
+        let mut acc = BatchAcc::<6, 3>::new();
+        encode_f64_batch(&mut acc, xs);
+        prop_assert_eq!(acc.finish(), reference);
+
+        // The zero-copy wire entry (LE payload bytes straight in).
+        let wire: Vec<u8> = xs.iter().flat_map(|x| x.to_le_bytes()).collect();
+        let mut bacc = BatchAcc::<6, 3>::new();
+        encode_f64_le_batch(&mut bacc, &wire);
+        prop_assert_eq!(bacc.finish(), reference);
+        let atomic = AtomicHp::<6, 3>::zero();
+        // Like `add_batch`, the byte entry costs exactly N RMWs per batch.
+        prop_assert_eq!(atomic.add_batch_le_bytes(&wire), 6);
+        prop_assert_eq!(atomic.load(), reference);
+
+        // Single-value batches: the most degenerate chunking.
+        let mut singles = BatchAcc::<6, 3>::new();
+        for x in xs {
+            encode_f64_batch(&mut singles, core::slice::from_ref(x));
+        }
+        prop_assert_eq!(singles.finish(), reference);
+    }
+}
+
+/// Out-of-range magnitudes take the `#[cold]` Listing-1 fallback; the
+/// encode of such values trips debug assertions inside the reference
+/// codec by design (the unchecked paths document the range contract),
+/// so the fallback equivalence properties run in release mode only —
+/// mirroring the release-only unit tests in `core::kernel`.
+#[cfg(not(debug_assertions))]
+mod release_only {
+    use super::*;
+
+    /// Finite values whose raw exponent is at or past the `Hp6x3`
+    /// threshold (1214): every one routes to the slow path.
+    fn beyond_range_summand() -> impl Strategy<Value = f64> {
+        (any::<bool>(), 1214u64..2046, any::<u64>()).prop_map(|(neg, raw, man)| {
+            f64::from_bits(((neg as u64) << 63) | (raw << 52) | (man & ((1u64 << 52) - 1)))
+        })
+    }
+
+    proptest! {
+        /// All-fallback chunks and fallback values spliced into in-range
+        /// runs (exercising the mixed-group path) stay bitwise equal to
+        /// the per-value reference.
+        #[test]
+        fn fallback_and_mixed_chunks_match_the_reference(
+            in_range in proptest::collection::vec(full_exponent_range_summand(), 0..300),
+            beyond in proptest::collection::vec(beyond_range_summand(), 1..100),
+            stride in 1usize..17,
+        ) {
+            // Pure fallback: every value screened out.
+            let reference = per_value_sum(&beyond);
+            let mut acc = BatchAcc::<6, 3>::new();
+            encode_f64_batch(&mut acc, &beyond);
+            prop_assert_eq!(acc.finish(), reference);
+
+            // Mixed: a fallback value every `stride` positions, so lane
+            // groups contain both classes and take the mixed path.
+            let mut xs = in_range;
+            for (k, &b) in beyond.iter().enumerate() {
+                xs.insert((k * stride) % (xs.len() + 1), b);
+            }
+            let reference = per_value_sum(&xs);
+            let mut acc = BatchAcc::<6, 3>::new();
+            encode_f64_batch(&mut acc, &xs);
+            prop_assert_eq!(acc.finish(), reference);
+        }
     }
 }

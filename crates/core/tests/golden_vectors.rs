@@ -21,15 +21,24 @@ fn hp6x3_matches_golden_vectors() {
         let trunc = Hp6x3::from_f64_trunc(x).ok().map(|v| v.as_limbs().to_vec());
         assert_eq!(trunc, hp.req("trunc").hex_u64_arr(), "case `{name}`: from_f64_trunc mismatch");
 
-        // The batch encode kernel must land every vector case on the
-        // same limbs as the truncating Listing-1 path.
+        // The multi-lane encode kernel must land every vector case on
+        // the same limbs as the truncating Listing-1 path — through the
+        // f64-slice entry and the zero-copy LE-byte wire entry alike.
         if let Some(expected) = hp.req("trunc").hex_u64_arr() {
             let mut acc = BatchAcc::<6, 3>::new();
             acc.extend_f64(&[x]);
             assert_eq!(
                 acc.finish().as_limbs().to_vec(),
                 expected,
-                "case `{name}`: batch kernel mismatch"
+                "case `{name}`: lane kernel mismatch"
+            );
+
+            let mut acc = BatchAcc::<6, 3>::new();
+            acc.extend_f64_le_bytes(&x.to_le_bytes());
+            assert_eq!(
+                acc.finish().as_limbs().to_vec(),
+                expected,
+                "case `{name}`: LE-byte wire entry mismatch"
             );
         }
 

@@ -237,13 +237,31 @@ impl<const N: usize> HallbergCodec<N> {
     }
 
     /// Sums a slice of `f64` values (unchecked encode + carry-free adds).
+    ///
+    /// Runs four independent accumulators over interleaved lanes and
+    /// merges them at the end. Limb adds are wrapping integer adds, so
+    /// any reassociation — including this lane split — is bitwise
+    /// identical to the sequential loop; the split only breaks the
+    /// loop-carried dependence so encode and add can overlap across
+    /// lanes (same shape as the multi-lane HP encode kernel).
     pub fn sum_f64_slice(&self, xs: &[f64]) -> HallbergNum<N> {
         debug_assert!(xs.len() as u64 <= self.format.max_summands() + 1);
-        let mut acc = HallbergNum::ZERO;
-        for &x in xs {
-            acc.add_assign(&self.encode_unchecked(x));
+        const LANES: usize = 4;
+        let mut acc = [HallbergNum::ZERO; LANES];
+        let mut chunks = xs.chunks_exact(LANES);
+        for g in &mut chunks {
+            for (l, &x) in g.iter().enumerate() {
+                acc[l].add_assign(&self.encode_unchecked(x));
+            }
         }
-        acc
+        for &x in chunks.remainder() {
+            acc[0].add_assign(&self.encode_unchecked(x));
+        }
+        let mut total = acc[0];
+        for lane in &acc[1..] {
+            total.add_assign(lane);
+        }
+        total
     }
 
     /// `true` if any limb could exhaust its carry headroom within the next

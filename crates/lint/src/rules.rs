@@ -41,9 +41,18 @@ pub enum RuleId {
     /// mirror add that observes a clock or RNG can take a different
     /// path on replay, and cluster exactness is argued by determinism.
     ClusterNondet,
+    /// The multi-lane encode kernel's fast/slow routing shape
+    /// (`crates/core/src/kernel.rs`): every dispatch-table lookup must
+    /// sit behind a `THRESH` exponent screen (entries past the
+    /// threshold are sentinels, not encodings), every screen must
+    /// route to a `#[cold]` fallback, and at least one cold fallback
+    /// must anchor to the scalar `encode_listing1` reference — the
+    /// bitwise-identity argument leans on the slow path *being* the
+    /// Listing-1 encoder.
+    KernelFallback,
 }
 
-pub const ALL_RULES: [RuleId; 7] = [
+pub const ALL_RULES: [RuleId; 8] = [
     RuleId::FloatAccum,
     RuleId::UnsafeSafety,
     RuleId::AtomicOrdering,
@@ -51,6 +60,7 @@ pub const ALL_RULES: [RuleId; 7] = [
     RuleId::LossyCast,
     RuleId::ServiceUnwrap,
     RuleId::ClusterNondet,
+    RuleId::KernelFallback,
 ];
 
 impl RuleId {
@@ -63,6 +73,7 @@ impl RuleId {
             RuleId::LossyCast => "lossy-cast",
             RuleId::ServiceUnwrap => "service-unwrap",
             RuleId::ClusterNondet => "cluster-nondet",
+            RuleId::KernelFallback => "kernel-fallback",
         }
     }
 
@@ -88,6 +99,9 @@ impl RuleId {
             }
             RuleId::ClusterNondet => {
                 "no clocks/entropy on the cluster peer request path"
+            }
+            RuleId::KernelFallback => {
+                "kernel fast paths stay screened by THRESH and fall back to #[cold] Listing-1"
             }
         }
     }
@@ -250,6 +264,11 @@ fn in_scope(rule: RuleId, path: &str, kind: FileKind) -> bool {
         // Bins (`loadgen`, the node launcher) legitimately read clocks
         // for reporting; the library peer path may not.
         RuleId::ClusterNondet => kind == FileKind::Prod && path.starts_with("crates/cluster/src/"),
+        RuleId::KernelFallback => {
+            kind == FileKind::Prod
+                && path.starts_with("crates/core/src/")
+                && path.ends_with("kernel.rs")
+        }
     }
 }
 
@@ -326,6 +345,7 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
             }
             match rule {
                 RuleId::FloatAccum => { /* handled below: needs binding state */ }
+                RuleId::KernelFallback => { /* handled after the loop: needs whole-file state */ }
                 RuleId::UnsafeSafety => {
                     if toks[idx].iter().any(|t| t == "unsafe")
                         && !comment_above(&lines, idx, "SAFETY:", 3)
@@ -540,6 +560,102 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
                         &lines,
                     );
                 }
+            }
+        }
+    }
+
+    // --- kernel-fallback: the encode kernel's fast/slow routing shape ---
+    if in_scope(RuleId::KernelFallback, path, kind) {
+        // Names of functions declared directly under a `#[cold]`
+        // attribute (the attribute and its `fn` may be separated by
+        // `#[inline(never)]` and the like).
+        let mut cold_fns: HashSet<String> = HashSet::new();
+        for (idx, sq) in squished.iter().enumerate() {
+            if !sq.contains("#[cold]") {
+                continue;
+            }
+            for line_toks in toks.iter().take((idx + 4).min(lines.len())).skip(idx + 1) {
+                if let Some(p) = line_toks.iter().position(|t| t == "fn") {
+                    if let Some(name) = line_toks.get(p + 1).filter(|n| is_ident_tok(n)) {
+                        cold_fns.insert(name.clone());
+                    }
+                    break;
+                }
+            }
+        }
+        // Walk the file tracking which fn body we are in (the kernel
+        // module has no nested fns outside its test region).
+        let mut current_fn: Option<String> = None;
+        let mut cold_anchors_reference = false;
+        let mut first_table_use: Option<usize> = None;
+        for idx in 0..lines.len() {
+            if lines[idx].in_test {
+                continue;
+            }
+            if let Some(p) = toks[idx].iter().position(|t| t == "fn") {
+                current_fn = toks[idx].get(p + 1).cloned();
+            }
+            let sq = &squished[idx];
+            if sq.contains("encode_listing1")
+                && current_fn.as_deref().is_some_and(|f| cold_fns.contains(f))
+            {
+                cold_anchors_reference = true;
+            }
+            if sq.contains("DISPATCH[") || sq.contains("MULT[") {
+                if first_table_use.is_none() {
+                    first_table_use = Some(idx);
+                }
+                // Table entries at or past the threshold are sentinels,
+                // not encodings: a lookup with no screen above it is a
+                // latent wrong-limbs bug, not a perf detail.
+                let lo = idx.saturating_sub(16);
+                let screened =
+                    (lo..=idx).any(|j| !lines[j].in_test && squished[j].contains("THRESH"));
+                if !screened {
+                    push(
+                        idx,
+                        RuleId::KernelFallback,
+                        "dispatch-table lookup without a `THRESH` screen in the preceding \
+                         16 lines; out-of-range exponents must be routed to the reference \
+                         fallback before any table read"
+                            .into(),
+                        &lines,
+                    );
+                }
+            }
+            // Every fast-path screen must hand the screened-out values
+            // to a `#[cold]` fallback.
+            if sq.contains("THRESH") && sq.contains(">=") {
+                let hi = (idx + 5).min(lines.len());
+                let routed = (idx..hi).any(|j| {
+                    cold_fns.iter().any(|f| {
+                        squished[j].contains(&format!("{f}(")) || squished[j].contains(&format!("{f}::<"))
+                    })
+                });
+                if !routed {
+                    push(
+                        idx,
+                        RuleId::KernelFallback,
+                        "fast-path `THRESH` screen with no `#[cold]` fallback call within \
+                         4 lines; every screened-out value must reach the Listing-1 \
+                         reference path"
+                            .into(),
+                        &lines,
+                    );
+                }
+            }
+        }
+        if let Some(idx) = first_table_use {
+            if !cold_anchors_reference {
+                push(
+                    idx,
+                    RuleId::KernelFallback,
+                    "kernel uses dispatch tables but no `#[cold]` function anchors to \
+                     `encode_listing1`; the slow path must be the Listing-1 reference \
+                     encoder so bitwise identity stays an argument, not a hope"
+                        .into(),
+                    &lines,
+                );
             }
         }
     }

@@ -336,6 +336,147 @@ fn unwrap_outside_service_or_in_bins_is_fine() {
     .is_empty());
 }
 
+// ------------------------------------------------------------- kernel-fallback
+
+/// A minimal well-shaped kernel: screened lookup, cold fallback call,
+/// cold fn anchored to the Listing-1 reference.
+const KERNEL_OK: &str = "\
+fn encode_chunk(xs: &[f64]) {
+    for &x in xs {
+        let raw = (x.to_bits() >> 52) as usize;
+        if raw as u32 >= THRESH {
+            slow_encode(x);
+            continue;
+        }
+        let e = DISPATCH[raw & 0x7ff];
+        let m = MULT[raw & 0x7ff];
+        let _ = (e, m);
+    }
+}
+#[cold]
+#[inline(never)]
+fn slow_encode(x: f64) {
+    let _ = encode_listing1::<6, 3>(x);
+}
+";
+
+#[test]
+fn well_shaped_kernel_is_clean() {
+    assert!(fire_lines(
+        RuleId::KernelFallback,
+        "crates/core/src/kernel.rs",
+        FileKind::Prod,
+        KERNEL_OK
+    )
+    .is_empty());
+}
+
+#[test]
+fn unscreened_table_lookup_fires() {
+    let src = "\
+fn encode_chunk(xs: &[f64]) {
+    for &x in xs {
+        let raw = (x.to_bits() >> 52) as usize;
+        let e = DISPATCH[raw & 0x7ff];
+        let _ = e;
+    }
+}
+#[cold]
+fn slow_encode(x: f64) {
+    let _ = encode_listing1::<6, 3>(x);
+}
+";
+    assert_eq!(
+        fire_lines(RuleId::KernelFallback, "crates/core/src/kernel.rs", FileKind::Prod, src),
+        vec![4]
+    );
+}
+
+#[test]
+fn screen_without_cold_fallback_call_fires() {
+    // The screen drops values on the floor instead of routing them to a
+    // #[cold] fallback (the cold fn exists but is never called).
+    let src = "\
+fn encode_chunk(xs: &[f64]) {
+    for &x in xs {
+        let raw = (x.to_bits() >> 52) as usize;
+        if raw as u32 >= THRESH {
+            continue;
+        }
+        let e = DISPATCH[raw & 0x7ff];
+        let _ = e;
+    }
+}
+#[cold]
+fn slow_encode(x: f64) {
+    let _ = encode_listing1::<6, 3>(x);
+}
+";
+    assert_eq!(
+        fire_lines(RuleId::KernelFallback, "crates/core/src/kernel.rs", FileKind::Prod, src),
+        vec![4]
+    );
+}
+
+#[test]
+fn fallback_not_anchored_to_reference_fires() {
+    // The cold fallback re-implements the encode instead of calling the
+    // Listing-1 reference; the anchor finding lands on the first table use.
+    let src = "\
+fn encode_chunk(xs: &[f64]) {
+    for &x in xs {
+        let raw = (x.to_bits() >> 52) as usize;
+        if raw as u32 >= THRESH {
+            slow_encode(x);
+            continue;
+        }
+        let e = DISPATCH[raw & 0x7ff];
+        let _ = e;
+    }
+}
+#[cold]
+fn slow_encode(x: f64) {
+    let _ = x.to_bits();
+}
+";
+    assert_eq!(
+        fire_lines(RuleId::KernelFallback, "crates/core/src/kernel.rs", FileKind::Prod, src),
+        vec![8]
+    );
+}
+
+#[test]
+fn kernel_fallback_scope_is_the_core_kernel_only() {
+    let src = "fn f(i: usize) -> u32 { DISPATCH[i] }\n";
+    assert!(fire_lines(
+        RuleId::KernelFallback,
+        "crates/service/src/kernel.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+    assert!(fire_lines(
+        RuleId::KernelFallback,
+        "crates/core/src/batch.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+}
+
+#[test]
+fn real_kernel_source_passes_kernel_fallback() {
+    // The rule must hold on the actual shipped kernel, not just fixtures.
+    let src = include_str!("../../core/src/kernel.rs");
+    assert!(fire_lines(
+        RuleId::KernelFallback,
+        "crates/core/src/kernel.rs",
+        FileKind::Prod,
+        src
+    )
+    .is_empty());
+}
+
 // ------------------------------------------------------------------ suppression
 
 #[test]

@@ -159,7 +159,9 @@ impl Client {
             client_id,
             next_seq: 1,
             jitter,
-            send_buf: Vec::new(),
+            // Presized so the first full-size batch never pays a realloc
+            // ladder (a one-off latency spike that becomes the p99).
+            send_buf: Vec::with_capacity(crate::proto::INITIAL_FRAME_CAPACITY),
         })
     }
 

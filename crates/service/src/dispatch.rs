@@ -127,21 +127,19 @@ impl RequestCore {
                     {
                         return (reply, false);
                     }
-                    // The hot path: values stream from the read buffer
-                    // into the ledger's batch accumulator, untouched in
-                    // between.
-                    let (count, applied) = self.ledger.add_batch_dedup(
-                        view.stream,
-                        hint,
-                        view.client_id,
-                        view.seq,
-                        view.values(),
-                    );
-                    (Response::Added { count, deduped: !applied }, false)
-                } else {
-                    let count = self.ledger.add_batch_on(view.stream, hint, view.values());
-                    (Response::Added { count, deduped: false }, false)
                 }
+                // The hot path: the raw value bytes go from the read
+                // buffer straight into the multi-lane encode kernel,
+                // with no per-value iterator in between (untracked
+                // clients skip the dedup window inside the ledger).
+                let (count, applied) = self.ledger.add_batch_le_bytes_dedup(
+                    view.stream,
+                    hint,
+                    view.client_id,
+                    view.seq,
+                    view.value_bytes(),
+                );
+                (Response::Added { count, deduped: !applied }, false)
             }
             ClientFrameView::Json(req) => self.handle_request(req, shard_cursor),
         }

@@ -126,6 +126,27 @@ impl Stream {
         (n, true)
     }
 
+    /// [`Self::add_batch_dedup`] fed the raw little-endian value bytes
+    /// of a binary Add frame: the replay check still costs only a
+    /// length read, and an applied batch reaches the lane kernel with
+    /// no per-value iterator (see [`Self::add_batch_le_bytes_on`]).
+    fn add_batch_le_bytes_dedup(
+        &self,
+        shard_hint: usize,
+        client_id: u64,
+        seq: u64,
+        bytes: &[u8],
+    ) -> (u64, bool) {
+        let slot = self.dedup_slot(client_id);
+        let mut last = slot.lock().unwrap();
+        if seq <= *last {
+            return ((bytes.len() / 8) as u64, false);
+        }
+        let n = self.add_batch_le_bytes_on(shard_hint, bytes);
+        *last = seq;
+        (n, true)
+    }
+
     /// Deposits a batch into the shard selected by `shard_hint` (any
     /// value; reduced mod the bank size): one local batch fold, one
     /// `N`-limb atomic deposit. Returns the number of values deposited.
@@ -133,6 +154,23 @@ impl Stream {
         let shard = &self.shards[shard_hint % self.shards.len()];
         let mut n = 0u64;
         shard.add_batch_iter(values.into_iter().inspect(|_| n += 1));
+        // ORDERING: Relaxed — monotonic stats tallies; readers only need
+        // eventually-consistent counts, never an edge with the deposits.
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.values.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+
+    /// [`Self::add_batch_on`] over raw little-endian `f64` bytes (a
+    /// binary Add payload, length pre-validated to a multiple of 8):
+    /// the wire buffer feeds the multi-lane encode kernel directly —
+    /// no `WireF64Iter`, no per-value counting — and lands with the
+    /// same single `N`-limb atomic deposit, bitwise identical to the
+    /// iterator path.
+    fn add_batch_le_bytes_on(&self, shard_hint: usize, bytes: &[u8]) -> u64 {
+        let shard = &self.shards[shard_hint % self.shards.len()];
+        shard.add_batch_le_bytes(bytes);
+        let n = (bytes.len() / 8) as u64;
         // ORDERING: Relaxed — monotonic stats tallies; readers only need
         // eventually-consistent counts, never an edge with the deposits.
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -316,6 +354,27 @@ impl ShardedLedger {
             (stream.add_batch_on(shard_hint, values), true)
         } else {
             stream.add_batch_dedup(shard_hint, client_id, seq, values.into_iter())
+        }
+    }
+
+    /// [`Self::add_batch_dedup`] over the raw little-endian value bytes
+    /// of a binary Add frame (length pre-validated to a multiple of 8
+    /// by the frame parser). This is the server's hottest path: the
+    /// wire buffer reaches the multi-lane encode kernel with no
+    /// per-value iterator at all, bitwise identical to decoding first.
+    pub fn add_batch_le_bytes_dedup(
+        &self,
+        name: &str,
+        shard_hint: usize,
+        client_id: u64,
+        seq: u64,
+        bytes: &[u8],
+    ) -> (u64, bool) {
+        let stream = self.stream(name);
+        if client_id == UNTRACKED_CLIENT {
+            (stream.add_batch_le_bytes_on(shard_hint, bytes), true)
+        } else {
+            stream.add_batch_le_bytes_dedup(shard_hint, client_id, seq, bytes)
         }
     }
 

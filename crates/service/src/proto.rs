@@ -45,6 +45,18 @@ pub const MAGIC_PEER: [u8; 4] = *b"OIS\x03";
 /// prefix cannot drive an unbounded allocation.
 pub const MAX_FRAME: u32 = 16 << 20;
 
+/// Initial capacity for pooled per-connection frame buffers (client
+/// `send_buf`, server `read_buf`/`reply_frame`).
+///
+/// Sized to hold the largest batch the load generator sweeps (8 Ki
+/// values = 64 KiB of payload) plus the binary-Add header, so the first
+/// big frame on a fresh connection does not pay a realloc-and-copy
+/// ladder. Without this, that one-time growth lands on exactly one
+/// batch per connection — which at 100 batches/connection is precisely
+/// the p99 — producing a latency cliff that scales with batch size.
+/// Buffers still grow past this on demand (up to [`MAX_FRAME`]).
+pub const INITIAL_FRAME_CAPACITY: usize = (64 << 10) + 64;
+
 /// Machine-readable error categories carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {

@@ -13,7 +13,10 @@
 
 use crate::dispatch::RequestCore;
 use crate::ledger::ShardedLedger;
-use crate::proto::{frame_into, read_client_frame_into, ClientFrameView, ErrorCode, Request, Response};
+use crate::proto::{
+    frame_into, read_client_frame_into, ClientFrameView, ErrorCode, Request, Response,
+    INITIAL_FRAME_CAPACITY,
+};
 use crate::snapshot;
 use oisum_faults::FaultAction;
 use std::io::{self, BufReader, Write};
@@ -208,9 +211,11 @@ fn serve_connection(conn: TcpStream, core: &RequestCore, stopping: &AtomicBool) 
     conn.set_nodelay(true)?;
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = conn;
-    let mut read_buf: Vec<u8> = Vec::new();
+    // Presized so the first full-size batch never pays a realloc ladder
+    // (that one-time growth would land on a single request — the p99).
+    let mut read_buf: Vec<u8> = Vec::with_capacity(INITIAL_FRAME_CAPACITY);
     let mut reply_json = String::new();
-    let mut reply_frame: Vec<u8> = Vec::new();
+    let mut reply_frame: Vec<u8> = Vec::with_capacity(256);
     // ORDERING: Relaxed — the per-connection seed only spreads
     // connections across ledger shards; uniqueness comes from fetch_add
     // itself and shard choice never affects the sum.
