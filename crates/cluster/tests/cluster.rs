@@ -291,3 +291,117 @@ fn a_client_shutdown_frame_stops_a_joined_node() {
         .expect("joiner thread")
         .expect("clean shutdown via client frame");
 }
+
+/// A WAL-backed node with no replication and no snapshot: after a
+/// graceful stop, the local log is the *only* copy of the stream, and
+/// the restarted node must rebuild it bitwise before serving — there is
+/// no peer to pull from.
+#[test]
+fn wal_backed_node_recovers_without_any_peer_copy() {
+    let data = dataset(3_000, 0xC7);
+    let expected = ServiceHp::sum_f64_slice(&data);
+    let mut wal_dir = std::env::temp_dir();
+    wal_dir.push(format!("oisum-cluster-wal-solo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let (membership, nodes) = {
+        let wal_dir = wal_dir.clone();
+        start_local_cluster(1, 1, move |c| {
+            c.wal = Some(oisum_service::WalConfig::new(&wal_dir));
+        })
+        .expect("start cluster")
+    };
+    let mut client = Client::connect(nodes[0].client_addr()).expect("connect");
+    for chunk in data.chunks(200) {
+        client.add_binary("s", chunk).expect("add_binary");
+    }
+    drop(client);
+    shutdown_all(nodes);
+
+    membership.set_client_addr(0, "127.0.0.1:0".into());
+    membership.set_peer_addr(0, "127.0.0.1:0".into());
+    let mut config = ClusterNodeConfig::new(0);
+    config.wal = Some(oisum_service::WalConfig::new(&wal_dir));
+    let reborn = ClusterNode::start(Arc::clone(&membership), config).expect("node restarts");
+    let recovered = reborn.primary().sum("s").expect("log replay rebuilt the stream");
+    assert_eq!(
+        recovered.as_limbs(),
+        expected.as_limbs(),
+        "solo rejoin must be bitwise the pre-stop partial, from the log alone"
+    );
+    let mut client = Client::connect(reborn.client_addr()).expect("connect");
+    let reply = client.cluster_sum("s").expect("cluster_sum");
+    assert_eq!(reply.limbs, expected.as_limbs().to_vec());
+    assert_eq!(reply.values as usize, data.len());
+    drop(client);
+    shutdown_all(vec![reborn]);
+    std::fs::remove_dir_all(&wal_dir).ok();
+}
+
+/// The rejoin ordering the WAL knob promises: the local log replays
+/// *before* the node talks to peers, so its dedup watermarks are
+/// already advanced when it comes back — a client retrying its
+/// pre-crash batches (same id, same seqs) deposits nothing twice even
+/// though the node was down in between.
+#[test]
+fn wal_replay_restores_watermarks_before_rejoin() {
+    let data = dataset(3_000, 0xC8);
+    let expected = ServiceHp::sum_f64_slice(&data);
+    let mut wal_dir = std::env::temp_dir();
+    wal_dir.push(format!("oisum-cluster-wal-rejoin-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let (membership, mut nodes) = {
+        let wal_dir = wal_dir.clone();
+        start_local_cluster(3, 2, move |c| {
+            if c.node_id == 0 {
+                c.wal = Some(oisum_service::WalConfig::new(&wal_dir));
+            }
+        })
+        .expect("start cluster")
+    };
+    let chunks: Vec<&[f64]> = data.chunks(150).collect();
+    let mut client = Client::connect_with(
+        nodes[0].client_addr(),
+        oisum_service::ClientConfig { client_id: Some(77), ..Default::default() },
+    )
+    .expect("connect");
+    for chunk in &chunks {
+        client.add_binary("s", chunk).expect("add_binary");
+    }
+    drop(client);
+
+    let node0 = nodes.remove(0);
+    node0.shutdown();
+    node0.join().expect("node 0 stops cleanly");
+
+    membership.set_client_addr(0, "127.0.0.1:0".into());
+    membership.set_peer_addr(0, "127.0.0.1:0".into());
+    let mut config = ClusterNodeConfig::new(0);
+    config.wal = Some(oisum_service::WalConfig::new(&wal_dir));
+    let reborn = ClusterNode::start(Arc::clone(&membership), config).expect("node 0 restarts");
+
+    // Replay the whole pre-crash history with the same identity: every
+    // batch must dedup against the log-restored watermark.
+    let mut retry = Client::connect_with(
+        reborn.client_addr(),
+        oisum_service::ClientConfig { client_id: Some(77), ..Default::default() },
+    )
+    .expect("connect");
+    for chunk in &chunks {
+        let n = retry.add_binary("s", chunk).expect("add_binary");
+        assert_eq!(n as usize, chunk.len(), "a deduped replay still ACKs the batch size");
+    }
+    let reply = retry.cluster_sum("s").expect("cluster_sum");
+    assert_eq!(
+        reply.limbs,
+        expected.as_limbs().to_vec(),
+        "retried history must deposit nothing twice after a WAL rejoin"
+    );
+    assert_eq!(reply.values as usize, data.len(), "value count proves zero double-applies");
+    drop(retry);
+
+    nodes.push(reborn);
+    shutdown_all(nodes);
+    std::fs::remove_dir_all(&wal_dir).ok();
+}

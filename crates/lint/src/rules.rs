@@ -50,9 +50,19 @@ pub enum RuleId {
     /// bitwise-identity argument leans on the slow path *being* the
     /// Listing-1 encoder.
     KernelFallback,
+    /// The write-ahead log's durability discipline
+    /// (`crates/service/src/`): no clocks or entropy inside `wal.rs` /
+    /// `recovery.rs` (recovery and group-commit decisions must replay
+    /// bit-for-bit), every fsync in `wal.rs` lives inside the
+    /// committer's `commit*`/`seal*` functions (one place owns the
+    /// durability edge), and the request path (`server.rs`,
+    /// `dispatch.rs`) never opens or writes files directly — an ACK may
+    /// only ride on bytes that went through the committer or the
+    /// snapshot writer.
+    WalDurability,
 }
 
-pub const ALL_RULES: [RuleId; 8] = [
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::FloatAccum,
     RuleId::UnsafeSafety,
     RuleId::AtomicOrdering,
@@ -61,6 +71,7 @@ pub const ALL_RULES: [RuleId; 8] = [
     RuleId::ServiceUnwrap,
     RuleId::ClusterNondet,
     RuleId::KernelFallback,
+    RuleId::WalDurability,
 ];
 
 impl RuleId {
@@ -74,6 +85,7 @@ impl RuleId {
             RuleId::ServiceUnwrap => "service-unwrap",
             RuleId::ClusterNondet => "cluster-nondet",
             RuleId::KernelFallback => "kernel-fallback",
+            RuleId::WalDurability => "wal-durability",
         }
     }
 
@@ -102,6 +114,10 @@ impl RuleId {
             }
             RuleId::KernelFallback => {
                 "kernel fast paths stay screened by THRESH and fall back to #[cold] Listing-1"
+            }
+            RuleId::WalDurability => {
+                "WAL logic stays deterministic, fsyncs stay in the committer, and the \
+                 request path never writes files directly"
             }
         }
     }
@@ -269,6 +285,14 @@ fn in_scope(rule: RuleId, path: &str, kind: FileKind) -> bool {
                 && path.starts_with("crates/core/src/")
                 && path.ends_with("kernel.rs")
         }
+        RuleId::WalDurability => {
+            kind == FileKind::Prod
+                && path.starts_with("crates/service/src/")
+                && (path.ends_with("wal.rs")
+                    || path.ends_with("recovery.rs")
+                    || path.ends_with("server.rs")
+                    || path.ends_with("dispatch.rs"))
+        }
     }
 }
 
@@ -346,6 +370,57 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
             match rule {
                 RuleId::FloatAccum => { /* handled below: needs binding state */ }
                 RuleId::KernelFallback => { /* handled after the loop: needs whole-file state */ }
+                RuleId::WalDurability => {
+                    if path.ends_with("wal.rs") || path.ends_with("recovery.rs") {
+                        // Determinism: recovery verdicts and group-commit
+                        // decisions must be a pure function of the bytes
+                        // (and, under chaos, the seed). The fsync-placement
+                        // check runs after the loop (needs fn tracking).
+                        const SOURCES: [&str; 5] = [
+                            "Instant::now",
+                            "SystemTime",
+                            "thread_rng",
+                            "from_entropy",
+                            "rand::random",
+                        ];
+                        for s in SOURCES {
+                            if squished[idx].contains(s) {
+                                push(
+                                    idx,
+                                    rule,
+                                    format!(
+                                        "nondeterminism source `{s}` in WAL/recovery logic; \
+                                         what commits and what replays must not depend on \
+                                         clocks or entropy"
+                                    ),
+                                    &lines,
+                                );
+                            }
+                        }
+                    } else {
+                        // server.rs / dispatch.rs: the ACK path may not
+                        // write files behind the committer's back. The
+                        // snapshot writer and the WAL own every byte that
+                        // an ACK can ride on.
+                        const WRITERS: [&str; 4] =
+                            ["File::create", "OpenOptions::", "std::fs::write", "fs::write("];
+                        for w in WRITERS {
+                            if squished[idx].contains(w) {
+                                push(
+                                    idx,
+                                    rule,
+                                    format!(
+                                        "direct file write (`{w}`) on the request path; \
+                                         durability goes through the WAL committer or the \
+                                         snapshot writer, never past them"
+                                    ),
+                                    &lines,
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
                 RuleId::UnsafeSafety => {
                     if toks[idx].iter().any(|t| t == "unsafe")
                         && !comment_above(&lines, idx, "SAFETY:", 3)
@@ -656,6 +731,41 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
                         .into(),
                     &lines,
                 );
+            }
+        }
+    }
+
+    // --- wal-durability: fsync placement (needs fn tracking) ---
+    // Every fsync in the log module must sit inside the committer's
+    // `commit*` / `seal*` functions: one audited place owns the edge
+    // where an ACK becomes justified. An fsync anywhere else means some
+    // other code path believes it can make bytes durable — which is how
+    // "committed" quietly stops meaning one thing.
+    if in_scope(RuleId::WalDurability, path, kind) && path.ends_with("wal.rs") {
+        let mut current_fn: Option<String> = None;
+        for idx in 0..lines.len() {
+            if lines[idx].in_test {
+                continue;
+            }
+            if let Some(p) = toks[idx].iter().position(|t| t == "fn") {
+                current_fn = toks[idx].get(p + 1).cloned();
+            }
+            let sq = &squished[idx];
+            if sq.contains("sync_all(") || sq.contains("sync_data(") {
+                let owned = current_fn
+                    .as_deref()
+                    .is_some_and(|f| f.starts_with("commit") || f.starts_with("seal"));
+                if !owned {
+                    push(
+                        idx,
+                        RuleId::WalDurability,
+                        "fsync outside the committer's `commit*`/`seal*` functions; the \
+                         group committer is the only place an ACK's durability may be \
+                         established"
+                            .into(),
+                        &lines,
+                    );
+                }
             }
         }
     }

@@ -517,3 +517,84 @@ fn lint_allow_inside_a_string_is_not_a_suppression() {
         vec![2]
     );
 }
+
+// --------------------------------------------------------------- wal-durability
+
+#[test]
+fn wal_durability_flags_nondet_in_wal_and_recovery() {
+    let src = "fn commit() {\n    let t = std::time::Instant::now();\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::WalDurability, "crates/service/src/wal.rs", FileKind::Prod, src),
+        vec![2]
+    );
+    let src = "fn replay() {\n    let r: u64 = rand::random();\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::WalDurability, "crates/service/src/recovery.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn wal_durability_flags_fsync_outside_the_committer() {
+    // An fsync in an append helper: some path other than the committer
+    // thinks it can establish durability.
+    let src = "fn append(file: &std::fs::File) {\n    file.sync_data().ok();\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::WalDurability, "crates/service/src/wal.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn wal_durability_accepts_fsync_in_commit_and_seal_fns() {
+    let src = "fn commit_group(file: &std::fs::File) {\n    file.sync_data().ok();\n}\nfn seal(file: &std::fs::File) {\n    file.sync_all().ok();\n}\n";
+    assert!(fire_lines(RuleId::WalDurability, "crates/service/src/wal.rs", FileKind::Prod, src)
+        .is_empty());
+}
+
+#[test]
+fn wal_durability_flags_direct_file_writes_on_the_request_path() {
+    let src = "fn handle() {\n    std::fs::write(\"x\", b\"y\").ok();\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::WalDurability, "crates/service/src/dispatch.rs", FileKind::Prod, src),
+        vec![2]
+    );
+    let src = "fn handle() {\n    let f = std::fs::File::create(\"x\");\n}\n";
+    assert_eq!(
+        fire_lines(RuleId::WalDurability, "crates/service/src/server.rs", FileKind::Prod, src),
+        vec![2]
+    );
+}
+
+#[test]
+fn wal_durability_scope_is_the_service_wal_surface_only() {
+    // Out of scope: other service modules, other crates, tests.
+    let src = "fn f() { let _ = std::time::Instant::now(); std::fs::write(\"x\", b\"y\").ok(); }\n";
+    assert!(fire_lines(RuleId::WalDurability, "crates/service/src/ledger.rs", FileKind::Prod, src)
+        .is_empty());
+    assert!(fire_lines(RuleId::WalDurability, "crates/cluster/src/node.rs", FileKind::Prod, src)
+        .is_empty());
+    assert!(fire_lines(
+        RuleId::WalDurability,
+        "crates/service/tests/wal_chaos.rs",
+        FileKind::Test,
+        src
+    )
+    .is_empty());
+}
+
+#[test]
+fn real_wal_sources_pass_wal_durability() {
+    // The rule must hold on the shipped WAL surface, not just fixtures.
+    for (path, src) in [
+        ("crates/service/src/wal.rs", include_str!("../../service/src/wal.rs")),
+        ("crates/service/src/recovery.rs", include_str!("../../service/src/recovery.rs")),
+        ("crates/service/src/server.rs", include_str!("../../service/src/server.rs")),
+        ("crates/service/src/dispatch.rs", include_str!("../../service/src/dispatch.rs")),
+    ] {
+        assert!(
+            fire_lines(RuleId::WalDurability, path, FileKind::Prod, src).is_empty(),
+            "{path} must satisfy wal-durability"
+        );
+    }
+}

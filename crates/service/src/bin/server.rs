@@ -2,24 +2,30 @@
 //!
 //! ```text
 //! oisum-server [--addr HOST:PORT] [--shards N] [--workers N] [--snapshot PATH]
+//!              [--wal DIR] [--fsync always|group|group(N,Tus)|never]
 //! ```
 //!
 //! Runs until a client sends a `Shutdown` frame; if `--snapshot` is
 //! given, restores from it at startup (when present) and persists a
-//! final snapshot on graceful shutdown.
+//! final snapshot on graceful shutdown. With `--wal`, every tracked
+//! batch is logged to DIR and made durable (per `--fsync`, default
+//! `group`) before its ACK, and existing segments are replayed at
+//! startup — ACKed batches then survive a non-graceful death.
 
-use oisum_service::{serve, ServerConfig};
+use oisum_service::{serve, FsyncPolicy, ServerConfig, WalConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: oisum-server [--addr HOST:PORT] [--shards N] [--workers N] [--snapshot PATH]"
+        "usage: oisum-server [--addr HOST:PORT] [--shards N] [--workers N] [--snapshot PATH] \
+         [--wal DIR] [--fsync always|group|group(N,Tus)|never]"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut config = ServerConfig::default();
+    let mut fsync: Option<FsyncPolicy> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -28,8 +34,23 @@ fn main() -> ExitCode {
             "--shards" => config.shards = value().parse().unwrap_or_else(|_| usage()),
             "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
             "--snapshot" => config.snapshot_path = Some(value().into()),
+            "--wal" => config.wal = Some(WalConfig::new(value())),
+            "--fsync" => {
+                fsync = Some(value().parse().unwrap_or_else(|e: String| {
+                    eprintln!("oisum-server: {e}");
+                    usage()
+                }));
+            }
             _ => usage(),
         }
+    }
+    match (&mut config.wal, fsync) {
+        (Some(wal), Some(policy)) => wal.fsync = policy,
+        (None, Some(_)) => {
+            eprintln!("oisum-server: --fsync requires --wal");
+            usage()
+        }
+        _ => {}
     }
     let handle = match serve(config) {
         Ok(h) => h,

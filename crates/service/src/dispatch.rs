@@ -22,6 +22,7 @@ use crate::proto::{
     ClientFrameView, ErrorCode, Request, Response, StreamStatsRepr, UNTRACKED_CLIENT,
 };
 use crate::snapshot;
+use crate::wal::Wal;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -76,12 +77,13 @@ pub struct RequestCore {
     ledger: Arc<ShardedLedger>,
     snapshot_path: Option<PathBuf>,
     cluster: Option<Arc<dyn ClusterOps>>,
+    wal: Option<Arc<Wal>>,
 }
 
 impl RequestCore {
     /// A core over `ledger` with no persistence and no cluster.
     pub fn new(ledger: Arc<ShardedLedger>) -> Self {
-        RequestCore { ledger, snapshot_path: None, cluster: None }
+        RequestCore { ledger, snapshot_path: None, cluster: None, wal: None }
     }
 
     /// Sets the snapshot path `Snapshot` requests and graceful shutdown
@@ -98,6 +100,14 @@ impl RequestCore {
         self
     }
 
+    /// Attaches a write-ahead log: every tracked deposit is appended and
+    /// group-committed before its ACK, and `Snapshot` requests GC the
+    /// segments a verified snapshot covers.
+    pub fn with_wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
     /// The ledger requests execute against.
     pub fn ledger(&self) -> &Arc<ShardedLedger> {
         &self.ledger
@@ -106,6 +116,11 @@ impl RequestCore {
     /// The configured snapshot path, if any.
     pub fn snapshot_path(&self) -> Option<&PathBuf> {
         self.snapshot_path.as_ref()
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Executes one client frame (either protocol version). Returns the
@@ -139,10 +154,62 @@ impl RequestCore {
                     view.seq,
                     view.value_bytes(),
                 );
+                if view.client_id != UNTRACKED_CLIENT {
+                    if let Err(reply) = self.commit_durable(
+                        view.stream,
+                        view.client_id,
+                        view.seq,
+                        view.value_bytes(),
+                    ) {
+                        return (reply, false);
+                    }
+                }
                 (Response::Added { count, deduped: !applied }, false)
             }
             ClientFrameView::Json(req) => self.handle_request(req, shard_cursor),
         }
+    }
+
+    /// Makes a tracked batch durable if a WAL is attached: appends its
+    /// record and blocks until the committer's group commit (write +
+    /// policy fsync) covers it. Called *after* the local apply and
+    /// *before* the ACK — so "ACKed ⇒ durable" holds, and a batch that
+    /// committed but died before the ACK is merely re-sent by the client
+    /// and absorbed by the dedup watermark on replay. Replayed batches
+    /// (`applied == false`) are appended too: the retry that reached us
+    /// may be the first copy to survive a crash.
+    ///
+    /// `Err` is the refusal reply; the client treats it as a typed
+    /// server error and does not retry, exactly like a replication
+    /// refusal.
+    ///
+    /// The `server.crash.before_commit` / `server.crash.after_commit`
+    /// seams poison the WAL on either side of the append, modelling a
+    /// process kill between apply and commit (batch lost, never ACKed)
+    /// and between commit and ACK (batch durable, never ACKed).
+    fn commit_durable(
+        &self,
+        stream: &str,
+        client_id: u64,
+        seq: u64,
+        value_bytes: &[u8],
+    ) -> Result<(), Response> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let refuse = |message: String| Response::Error {
+            code: ErrorCode::Internal,
+            message,
+        };
+        if oisum_faults::check("server.crash.before_commit").is_some() {
+            wal.crash();
+            return Err(refuse("injected crash before group commit".to_owned()));
+        }
+        wal.append(stream, client_id, seq, value_bytes)
+            .map_err(|e| refuse(format!("wal append failed: {e}")))?;
+        if oisum_faults::check("server.crash.after_commit").is_some() {
+            wal.crash();
+            return Err(refuse("injected crash after group commit".to_owned()));
+        }
+        Ok(())
     }
 
     /// Replicates a tracked batch if a cluster is attached; `Err` is the
@@ -176,17 +243,23 @@ impl RequestCore {
                 // PR-2 wire behavior.
                 let (count, deduped) = match (client_id, seq) {
                     (Some(id), Some(seq)) if id != UNTRACKED_CLIENT => {
+                        // Replication and the WAL both consume the batch
+                        // as raw LE bytes, the binary path's native form.
+                        let bytes: Vec<u8> = if self.cluster.is_some() || self.wal.is_some() {
+                            values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+                        } else {
+                            Vec::new()
+                        };
                         if self.cluster.is_some() {
-                            let bytes: Vec<u8> = values
-                                .iter()
-                                .flat_map(|v| v.to_bits().to_le_bytes())
-                                .collect();
                             if let Err(reply) = self.replicate(&stream, id, seq, &bytes) {
                                 return (reply, false);
                             }
                         }
                         let (count, applied) =
                             ledger.add_batch_dedup(&stream, hint, id, seq, values.iter().copied());
+                        if let Err(reply) = self.commit_durable(&stream, id, seq, &bytes) {
+                            return (reply, false);
+                        }
                         (count, !applied)
                     }
                     _ => (ledger.add_batch_on(&stream, hint, values.iter().copied()), false),
@@ -205,16 +278,34 @@ impl RequestCore {
             },
             Request::ClusterSum { stream } => (self.cluster_sum(&stream), false),
             Request::Snapshot => match &self.snapshot_path {
-                Some(path) => match snapshot::save(path, ledger) {
-                    Ok(streams) => (Response::Snapshot { streams: streams as u64 }, false),
-                    Err(e) => (
-                        Response::Error {
-                            code: ErrorCode::Internal,
-                            message: format!("snapshot failed: {e}"),
-                        },
-                        false,
-                    ),
-                },
+                Some(path) => {
+                    // GC boundary *before* the save: every record in a
+                    // segment below the committer's active index was
+                    // committed — hence applied, since applies precede
+                    // commits — before the snapshot read the ledger, so
+                    // a snapshot taken now dominates those segments.
+                    let boundary = self.wal.as_ref().map(|w| w.active_segment());
+                    match snapshot::save(path, ledger) {
+                        Ok(streams) => {
+                            if let (Some(wal), Some(boundary)) = (&self.wal, boundary) {
+                                // Trust the bytes, not the Ok: only a
+                                // snapshot that re-reads and re-seals is
+                                // license to delete its WAL coverage.
+                                if snapshot::verify(path) {
+                                    let _ = wal.gc_below(boundary);
+                                }
+                            }
+                            (Response::Snapshot { streams: streams as u64 }, false)
+                        }
+                        Err(e) => (
+                            Response::Error {
+                                code: ErrorCode::Internal,
+                                message: format!("snapshot failed: {e}"),
+                            },
+                            false,
+                        ),
+                    }
+                }
                 None => (
                     Response::Error {
                         code: ErrorCode::Internal,

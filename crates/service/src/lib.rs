@@ -60,15 +60,22 @@
 //! bitwise the sequential HP sum; see `examples/roundtrip.rs` for the
 //! minimal end-to-end loop.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod dispatch;
 pub mod ledger;
 pub mod proto;
+pub mod recovery;
+// The one carve-out from `deny(unsafe_code)`: the raw mmap/munmap/
+// fallocate syscalls backing mapped WAL segments, each with a SAFETY
+// argument at the call site.
+#[allow(unsafe_code)]
+pub(crate) mod segmap;
 pub mod server;
 pub mod snapshot;
+pub mod wal;
 
 /// The accumulator format used by the service: 6 limbs (384 bits), 3 of
 /// them integer — the paper's "small" configuration, covering the full
@@ -78,4 +85,6 @@ pub type ServiceHp = oisum_core::Hp6x3;
 pub use client::{Client, ClientConfig, ClientError, ClusterSumReply, SumReply};
 pub use dispatch::{ClusterOps, ClusterSumOut, RequestCore};
 pub use ledger::{LedgerStats, ShardedLedger, StreamStats};
+pub use recovery::{recover, RecoveryReport, TornTail};
 pub use server::{serve, serve_with_core, ServerConfig, ServerHandle};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalError};

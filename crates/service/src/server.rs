@@ -18,6 +18,8 @@ use crate::proto::{
     INITIAL_FRAME_CAPACITY,
 };
 use crate::snapshot;
+use crate::wal::{Wal, WalConfig};
+use crate::recovery;
 use oisum_faults::FaultAction;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -44,6 +46,12 @@ pub struct ServerConfig {
     /// ledger here (and the server restores from it at startup if the
     /// file exists).
     pub snapshot_path: Option<PathBuf>,
+    /// If set, every tracked `Add` is appended to a write-ahead log in
+    /// this directory and group-committed before its ACK; at startup the
+    /// server replays any existing segments (after the snapshot restore)
+    /// so ACKed batches survive a non-graceful death. See
+    /// [`WalConfig`].
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +61,7 @@ impl Default for ServerConfig {
             shards: 8,
             workers: 4,
             snapshot_path: None,
+            wal: None,
         }
     }
 }
@@ -118,10 +127,16 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             snapshot::load(path, &ledger)?;
         }
     }
-    let core = Arc::new(
-        RequestCore::new(ledger).with_snapshot_path(config.snapshot_path.clone()),
-    );
-    serve_with_core(&config, core)
+    let mut core = RequestCore::new(ledger).with_snapshot_path(config.snapshot_path.clone());
+    if let Some(wal_config) = &config.wal {
+        // Replay order matters: snapshot first (above), then the WAL —
+        // the dedup watermarks restored by the snapshot absorb every
+        // record it already covers, and the rest re-applies exactly
+        // once. Only then is a fresh segment opened for new traffic.
+        recovery::recover(&wal_config.dir, core.ledger())?;
+        core = core.with_wal(Arc::new(Wal::open(wal_config.clone())?));
+    }
+    serve_with_core(&config, Arc::new(core))
 }
 
 /// Binds and serves over a caller-built [`RequestCore`] — the entry
@@ -179,8 +194,26 @@ pub fn serve_with_core(config: &ServerConfig, core: Arc<RequestCore>) -> io::Res
             for w in pool {
                 w.join().map_err(|_| io::Error::other("worker panicked"))?;
             }
+            // Drain the commit group before exit: with no workers left,
+            // close() commits every queued record and seals the active
+            // segment, so a shutdown *without* a snapshot path still
+            // leaves every ACKed batch recoverable from the log alone
+            // (they used to die here when only snapshots persisted).
+            // A poisoned WAL surfaces as an error from join() — the
+            // segments on disk remain the source of truth.
+            if let Some(wal) = core.wal() {
+                wal.close().map_err(io::Error::from)?;
+            }
             if let Some(path) = core.snapshot_path() {
                 snapshot::save(path, core.ledger())?;
+                if let Some(wal) = core.wal() {
+                    // The committer is closed and sealed, so a verified
+                    // snapshot now dominates *every* segment, the active
+                    // one included.
+                    if snapshot::verify(path) {
+                        let _ = wal.gc_below(wal.active_segment() + 1);
+                    }
+                }
             }
             Ok(())
         })

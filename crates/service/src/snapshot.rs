@@ -381,6 +381,20 @@ pub fn parse_sealed(contents: &str) -> Result<Vec<StreamState>, SnapshotError> {
         .collect())
 }
 
+/// Re-reads the snapshot at `path` and checks it seals and parses.
+///
+/// The WAL GC calls this before deleting segments a snapshot claims to
+/// cover: `save` returning `Ok` is not proof the *bytes on disk* are a
+/// loadable snapshot (the `snapshot.save.corrupt` seam models exactly
+/// that lie), and dropping the log on a bad snapshot's word would turn
+/// one corrupt file into real data loss.
+pub fn verify(path: &Path) -> bool {
+    std::fs::read_to_string(path)
+        .map_err(SnapshotError::from)
+        .and_then(|contents| parse_sealed(&contents))
+        .is_ok()
+}
+
 /// Replaces the ledger's contents with the snapshot at `path`.
 ///
 /// Validation is strictly before mutation: the footer, checksum, JSON

@@ -100,6 +100,23 @@ grep -q '"bitwise_identical":true' "$cluster_out" \
     || { echo "verify: cluster gate lost bitwise identity" >&2; rm -f "$cluster_out"; exit 1; }
 rm -f "$cluster_out"
 
+echo "==> WAL gate: logged throughput cost < 10% + bitwise log replay"
+# PR-8 tentpole: the segmented group-commit WAL must cost < 10%
+# throughput at its process-crash durability point (fsync policy
+# `never`; pre-faulted mapped segments make an append a ~300 ns frame
+# into the page cache), and replaying the sealed log after shutdown
+# must rebuild bitwise-identical limbs. Loadgen samples bare/logged in
+# back-to-back pairs so the ratio is immune to machine-load drift; the
+# ceiling bends via OISUM_GATE_WAL_OVERHEAD_PCT. The `group` policy's
+# cost is fsync-bound (hardware, not code) and is reported ungated.
+wal_out=$(mktemp)
+OISUM_GATE_WAL_OVERHEAD_PCT="${OISUM_GATE_WAL_OVERHEAD_PCT:-10}" \
+    run_gated cargo run --offline --release -q -p oisum-cluster --bin loadgen -- \
+    --binary --threads 4 --batch 500 --wal --gate --out "$wal_out"
+grep -q '"bitwise_identical":true' "$wal_out" \
+    || { echo "verify: WAL replay lost bitwise identity" >&2; rm -f "$wal_out"; exit 1; }
+rm -f "$wal_out"
+
 # Best-effort deeper checkers: run when the toolchain has them, skip
 # cleanly when it does not (this container typically lacks both).
 if cargo miri --version >/dev/null 2>&1; then
