@@ -52,6 +52,12 @@ pub trait AtomicU64Like: Send + Sync {
     fn store(&self, v: u64, order: Ordering);
     /// Atomic wrapping add; returns the previous value.
     fn fetch_add(&self, v: u64, order: Ordering) -> u64;
+    /// Atomic wrapping subtract; returns the previous value. Defaulted
+    /// to a wrapping-add of the two's complement, which is what the
+    /// hardware instruction does anyway.
+    fn fetch_sub(&self, v: u64, order: Ordering) -> u64 {
+        self.fetch_add(v.wrapping_neg(), order)
+    }
     /// Atomic compare-exchange (weak: spurious failure permitted).
     fn compare_exchange_weak(
         &self,

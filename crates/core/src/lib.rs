@@ -48,6 +48,7 @@
 //! | [`batch`] | throughput extension | [`BatchAcc`](batch::BatchAcc), carry-deferred batch accumulation |
 //! | [`kernel`] | throughput extension | [`encode_f64_batch`](kernel::encode_f64_batch), the branchless chunk encode kernel |
 //! | [`atomic`] | §III.B.2 | [`AtomicHp`](atomic::AtomicHp), CAS/fetch-add accumulators |
+//! | [`sync_shim`] | — | [`SyncShimLike`](sync_shim::SyncShimLike), the Mutex/Condvar abstraction the model checker instantiates |
 //! | [`format`] | Table 1 | runtime format descriptors, range/resolution math |
 //! | [`dyn_hp`] | — | runtime-format values backing the adaptive extension |
 //! | [`adaptive`] | §V (future work) | [`AdaptiveHp`](adaptive::AdaptiveHp), runtime precision growth |
@@ -73,12 +74,14 @@ pub mod ops;
 #[cfg(feature = "serde")]
 mod serde_impls;
 pub mod sum;
+pub mod sync_shim;
 pub mod trace;
 
 pub use adaptive::AdaptiveHp;
 pub use batch::BatchAcc;
 pub use dot::{hp_dot, hp_norm_sq, two_product};
 pub use atomic::{AtomicHp, AtomicHpImpl, AtomicU64Like};
+pub use sync_shim::{StdSyncShim, SyncShimLike};
 pub use dyn_hp::DynHp;
 pub use error::HpError;
 pub use kernel::{encode_f64_batch, encode_f64_le_batch, lane_evidence, ENCODE_CHUNK, LANES};

@@ -4,8 +4,10 @@
 //! sums — rests on a handful of source-level invariants that no type
 //! checker enforces: exact integer accumulation everywhere outside the
 //! designated baselines, justified atomic orderings, deterministic fault
-//! injection, codec-contained lossy casts, and panic-free request
-//! handling. This crate enforces them as named, individually
+//! injection, codec-contained lossy casts, panic-free request
+//! handling, and — for the blocking layer — declared lock orders,
+//! predicate-looped condvar waits, and a lock-free frame path. This
+//! crate enforces them as named, individually
 //! suppressible rules over a hand-rolled lexical model of the source
 //! (comments stripped, literals blanked, `#[cfg(test)]` regions marked).
 //!
@@ -17,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod lexer;
+mod locks;
 pub mod rules;
 pub mod walk;
 

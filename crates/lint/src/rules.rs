@@ -60,9 +60,26 @@ pub enum RuleId {
     /// only ride on bytes that went through the committer or the
     /// snapshot writer.
     WalDurability,
+    /// Lock acquisition order, from the per-file static lock graph
+    /// (see `locks.rs`): acquiring against a declared
+    /// `// lint:lock-order(a < b)` order, or any ABBA cycle in the
+    /// observed held-while-acquiring edges, is a deadlock waiting for
+    /// the right interleaving. The WAL declares `segment < state`;
+    /// `oisum-loom-lite` enforces the same declaration dynamically.
+    LockOrder,
+    /// Every condvar wait must sit inside a `while`/`loop` predicate
+    /// re-check: spurious wakeups and notify races make a bare
+    /// `if`+wait the exact lost-wakeup shape the model checker's
+    /// `LostWakeup` verdict catches at runtime.
+    CondvarPredicate,
+    /// No blocking lock acquisitions on the zero-copy frame path
+    /// (`crates/service/src/server.rs` / `dispatch.rs`): the request
+    /// path stays lock-free; durability blocking is the WAL's carve-out
+    /// and lives behind `wal.append`, never inline in frame handling.
+    BlockingInHotPath,
 }
 
-pub const ALL_RULES: [RuleId; 9] = [
+pub const ALL_RULES: [RuleId; 12] = [
     RuleId::FloatAccum,
     RuleId::UnsafeSafety,
     RuleId::AtomicOrdering,
@@ -72,6 +89,9 @@ pub const ALL_RULES: [RuleId; 9] = [
     RuleId::ClusterNondet,
     RuleId::KernelFallback,
     RuleId::WalDurability,
+    RuleId::LockOrder,
+    RuleId::CondvarPredicate,
+    RuleId::BlockingInHotPath,
 ];
 
 impl RuleId {
@@ -86,6 +106,9 @@ impl RuleId {
             RuleId::ClusterNondet => "cluster-nondet",
             RuleId::KernelFallback => "kernel-fallback",
             RuleId::WalDurability => "wal-durability",
+            RuleId::LockOrder => "lock-order",
+            RuleId::CondvarPredicate => "condvar-predicate",
+            RuleId::BlockingInHotPath => "blocking-in-hot-path",
         }
     }
 
@@ -118,6 +141,15 @@ impl RuleId {
             RuleId::WalDurability => {
                 "WAL logic stays deterministic, fsyncs stay in the committer, and the \
                  request path never writes files directly"
+            }
+            RuleId::LockOrder => {
+                "lock acquisitions respect the declared lint:lock-order and form no cycles"
+            }
+            RuleId::CondvarPredicate => {
+                "every condvar wait sits inside a while/loop predicate re-check"
+            }
+            RuleId::BlockingInHotPath => {
+                "no blocking lock acquisitions on the zero-copy frame path"
             }
         }
     }
@@ -293,6 +325,16 @@ fn in_scope(rule: RuleId, path: &str, kind: FileKind) -> bool {
                     || path.ends_with("server.rs")
                     || path.ends_with("dispatch.rs"))
         }
+        // The lock graph and the wait discipline apply to every
+        // production file that declares lock/condvar fields (the passes
+        // are no-ops elsewhere); the hot-path rule is the frame path's
+        // own contract.
+        RuleId::LockOrder | RuleId::CondvarPredicate => kind == FileKind::Prod,
+        RuleId::BlockingInHotPath => {
+            kind == FileKind::Prod
+                && path.starts_with("crates/service/src/")
+                && (path.ends_with("server.rs") || path.ends_with("dispatch.rs"))
+        }
     }
 }
 
@@ -302,7 +344,7 @@ fn applies_to_test_lines(rule: RuleId) -> bool {
 }
 
 /// `// lint:allow(<rule>)` on the line or the line directly above.
-fn suppressed(lines: &[Line], idx: usize, rule: RuleId) -> bool {
+pub(crate) fn suppressed(lines: &[Line], idx: usize, rule: RuleId) -> bool {
     let needle = format!("lint:allow({})", rule.name());
     lines[idx].comment.contains(&needle)
         || (idx > 0 && lines[idx - 1].comment.contains(&needle))
@@ -370,6 +412,28 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
             match rule {
                 RuleId::FloatAccum => { /* handled below: needs binding state */ }
                 RuleId::KernelFallback => { /* handled after the loop: needs whole-file state */ }
+                RuleId::LockOrder | RuleId::CondvarPredicate => {
+                    /* handled after the loop: locks.rs needs whole-file state */
+                }
+                RuleId::BlockingInHotPath => {
+                    // Zero-argument acquisition forms only: `.read(buf)`
+                    // (io) and `.write(bytes)` take arguments, lock
+                    // acquisitions don't.
+                    const ACQUIRE: [&str; 4] = [".lock()", ".try_lock()", ".read()", ".write()"];
+                    if let Some(a) = ACQUIRE.iter().find(|a| squished[idx].contains(**a)) {
+                        push(
+                            idx,
+                            rule,
+                            format!(
+                                "blocking acquisition `{a}` on the zero-copy frame path; \
+                                 request handling stays lock-free — durability blocking \
+                                 belongs behind the WAL carve-out (`wal.append`), not \
+                                 inline in frame code"
+                            ),
+                            &lines,
+                        );
+                    }
+                }
                 RuleId::WalDurability => {
                     if path.ends_with("wal.rs") || path.ends_with("recovery.rs") {
                         // Determinism: recovery verdicts and group-commit
@@ -769,5 +833,15 @@ pub fn check_file(path: &str, kind: FileKind, src: &str) -> Vec<Finding> {
             }
         }
     }
+
+    // --- lock-order / condvar-predicate: function-scope lock analysis ---
+    if in_scope(RuleId::LockOrder, path, kind) {
+        crate::locks::check_lock_order(path, &lines, &toks, &squished, &mut findings);
+    }
+    if in_scope(RuleId::CondvarPredicate, path, kind) {
+        crate::locks::check_condvar_predicate(path, &lines, &toks, &squished, &mut findings);
+    }
+    // Whole-file passes append out of order; one report order for all.
+    findings.sort_by_key(|f| f.line);
     findings
 }

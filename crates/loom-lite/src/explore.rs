@@ -1,9 +1,63 @@
 //! Depth-first enumeration of thread schedules.
 
-use crate::sched::{set_ctx, Scheduler};
+use crate::sched::{set_ctx, ExplorationAborted, Scheduler};
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
+use std::sync::{Arc, Once};
+
+/// A liveness or ordering defect found in some schedule. Any one of
+/// these stops the exploration: the schedule that produced it is the
+/// counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// A stable state was reached in which at least one thread is
+    /// blocked acquiring a mutex and no thread is runnable.
+    Deadlock {
+        /// Who is blocked on what, and who holds it.
+        detail: String,
+    },
+    /// A stable state was reached in which every unfinished thread is
+    /// parked in a condvar wait — no runnable thread exists to ever
+    /// notify them.
+    LostWakeup {
+        /// Which threads are parked on which condvars.
+        detail: String,
+    },
+    /// An acquisition closed a cycle in the observed lock-order graph,
+    /// or contradicted the declared lock order
+    /// (see [`declare_lock_order`](crate::declare_lock_order)).
+    LockOrderInversion {
+        /// The offending acquisition and the order it violates.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            Failure::LostWakeup { detail } => write!(f, "lost wakeup: {detail}"),
+            Failure::LockOrderInversion { detail } => {
+                write!(f, "lock-order inversion: {detail}")
+            }
+        }
+    }
+}
+
+/// Suppress the default panic-hook stderr spew for the internal
+/// [`ExplorationAborted`] sentinel (it is control flow, not a bug),
+/// delegating every other payload to the previously installed hook.
+fn install_abort_hook_filter() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExplorationAborted>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
 
 /// One recorded scheduling decision: which thread, out of which
 /// runnable set, was granted the next step.
@@ -51,13 +105,19 @@ pub struct Report<O> {
     /// produced it. A scenario whose result is schedule-independent —
     /// the order-invariance property — yields exactly one entry.
     pub outcomes: BTreeMap<O, usize>,
+    /// The first liveness/ordering defect found, if any; the aborted
+    /// schedule's outcome is *not* in `outcomes`. Exploration stops on
+    /// the first failure.
+    pub failure: Option<Failure>,
 }
 
 impl<O: Ord> Report<O> {
-    /// The single outcome every schedule agreed on; panics (with the
-    /// outcome multiplicity map's size) if the scenario was *not*
-    /// schedule-invariant.
+    /// The single outcome every schedule agreed on; panics if any
+    /// schedule failed or if the scenario was *not* schedule-invariant.
     pub fn sole_outcome(&self) -> &O {
+        if let Some(f) = &self.failure {
+            panic!("exploration failed after {} executions: {f}", self.executions);
+        }
         assert_eq!(
             self.outcomes.len(),
             1,
@@ -67,10 +127,39 @@ impl<O: Ord> Report<O> {
         );
         self.outcomes.keys().next().unwrap()
     }
+
+    /// This report as one JSON object (hand-rolled — the checker stays
+    /// dependency-free), for the `BENCH_loomlite.json` coverage census:
+    /// `{"scenario": …, "executions": …, "distinct_outcomes": …,
+    /// "failure": …}`.
+    pub fn census_json(&self, scenario: &str) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    '\n' => vec!['\\', 'n'],
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let failure = match &self.failure {
+            Some(f) => format!("\"{}\"", esc(&f.to_string())),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"scenario\": \"{}\", \"executions\": {}, \"distinct_outcomes\": {}, \"failure\": {}}}",
+            esc(scenario),
+            self.executions,
+            self.outcomes.len(),
+            failure
+        )
+    }
 }
 
 /// One model thread's body: runs against the shared state, interacting
-/// with other threads only through `ModelAtomicU64` cells.
+/// with other threads only through `ModelAtomicU64` cells and the
+/// `ModelMutex`/`ModelCondvar` blocking primitives.
 pub type ThreadBody<S> = Box<dyn Fn(&S) + Sync>;
 
 /// C(n, k) in u128 — handy for asserting that an exploration visited
@@ -90,8 +179,13 @@ impl Model {
     /// state through `observe` and return the outcome census.
     ///
     /// Threads must interact **only** through [`crate::ModelAtomicU64`]
-    /// cells reachable from the shared state — those are the scheduling
-    /// points the explorer controls.
+    /// cells and [`crate::ModelMutex`]/[`crate::ModelCondvar`]
+    /// primitives reachable from the shared state — those are the
+    /// scheduling points the explorer controls.
+    ///
+    /// Exploration stops at the first [`Failure`] (deadlock, lost
+    /// wakeup, lock-order inversion); the failing schedule's outcome is
+    /// not recorded.
     pub fn check<S, O>(
         &self,
         mk_state: impl Fn() -> S,
@@ -103,10 +197,12 @@ impl Model {
         O: Ord,
     {
         assert!(!bodies.is_empty(), "need at least one thread body");
+        install_abort_hook_filter();
         let mut stack: Vec<Choice> = Vec::new();
         let mut report = Report {
             executions: 0,
             outcomes: BTreeMap::new(),
+            failure: None,
         };
         loop {
             report.executions += 1;
@@ -116,7 +212,10 @@ impl Model {
                 self.max_executions
             );
             let state = mk_state();
-            self.run_one(&state, &bodies, &mut stack);
+            if let Some(failure) = self.run_one(&state, &bodies, &mut stack) {
+                report.failure = Some(failure);
+                break;
+            }
             *report.outcomes.entry(observe(&state)).or_insert(0) += 1;
             if !advance(&mut stack, self.preemption_bound) {
                 break;
@@ -127,14 +226,16 @@ impl Model {
 
     /// Execute one schedule: replay `stack`'s prefix, extend greedily
     /// (continue the running thread when possible — zero preemptions),
-    /// recording each new choice point.
+    /// recording each new choice point. Returns the failure that
+    /// aborted the schedule, if any.
     fn run_one<S: Sync>(
         &self,
         state: &S,
         bodies: &[ThreadBody<S>],
         stack: &mut Vec<Choice>,
-    ) {
+    ) -> Option<Failure> {
         let sched = Arc::new(Scheduler::new(bodies.len()));
+        let mut failure: Option<Failure> = None;
         std::thread::scope(|scope| {
             for (tid, body) in bodies.iter().enumerate() {
                 let sched = Arc::clone(&sched);
@@ -147,10 +248,14 @@ impl Model {
                     set_ctx(None);
                     // Mark finished even on panic so the controller can
                     // drain the remaining threads; the panic resurfaces
-                    // at scope join.
+                    // at scope join — except the abort sentinel, which
+                    // is the scheduler's own control flow and is
+                    // swallowed here.
                     sched.finish(tid);
                     if let Err(p) = result {
-                        std::panic::resume_unwind(p);
+                        if p.downcast_ref::<ExplorationAborted>().is_none() {
+                            std::panic::resume_unwind(p);
+                        }
                     }
                 });
             }
@@ -159,7 +264,16 @@ impl Model {
             let mut preemptions = 0usize;
             loop {
                 let runnable = sched.stable_runnable();
+                // A thread may have recorded a failure (lock-order
+                // inversion) and aborted itself mid-step.
+                if let Some(f) = sched.pending_failure() {
+                    failure = Some(f);
+                    break;
+                }
                 if runnable.is_empty() {
+                    // All finished, or the remaining threads are
+                    // blocked with nobody left to unblock them.
+                    failure = sched.classify_stall();
                     break;
                 }
                 let pick = if let Some(choice) = stack.get(step) {
@@ -203,8 +317,15 @@ impl Model {
                 sched.grant_and_wait(tid);
                 step += 1;
             }
-            assert_eq!(step, stack.len(), "schedule replay fell short");
+            if failure.is_some() {
+                // Wake every surviving thread into the abort sentinel
+                // so the scope join below terminates.
+                sched.abort_and_drain();
+            } else {
+                assert_eq!(step, stack.len(), "schedule replay fell short");
+            }
         });
+        failure
     }
 }
 

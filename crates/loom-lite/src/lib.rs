@@ -23,12 +23,34 @@
 //! visibility but preserves every modification-order interleaving, the
 //! axis HP correctness actually depends on).
 //!
+//! # Blocking primitives
+//!
+//! Since the WAL group-commit work, protocols under test may also
+//! block: [`ModelMutex`] and [`ModelCondvar`] implement
+//! [`oisum_core::SyncShimLike`] (via [`ModelSyncShim`]), so the *real*
+//! trait-parameterized blocking code — the WAL commit queue — explores
+//! every schedule too. The scheduler understands blocked threads, which
+//! upgrades three silent hangs into verdicts ([`Failure`]):
+//!
+//! * **deadlock** — a stable state where some thread is blocked on a
+//!   mutex and no thread is runnable;
+//! * **lost wakeup** — a stable state where every unfinished thread is
+//!   parked in a condvar wait;
+//! * **lock-order inversion** — an acquisition that closes a cycle in
+//!   the observed lock graph or contradicts the order declared with
+//!   [`declare_lock_order`].
+//!
 //! # Scope and bounds
 //!
-//! * Threads communicate **only** through [`ModelAtomicU64`] cells; any
-//!   other shared state is invisible to the scheduler.
+//! * Threads communicate **only** through [`ModelAtomicU64`] cells and
+//!   [`ModelMutex`]/[`ModelCondvar`] primitives; any other shared state
+//!   is invisible to the scheduler.
 //! * `compare_exchange_weak` never fails spuriously under the model
 //!   (spurious failure would add schedules, not remove them).
+//! * `notify_one` is modeled as `notify_all`, and `wait_timeout` as an
+//!   immediate timeout with a release/reacquire window — both sound
+//!   over-approximations for predicate-loop waiters (see [`sync`'s
+//!   module docs](ModelMutex)).
 //! * Exploration is exhaustive by default; [`Model::preemption_bound`]
 //!   optionally restricts to schedules with at most *P* preemptive
 //!   switches (the classic CHESS bound) for larger scenarios.
@@ -57,9 +79,11 @@
 mod atomic;
 mod explore;
 mod sched;
+mod sync;
 
 pub use atomic::ModelAtomicU64;
-pub use explore::{binomial, Model, Report, ThreadBody};
+pub use explore::{binomial, Failure, Model, Report, ThreadBody};
+pub use sync::{declare_lock_order, ModelCondvar, ModelMutex, ModelMutexGuard, ModelSyncShim};
 
 /// An HP accumulator whose atomics are model-checked virtual cells: the
 /// *real* [`oisum_core::AtomicHpImpl`] deposit/carry/poison code, every

@@ -96,13 +96,14 @@
 //! provable rather than probabilistic.
 
 use crate::segmap::SegmentMap;
+use oisum_core::{AtomicU64Like, StdSyncShim, SyncShimLike};
 use oisum_faults::FaultAction;
 use std::collections::VecDeque;
 use std::fs::{self, File};
 use std::io::{self, Seek, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -464,70 +465,229 @@ struct CommitQueue {
     crashed: Option<String>,
 }
 
-struct Shared {
+/// Where committed groups land: the group-commit protocol's only view
+/// of the storage beneath it.
+///
+/// Production uses the private `ActiveSegment` (mapped or buffered
+/// segment files, rotation, sealing); the model checker's WAL scenarios
+/// use [`MemSink`], so the *protocol* — locks, condvars, tickets,
+/// watermarks — explores every schedule without dragging the
+/// filesystem into the model. The protocol calls every method while
+/// holding the `segment` lock, so implementations need no internal
+/// synchronization.
+pub trait SegmentSink: Send + 'static {
+    /// Frames and commits a single record — the inline fast path for a
+    /// group of one. `fsync` follows the policy.
+    fn commit_one(
+        &mut self,
+        stream: &str,
+        client_id: u64,
+        seq: u64,
+        value_bytes: &[u8],
+        fsync: bool,
+    ) -> Result<(), WalError>;
+    /// Makes room for `incoming` more bytes (rotating early if the
+    /// current segment cannot hold them).
+    fn ensure_group_fits(&mut self, incoming: usize) -> Result<(), WalError>;
+    /// Writes one concatenated group of `count` already-framed records
+    /// and, when `fsync`, syncs it.
+    fn commit_group(&mut self, buf: &mut [u8], count: u64, fsync: bool) -> Result<(), WalError>;
+    /// Seals and starts the next segment if the rotation threshold has
+    /// been reached.
+    fn rotate_if_full(&mut self) -> Result<(), WalError>;
+    /// Seals the current segment (close path).
+    fn seal(&mut self) -> Result<(), WalError>;
+    /// The index of the segment currently being appended to.
+    fn index(&self) -> u64;
+}
+
+/// An in-memory [`SegmentSink`] for the model checker's WAL scenarios:
+/// commits append framed bytes to a `Vec`, "fsync" advances a durable
+/// watermark, and sealing sets a flag. The fields are deliberately
+/// public — the scenarios' invariant checks read them directly.
+#[derive(Debug, Default)]
+pub struct MemSink {
+    /// Concatenated framed record bytes, in commit order.
+    pub bytes: Vec<u8>,
+    /// Records committed (written, not necessarily synced).
+    pub records: u64,
+    /// Records covered by a sync — the durable watermark the
+    /// ACKed-implies-durable invariant is checked against.
+    pub synced_records: u64,
+    /// Set by [`SegmentSink::seal`].
+    pub sealed: bool,
+}
+
+impl SegmentSink for MemSink {
+    fn commit_one(
+        &mut self,
+        stream: &str,
+        client_id: u64,
+        seq: u64,
+        value_bytes: &[u8],
+        fsync: bool,
+    ) -> Result<(), WalError> {
+        let rec = encode_record(stream, client_id, seq, value_bytes)?;
+        self.bytes.extend_from_slice(&rec);
+        self.records += 1;
+        if fsync {
+            self.synced_records = self.records;
+        }
+        Ok(())
+    }
+
+    fn ensure_group_fits(&mut self, _incoming: usize) -> Result<(), WalError> {
+        Ok(())
+    }
+
+    fn commit_group(&mut self, buf: &mut [u8], count: u64, fsync: bool) -> Result<(), WalError> {
+        self.bytes.extend_from_slice(buf);
+        self.records += count;
+        if fsync {
+            self.synced_records = self.records;
+        }
+        Ok(())
+    }
+
+    fn rotate_if_full(&mut self) -> Result<(), WalError> {
+        Ok(())
+    }
+
+    fn seal(&mut self) -> Result<(), WalError> {
+        self.sealed = true;
+        Ok(())
+    }
+
+    fn index(&self) -> u64 {
+        0
+    }
+}
+
+/// The declared lock order of the group-commit protocol, outermost
+/// first: `segment` is locked strictly before `state` whenever both
+/// are held. `oisum-lint`'s `lock-order` rule checks the static lock
+/// graph against the annotation below, and the model-checker scenarios
+/// feed this constant to `declare_lock_order`, which fails any explored
+/// schedule that acquires against it.
+// lint:lock-order(segment < state)
+pub const LOCK_ORDER: [&str; 2] = ["segment", "state"];
+
+/// The group-commit protocol, generic over its blocking primitives and
+/// its storage.
+///
+/// This is the *real* WAL commit queue: [`Wal`] instantiates it with
+/// [`StdSyncShim`] + segment files (every shim method an `#[inline]`
+/// delegation to `std::sync`, so the generic code is the concrete code),
+/// and `oisum-loom-lite`'s scenarios instantiate it with model
+/// primitives + [`MemSink`] to explore every schedule of the very same
+/// functions. The public methods exist for those scenarios; service
+/// code goes through [`Wal`].
+pub struct Shared<S: SyncShimLike, G: SegmentSink> {
     fsync: FsyncPolicy,
-    state: Mutex<CommitQueue>,
+    state: S::Mutex<CommitQueue>,
     /// Signaled when the queue gains work, stop is requested, or the
     /// log crashes (wakes the committer).
-    work: Condvar,
+    work: S::Condvar,
     /// Signaled when `committed` advances or the log crashes (wakes
     /// appenders).
-    done: Condvar,
+    done: S::Condvar,
     /// Index of the segment currently being appended to — the GC
     /// boundary readers snapshot before persisting the ledger.
-    active: AtomicU64,
+    active: S::Atomic,
     /// Appenders that have entered [`Wal::append`] but not yet enqueued
     /// their record. The committer's group accumulation waits only
     /// while this is nonzero: appenders already *in* the queue are
     /// blocked on the commit itself and cannot contribute more, so
     /// waiting for them is pure added latency (a 2 ms policy wait per
     /// group once throttled a synchronous-client workload ~35x).
-    appending: AtomicU64,
-    /// The file being appended to, shared so the inline policies
+    appending: S::Atomic,
+    /// The sink being appended to, shared so the inline policies
     /// (`always`/`never`) can commit on the appender's own thread —
     /// two condvar handoffs per batch otherwise. Locked BEFORE `state`
-    /// whenever both are held; the queue is only drained while this is
-    /// held, which keeps file order equal to enqueue order no matter
-    /// which thread commits. `None` once sealed on close.
-    segment: Mutex<Option<ActiveSegment>>,
+    /// whenever both are held ([`LOCK_ORDER`]); the queue is only
+    /// drained while this is held, which keeps file order equal to
+    /// enqueue order no matter which thread commits. `None` once
+    /// sealed on close.
+    segment: S::Mutex<Option<G>>,
     /// Mirror of `CommitQueue::committed`, so the inline-commit fast
     /// path can watch for its ticket without taking the state lock.
     /// Only ever written while the state lock is held, so it is
     /// monotonic and never ahead of the real watermark.
-    commit_mark: AtomicU64,
+    commit_mark: S::Atomic,
     /// Threads parked on `done`, so the uncontended inline commit can
     /// skip the futex wake entirely (~160 ns per batch with nobody
     /// listening). See [`Shared::notify_done`] for why no wakeup is
     /// lost.
-    done_waiters: AtomicU64,
+    done_waiters: S::Atomic,
+    /// How many times the contended inline path spins on the segment
+    /// lock before parking. 200 in production; the model scenarios use
+    /// 0 — a spin is invisible to correctness (it re-checks the same
+    /// two conditions) and only multiplies the schedule tree.
+    spin_budget: u32,
 }
 
-impl Shared {
-    fn lock(&self) -> MutexGuard<'_, CommitQueue> {
-        // A panic while holding the queue lock (a failing assertion in a
-        // chaos drill) must not wedge shutdown; the state is plain data.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+impl<S: SyncShimLike, G: SegmentSink> Shared<S, G> {
+    /// A fresh protocol instance over `sink`. `active_index` seeds the
+    /// GC-boundary gauge; `spin_budget` tunes the contended inline
+    /// path (see the field).
+    pub fn new(fsync: FsyncPolicy, sink: G, active_index: u64, spin_budget: u32) -> Self {
+        // Ordering witness: the labels handed to the shim must match
+        // the declared order the lint and the model checker enforce.
+        debug_assert_eq!(LOCK_ORDER, ["segment", "state"]);
+        Shared {
+            fsync,
+            state: S::mutex(
+                "state",
+                CommitQueue {
+                    queue: VecDeque::new(),
+                    submitted: 0,
+                    committed: 0,
+                    stopping: false,
+                    crashed: None,
+                },
+            ),
+            work: S::condvar("work"),
+            done: S::condvar("done"),
+            active: S::Atomic::new(active_index),
+            appending: S::Atomic::new(0),
+            segment: S::mutex("segment", Some(sink)),
+            commit_mark: S::Atomic::new(0),
+            done_waiters: S::Atomic::new(0),
+            spin_budget,
+        }
     }
 
-    fn poison(&self, detail: String) {
+    // lint:acquires(state)
+    fn lock(&self) -> S::Guard<'_, CommitQueue> {
+        // A panic while holding the queue lock (a failing assertion in a
+        // chaos drill) must not wedge shutdown; the state is plain data
+        // (the std shim recovers poisoned locks with into_inner).
+        S::lock(&self.state)
+    }
+
+    /// Poisons the log: every pending and future append fails, nothing
+    /// more is written.
+    pub fn poison(&self, detail: String) {
         let mut s = self.lock();
         if s.crashed.is_none() {
             s.crashed = Some(detail);
         }
-        self.work.notify_all();
+        drop(s);
+        S::notify_all(&self.work);
         // Unconditional: a crash is rare and must wake everything.
-        self.done.notify_all();
+        S::notify_all(&self.done);
     }
 
     /// Parks on `done`, counted. Every wait on `done` must go through
     /// here or [`Shared::notify_done`] may skip the wake.
-    fn wait_done<'a>(&self, s: MutexGuard<'a, CommitQueue>) -> MutexGuard<'a, CommitQueue> {
+    fn wait_done<'a>(&'a self, s: S::Guard<'a, CommitQueue>) -> S::Guard<'a, CommitQueue> {
         // ORDERING: SeqCst — sequenced before `wait` releases the state
         // lock, so any notifier that later acquires that lock (every
         // notifier mutates the predicate under it first) observes the
         // increment; see notify_done.
         self.done_waiters.fetch_add(1, Ordering::SeqCst);
-        let s = self.done.wait(s).unwrap_or_else(|e| e.into_inner());
+        // lint:allow(condvar-predicate) -- counted single wait: the predicate loop lives at every caller, around this helper.
+        let s = S::wait(&self.done, s);
         // ORDERING: SeqCst — symmetric bookkeeping; a late decrement
         // only causes a spurious (harmless) notify.
         self.done_waiters.fetch_sub(1, Ordering::SeqCst);
@@ -535,71 +695,25 @@ impl Shared {
     }
 
     /// Wakes `done` waiters — unless there are none, which on the
-    /// inline-commit fast path is nearly always. No wakeup is lost: a
-    /// waiter increments the count *before* atomically releasing the
+    /// inline-commit fast path is nearly always. No wakeup is lost *for
+    /// a waiter whose predicate this notifier's update satisfies*: the
+    /// waiter increments the count before atomically releasing the
     /// state lock inside `wait`, and a notifier updates the waited-on
     /// predicate (`committed`/`crashed`) while *holding* that lock
     /// before loading the count here. So either the waiter saw the
     /// updated predicate and never parked, or the notifier's load —
     /// after its predicate write's lock release — sees the increment
-    /// and notifies.
+    /// and notifies. A waiter whose ticket this commit does *not* cover
+    /// may miss the skip-guarded wake entirely; that is why the
+    /// contended path hands its record to the committer before parking
+    /// (see `append_contended`).
     fn notify_done(&self) {
         // ORDERING: SeqCst — pairs with the fetch_add in wait_done; the
         // state-lock critical sections give the visibility argument
         // above.
         if self.done_waiters.load(Ordering::SeqCst) > 0 {
-            self.done.notify_all();
+            S::notify_all(&self.done);
         }
-    }
-}
-
-/// The segmented group-commit write-ahead log. See the module docs.
-///
-/// `Wal` is `Sync`: many worker threads call [`append`](Wal::append)
-/// concurrently while one committer thread owns the file.
-pub struct Wal {
-    dir: PathBuf,
-    shared: std::sync::Arc<Shared>,
-    committer: Mutex<Option<JoinHandle<()>>>,
-}
-
-impl Wal {
-    /// Opens the log for appending: creates `config.dir` if needed and
-    /// starts a fresh segment after the highest existing one. Existing
-    /// segments are never appended to (their tails may be torn from a
-    /// previous life); replay them with
-    /// [`recovery::recover`](crate::recovery::recover) *before* opening.
-    pub fn open(config: WalConfig) -> Result<Wal, WalError> {
-        fs::create_dir_all(&config.dir)?;
-        let next_index = list_segments(&config.dir)?
-            .last()
-            .map_or(0, |(index, _)| index + 1);
-        let segment = ActiveSegment::create(&config.dir, next_index, config.segment_bytes)?;
-        let shared = std::sync::Arc::new(Shared {
-            fsync: config.fsync,
-            state: Mutex::new(CommitQueue {
-                queue: VecDeque::new(),
-                submitted: 0,
-                committed: 0,
-                stopping: false,
-                crashed: None,
-            }),
-            work: Condvar::new(),
-            done: Condvar::new(),
-            active: AtomicU64::new(next_index),
-            appending: AtomicU64::new(0),
-            segment: Mutex::new(Some(segment)),
-            commit_mark: AtomicU64::new(0),
-            done_waiters: AtomicU64::new(0),
-        });
-        let committer = {
-            let shared = std::sync::Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("oisum-wal-committer".to_owned())
-                .spawn(move || committer_loop(&shared))
-                .map_err(WalError::Io)?
-        };
-        Ok(Wal { dir: config.dir, shared, committer: Mutex::new(Some(committer)) })
     }
 
     /// Appends one tracked batch and blocks until its group commits
@@ -612,7 +726,7 @@ impl Wal {
         seq: u64,
         value_bytes: &[u8],
     ) -> Result<(), WalError> {
-        if matches!(self.shared.fsync, FsyncPolicy::Group { .. }) {
+        if matches!(self.fsync, FsyncPolicy::Group { .. }) {
             return self.append_grouped(stream, client_id, seq, value_bytes);
         }
         // `always`/`never` have nothing to accumulate, so an appender
@@ -620,17 +734,12 @@ impl Wal {
         // thread — framed straight into the mapped segment, with no
         // queue round-trip and no condvar handoff. Losing the lock
         // means another commit is in flight; join the queue instead.
-        let won = match self.shared.segment.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        };
-        if let Some(mut seg) = won {
+        if let Some(mut seg) = S::try_lock(&self.segment) {
             let out = self.append_won(&mut seg, stream, client_id, seq, value_bytes);
             // Release before notifying (see commit_pending): a woken
             // waiter must find the lock winnable.
             drop(seg);
-            self.shared.notify_done();
+            self.notify_done();
             return out;
         }
         self.append_contended(stream, client_id, seq, value_bytes)
@@ -651,10 +760,10 @@ impl Wal {
         // genuinely on its way (see `Shared::appending`).
         // ORDERING: Relaxed — an advisory batching gauge; a stale read
         // only changes how long a group waits, never what commits.
-        self.shared.appending.fetch_add(1, Ordering::Relaxed);
+        self.appending.fetch_add(1, Ordering::Relaxed);
         let enqueued = (|| {
             let rec = encode_record(stream, client_id, seq, value_bytes)?;
-            let mut s = self.shared.lock();
+            let mut s = self.lock();
             if let Some(detail) = &s.crashed {
                 return Err(WalError::Crashed(detail.clone()));
             }
@@ -667,24 +776,24 @@ impl Wal {
             Ok((s, ticket))
         })();
         // ORDERING: Relaxed — see above; paired with the fetch_add.
-        self.shared.appending.fetch_sub(1, Ordering::Relaxed);
+        self.appending.fetch_sub(1, Ordering::Relaxed);
         let (mut s, ticket) = enqueued?;
-        self.shared.work.notify_one();
+        S::notify_one(&self.work);
         while s.committed < ticket && s.crashed.is_none() {
-            s = self.shared.wait_done(s);
+            s = self.wait_done(s);
         }
-        verdict(s, ticket)
+        verdict::<S>(s, ticket)
     }
 
     /// Inline append holding the segment lock. With an empty queue the
     /// record is a complete group of one and commits with zero copies
-    /// ([`ActiveSegment::commit_one`]); with a non-empty queue,
-    /// committing only ours would advance the dense watermark out of
-    /// ticket order, so the record joins the queue and the whole lot
-    /// drains as one group.
+    /// (`commit_one`); with a non-empty queue, committing only ours
+    /// would advance the dense watermark out of ticket order, so the
+    /// record joins the queue and the whole lot drains as one group.
+    // lint:holds(segment)
     fn append_won(
         &self,
-        seg: &mut Option<ActiveSegment>,
+        seg: &mut Option<G>,
         stream: &str,
         client_id: u64,
         seq: u64,
@@ -700,7 +809,7 @@ impl Wal {
         if payload_len > MAX_RECORD_PAYLOAD {
             return Err(WalError::RecordTooLarge { len: payload_len });
         }
-        let mut s = self.shared.lock();
+        let mut s = self.lock();
         if let Some(detail) = &s.crashed {
             return Err(WalError::Crashed(detail.clone()));
         }
@@ -714,37 +823,32 @@ impl Wal {
             s.submitted += 1;
             let ticket = s.submitted;
             drop(s);
-            commit_locked(&self.shared, seg);
-            return verdict(self.shared.lock(), ticket);
+            self.commit_locked(seg);
+            return verdict::<S>(self.lock(), ticket);
         }
         s.submitted += 1;
         let ticket = s.submitted;
         debug_assert_eq!(s.committed + 1, ticket, "empty queue means all prior tickets committed");
         drop(s);
-        let fsync = !matches!(self.shared.fsync, FsyncPolicy::Never);
+        let fsync = !matches!(self.fsync, FsyncPolicy::Never);
         let result = segment
             .commit_one(stream, client_id, seq, value_bytes, fsync)
-            .and_then(|()| {
-                if segment.bytes >= segment.target {
-                    segment.rotate()?;
-                }
-                Ok(())
-            });
+            .and_then(|()| segment.rotate_if_full());
         // ORDERING: Relaxed — monotonic GC boundary, as in commit_locked.
-        self.shared.active.store(segment.index, Ordering::Relaxed);
+        self.active.store(segment.index(), Ordering::Relaxed);
         match result {
             Ok(()) => {
-                let mut s = self.shared.lock();
+                let mut s = self.lock();
                 s.committed = ticket;
                 // ORDERING: Release — publishes the durable watermark
                 // to the contended path's Acquire load; written only
                 // under the state lock, so it stays monotonic.
-                self.shared.commit_mark.store(s.committed, Ordering::Release);
+                self.commit_mark.store(s.committed, Ordering::Release);
                 Ok(())
             }
             Err(e) => {
                 let detail = e.to_string();
-                self.shared.poison(detail.clone());
+                self.poison(detail.clone());
                 Err(WalError::Crashed(detail))
             }
         }
@@ -763,7 +867,7 @@ impl Wal {
         value_bytes: &[u8],
     ) -> Result<(), WalError> {
         let rec = encode_record(stream, client_id, seq, value_bytes)?;
-        let mut s = self.shared.lock();
+        let mut s = self.lock();
         if let Some(detail) = &s.crashed {
             return Err(WalError::Crashed(detail.clone()));
         }
@@ -780,64 +884,326 @@ impl Wal {
             // commit_locked and the direct path; a mark covering our
             // ticket means the group's write (and policy fsync)
             // finished.
-            if self.shared.commit_mark.load(Ordering::Acquire) >= ticket {
+            if self.commit_mark.load(Ordering::Acquire) >= ticket {
                 return Ok(());
             }
-            let seg = match self.shared.segment.try_lock() {
-                Ok(g) => Some(g),
-                Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-                Err(std::sync::TryLockError::WouldBlock) => None,
-            };
-            if let Some(mut seg) = seg {
-                let alive = commit_locked(&self.shared, &mut seg);
+            if let Some(mut seg) = S::try_lock(&self.segment) {
+                let alive = self.commit_locked(&mut seg);
                 // Release before notifying (see commit_pending): a
                 // woken waiter must find the lock winnable.
                 drop(seg);
-                self.shared.notify_done();
+                self.notify_done();
                 if !alive {
                     // Poisoned: the mark will never cover our ticket;
                     // spinning would livelock. Fall through to the
                     // verdict with the crash detail.
-                    break self.shared.lock();
+                    break self.lock();
                 }
                 spins = 0;
                 continue;
             }
-            if spins < 200 {
+            if spins < self.spin_budget {
                 spins += 1;
                 std::hint::spin_loop();
                 continue;
             }
             spins = 0;
-            let mut s = self.shared.lock();
+            let mut s = self.lock();
             if s.crashed.is_some() {
                 break s;
             }
             if s.committed < ticket {
-                s = self.shared.wait_done(s);
+                // Hand the record to the committer before parking. The
+                // in-flight commit we lost the segment lock to may have
+                // drained the queue *before* we enqueued: its watermark
+                // then never covers our ticket, and its skip-guarded
+                // notify may race our park and miss us — after which
+                // nothing would drain the queue until the next append,
+                // flush, or close (the model checker catches exactly
+                // this stranding as a lost wakeup). The committer's
+                // predicate loop re-checks the queue under the state
+                // lock, so this wake cannot be lost, whatever the
+                // interleaving.
+                S::notify_one(&self.work);
+                s = self.wait_done(s);
             }
             if s.committed >= ticket || s.crashed.is_some() {
                 break s;
             }
             drop(s);
         };
-        verdict(s, ticket)
+        verdict::<S>(s, ticket)
     }
 
     /// Blocks until everything submitted so far has committed (or the
     /// log crashed). Does not seal or stop anything.
     pub fn flush(&self) -> Result<(), WalError> {
-        let mut s = self.shared.lock();
+        let mut s = self.lock();
         let target = s.submitted;
-        self.shared.work.notify_one();
+        S::notify_one(&self.work);
         while s.committed < target && s.crashed.is_none() {
-            s = self.shared.wait_done(s);
+            s = self.wait_done(s);
         }
         match (&s.crashed, s.committed >= target) {
             (_, true) => Ok(()),
             (Some(detail), false) => Err(WalError::Crashed(detail.clone())),
             (None, false) => Ok(()),
         }
+    }
+
+    /// Blocks until the committed watermark reaches `target` or the log
+    /// crashes — a counted wait on `done`, like the append paths. The
+    /// model scenarios' closer thread uses this to stop the committer
+    /// only after every appender's ticket is durable (polling would
+    /// give the explorer an unbounded schedule tree).
+    pub fn wait_committed(&self, target: u64) {
+        let mut s = self.lock();
+        while s.committed < target && s.crashed.is_none() {
+            s = self.wait_done(s);
+        }
+    }
+
+    /// Requests shutdown: the committer drains every queued record,
+    /// commits it, seals, and exits its loop.
+    pub fn request_stop(&self) {
+        let mut s = self.lock();
+        s.stopping = true;
+        drop(s);
+        S::notify_all(&self.work);
+    }
+
+    /// True once the log is poisoned.
+    pub fn is_crashed(&self) -> bool {
+        self.lock().crashed.is_some()
+    }
+
+    /// The poison detail, if the log has crashed.
+    pub fn crash_detail(&self) -> Option<String> {
+        self.lock().crashed.clone()
+    }
+
+    /// The sink index currently being appended to (the GC boundary).
+    pub fn active_index(&self) -> u64 {
+        // ORDERING: Relaxed — a monotonic boundary read; observing a
+        // stale (smaller) index only makes GC more conservative.
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Scenario probe: `(submitted, committed)` under the state lock.
+    pub fn queue_snapshot(&self) -> (u64, u64) {
+        let s = self.lock();
+        (s.submitted, s.committed)
+    }
+
+    /// Scenario probe: a consistent view of the sink and the ticket
+    /// watermarks, read under both locks in [`LOCK_ORDER`] (`segment`
+    /// before `state`).
+    pub fn probe<R>(&self, f: impl FnOnce(Option<&G>, u64, u64) -> R) -> R {
+        let seg = S::lock(&self.segment);
+        let s = self.lock();
+        f(seg.as_ref(), s.submitted, s.committed)
+    }
+
+    /// Drains and commits whatever is queued right now. Takes the
+    /// segment lock first — the queue is only drained while it is held,
+    /// so groups reach the file in enqueue order no matter which thread
+    /// commits — then writes the group, publishes the new commit
+    /// watermark, and rotates when the segment is full. Safe to call
+    /// with an empty queue (a no-op), from the committer thread and
+    /// from inline appenders concurrently: the loser of the segment
+    /// lock finds its records already drained and committed by the
+    /// winner.
+    fn commit_pending(&self) {
+        let mut seg = S::lock(&self.segment);
+        self.commit_locked(&mut seg);
+        drop(seg);
+        self.notify_done();
+    }
+
+    /// [`commit_pending`](Self::commit_pending) body, for callers that
+    /// already hold (or `try_lock`ed) the segment lock. Does NOT notify
+    /// `done` — the caller must, *after* releasing the segment lock, so
+    /// that a woken appender whose record missed this group finds the
+    /// lock winnable instead of re-sleeping against a holder that is
+    /// about to exit (which would strand the record: nobody else may
+    /// ever commit or notify again).
+    ///
+    /// Returns false once the log is poisoned — the spinning fast path
+    /// must stop retrying then, or a crash would livelock it (the mark
+    /// can never cover its ticket).
+    // lint:holds(segment)
+    fn commit_locked(&self, seg: &mut Option<G>) -> bool {
+        let Some(segment) = seg.as_mut() else {
+            return true; // sealed on close; stopping already refuses appends
+        };
+        let mut s = self.lock();
+        if s.crashed.is_some() {
+            return false;
+        }
+        if s.queue.is_empty() {
+            return true;
+        }
+        let group: Vec<Vec<u8>> = s.queue.drain(..).collect();
+        drop(s);
+        let count = group.len() as u64;
+        let mut buf = Vec::with_capacity(group.iter().map(Vec::len).sum());
+        for rec in &group {
+            buf.extend_from_slice(rec);
+        }
+        let fsync = !matches!(self.fsync, FsyncPolicy::Never);
+        let result = segment
+            .ensure_group_fits(buf.len())
+            .and_then(|()| segment.commit_group(&mut buf, count, fsync))
+            .and_then(|()| segment.rotate_if_full());
+        // ORDERING: Relaxed — publishing a monotonic GC boundary (the
+        // fit pre-check can also rotate); readers seeing it late only
+        // under-collect.
+        self.active.store(segment.index(), Ordering::Relaxed);
+        let mut s = self.lock();
+        match result {
+            Ok(()) => {
+                s.committed += count;
+                // ORDERING: Release — publishes the durable watermark
+                // to the appender fast path's Acquire load; written
+                // only under the state lock, so it stays monotonic.
+                self.commit_mark.store(s.committed, Ordering::Release);
+                true
+            }
+            Err(e) => {
+                if s.crashed.is_none() {
+                    s.crashed = Some(e.to_string());
+                }
+                false
+            }
+        }
+    }
+
+    /// The committer loop: wait for work, accumulate a group per
+    /// policy, commit it, and on stop drain everything and seal. Under
+    /// the inline policies (`always`/`never`) appenders commit on their
+    /// own threads and this loop mostly sleeps, waking for close, a
+    /// `flush` kick, or a contended appender handing over its record;
+    /// it still owns sealing either way. [`Wal::open`] runs this on a
+    /// dedicated thread; model scenarios run it as a model thread.
+    pub fn run_committer(&self) {
+        loop {
+            let mut s = self.lock();
+            while s.queue.is_empty() && !s.stopping && s.crashed.is_none() {
+                s = S::wait(&self.work, s);
+            }
+            if s.crashed.is_some() {
+                return;
+            }
+            if s.queue.is_empty() && s.stopping {
+                drop(s);
+                let mut seg = S::lock(&self.segment);
+                if let Some(segment) = seg.as_mut() {
+                    if let Err(e) = segment.seal() {
+                        self.poison(format!("seal on close failed: {e}"));
+                    }
+                }
+                *seg = None;
+                return;
+            }
+            // Group accumulation: wait (bounded by max_wait) only while
+            // appenders are mid-flight between encode and enqueue —
+            // those are the arrivals a short delay can actually fold
+            // into this commit. Once nobody is appending, waiting
+            // longer is pure added latency: a synchronous client won't
+            // send its next batch until this one ACKs. Committing early
+            // (spurious wakeup, more arrivals than max_batch) is always
+            // safe — the policy bounds added latency, never group size.
+            if let FsyncPolicy::Group { max_batch, max_wait } = self.fsync {
+                let mut remaining = max_wait;
+                while s.queue.len() < max_batch
+                    && !s.stopping
+                    && s.crashed.is_none()
+                    && !remaining.is_zero()
+                    // ORDERING: Relaxed — advisory batching gauge (see
+                    // Shared::appending); a stale read only changes how
+                    // long this group waits, never what commits.
+                    && self.appending.load(Ordering::Relaxed) > 0
+                {
+                    let slice = remaining.min(Duration::from_micros(200));
+                    s = S::wait_timeout(&self.work, s, slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+            if s.crashed.is_some() {
+                return;
+            }
+            drop(s);
+            self.commit_pending();
+            if self.lock().crashed.is_some() {
+                return;
+            }
+        }
+    }
+}
+
+/// The production spin budget of the contended inline path: cheap
+/// enough to usually outlast an in-flight small group, far below a
+/// syscall's worth of wasted work when it doesn't.
+const PROD_SPIN_BUDGET: u32 = 200;
+
+/// The segmented group-commit write-ahead log. See the module docs.
+///
+/// `Wal` is `Sync`: many worker threads call [`append`](Wal::append)
+/// concurrently while one committer thread owns the file. The protocol
+/// itself lives in [`Shared`], generic over its blocking primitives so
+/// the model checker explores the same code; `Wal` binds it to
+/// [`StdSyncShim`] + segment files and owns the committer thread.
+pub struct Wal {
+    dir: PathBuf,
+    shared: std::sync::Arc<Shared<StdSyncShim, ActiveSegment>>,
+    committer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Wal {
+    /// Opens the log for appending: creates `config.dir` if needed and
+    /// starts a fresh segment after the highest existing one. Existing
+    /// segments are never appended to (their tails may be torn from a
+    /// previous life); replay them with
+    /// [`recovery::recover`](crate::recovery::recover) *before* opening.
+    pub fn open(config: WalConfig) -> Result<Wal, WalError> {
+        fs::create_dir_all(&config.dir)?;
+        let next_index = list_segments(&config.dir)?
+            .last()
+            .map_or(0, |(index, _)| index + 1);
+        let segment = ActiveSegment::create(&config.dir, next_index, config.segment_bytes)?;
+        let shared = std::sync::Arc::new(Shared::<StdSyncShim, ActiveSegment>::new(
+            config.fsync,
+            segment,
+            next_index,
+            PROD_SPIN_BUDGET,
+        ));
+        let committer = {
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("oisum-wal-committer".to_owned())
+                .spawn(move || shared.run_committer())
+                .map_err(WalError::Io)?
+        };
+        Ok(Wal { dir: config.dir, shared, committer: Mutex::new(Some(committer)) })
+    }
+
+    /// Appends one tracked batch and blocks until its group commits
+    /// (written and, per policy, fsynced). `Ok(())` is the license to
+    /// ACK; any `Err` means the batch must be refused.
+    pub fn append(
+        &self,
+        stream: &str,
+        client_id: u64,
+        seq: u64,
+        value_bytes: &[u8],
+    ) -> Result<(), WalError> {
+        self.shared.append(stream, client_id, seq, value_bytes)
+    }
+
+    /// Blocks until everything submitted so far has committed (or the
+    /// log crashed). Does not seal or stop anything.
+    pub fn flush(&self) -> Result<(), WalError> {
+        self.shared.flush()
     }
 
     /// Poisons the log as a crash would: the committer stops, every
@@ -850,16 +1216,14 @@ impl Wal {
 
     /// True once the log is poisoned.
     pub fn is_crashed(&self) -> bool {
-        self.shared.lock().crashed.is_some()
+        self.shared.is_crashed()
     }
 
     /// The segment index currently being appended to. Segments below
     /// this index are immutable and fully committed, which is what makes
     /// them safe to GC once a snapshot covers them.
     pub fn active_segment(&self) -> u64 {
-        // ORDERING: Relaxed — a monotonic boundary read; observing a
-        // stale (smaller) index only makes GC more conservative.
-        self.shared.active.load(Ordering::Relaxed)
+        self.shared.active_index()
     }
 
     /// Deletes every segment with index `< boundary`. Call only after a
@@ -883,11 +1247,7 @@ impl Wal {
     /// `Err` means the drain could not be completed (the log crashed) —
     /// recovery from the segments on disk is then the source of truth.
     pub fn close(&self) -> Result<(), WalError> {
-        {
-            let mut s = self.shared.lock();
-            s.stopping = true;
-            self.shared.work.notify_all();
-        }
+        self.shared.request_stop();
         let handle = {
             let mut h = self.committer.lock().unwrap_or_else(|e| e.into_inner());
             h.take()
@@ -895,9 +1255,8 @@ impl Wal {
         if let Some(handle) = handle {
             let _ = handle.join();
         }
-        let s = self.shared.lock();
-        match &s.crashed {
-            Some(detail) => Err(WalError::Crashed(detail.clone())),
+        match self.shared.crash_detail() {
+            Some(detail) => Err(WalError::Crashed(detail)),
             None => Ok(()),
         }
     }
@@ -1173,155 +1532,53 @@ impl ActiveSegment {
     }
 }
 
+/// The production sink: the inherent methods above, exposed through the
+/// protocol's storage seam.
+impl SegmentSink for ActiveSegment {
+    fn commit_one(
+        &mut self,
+        stream: &str,
+        client_id: u64,
+        seq: u64,
+        value_bytes: &[u8],
+        fsync: bool,
+    ) -> Result<(), WalError> {
+        ActiveSegment::commit_one(self, stream, client_id, seq, value_bytes, fsync)
+    }
+
+    fn ensure_group_fits(&mut self, incoming: usize) -> Result<(), WalError> {
+        ActiveSegment::ensure_group_fits(self, incoming)
+    }
+
+    fn commit_group(&mut self, buf: &mut [u8], count: u64, fsync: bool) -> Result<(), WalError> {
+        ActiveSegment::commit_group(self, buf, count, fsync)
+    }
+
+    fn rotate_if_full(&mut self) -> Result<(), WalError> {
+        if self.bytes >= self.target {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn seal(&mut self) -> Result<(), WalError> {
+        ActiveSegment::seal(self)
+    }
+
+    fn index(&self) -> u64 {
+        self.index
+    }
+}
+
 /// Resolves an append wait: the loops above only exit once `committed`
 /// covers the ticket or the log is poisoned, so anything else here is a
 /// logic bug surfaced as a crash verdict.
-fn verdict(s: MutexGuard<'_, CommitQueue>, ticket: u64) -> Result<(), WalError> {
+fn verdict<S: SyncShimLike>(s: S::Guard<'_, CommitQueue>, ticket: u64) -> Result<(), WalError> {
     if s.committed >= ticket {
         Ok(())
     } else {
         // lint:allow(service-unwrap) -- the wait loops guarantee crashed is Some here.
         Err(WalError::Crashed(s.crashed.clone().unwrap_or_default()))
-    }
-}
-
-/// Drains and commits whatever is queued right now. Takes the segment
-/// lock first — the queue is only drained while it is held, so groups
-/// reach the file in enqueue order no matter which thread commits —
-/// then writes the group, publishes the new commit watermark, and
-/// rotates when the segment is full. Safe to call with an empty queue
-/// (a no-op), from the committer thread and from inline appenders
-/// concurrently: the loser of the segment lock finds its records
-/// already drained and committed by the winner.
-fn commit_pending(shared: &Shared) {
-    let mut seg = shared.segment.lock().unwrap_or_else(|e| e.into_inner());
-    commit_locked(shared, &mut seg);
-    drop(seg);
-    shared.notify_done();
-}
-
-/// [`commit_pending`] body, for callers that already hold (or
-/// `try_lock`ed) the segment lock. Does NOT notify `done` — the caller
-/// must, *after* releasing the segment lock, so that a woken appender
-/// whose record missed this group finds the lock winnable instead of
-/// re-sleeping against a holder that is about to exit (which would
-/// strand the record: nobody else may ever commit or notify again).
-///
-/// Returns false once the log is poisoned — the spinning fast path
-/// must stop retrying then, or a crash would livelock it (the mark can
-/// never cover its ticket).
-fn commit_locked(shared: &Shared, seg: &mut Option<ActiveSegment>) -> bool {
-    let Some(segment) = seg.as_mut() else {
-        return true; // sealed on close; stopping already refuses appends
-    };
-    let mut s = shared.lock();
-    if s.crashed.is_some() {
-        return false;
-    }
-    if s.queue.is_empty() {
-        return true;
-    }
-    let group: Vec<Vec<u8>> = s.queue.drain(..).collect();
-    drop(s);
-    let count = group.len() as u64;
-    let mut buf = Vec::with_capacity(group.iter().map(Vec::len).sum());
-    for rec in &group {
-        buf.extend_from_slice(rec);
-    }
-    let fsync = !matches!(shared.fsync, FsyncPolicy::Never);
-    let result = segment
-        .ensure_group_fits(buf.len())
-        .and_then(|()| segment.commit_group(&mut buf, count, fsync))
-        .and_then(|()| {
-            if segment.bytes >= segment.target {
-                segment.rotate()?;
-            }
-            Ok(())
-        });
-    // ORDERING: Relaxed — publishing a monotonic GC boundary (the fit
-    // pre-check can also rotate); readers seeing it late only
-    // under-collect.
-    shared.active.store(segment.index, Ordering::Relaxed);
-    let mut s = shared.lock();
-    match result {
-        Ok(()) => {
-            s.committed += count;
-            // ORDERING: Release — publishes the durable watermark to
-            // the appender fast path's Acquire load; written only
-            // under the state lock, so it stays monotonic.
-            shared.commit_mark.store(s.committed, Ordering::Release);
-            true
-        }
-        Err(e) => {
-            if s.crashed.is_none() {
-                s.crashed = Some(e.to_string());
-            }
-            false
-        }
-    }
-}
-
-/// The committer thread: wait for work, accumulate a group per policy,
-/// commit it, and on stop drain everything and seal. Under the inline
-/// policies (`always`/`never`) appenders commit on their own threads
-/// and this loop mostly sleeps, waking only for close (or a `flush`
-/// kick); it still owns sealing either way.
-fn committer_loop(shared: &Shared) {
-    loop {
-        let mut s = shared.lock();
-        while s.queue.is_empty() && !s.stopping && s.crashed.is_none() {
-            s = shared.work.wait(s).unwrap_or_else(|e| e.into_inner());
-        }
-        if s.crashed.is_some() {
-            return;
-        }
-        if s.queue.is_empty() && s.stopping {
-            drop(s);
-            let mut seg = shared.segment.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(segment) = seg.as_mut() {
-                if let Err(e) = segment.seal() {
-                    shared.poison(format!("seal on close failed: {e}"));
-                }
-            }
-            *seg = None;
-            return;
-        }
-        // Group accumulation: wait (bounded by max_wait) only while
-        // appenders are mid-flight between encode and enqueue — those
-        // are the arrivals a short delay can actually fold into this
-        // commit. Once nobody is appending, waiting longer is pure
-        // added latency: a synchronous client won't send its next
-        // batch until this one ACKs. Committing early (spurious
-        // wakeup, more arrivals than max_batch) is always safe — the
-        // policy bounds added latency, never group size.
-        if let FsyncPolicy::Group { max_batch, max_wait } = shared.fsync {
-            let mut remaining = max_wait;
-            while s.queue.len() < max_batch
-                && !s.stopping
-                && s.crashed.is_none()
-                && !remaining.is_zero()
-                // ORDERING: Relaxed — advisory batching gauge (see
-                // Shared::appending); a stale read only changes how
-                // long this group waits, never what commits.
-                && shared.appending.load(Ordering::Relaxed) > 0
-            {
-                let slice = remaining.min(Duration::from_micros(200));
-                let (guard, _timeout) = shared
-                    .work
-                    .wait_timeout(s, slice)
-                    .unwrap_or_else(|e| e.into_inner());
-                s = guard;
-                remaining = remaining.saturating_sub(slice);
-            }
-        }
-        if s.crashed.is_some() {
-            return;
-        }
-        drop(s);
-        commit_pending(shared);
-        if shared.lock().crashed.is_some() {
-            return;
-        }
     }
 }
 

@@ -20,8 +20,14 @@ cargo run --offline --release -q -p oisum-lint
 echo "==> cargo test (workspace)"
 cargo test --offline --workspace -q
 
-echo "==> loom-lite (exhaustive interleaving model checks)"
-cargo test --offline -q -p oisum-loom-lite --release
+echo "==> loom-lite (model checks: atomics exhaustive; WAL mutex/condvar suites preemption-bounded)"
+# Runs the blocking-layer suites too: the real WAL group-commit protocol
+# (Shared<ModelSyncShim, _>) across bounded schedules, the seeded
+# lost-wakeup/lock-inversion regressions, and the schedule census.
+# OISUM_LOOMLITE_OUT makes the census test refresh the repo's record of
+# how many schedules the proofs covered.
+OISUM_LOOMLITE_OUT="$PWD/BENCH_loomlite.json" \
+    cargo test --offline -q -p oisum-loom-lite --release
 
 echo "==> cargo test (release)"
 cargo test --offline --workspace -q --release
