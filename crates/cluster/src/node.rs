@@ -66,7 +66,9 @@ use oisum_service::proto::{
 };
 use oisum_service::snapshot::{self, SnapshotError};
 use oisum_service::wal::{Wal, WalConfig};
-use oisum_service::{recovery, serve_with_core, RequestCore, ServerConfig, ServerHandle, ServiceHp};
+use oisum_service::{
+    recovery, serve_with_core, RequestCore, ServerConfig, ServerHandle, ServiceHp, Transport,
+};
 
 use crate::membership::Membership;
 use crate::peer::{PeerCallConfig, PeerPool};
@@ -390,6 +392,7 @@ impl ClusterNode {
                 workers: config.workers,
                 snapshot_path: None,
                 wal: None,
+                transport: Transport::default(),
             },
             Arc::new(core),
         )?;

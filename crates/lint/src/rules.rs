@@ -73,9 +73,13 @@ pub enum RuleId {
     /// `LostWakeup` verdict catches at runtime.
     CondvarPredicate,
     /// No blocking lock acquisitions on the zero-copy frame path
-    /// (`crates/service/src/server.rs` / `dispatch.rs`): the request
-    /// path stays lock-free; durability blocking is the WAL's carve-out
-    /// and lives behind `wal.append`, never inline in frame handling.
+    /// (`crates/service/src/server.rs` / `dispatch.rs`) or anywhere in
+    /// the single-threaded epoll reactor
+    /// (`crates/service/src/reactor/`): the request path stays
+    /// lock-free; durability blocking is the WAL's carve-out and lives
+    /// behind `wal.append`, never inline in frame handling. On the
+    /// reactor the stakes are higher still — one blocked acquisition
+    /// stalls every connection the event loop owns, not one worker.
     BlockingInHotPath,
 }
 
@@ -333,7 +337,9 @@ fn in_scope(rule: RuleId, path: &str, kind: FileKind) -> bool {
         RuleId::BlockingInHotPath => {
             kind == FileKind::Prod
                 && path.starts_with("crates/service/src/")
-                && (path.ends_with("server.rs") || path.ends_with("dispatch.rs"))
+                && (path.ends_with("server.rs")
+                    || path.ends_with("dispatch.rs")
+                    || path.starts_with("crates/service/src/reactor/"))
         }
     }
 }

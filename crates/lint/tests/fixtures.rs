@@ -705,6 +705,26 @@ fn blocking_in_hot_path_fires_on_frame_path_only() {
         ),
         vec![2]
     );
+    // …and anywhere in the single-threaded reactor, where one blocked
+    // acquisition stalls every connection the event loop owns…
+    assert_eq!(
+        fire_lines(
+            RuleId::BlockingInHotPath,
+            "crates/service/src/reactor/mod.rs",
+            FileKind::Prod,
+            src
+        ),
+        vec![2]
+    );
+    assert_eq!(
+        fire_lines(
+            RuleId::BlockingInHotPath,
+            "crates/service/src/reactor/conn.rs",
+            FileKind::Prod,
+            src
+        ),
+        vec![2]
+    );
     // …but not in the WAL (the carve-out that owns blocking), other
     // crates, or test code.
     assert!(fire_lines(RuleId::BlockingInHotPath, "crates/service/src/wal.rs", FileKind::Prod, src)
@@ -734,10 +754,30 @@ fn real_blocking_layer_passes_the_new_rules() {
     for (path, src) in [
         ("crates/service/src/server.rs", include_str!("../../service/src/server.rs")),
         ("crates/service/src/dispatch.rs", include_str!("../../service/src/dispatch.rs")),
+        ("crates/service/src/reactor/mod.rs", include_str!("../../service/src/reactor/mod.rs")),
+        ("crates/service/src/reactor/conn.rs", include_str!("../../service/src/reactor/conn.rs")),
+        ("crates/service/src/reactor/sys.rs", include_str!("../../service/src/reactor/sys.rs")),
     ] {
         assert!(
             fire_lines(RuleId::BlockingInHotPath, path, FileKind::Prod, src).is_empty(),
             "{path} must keep the frame path lock-free"
         );
     }
+}
+
+#[test]
+fn blocking_in_hot_path_ignores_socket_io() {
+    // The reactor reads and writes sockets on every readiness edge;
+    // `.read(buf)`/`.write(bytes)` take arguments and are io, not lock
+    // acquisitions. Only the zero-argument acquisition forms fire.
+    let src = "fn pump(s: &mut std::net::TcpStream, lk: &std::sync::RwLock<u64>) {\n    let mut b = [0u8; 8];\n    let _n = s.read(&mut b);\n    let _m = s.write(&b);\n    let _g = lk.read().unwrap();\n    let _w = lk.write().unwrap();\n}\n";
+    assert_eq!(
+        fire_lines(
+            RuleId::BlockingInHotPath,
+            "crates/service/src/reactor/conn.rs",
+            FileKind::Prod,
+            src
+        ),
+        vec![5, 6]
+    );
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! oisum-server [--addr HOST:PORT] [--shards N] [--workers N] [--snapshot PATH]
 //!              [--wal DIR] [--fsync always|group|group(N,Tus)|never]
+//!              [--transport threads|epoll] [--max-conns N]
 //! ```
 //!
 //! Runs until a client sends a `Shutdown` frame; if `--snapshot` is
@@ -11,14 +12,21 @@
 //! batch is logged to DIR and made durable (per `--fsync`, default
 //! `group`) before its ACK, and existing segments are replayed at
 //! startup — ACKed batches then survive a non-graceful death.
+//!
+//! `--transport epoll` serves connections from a single edge-triggered
+//! reactor instead of the worker pool — same protocol, same bitwise
+//! sums, tens of thousands of concurrent connections. `--max-conns`
+//! raises `RLIMIT_NOFILE` toward N+64 before binding (best effort,
+//! clamped to the hard cap).
 
-use oisum_service::{serve, FsyncPolicy, ServerConfig, WalConfig};
+use oisum_service::{raise_nofile_limit, serve, FsyncPolicy, ServerConfig, WalConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: oisum-server [--addr HOST:PORT] [--shards N] [--workers N] [--snapshot PATH] \
-         [--wal DIR] [--fsync always|group|group(N,Tus)|never]"
+         [--wal DIR] [--fsync always|group|group(N,Tus)|never] \
+         [--transport threads|epoll] [--max-conns N]"
     );
     std::process::exit(2);
 }
@@ -26,6 +34,7 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut config = ServerConfig::default();
     let mut fsync: Option<FsyncPolicy> = None;
+    let mut max_conns: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -41,7 +50,24 @@ fn main() -> ExitCode {
                     usage()
                 }));
             }
+            "--transport" => {
+                config.transport = value().parse().unwrap_or_else(|e: String| {
+                    eprintln!("oisum-server: {e}");
+                    usage()
+                });
+            }
+            "--max-conns" => max_conns = Some(value().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
+        }
+    }
+    if let Some(n) = max_conns {
+        match raise_nofile_limit(n + 64) {
+            Ok((soft, hard)) => {
+                if soft < n + 64 {
+                    eprintln!("oisum-server: RLIMIT_NOFILE clamped to {soft} (hard cap {hard})");
+                }
+            }
+            Err(e) => eprintln!("oisum-server: could not raise RLIMIT_NOFILE: {e}"),
         }
     }
     match (&mut config.wal, fsync) {

@@ -72,6 +72,45 @@ pub trait ClusterOps: Send + Sync {
     fn cluster_sum(&self, stream: &str) -> Result<ClusterSumOut, String>;
 }
 
+/// How a transport establishes tracked-batch durability before the ACK.
+///
+/// Both modes preserve the same invariant — an ACK is only sent once
+/// the record's group commit (write + policy fsync) has finished — they
+/// differ only in *who waits*. The ledger apply, the replication hook,
+/// and the reply bytes are identical, so the two transports produce
+/// bitwise-identical sums by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalMode {
+    /// Block inside the dispatch until the commit covers the record —
+    /// the threaded server, where each connection owns a thread that
+    /// can afford to sleep on the group-commit condvar.
+    Block,
+    /// Enqueue the record and return its ticket without waiting — the
+    /// epoll reactor, which parks the *connection* (zero threads) and
+    /// releases the already-formatted reply once the WAL's commit mark
+    /// covers the ticket.
+    Submit,
+}
+
+/// The result of executing one frame under a chosen [`WalMode`].
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// The reply is ready to send now; the bool asks the transport to
+    /// initiate shutdown after sending it (mirrors
+    /// [`RequestCore::handle_frame`]).
+    Done(Response, bool),
+    /// The batch is applied and its WAL record enqueued: send
+    /// `response` only once the commit mark reaches `ticket` (or
+    /// replace it with a typed error if the log crashes first). Only
+    /// tracked `Add`s under [`WalMode::Submit`] produce this.
+    WalPending {
+        /// The dense group-commit ticket to watch the mark for.
+        ticket: u64,
+        /// The reply to release when the ticket commits.
+        response: Response,
+    },
+}
+
 /// The shared request executor; see the module docs.
 pub struct RequestCore {
     ledger: Arc<ShardedLedger>,
@@ -132,6 +171,23 @@ impl RequestCore {
         frame: ClientFrameView<'_>,
         shard_cursor: &mut usize,
     ) -> (Response, bool) {
+        match self.handle_frame_with(frame, shard_cursor, WalMode::Block) {
+            FrameOutcome::Done(reply, stop) => (reply, stop),
+            // lint:allow(service-unwrap) -- unreachable: WalMode::Block never pends
+            FrameOutcome::WalPending { .. } => unreachable!("Block mode never pends"),
+        }
+    }
+
+    /// [`handle_frame`](Self::handle_frame) under an explicit
+    /// [`WalMode`]. Under [`WalMode::Submit`] a tracked `Add` with a
+    /// WAL attached returns [`FrameOutcome::WalPending`] instead of
+    /// blocking on the group commit; everything else completes inline.
+    pub fn handle_frame_with(
+        &self,
+        frame: ClientFrameView<'_>,
+        shard_cursor: &mut usize,
+        mode: WalMode,
+    ) -> FrameOutcome {
         match frame {
             ClientFrameView::BinaryAdd(view) => {
                 let hint = *shard_cursor;
@@ -140,7 +196,7 @@ impl RequestCore {
                     if let Err(reply) =
                         self.replicate(view.stream, view.client_id, view.seq, view.value_bytes())
                     {
-                        return (reply, false);
+                        return FrameOutcome::Done(reply, false);
                     }
                 }
                 // The hot path: the raw value bytes go from the read
@@ -154,19 +210,23 @@ impl RequestCore {
                     view.seq,
                     view.value_bytes(),
                 );
+                let response = Response::Added { count, deduped: !applied };
                 if view.client_id != UNTRACKED_CLIENT {
-                    if let Err(reply) = self.commit_durable(
+                    return match self.commit_step(
                         view.stream,
                         view.client_id,
                         view.seq,
                         view.value_bytes(),
+                        mode,
                     ) {
-                        return (reply, false);
-                    }
+                        Err(reply) => FrameOutcome::Done(reply, false),
+                        Ok(Some(ticket)) => FrameOutcome::WalPending { ticket, response },
+                        Ok(None) => FrameOutcome::Done(response, false),
+                    };
                 }
-                (Response::Added { count, deduped: !applied }, false)
+                FrameOutcome::Done(response, false)
             }
-            ClientFrameView::Json(req) => self.handle_request(req, shard_cursor),
+            ClientFrameView::Json(req) => self.handle_request_with(req, shard_cursor, mode),
         }
     }
 
@@ -187,14 +247,20 @@ impl RequestCore {
     /// seams poison the WAL on either side of the append, modelling a
     /// process kill between apply and commit (batch lost, never ACKed)
     /// and between commit and ACK (batch durable, never ACKed).
-    fn commit_durable(
+    /// Under [`WalMode::Block`] this is exactly the old blocking
+    /// `commit_durable` (returns `Ok(None)` once the commit covers the
+    /// record); under [`WalMode::Submit`] the record is enqueued and
+    /// its ticket returned as `Ok(Some(ticket))` — the caller must hold
+    /// the ACK until the commit mark covers it.
+    fn commit_step(
         &self,
         stream: &str,
         client_id: u64,
         seq: u64,
         value_bytes: &[u8],
-    ) -> Result<(), Response> {
-        let Some(wal) = &self.wal else { return Ok(()) };
+        mode: WalMode,
+    ) -> Result<Option<u64>, Response> {
+        let Some(wal) = &self.wal else { return Ok(None) };
         let refuse = |message: String| Response::Error {
             code: ErrorCode::Internal,
             message,
@@ -203,13 +269,22 @@ impl RequestCore {
             wal.crash();
             return Err(refuse("injected crash before group commit".to_owned()));
         }
-        wal.append(stream, client_id, seq, value_bytes)
-            .map_err(|e| refuse(format!("wal append failed: {e}")))?;
+        let ticket = match mode {
+            WalMode::Block => {
+                wal.append(stream, client_id, seq, value_bytes)
+                    .map_err(|e| refuse(format!("wal append failed: {e}")))?;
+                None
+            }
+            WalMode::Submit => Some(
+                wal.submit(stream, client_id, seq, value_bytes)
+                    .map_err(|e| refuse(format!("wal submit failed: {e}")))?,
+            ),
+        };
         if oisum_faults::check("server.crash.after_commit").is_some() {
             wal.crash();
             return Err(refuse("injected crash after group commit".to_owned()));
         }
-        Ok(())
+        Ok(ticket)
     }
 
     /// Replicates a tracked batch if a cluster is attached; `Err` is the
@@ -232,6 +307,22 @@ impl RequestCore {
 
     /// Executes one JSON request.
     pub fn handle_request(&self, req: Request, shard_cursor: &mut usize) -> (Response, bool) {
+        match self.handle_request_with(req, shard_cursor, WalMode::Block) {
+            FrameOutcome::Done(reply, stop) => (reply, stop),
+            // lint:allow(service-unwrap) -- unreachable: WalMode::Block never pends
+            FrameOutcome::WalPending { .. } => unreachable!("Block mode never pends"),
+        }
+    }
+
+    /// [`handle_request`](Self::handle_request) under an explicit
+    /// [`WalMode`]; only a tracked `Add` can return
+    /// [`FrameOutcome::WalPending`].
+    pub fn handle_request_with(
+        &self,
+        req: Request,
+        shard_cursor: &mut usize,
+        mode: WalMode,
+    ) -> FrameOutcome {
         let ledger = &self.ledger;
         match req {
             Request::Add { stream, values, client_id, seq } => {
@@ -241,7 +332,7 @@ impl RequestCore {
                 // window; an untracked one (no id, or the explicit
                 // sentinel) deposits unconditionally, preserving the
                 // PR-2 wire behavior.
-                let (count, deduped) = match (client_id, seq) {
+                match (client_id, seq) {
                     (Some(id), Some(seq)) if id != UNTRACKED_CLIENT => {
                         // Replication and the WAL both consume the batch
                         // as raw LE bytes, the binary path's native form.
@@ -252,31 +343,38 @@ impl RequestCore {
                         };
                         if self.cluster.is_some() {
                             if let Err(reply) = self.replicate(&stream, id, seq, &bytes) {
-                                return (reply, false);
+                                return FrameOutcome::Done(reply, false);
                             }
                         }
                         let (count, applied) =
                             ledger.add_batch_dedup(&stream, hint, id, seq, values.iter().copied());
-                        if let Err(reply) = self.commit_durable(&stream, id, seq, &bytes) {
-                            return (reply, false);
+                        let response = Response::Added { count, deduped: !applied };
+                        match self.commit_step(&stream, id, seq, &bytes, mode) {
+                            Err(reply) => FrameOutcome::Done(reply, false),
+                            Ok(Some(ticket)) => FrameOutcome::WalPending { ticket, response },
+                            Ok(None) => FrameOutcome::Done(response, false),
                         }
-                        (count, !applied)
                     }
-                    _ => (ledger.add_batch_on(&stream, hint, values.iter().copied()), false),
-                };
-                (Response::Added { count, deduped }, false)
+                    _ => FrameOutcome::Done(
+                        Response::Added {
+                            count: ledger.add_batch_on(&stream, hint, values.iter().copied()),
+                            deduped: false,
+                        },
+                        false,
+                    ),
+                }
             }
             Request::Sum { stream } => match ledger.sum(&stream) {
-                Some(sum) => (
+                Some(sum) => FrameOutcome::Done(
                     Response::Sum {
                         limbs: sum.as_limbs().to_vec(),
                         poisoned: ledger.overflows(&stream) != 0,
                     },
                     false,
                 ),
-                None => (unknown_stream(&stream), false),
+                None => FrameOutcome::Done(unknown_stream(&stream), false),
             },
-            Request::ClusterSum { stream } => (self.cluster_sum(&stream), false),
+            Request::ClusterSum { stream } => FrameOutcome::Done(self.cluster_sum(&stream), false),
             Request::Snapshot => match &self.snapshot_path {
                 Some(path) => {
                     // GC boundary *before* the save: every record in a
@@ -295,9 +393,12 @@ impl RequestCore {
                                     let _ = wal.gc_below(boundary);
                                 }
                             }
-                            (Response::Snapshot { streams: streams as u64 }, false)
+                            FrameOutcome::Done(
+                                Response::Snapshot { streams: streams as u64 },
+                                false,
+                            )
                         }
-                        Err(e) => (
+                        Err(e) => FrameOutcome::Done(
                             Response::Error {
                                 code: ErrorCode::Internal,
                                 message: format!("snapshot failed: {e}"),
@@ -306,7 +407,7 @@ impl RequestCore {
                         ),
                     }
                 }
-                None => (
+                None => FrameOutcome::Done(
                     Response::Error {
                         code: ErrorCode::Internal,
                         message: "server started without a snapshot path".to_owned(),
@@ -316,11 +417,11 @@ impl RequestCore {
             },
             Request::Reset => {
                 ledger.reset();
-                (Response::ResetDone, false)
+                FrameOutcome::Done(Response::ResetDone, false)
             }
             Request::Stats => {
                 let stats = ledger.stats();
-                (
+                FrameOutcome::Done(
                     Response::Stats {
                         shard_count: stats.shard_count,
                         streams: stats
@@ -337,7 +438,7 @@ impl RequestCore {
                     false,
                 )
             }
-            Request::Shutdown => (Response::ShuttingDown, true),
+            Request::Shutdown => FrameOutcome::Done(Response::ShuttingDown, true),
         }
     }
 

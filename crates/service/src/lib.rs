@@ -67,10 +67,12 @@ pub mod client;
 pub mod dispatch;
 pub mod ledger;
 pub mod proto;
+pub mod reactor;
 pub mod recovery;
-// The one carve-out from `deny(unsafe_code)`: the raw mmap/munmap/
-// fallocate syscalls backing mapped WAL segments, each with a SAFETY
-// argument at the call site.
+// A carve-out from `deny(unsafe_code)`: the raw mmap/munmap/fallocate
+// syscalls backing mapped WAL segments, each with a SAFETY argument at
+// the call site. (The other carve-out is `reactor::sys`, the epoll
+// shim, declared inside `reactor`.)
 #[allow(unsafe_code)]
 pub(crate) mod segmap;
 pub mod server;
@@ -83,8 +85,9 @@ pub mod wal;
 pub type ServiceHp = oisum_core::Hp6x3;
 
 pub use client::{Client, ClientConfig, ClientError, ClusterSumReply, SumReply};
-pub use dispatch::{ClusterOps, ClusterSumOut, RequestCore};
+pub use dispatch::{ClusterOps, ClusterSumOut, FrameOutcome, RequestCore, WalMode};
 pub use ledger::{LedgerStats, ShardedLedger, StreamStats};
+pub use reactor::raise_nofile_limit;
 pub use recovery::{recover, RecoveryReport, TornTail};
-pub use server::{serve, serve_with_core, ServerConfig, ServerHandle};
+pub use server::{serve, serve_with_core, ServerConfig, ServerHandle, Transport};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalError};

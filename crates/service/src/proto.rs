@@ -564,6 +564,21 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()>
     w.flush()
 }
 
+/// Splits a complete 8-byte frame header into its magic and payload
+/// length, enforcing the [`MAX_FRAME`] cap. This is the one place the
+/// header layout is decoded: the blocking reader below and the epoll
+/// reactor's incremental header state both call it, so a readiness-driven
+/// connection cannot drift from the synchronous framing by even a byte.
+pub fn parse_frame_header(header: &[u8; 8]) -> io::Result<([u8; 4], u32)> {
+    let magic = [header[0], header[1], header[2], header[3]];
+    // lint:allow(service-unwrap) -- infallible: header[4..8] is exactly 4 bytes
+    let len = u32::from_be_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(bad_data(format!("frame length {len} exceeds cap {MAX_FRAME}")));
+    }
+    Ok((magic, len))
+}
+
 /// Reads one 8-byte frame header, returning the magic and payload
 /// length, or `None` on a clean EOF at a frame boundary.
 fn read_header<R: Read>(r: &mut R) -> io::Result<Option<([u8; 4], u32)>> {
@@ -581,13 +596,7 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<Option<([u8; 4], u32)>> {
         }
         filled += n;
     }
-    let magic = [header[0], header[1], header[2], header[3]];
-    // lint:allow(service-unwrap) -- infallible: header[4..8] is exactly 4 bytes
-    let len = u32::from_be_bytes(header[4..8].try_into().unwrap());
-    if len > MAX_FRAME {
-        return Err(bad_data(format!("frame length {len} exceeds cap {MAX_FRAME}")));
-    }
-    Ok(Some((magic, len)))
+    parse_frame_header(&header).map(Some)
 }
 
 fn read_payload<R: Read>(r: &mut R, len: u32) -> io::Result<Vec<u8>> {
@@ -1134,11 +1143,20 @@ pub fn read_client_frame_into<'a, R: Read>(
     buf.clear();
     buf.resize(len as usize, 0);
     r.read_exact(buf)?;
+    parse_client_frame(magic, buf).map(Some)
+}
+
+/// Parses a complete client frame payload in place, dispatching on the
+/// header magic — the shared core of [`read_client_frame_into`] and the
+/// epoll reactor's readiness-driven connection state machine. The binary
+/// Add arm borrows `payload` (zero-copy, see [`BinaryAddView`]); the
+/// JSON arm deserializes into an owned [`Request`].
+pub fn parse_client_frame(magic: [u8; 4], payload: &[u8]) -> io::Result<ClientFrameView<'_>> {
     match magic {
-        m if m == MAGIC => serde_json::from_slice(buf)
-            .map(|req| Some(ClientFrameView::Json(req)))
+        m if m == MAGIC => serde_json::from_slice(payload)
+            .map(ClientFrameView::Json)
             .map_err(|e| bad_data(format!("bad frame payload: {e}"))),
-        m if m == MAGIC_ADD_BIN => Ok(Some(ClientFrameView::BinaryAdd(parse_add_binary_view(buf)?))),
+        m if m == MAGIC_ADD_BIN => Ok(ClientFrameView::BinaryAdd(parse_add_binary_view(payload)?)),
         m => Err(bad_data(format!(
             "bad frame magic {m:02x?} (speaking a different protocol or version?)"
         ))),

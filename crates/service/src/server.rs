@@ -30,8 +30,48 @@ use std::thread::JoinHandle;
 
 /// Seeds each connection's private shard cursor so concurrent
 /// connections start on different shards; touched once per connection,
-/// not per batch.
-static CONN_SEQ: AtomicUsize = AtomicUsize::new(0);
+/// not per batch. Shared with the epoll reactor so both transports
+/// spread connections the same way.
+pub(crate) static CONN_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Which connection-serving machinery the server runs. Both transports
+/// execute every frame through the same [`RequestCore`], so the choice
+/// affects concurrency scaling and latency shape — never a bit of any
+/// sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Acceptor + crossbeam worker pool: one thread owns each live
+    /// connection. Highest single-connection throughput; concurrency
+    /// capped by thread count.
+    #[default]
+    Threads,
+    /// Single-threaded edge-triggered epoll reactor: tens of thousands
+    /// of connections, readiness-driven state machines, WAL parking
+    /// without a thread per waiter. linux/x86_64 only (startup fails
+    /// with `Unsupported` elsewhere).
+    Epoll,
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(Transport::Threads),
+            "epoll" => Ok(Transport::Epoll),
+            other => Err(format!("unknown transport `{other}` (expected threads|epoll)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transport::Threads => "threads",
+            Transport::Epoll => "epoll",
+        })
+    }
+}
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -40,7 +80,7 @@ pub struct ServerConfig {
     pub addr: String,
     /// Shards per ledger stream.
     pub shards: usize,
-    /// Worker threads serving connections.
+    /// Worker threads serving connections (threaded transport only).
     pub workers: usize,
     /// If set, `Snapshot` requests and graceful shutdown persist the
     /// ledger here (and the server restores from it at startup if the
@@ -52,6 +92,8 @@ pub struct ServerConfig {
     /// so ACKed batches survive a non-graceful death. See
     /// [`WalConfig`].
     pub wal: Option<WalConfig>,
+    /// Connection-serving machinery; see [`Transport`].
+    pub transport: Transport,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +104,7 @@ impl Default for ServerConfig {
             workers: 4,
             snapshot_path: None,
             wal: None,
+            transport: Transport::Threads,
         }
     }
 }
@@ -150,6 +193,16 @@ pub fn serve_with_core(config: &ServerConfig, core: Arc<RequestCore>) -> io::Res
     let addr = listener.local_addr()?;
     let ledger = Arc::clone(core.ledger());
     let stopping = Arc::new(AtomicBool::new(false));
+
+    if config.transport == Transport::Epoll {
+        let acceptor = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("oisum-reactor".to_owned())
+                .spawn(move || crate::reactor::run(listener, core, stopping))?
+        };
+        return Ok(ServerHandle { addr, ledger, acceptor, stopping });
+    }
 
     let acceptor = {
         let stopping = Arc::clone(&stopping);

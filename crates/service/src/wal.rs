@@ -619,6 +619,11 @@ pub struct Shared<S: SyncShimLike, G: SegmentSink> {
     /// listening). See [`Shared::notify_done`] for why no wakeup is
     /// lost.
     done_waiters: S::Atomic,
+    /// Non-empty groups written (and, per policy, fsynced) so far.
+    /// `committed / groups` is the realized amortization — the number
+    /// every group-commit knob exists to raise — so benches read it
+    /// rather than guess from throughput deltas.
+    groups: S::Atomic,
     /// How many times the contended inline path spins on the segment
     /// lock before parking. 200 in production; the model scenarios use
     /// 0 — a spin is invisible to correctness (it re-checks the same
@@ -653,6 +658,7 @@ impl<S: SyncShimLike, G: SegmentSink> Shared<S, G> {
             segment: S::mutex("segment", Some(sink)),
             commit_mark: S::Atomic::new(0),
             done_waiters: S::Atomic::new(0),
+            groups: S::Atomic::new(0),
             spin_budget,
         }
     }
@@ -963,6 +969,105 @@ impl<S: SyncShimLike, G: SegmentSink> Shared<S, G> {
         }
     }
 
+    /// Enqueues one tracked batch for the committer *without waiting*
+    /// for its group to commit, returning the batch's dense ticket. The
+    /// caller parks elsewhere (an epoll reactor parks the connection,
+    /// not a thread) and learns of completion by watching
+    /// [`commit_mark`](Self::commit_mark): once the mark reaches the
+    /// ticket, the group's write — and, per policy, its fsync — has
+    /// finished, and the ACK is licensed exactly as if a blocking
+    /// [`append`](Self::append) had returned `Ok`.
+    ///
+    /// Unlike `append`, `submit` never raises the `appending` gauge: the
+    /// submitter is not blocked on this record, so there is no latency
+    /// to hide by holding a group open for it. The committer therefore
+    /// commits whatever a reactor's readiness burst enqueued as one
+    /// group the moment it wakes — fsync cost amortizes over the burst
+    /// instead of over a timed accumulation window.
+    pub fn submit(
+        &self,
+        stream: &str,
+        client_id: u64,
+        seq: u64,
+        value_bytes: &[u8],
+    ) -> Result<u64, WalError> {
+        let rec = encode_record(stream, client_id, seq, value_bytes)?;
+        let mut s = self.lock();
+        if let Some(detail) = &s.crashed {
+            return Err(WalError::Crashed(detail.clone()));
+        }
+        if s.stopping {
+            return Err(WalError::Closed);
+        }
+        s.queue.push_back(rec);
+        s.submitted += 1;
+        let ticket = s.submitted;
+        let qlen = s.queue.len();
+        drop(s);
+        // Wake the committer only on the transitions it acts on: the
+        // first queued record (start a group) and the batch threshold
+        // (commit it). The submits in between would merely interrupt
+        // its accumulation nap — on a busy reactor that is a futex wake
+        // plus two context switches per record, which costs more than
+        // the group commit itself. Missed wakes are safe: the committer
+        // only sleeps unbounded on an empty queue, and its accumulation
+        // waits are timeout-bounded.
+        let threshold = match self.fsync {
+            FsyncPolicy::Group { max_batch, .. } => max_batch,
+            _ => 1,
+        };
+        if qlen == 1 || qlen == threshold {
+            S::notify_one(&self.work);
+        }
+        Ok(ticket)
+    }
+
+    /// The durable-watermark mirror: every ticket `<= commit_mark()` has
+    /// been written and, per policy, fsynced. Lock-free; written only
+    /// under the state lock, so it is monotonic and never ahead of the
+    /// real watermark.
+    pub fn commit_mark(&self) -> u64 {
+        // ORDERING: Acquire — pairs with the Release publishes in
+        // commit_locked / append_won; a mark covering a ticket means
+        // that group's write (and policy fsync) happened-before this
+        // load.
+        self.commit_mark.load(Ordering::Acquire)
+    }
+
+    /// Parks (counted, on `done`) until the committed watermark moves
+    /// past `seen`, the log crashes, or `cancel` is raised; returns the
+    /// watermark at wakeup. This is the reactor's WAL pump: one thread
+    /// sleeps here on behalf of every connection parked on a
+    /// [`submit`](Self::submit) ticket, and relays each advance through
+    /// an eventfd. Cancellation is level-triggered — raise the flag,
+    /// then call [`wake_waiters`](Self::wake_waiters).
+    pub fn wait_mark_beyond(&self, seen: u64, cancel: &std::sync::atomic::AtomicBool) -> u64 {
+        let mut s = self.lock();
+        // ORDERING: SeqCst — pairs with the canceller's store; taking
+        // the state lock in wake_waiters orders that store before our
+        // re-check (see wake_waiters).
+        while s.committed <= seen
+            && s.crashed.is_none()
+            && !s.stopping
+            && !cancel.load(Ordering::SeqCst)
+        {
+            s = self.wait_done(s);
+        }
+        s.committed
+    }
+
+    /// Unconditionally wakes every `done` waiter. The state lock is
+    /// taken (and released) first so a waiter mid-predicate-check cannot
+    /// park after the notify: either it still holds the lock — then this
+    /// call blocks until the waiter has atomically parked and the
+    /// notify lands after — or it re-checks its predicate after our
+    /// cancellation store is visible. Used to cancel a
+    /// [`wait_mark_beyond`](Self::wait_mark_beyond) pump.
+    pub fn wake_waiters(&self) {
+        drop(self.lock());
+        S::notify_all(&self.done);
+    }
+
     /// Requests shutdown: the committer drains every queued record,
     /// commits it, seals, and exits its loop.
     pub fn request_stop(&self) {
@@ -993,6 +1098,15 @@ impl<S: SyncShimLike, G: SegmentSink> Shared<S, G> {
     pub fn queue_snapshot(&self) -> (u64, u64) {
         let s = self.lock();
         (s.submitted, s.committed)
+    }
+
+    /// `(records committed, groups written)` — the realized group-commit
+    /// amortization. One fsync per group under the `group`/`always`
+    /// policies, so `records / groups` is also records-per-fsync.
+    pub fn group_stats(&self) -> (u64, u64) {
+        // ORDERING: Relaxed — statistics reads; the two gauges are not
+        // mutually consistent to the record, which a ratio tolerates.
+        (self.commit_mark.load(Ordering::Relaxed), self.groups.load(Ordering::Relaxed))
     }
 
     /// Scenario probe: a consistent view of the sink and the ticket
@@ -1046,15 +1160,29 @@ impl<S: SyncShimLike, G: SegmentSink> Shared<S, G> {
         let group: Vec<Vec<u8>> = s.queue.drain(..).collect();
         drop(s);
         let count = group.len() as u64;
-        let mut buf = Vec::with_capacity(group.iter().map(Vec::len).sum());
-        for rec in &group {
-            buf.extend_from_slice(rec);
+        // Coalesce into a thread-local scratch reused across groups: a
+        // fresh group-sized Vec crosses glibc's mmap threshold, so every
+        // commit would pay an mmap/munmap plus one page fault per
+        // written page — on a small box that costs more than the
+        // group's actual write. Inline appenders that win a contended
+        // commit get their own (rarely-grown) scratch.
+        thread_local! {
+            static GROUP_SCRATCH: std::cell::RefCell<Vec<u8>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
         let fsync = !matches!(self.fsync, FsyncPolicy::Never);
-        let result = segment
-            .ensure_group_fits(buf.len())
-            .and_then(|()| segment.commit_group(&mut buf, count, fsync))
-            .and_then(|()| segment.rotate_if_full());
+        let result = GROUP_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            buf.reserve(group.iter().map(Vec::len).sum());
+            for rec in &group {
+                buf.extend_from_slice(rec);
+            }
+            segment
+                .ensure_group_fits(buf.len())
+                .and_then(|()| segment.commit_group(&mut buf, count, fsync))
+                .and_then(|()| segment.rotate_if_full())
+        });
         // ORDERING: Relaxed — publishing a monotonic GC boundary (the
         // fit pre-check can also rotate); readers seeing it late only
         // under-collect.
@@ -1063,6 +1191,9 @@ impl<S: SyncShimLike, G: SegmentSink> Shared<S, G> {
         match result {
             Ok(()) => {
                 s.committed += count;
+                // ORDERING: Relaxed — a statistics gauge; readers only
+                // ever divide by it.
+                self.groups.fetch_add(1, Ordering::Relaxed);
                 // ORDERING: Release — publishes the durable watermark
                 // to the appender fast path's Acquire load; written
                 // only under the state lock, so it stays monotonic.
@@ -1106,24 +1237,34 @@ impl<S: SyncShimLike, G: SegmentSink> Shared<S, G> {
                 return;
             }
             // Group accumulation: wait (bounded by max_wait) only while
-            // appenders are mid-flight between encode and enqueue —
-            // those are the arrivals a short delay can actually fold
-            // into this commit. Once nobody is appending, waiting
-            // longer is pure added latency: a synchronous client won't
-            // send its next batch until this one ACKs. Committing early
-            // (spurious wakeup, more arrivals than max_batch) is always
-            // safe — the policy bounds added latency, never group size.
+            // a blocking appender is mid-flight between encode and
+            // enqueue — its record should make this group, not wait a
+            // full commit cycle for the next one. Submit streams
+            // ([`submit`](Self::submit) never raises `appending`) get
+            // no window at all: group commit self-clocks. Whatever
+            // arrives during one commit+fsync forms the next group, so
+            // group size tracks fsync cost by construction — a slow
+            // disk grows the groups that amortize it, a fast one keeps
+            // latency at the commit's own cost. Holding the group open
+            // on a timer instead is pure added latency: a parked
+            // connection's next frame is behind the reply this commit
+            // licenses, so the timer starves the very stream it is
+            // waiting on. Committing early (spurious wakeup, more
+            // arrivals than max_batch) is always safe — the policy
+            // bounds added latency, never group size.
             if let FsyncPolicy::Group { max_batch, max_wait } = self.fsync {
                 let mut remaining = max_wait;
                 while s.queue.len() < max_batch
                     && !s.stopping
                     && s.crashed.is_none()
                     && !remaining.is_zero()
+                {
                     // ORDERING: Relaxed — advisory batching gauge (see
                     // Shared::appending); a stale read only changes how
                     // long this group waits, never what commits.
-                    && self.appending.load(Ordering::Relaxed) > 0
-                {
+                    if self.appending.load(Ordering::Relaxed) == 0 {
+                        break;
+                    }
                     let slice = remaining.min(Duration::from_micros(200));
                     s = S::wait_timeout(&self.work, s, slice);
                     remaining = remaining.saturating_sub(slice);
@@ -1200,6 +1341,40 @@ impl Wal {
         self.shared.append(stream, client_id, seq, value_bytes)
     }
 
+    /// Enqueues one tracked batch for the committer without blocking,
+    /// returning its dense ticket; the ACK is licensed once
+    /// [`commit_mark`](Wal::commit_mark) reaches the ticket. See
+    /// [`Shared::submit`] — this is the epoll reactor's append path,
+    /// where a connection (not a thread) parks on the ticket.
+    pub fn submit(
+        &self,
+        stream: &str,
+        client_id: u64,
+        seq: u64,
+        value_bytes: &[u8],
+    ) -> Result<u64, WalError> {
+        self.shared.submit(stream, client_id, seq, value_bytes)
+    }
+
+    /// The durable watermark: every ticket `<=` this value has been
+    /// written and, per policy, fsynced.
+    pub fn commit_mark(&self) -> u64 {
+        self.shared.commit_mark()
+    }
+
+    /// Parks until the durable watermark moves past `seen`, the log
+    /// crashes/closes, or `cancel` is raised; returns the watermark at
+    /// wakeup. See [`Shared::wait_mark_beyond`].
+    pub fn wait_mark_beyond(&self, seen: u64, cancel: &std::sync::atomic::AtomicBool) -> u64 {
+        self.shared.wait_mark_beyond(seen, cancel)
+    }
+
+    /// Wakes every watermark waiter (pairs with a raised `cancel` flag
+    /// to stop a [`wait_mark_beyond`](Wal::wait_mark_beyond) pump).
+    pub fn wake_waiters(&self) {
+        self.shared.wake_waiters()
+    }
+
     /// Blocks until everything submitted so far has committed (or the
     /// log crashed). Does not seal or stop anything.
     pub fn flush(&self) -> Result<(), WalError> {
@@ -1217,6 +1392,18 @@ impl Wal {
     /// True once the log is poisoned.
     pub fn is_crashed(&self) -> bool {
         self.shared.is_crashed()
+    }
+
+    /// The poison detail, if the log has crashed.
+    pub fn crash_detail(&self) -> Option<String> {
+        self.shared.crash_detail()
+    }
+
+    /// `(records committed, groups written)` so far — `records / groups`
+    /// is the realized group-commit amortization (records per fsync
+    /// under the `group`/`always` policies).
+    pub fn group_stats(&self) -> (u64, u64) {
+        self.shared.group_stats()
     }
 
     /// The segment index currently being appended to. Segments below
